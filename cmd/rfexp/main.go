@@ -1,0 +1,90 @@
+// Command rfexp regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	rfexp [-n instructions] [-fig 1,2,3,5,6,7,8,9] [-table 1,2]
+//	rfexp -all
+//
+// With no selection flags, -all is assumed. Output is the textual data of
+// each figure (the same rows/series the paper plots) with the paper's
+// published deltas quoted inline for comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		n      = flag.Uint64("n", 120000, "dynamic instructions per benchmark")
+		figs   = flag.String("fig", "", "comma-separated figure numbers (1,2,3,5,6,7,8,9)")
+		tables = flag.String("table", "", "comma-separated table numbers (1,2)")
+		all    = flag.Bool("all", false, "run every table and figure")
+		ablate = flag.Bool("ablate", false, "also run the extension/ablation studies")
+	)
+	flag.Parse()
+
+	opt := experiments.Options{Instructions: *n}
+	w := os.Stdout
+
+	wantFig := map[string]bool{}
+	wantTab := map[string]bool{}
+	if *all || (*figs == "" && *tables == "" && !*ablate) {
+		for _, f := range []string{"1", "2", "3", "5", "6", "7", "8", "9"} {
+			wantFig[f] = true
+		}
+		wantTab["1"], wantTab["2"] = true, true
+	}
+	for _, f := range strings.Split(*figs, ",") {
+		if f != "" {
+			wantFig[strings.TrimSpace(f)] = true
+		}
+	}
+	for _, t := range strings.Split(*tables, ",") {
+		if t != "" {
+			wantTab[strings.TrimSpace(t)] = true
+		}
+	}
+
+	start := time.Now()
+	if wantTab["1"] {
+		experiments.Table1(w)
+	}
+	if wantTab["2"] {
+		experiments.Table2(w)
+	}
+	if wantFig["1"] {
+		experiments.Fig1(opt).Render(w)
+	}
+	if wantFig["2"] {
+		experiments.Fig2(opt).Render(w)
+	}
+	if wantFig["3"] {
+		experiments.Fig3(opt).Render(w)
+	}
+	if wantFig["5"] {
+		experiments.Fig5(opt).Render(w)
+	}
+	if wantFig["6"] {
+		experiments.Fig6(opt).Render(w)
+	}
+	if wantFig["7"] {
+		experiments.Fig7(opt).Render(w)
+	}
+	if wantFig["8"] {
+		experiments.Fig8(opt).Render(w)
+	}
+	if wantFig["9"] {
+		experiments.Fig9(opt).Render(w)
+	}
+	if *ablate {
+		experiments.Ablations(opt).Render(w)
+	}
+	fmt.Fprintf(w, "\n[%d instructions/benchmark, total wall time %s]\n", *n, time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,137 @@
+// Command rfsim runs one benchmark on one register file architecture and
+// prints the simulation statistics.
+//
+// Usage:
+//
+//	rfsim -bench gcc -rf rfcache [-n 200000] [-rports 4] [-wports 3] [-buses 2]
+//	rfsim -list
+//
+// Register file architectures (-rf):
+//
+//	1cycle    one-cycle single-banked file (full bypass)
+//	2cycle    two-cycle single-banked file, two bypass levels
+//	2cycle1b  two-cycle single-banked file, one bypass level
+//	rfcache   two-level register file cache (the paper's proposal)
+//	onelevel  one-level multi-banked organization (extension)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		bench   = flag.String("bench", "compress", "benchmark name (see -list)")
+		rf      = flag.String("rf", "rfcache", "register file architecture")
+		n       = flag.Uint64("n", 200000, "dynamic instructions to commit")
+		rports  = flag.Int("rports", 0, "read ports (0 = unlimited)")
+		wports  = flag.Int("wports", 0, "write ports (0 = unlimited)")
+		buses   = flag.Int("buses", 0, "rf-cache buses (0 = unlimited)")
+		upper   = flag.Int("upper", 16, "rf-cache upper bank size")
+		caching = flag.String("caching", "nonbypass", "rf-cache caching policy: nonbypass|ready|all|none")
+		pf      = flag.Bool("prefetch", true, "rf-cache prefetch-first-pair")
+		banks   = flag.Int("banks", 2, "one-level bank count")
+		list    = flag.Bool("list", false, "list benchmarks and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("SpecInt95 proxies:")
+		for _, p := range trace.SpecInt95() {
+			fmt.Printf("  %s\n", p.Name)
+		}
+		fmt.Println("SpecFP95 proxies:")
+		for _, p := range trace.SpecFP95() {
+			fmt.Printf("  %s\n", p.Name)
+		}
+		return
+	}
+
+	prof, ok := trace.ByName(*bench)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "rfsim: unknown benchmark %q (use -list)\n", *bench)
+		os.Exit(1)
+	}
+
+	ports := func(v int) int {
+		if v <= 0 {
+			return core.Unlimited
+		}
+		return v
+	}
+
+	var spec sim.RFSpec
+	switch *rf {
+	case "1cycle":
+		spec = sim.Mono1Cycle(ports(*rports), ports(*wports))
+	case "2cycle":
+		spec = sim.Mono2CycleFull(ports(*rports), ports(*wports))
+	case "2cycle1b":
+		spec = sim.Mono2CycleSingle(ports(*rports), ports(*wports))
+	case "rfcache":
+		cfg := core.PaperCacheConfig()
+		cfg.ReadPorts = ports(*rports)
+		cfg.UpperWritePorts = ports(*wports)
+		cfg.LowerWritePorts = ports(*wports)
+		cfg.Buses = ports(*buses)
+		cfg.UpperSize = *upper
+		switch *caching {
+		case "nonbypass":
+			cfg.Caching = core.CacheNonBypass
+		case "ready":
+			cfg.Caching = core.CacheReady
+		case "all":
+			cfg.Caching = core.CacheAll
+		case "none":
+			cfg.Caching = core.CacheNone
+		default:
+			fmt.Fprintf(os.Stderr, "rfsim: unknown caching policy %q\n", *caching)
+			os.Exit(1)
+		}
+		if !*pf {
+			cfg.Prefetch = core.FetchOnDemand
+		}
+		spec = sim.CacheSpec(cfg)
+	case "onelevel":
+		spec = sim.OneLevelSpec(core.OneLevelConfig{
+			Banks:             *banks,
+			ReadPortsPerBank:  ports(*rports),
+			WritePortsPerBank: ports(*wports),
+		})
+	default:
+		fmt.Fprintf(os.Stderr, "rfsim: unknown register file %q\n", *rf)
+		os.Exit(1)
+	}
+
+	cfg := sim.DefaultConfig(spec, *n)
+	r := sim.New(cfg, trace.New(prof)).Run()
+
+	fmt.Printf("benchmark:        %s\n", prof.Name)
+	fmt.Printf("register file:    %s\n", spec.Name)
+	fmt.Printf("instructions:     %d (measured after warmup)\n", r.Instructions)
+	fmt.Printf("cycles:           %d\n", r.Cycles)
+	fmt.Printf("IPC:              %.3f\n", r.IPC)
+	fmt.Printf("branch mispredict: %.2f%% (%d/%d)\n", 100*r.MispredictRate(), r.Mispredicts, r.Branches)
+	fmt.Printf("I-cache miss:     %.2f%%\n", 100*r.ICacheMissRate)
+	fmt.Printf("D-cache miss:     %.2f%%\n", 100*r.DCacheMissRate)
+	fmt.Printf("store forwards:   %d\n", r.StoreForwards)
+	fmt.Printf("dispatch stalls:  %d cycles\n", r.DispatchStalls)
+	for _, f := range []struct {
+		name string
+		st   core.FileStats
+	}{{"int", r.IntFile}, {"fp", r.FPFile}} {
+		fmt.Printf("%s file:          reads %d, bypass %d, port-conflicts %d\n",
+			f.name, f.st.Reads, f.st.BypassReads, f.st.ReadPortConflicts)
+		if *rf == "rfcache" {
+			fmt.Printf("                  upper hits %d, demand fetches %d, prefetches %d, caching writes %d (skipped %d), evictions %d\n",
+				f.st.UpperHits, f.st.DemandFetches, f.st.Prefetches,
+				f.st.CachingWrites, f.st.CachingSkipped, f.st.Evictions)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+// Command rftrace captures, characterizes, and replays workload traces.
+//
+// Usage:
+//
+//	rftrace -bench swim -n 100000 -capture swim.trace   # serialize a workload
+//	rftrace -replay swim.trace -rf rfcache              # simulate a capture
+//	rftrace -bench swim -n 100000 -characterize         # workload report
+//
+// Captures use the compact binary format of internal/trace (≈6 bytes per
+// instruction) and replay bit-identically, so externally produced traces in
+// the same format can also be fed to the simulator.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		bench   = flag.String("bench", "compress", "benchmark to generate")
+		n       = flag.Uint64("n", 100000, "instructions to capture/characterize")
+		capture = flag.String("capture", "", "write a binary trace to this file")
+		replay  = flag.String("replay", "", "simulate a previously captured trace")
+		charact = flag.Bool("characterize", false, "print a workload characterization report")
+		rf      = flag.String("rf", "rfcache", "architecture for -replay: 1cycle|rfcache")
+	)
+	flag.Parse()
+
+	switch {
+	case *replay != "":
+		f, err := os.Open(*replay)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r, err := trace.NewReader(f)
+		if err != nil {
+			fatal(err)
+		}
+		var spec sim.RFSpec
+		switch *rf {
+		case "1cycle":
+			spec = sim.Mono1Cycle(core.Unlimited, core.Unlimited)
+		case "rfcache":
+			spec = sim.PaperCache()
+		default:
+			fatal(fmt.Errorf("unknown architecture %q", *rf))
+		}
+		// Size the run safely inside the capture: the reader panics past
+		// the end, so the caller must pass -n within the captured length.
+		res := sim.New(sim.DefaultConfig(spec, *n), r).Run()
+		fmt.Printf("replayed %d instructions: %s\n", r.Count(), res.String())
+
+	case *capture != "":
+		prof, ok := trace.ByName(*bench)
+		if !ok {
+			fatal(fmt.Errorf("unknown benchmark %q", *bench))
+		}
+		f, err := os.Create(*capture)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.Capture(f, trace.New(prof), *n); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		st, _ := os.Stat(*capture)
+		fmt.Printf("captured %d instructions of %s to %s (%.1f bytes/instruction)\n",
+			*n, *bench, *capture, float64(st.Size())/float64(*n))
+
+	case *charact:
+		prof, ok := trace.ByName(*bench)
+		if !ok {
+			fatal(fmt.Errorf("unknown benchmark %q", *bench))
+		}
+		c := trace.Characterize(trace.New(prof), *n)
+		fmt.Printf("workload %s:\n%s", *bench, c.String())
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rftrace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,23 @@
+// Package repro is a from-scratch Go reproduction of "Multiple-Banked
+// Register File Architectures" (Cruz, González, Valero, Topham; ISCA 2000).
+//
+// The library lives under internal/:
+//
+//   - internal/core — the paper's contribution: the register file cache
+//     (two-level multi-banked register file with caching and prefetching
+//     policies) plus the single-banked baselines and a one-level
+//     multi-banked extension;
+//   - internal/sim — the cycle-level 8-way out-of-order processor
+//     (Table 1 of the paper) that evaluates them;
+//   - internal/trace — synthetic SPEC95-proxy workloads;
+//   - internal/area — the area/access-time cost model calibrated against
+//     the paper's Table 2;
+//   - internal/experiments — one runner per paper figure and table.
+//
+// Executables: cmd/rfexp regenerates every figure/table; cmd/rfsim runs a
+// single benchmark × architecture simulation. See README.md, DESIGN.md and
+// EXPERIMENTS.md, and the runnable programs under examples/.
+//
+// The benchmarks in bench_test.go regenerate each experiment at a reduced
+// instruction budget and report the headline metrics via b.ReportMetric.
+package repro

@@ -1,0 +1,68 @@
+// Areasweep: explore the area / cycle-time / IPC trade-off that motivates
+// the register file cache (the paper's Figures 8 and 9 in miniature).
+//
+// For a few matched-area port configurations, this example prints the
+// modeled silicon cost and clock period of each architecture next to its
+// simulated IPC and the resulting instruction throughput — the number that
+// actually decides which design wins.
+//
+// Run with:
+//
+//	go run ./examples/areasweep
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/area"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func main() {
+	const bench = "vortex"
+	const instructions = 80000
+	prof, ok := trace.ByName(bench)
+	if !ok {
+		panic("unknown benchmark")
+	}
+
+	fmt.Printf("Benchmark: %s — throughput = IPC / cycle time, relative to 1-cycle @ C1\n\n", bench)
+	tab := stats.NewTable("config", "architecture", "area(10^4λ^2)", "cycle(ns)", "IPC", "throughput(rel)")
+
+	var baseTP float64
+	for _, c := range area.Table2() {
+		type row struct {
+			arch  string
+			spec  sim.RFSpec
+			areaV float64
+			ns    float64
+		}
+		rfcCfg := core.PaperCacheConfig()
+		rfcCfg.ReadPorts = c.RFC.Read
+		rfcCfg.UpperWritePorts = c.RFC.UpperWrite
+		rfcCfg.LowerWritePorts = c.RFC.LowerWrite
+		rfcCfg.Buses = c.RFC.Buses
+		rows := []row{
+			{"1-cycle single bank", sim.Mono1Cycle(c.SB.Read, c.SB.Write), c.SB.Area(), c.SB.CycleTime(1)},
+			{"2-cycle, 1 bypass", sim.Mono2CycleSingle(c.SB.Read, c.SB.Write), c.SB.Area(), c.SB.CycleTime(2)},
+			{"register file cache", sim.CacheSpec(rfcCfg), c.RFC.Area(), c.RFC.CycleTime()},
+		}
+		for _, r := range rows {
+			res := sim.New(sim.DefaultConfig(r.spec, instructions), trace.New(prof)).Run()
+			tp := res.IPC / r.ns
+			if baseTP == 0 {
+				baseTP = tp
+			}
+			tab.AddRow(c.Name, r.arch,
+				fmt.Sprintf("%.0f", r.areaV), fmt.Sprintf("%.2f", r.ns),
+				fmt.Sprintf("%.3f", res.IPC), fmt.Sprintf("%.2f", tp/baseTP))
+		}
+	}
+	fmt.Print(tab)
+	fmt.Println("\nReading the table: the register file cache gives up a little IPC but")
+	fmt.Println("clocks nearly twice as fast as the non-pipelined single bank at the")
+	fmt.Println("same silicon budget — the paper's ≈ +90% throughput headline.")
+}

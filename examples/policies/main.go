@@ -1,0 +1,63 @@
+// Policies: compare the register file cache's caching policies (non-bypass
+// vs ready vs cache-all vs cache-none) and fetch mechanisms (fetch-on-
+// demand vs prefetch-first-pair) under realistic, limited bandwidth —
+// the design space of the paper's Section 3 and Figure 5.
+//
+// Run with:
+//
+//	go run ./examples/policies
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func main() {
+	benchmarks := []string{"compress", "gcc", "mgrid", "swim"}
+	const instructions = 80000
+
+	type variant struct {
+		name    string
+		caching core.CachingPolicy
+		pf      core.PrefetchPolicy
+	}
+	variants := []variant{
+		{"ready + fetch-on-demand", core.CacheReady, core.FetchOnDemand},
+		{"non-bypass + fetch-on-demand", core.CacheNonBypass, core.FetchOnDemand},
+		{"ready + prefetch-first-pair", core.CacheReady, core.PrefetchFirstPair},
+		{"non-bypass + prefetch-first-pair", core.CacheNonBypass, core.PrefetchFirstPair},
+		{"cache-all (ablation)", core.CacheAll, core.PrefetchFirstPair},
+		{"cache-none (ablation)", core.CacheNone, core.PrefetchFirstPair},
+	}
+
+	cols := append([]string{"policy"}, benchmarks...)
+	tab := stats.NewTable(cols...)
+	for _, v := range variants {
+		cells := []string{v.name}
+		for _, b := range benchmarks {
+			prof, ok := trace.ByName(b)
+			if !ok {
+				panic("unknown benchmark " + b)
+			}
+			cfg := core.PaperCacheConfig()
+			cfg.Caching = v.caching
+			cfg.Prefetch = v.pf
+			// The paper's C2-like bandwidth: this is where policies
+			// actually differ — with unlimited ports everything looks alike.
+			cfg.ReadPorts, cfg.UpperWritePorts, cfg.LowerWritePorts, cfg.Buses = 4, 3, 3, 2
+			r := sim.New(sim.DefaultConfig(sim.CacheSpec(cfg), instructions), trace.New(prof)).Run()
+			cells = append(cells, fmt.Sprintf("%.3f", r.IPC))
+		}
+		tab.AddRow(cells...)
+	}
+	fmt.Println("IPC by caching policy and fetch mechanism (4R/3W upper ports, 2 buses):")
+	fmt.Print(tab)
+	fmt.Println("\nThe paper's findings to look for: non-bypass caching edges out ready")
+	fmt.Println("caching and is far simpler to implement; prefetching helps mostly the")
+	fmt.Println("regular FP codes; never caching cripples the upper bank.")
+}

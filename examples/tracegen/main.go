@@ -1,0 +1,85 @@
+// Tracegen: define a custom synthetic workload profile and study how its
+// character (branchiness, ILP, memory behaviour) moves the register file
+// architecture trade-off.
+//
+// This is the extension hook for users who want workloads beyond the
+// bundled SPEC95 proxies: a Profile is an ordinary value — build one,
+// hand it to trace.New, and simulate.
+//
+// Run with:
+//
+//	go run ./examples/tracegen
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// customProfile builds a pointer-chasing, branchy workload — roughly "an
+// interpreter dispatching over a cold heap" — the worst case for deep
+// register file pipelines.
+func customProfile() trace.Profile {
+	p := trace.Profile{
+		Name:         "interp",
+		StaticInstrs: 9000,
+		MaxLoopDepth: 2,
+		BodyMean:     7,
+		TripMean:     6,
+
+		// Instruction mix: integer-only, load-heavy.
+		WIntALU: 50, WIntMul: 1, WIntDiv: 0.2,
+		WLoad: 34, WStore: 10,
+
+		BranchEvery:      3,
+		FracRandomBranch: 0.25, // indirect-dispatch-like unpredictability
+		RandomBias:       0.4,
+
+		DepDistP: 0.6, // tight chains: each step feeds the next
+		DestPool: 8,
+
+		FracStream: 0.1,
+		WorkingSet: 1 << 21, // 2MB heap: plenty of cache misses
+
+		Seed: 20000605,
+	}
+	return p
+}
+
+func main() {
+	prof := customProfile()
+	if err := prof.Validate(); err != nil {
+		panic(err)
+	}
+	const instructions = 80000
+
+	specs := []sim.RFSpec{
+		sim.Mono1Cycle(core.Unlimited, core.Unlimited),
+		sim.Mono2CycleFull(core.Unlimited, core.Unlimited),
+		sim.Mono2CycleSingle(core.Unlimited, core.Unlimited),
+		sim.PaperCache(),
+	}
+
+	fmt.Printf("custom workload %q: %d static instructions\n\n", prof.Name, trace.New(prof).StaticSize())
+	tab := stats.NewTable("register file", "IPC", "mispredict", "D$ miss", "vs 1-cycle")
+	var base float64
+	for _, spec := range specs {
+		r := sim.New(sim.DefaultConfig(spec, instructions), trace.New(prof)).Run()
+		if base == 0 {
+			base = r.IPC
+		}
+		tab.AddRow(spec.Name,
+			fmt.Sprintf("%.3f", r.IPC),
+			fmt.Sprintf("%.1f%%", 100*r.MispredictRate()),
+			fmt.Sprintf("%.1f%%", 100*r.DCacheMissRate),
+			fmt.Sprintf("%+.1f%%", 100*(r.IPC/base-1)))
+	}
+	fmt.Print(tab)
+	fmt.Println("\nBranchy, chain-bound codes are exactly where a pipelined register file")
+	fmt.Println("hurts (later branch resolution, serialized dependent issues) and where")
+	fmt.Println("the register file cache recovers most of the loss with one bypass level.")
+}

@@ -1,0 +1,194 @@
+// Package area implements the analytical register-file area and access-time
+// model used to reproduce the paper's Table 2, Figure 8 and Figure 9.
+//
+// The paper used an area model by Llosa & Arazabal (UPC technical report,
+// in Spanish) and an access-time model extending CACTI, configured for a
+// λ = 0.5 µm process. Neither is available, so this package substitutes a
+// model with the standard multi-ported-SRAM functional forms, with its
+// constants calibrated by regression against the paper's own published
+// Table 2 numbers:
+//
+//   - Area: each port adds one wire track to the register cell in both
+//     dimensions (Rixner et al.), so a bank of N registers of B bits with R
+//     read and W write ports occupies
+//
+//     area(N,R,W) = N · B · (a0 + ar·R + aw·W)²   [λ²]
+//
+//     Fitting the four single-banked points of Table 2 gives a0 = 27.1,
+//     ar = 16.1, aw = 20.05. The same constants then independently predict
+//     the paper's four register-file-cache areas to within ~1.5%.
+//
+//   - Access time: word-line/bit-line delays grow with the cell pitch
+//     (∝ total ports P) and with the array extent (∝ √(N·B)):
+//
+//     t(N,P) = α·√N'·(1 + γ·P) + β·P + δ   [ns],  N' = N·B/64
+//
+//     with α = 0.186, γ = 0.148, β = −0.055, δ = 1.32 fit to the eight
+//     published cycle times (max error < 0.03 ns). The small negative β is
+//     a regression artifact without physical meaning; it is retained
+//     because the goal of this model is to reproduce the paper's cost
+//     landscape, not to be a process simulator.
+//
+// Register width is 64 bits throughout, as in the paper's Alpha-like ISA.
+package area
+
+import "math"
+
+// Bits is the register width in bits.
+const Bits = 64
+
+// Calibrated constants (see package comment).
+const (
+	a0 = 27.1
+	ar = 16.1
+	aw = 20.05
+
+	alpha = 0.186
+	gamma = 0.148
+	beta  = -0.055
+	delta = 1.32
+)
+
+// BankArea returns the area in λ² of a bank with n registers, r read ports
+// and w write ports.
+func BankArea(n, r, w int) float64 {
+	pitch := a0 + ar*float64(r) + aw*float64(w)
+	return float64(n) * Bits * pitch * pitch
+}
+
+// BankAccessTime returns the access time in ns of a bank with n registers
+// and p total ports.
+func BankAccessTime(n, p int) float64 {
+	return alpha*math.Sqrt(float64(n))*(1+gamma*float64(p)) + beta*float64(p) + delta
+}
+
+// AreaUnit is the paper's area unit: 10⁴ λ².
+const AreaUnit = 1e4
+
+// SingleBank describes a monolithic register file configuration for the
+// cost model.
+type SingleBank struct {
+	// Regs is the number of physical registers.
+	Regs int
+	// Read and Write are the port counts.
+	Read, Write int
+}
+
+// Area returns the file area in units of 10⁴ λ² (the paper's Table 2
+// unit).
+func (s SingleBank) Area() float64 {
+	return BankArea(s.Regs, s.Read, s.Write) / AreaUnit
+}
+
+// AccessTime returns the access time in ns.
+func (s SingleBank) AccessTime() float64 {
+	return BankAccessTime(s.Regs, s.Read+s.Write)
+}
+
+// CycleTime returns the processor cycle time in ns when the register file
+// access sets the critical path, for a file pipelined over stages cycles
+// (the paper's 2-cycle configurations optimistically assume two equal
+// stages with no inter-stage overhead).
+func (s SingleBank) CycleTime(stages int) float64 {
+	return s.AccessTime() / float64(stages)
+}
+
+// TwoLevel describes a register file cache configuration for the cost
+// model, following Table 2's convention: each bus between the levels adds
+// a read port to the lowest level and a write port to the uppermost level.
+type TwoLevel struct {
+	// UpperRegs and LowerRegs are the bank capacities (16 and 128 in the
+	// paper).
+	UpperRegs, LowerRegs int
+	// Read is the upper bank's read-port count (feeding the FUs).
+	Read int
+	// UpperWrite is the upper bank's result-write port count (caching
+	// writes at write-back).
+	UpperWrite int
+	// LowerWrite is the lower bank's result-write port count.
+	LowerWrite int
+	// Buses is the number of lower→upper transfer buses.
+	Buses int
+}
+
+// UpperPorts returns the uppermost bank's total port count: R reads, W
+// result writes, plus one write port per bus.
+func (t TwoLevel) UpperPorts() int { return t.Read + t.UpperWrite + t.Buses }
+
+// LowerPorts returns the lowest bank's total port count: W result writes
+// plus one read port per bus.
+func (t TwoLevel) LowerPorts() int { return t.LowerWrite + t.Buses }
+
+// Area returns the total area of both banks in units of 10⁴ λ².
+func (t TwoLevel) Area() float64 {
+	upper := BankArea(t.UpperRegs, t.Read, t.UpperWrite+t.Buses)
+	lower := BankArea(t.LowerRegs, t.Buses, t.LowerWrite)
+	return (upper + lower) / AreaUnit
+}
+
+// CycleTime returns the processor cycle time in ns: the uppermost bank
+// must be accessible in one cycle and the lowest bank in two (the paper
+// pipelines the lower bank over two processor cycles).
+func (t TwoLevel) CycleTime() float64 {
+	upper := BankAccessTime(t.UpperRegs, t.UpperPorts())
+	lower := BankAccessTime(t.LowerRegs, t.LowerPorts()) / 2
+	return math.Max(upper, lower)
+}
+
+// PaperConfig is one row of the paper's Table 2: matched-area
+// configurations of the three architectures.
+type PaperConfig struct {
+	// Name is C1..C4.
+	Name string
+	// SB is the single-banked port configuration (shared by the paper's
+	// 1-cycle and 2-cycle variants).
+	SB SingleBank
+	// RFC is the register file cache configuration.
+	RFC TwoLevel
+}
+
+// Table2 returns the paper's four configurations C1–C4 (port counts from
+// Table 2; 128 physical registers, 16-entry upper bank).
+func Table2() []PaperConfig {
+	return []PaperConfig{
+		{
+			Name: "C1",
+			SB:   SingleBank{Regs: 128, Read: 3, Write: 2},
+			RFC:  TwoLevel{UpperRegs: 16, LowerRegs: 128, Read: 3, UpperWrite: 2, LowerWrite: 2, Buses: 2},
+		},
+		{
+			Name: "C2",
+			SB:   SingleBank{Regs: 128, Read: 3, Write: 3},
+			RFC:  TwoLevel{UpperRegs: 16, LowerRegs: 128, Read: 4, UpperWrite: 3, LowerWrite: 3, Buses: 2},
+		},
+		{
+			Name: "C3",
+			SB:   SingleBank{Regs: 128, Read: 4, Write: 3},
+			RFC:  TwoLevel{UpperRegs: 16, LowerRegs: 128, Read: 4, UpperWrite: 4, LowerWrite: 4, Buses: 2},
+		},
+		{
+			Name: "C4",
+			SB:   SingleBank{Regs: 128, Read: 4, Write: 4},
+			RFC:  TwoLevel{UpperRegs: 16, LowerRegs: 128, Read: 4, UpperWrite: 4, LowerWrite: 4, Buses: 3},
+		},
+	}
+}
+
+// Published holds the paper's Table 2 reference values for validation and
+// for the EXPERIMENTS.md comparison.
+type Published struct {
+	Name              string
+	SBArea, SB1Cycle  float64 // one-cycle single-banked: area (10⁴λ²), cycle time (ns)
+	SB2Cycle          float64 // two-cycle single-banked cycle time (ns)
+	RFCArea, RFCCycle float64 // register file cache: area, cycle time
+}
+
+// PublishedTable2 returns the paper's printed Table 2 numbers.
+func PublishedTable2() []Published {
+	return []Published{
+		{Name: "C1", SBArea: 10921, SB1Cycle: 4.71, SB2Cycle: 2.35, RFCArea: 10593, RFCCycle: 2.45},
+		{Name: "C2", SBArea: 15070, SB1Cycle: 4.98, SB2Cycle: 2.49, RFCArea: 15487, RFCCycle: 2.55},
+		{Name: "C3", SBArea: 18855, SB1Cycle: 5.22, SB2Cycle: 2.61, RFCArea: 20529, RFCCycle: 2.61},
+		{Name: "C4", SBArea: 24163, SB1Cycle: 5.48, SB2Cycle: 2.74, RFCArea: 25296, RFCCycle: 2.67},
+	}
+}

@@ -1,0 +1,161 @@
+package area
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// The calibration requirement: the model must reproduce the paper's
+// published Table 2 to tight tolerances — that is the whole point of this
+// package.
+func TestModelReproducesTable2Areas(t *testing.T) {
+	pub := PublishedTable2()
+	for i, cfg := range Table2() {
+		gotSB := cfg.SB.Area()
+		if rel := math.Abs(gotSB-pub[i].SBArea) / pub[i].SBArea; rel > 0.01 {
+			t.Errorf("%s single-bank area %.0f vs published %.0f (%.1f%% off)",
+				cfg.Name, gotSB, pub[i].SBArea, rel*100)
+		}
+		gotRFC := cfg.RFC.Area()
+		if rel := math.Abs(gotRFC-pub[i].RFCArea) / pub[i].RFCArea; rel > 0.02 {
+			t.Errorf("%s RF-cache area %.0f vs published %.0f (%.1f%% off)",
+				cfg.Name, gotRFC, pub[i].RFCArea, rel*100)
+		}
+	}
+}
+
+func TestModelReproducesTable2CycleTimes(t *testing.T) {
+	pub := PublishedTable2()
+	for i, cfg := range Table2() {
+		got1 := cfg.SB.CycleTime(1)
+		if math.Abs(got1-pub[i].SB1Cycle) > 0.05 {
+			t.Errorf("%s 1-cycle time %.3f vs published %.2f", cfg.Name, got1, pub[i].SB1Cycle)
+		}
+		got2 := cfg.SB.CycleTime(2)
+		if math.Abs(got2-pub[i].SB2Cycle) > 0.05 {
+			t.Errorf("%s 2-cycle time %.3f vs published %.2f", cfg.Name, got2, pub[i].SB2Cycle)
+		}
+		gotRFC := cfg.RFC.CycleTime()
+		if math.Abs(gotRFC-pub[i].RFCCycle) > 0.05 {
+			t.Errorf("%s RF-cache cycle time %.3f vs published %.2f", cfg.Name, gotRFC, pub[i].RFCCycle)
+		}
+	}
+}
+
+func TestAreaMonotoneInPorts(t *testing.T) {
+	base := BankArea(128, 3, 2)
+	if BankArea(128, 4, 2) <= base {
+		t.Error("adding a read port did not grow area")
+	}
+	if BankArea(128, 3, 3) <= base {
+		t.Error("adding a write port did not grow area")
+	}
+	if BankArea(256, 3, 2) <= base {
+		t.Error("doubling registers did not grow area")
+	}
+}
+
+func TestWritePortCostsMoreThanRead(t *testing.T) {
+	// Table 2's deltas show write ports cost more area; the calibrated
+	// model must preserve that.
+	dRead := BankArea(128, 4, 2) - BankArea(128, 3, 2)
+	dWrite := BankArea(128, 3, 3) - BankArea(128, 3, 2)
+	if dWrite <= dRead {
+		t.Errorf("write-port delta %.0f ≤ read-port delta %.0f", dWrite, dRead)
+	}
+}
+
+func TestAccessTimeMonotone(t *testing.T) {
+	base := BankAccessTime(128, 5)
+	if BankAccessTime(128, 6) <= base {
+		t.Error("adding a port did not slow the bank")
+	}
+	if BankAccessTime(256, 5) <= base {
+		t.Error("doubling registers did not slow the bank")
+	}
+	if BankAccessTime(16, 5) >= base {
+		t.Error("a smaller bank should be faster")
+	}
+}
+
+func TestUpperBankFasterThanFullFile(t *testing.T) {
+	// The architectural premise: a 16-register heavily-ported bank is much
+	// faster than the 128-register file.
+	small := BankAccessTime(16, 7)
+	big := BankAccessTime(128, 5)
+	if small >= big*0.7 {
+		t.Errorf("16-reg bank (%.2f ns) not clearly faster than 128-reg file (%.2f ns)", small, big)
+	}
+}
+
+func TestTwoLevelPortAccounting(t *testing.T) {
+	cfg := TwoLevel{UpperRegs: 16, LowerRegs: 128, Read: 3, UpperWrite: 2, LowerWrite: 2, Buses: 2}
+	if got := cfg.UpperPorts(); got != 7 {
+		t.Errorf("UpperPorts = %d, want 7", got)
+	}
+	if got := cfg.LowerPorts(); got != 4 {
+		t.Errorf("LowerPorts = %d, want 4", got)
+	}
+}
+
+func TestTwoLevelCycleTimeIsMaxOfBanks(t *testing.T) {
+	cfg := TwoLevel{UpperRegs: 16, LowerRegs: 128, Read: 3, UpperWrite: 2, LowerWrite: 2, Buses: 2}
+	upper := BankAccessTime(16, 7)
+	lower := BankAccessTime(128, 4) / 2
+	want := math.Max(upper, lower)
+	if got := cfg.CycleTime(); got != want {
+		t.Errorf("CycleTime = %v, want %v", got, want)
+	}
+}
+
+func TestRFCTotalAreaComparableToSingleBank(t *testing.T) {
+	// The paper's point: for each configuration the RF cache costs about
+	// the same area as the single bank (within ~10%).
+	for _, cfg := range Table2() {
+		sb, rfc := cfg.SB.Area(), cfg.RFC.Area()
+		if rel := math.Abs(rfc-sb) / sb; rel > 0.12 {
+			t.Errorf("%s: RFC area %.0f vs SB %.0f differ by %.0f%%", cfg.Name, rfc, sb, rel*100)
+		}
+	}
+}
+
+func TestRFCCycleTimeRoughlyHalfOfSingleBank(t *testing.T) {
+	// Headline premise of Figure 9: the RF cache runs at roughly the
+	// 2-cycle pipelined clock, i.e. about half the 1-cycle single bank's.
+	for _, cfg := range Table2() {
+		one := cfg.SB.CycleTime(1)
+		rfc := cfg.RFC.CycleTime()
+		if ratio := rfc / one; ratio > 0.6 {
+			t.Errorf("%s: RFC cycle %.2f / 1-cycle %.2f = %.2f, want ≈0.5", cfg.Name, rfc, one, ratio)
+		}
+	}
+}
+
+// Property: area is strictly increasing in each argument.
+func TestQuickAreaMonotonicity(t *testing.T) {
+	f := func(nRaw, rRaw, wRaw uint8) bool {
+		n := int(nRaw%200) + 8
+		r := int(rRaw%8) + 1
+		w := int(wRaw%8) + 1
+		a := BankArea(n, r, w)
+		return BankArea(n+8, r, w) > a && BankArea(n, r+1, w) > a && BankArea(n, r, w+1) > a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: access time is increasing in registers and (over the calibrated
+// range of port counts) in ports.
+func TestQuickAccessTimeMonotonicity(t *testing.T) {
+	f := func(nRaw, pRaw uint8) bool {
+		n := int(nRaw%240) + 16
+		p := int(pRaw%12) + 2
+		t0 := BankAccessTime(n, p)
+		return BankAccessTime(n+16, p) > t0 && BankAccessTime(n, p+1) > t0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

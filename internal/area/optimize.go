@@ -1,0 +1,122 @@
+package area
+
+import "sort"
+
+// This file provides the search helpers behind Figure 8/9-style studies:
+// enumerate port configurations of each architecture, filter by an area
+// budget, and rank by clock rate. IPC ranking needs simulation (see
+// internal/experiments); these helpers answer the pure cost-model side.
+
+// SingleBankCandidates enumerates single-banked configurations with read
+// ports in [2, maxRead] and write ports in [1, maxWrite].
+func SingleBankCandidates(regs, maxRead, maxWrite int) []SingleBank {
+	var out []SingleBank
+	for r := 2; r <= maxRead; r++ {
+		for w := 1; w <= maxWrite; w++ {
+			out = append(out, SingleBank{Regs: regs, Read: r, Write: w})
+		}
+	}
+	return out
+}
+
+// TwoLevelCandidates enumerates register-file-cache configurations over
+// the plausible neighborhood of the paper's Table 2.
+func TwoLevelCandidates(upperRegs, lowerRegs, maxRead, maxWrite, maxBuses int) []TwoLevel {
+	var out []TwoLevel
+	for r := 2; r <= maxRead; r++ {
+		for w := 1; w <= maxWrite; w++ {
+			for b := 1; b <= maxBuses; b++ {
+				out = append(out, TwoLevel{
+					UpperRegs: upperRegs, LowerRegs: lowerRegs,
+					Read: r, UpperWrite: w, LowerWrite: w, Buses: b,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// FastestSingleBankUnder returns the configuration with the most total
+// ports whose area fits the budget (in 10⁴λ² units), breaking ties by
+// lower cycle time, along with whether any candidate fits.
+func FastestSingleBankUnder(budget float64, candidates []SingleBank) (SingleBank, bool) {
+	best := -1
+	for i, c := range candidates {
+		if c.Area() > budget {
+			continue
+		}
+		if best < 0 {
+			best = i
+			continue
+		}
+		bi, ci := candidates[best], c
+		if ci.Read+ci.Write > bi.Read+bi.Write ||
+			(ci.Read+ci.Write == bi.Read+bi.Write && ci.AccessTime() < bi.AccessTime()) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return SingleBank{}, false
+	}
+	return candidates[best], true
+}
+
+// FastestTwoLevelUnder returns the two-level configuration with the most
+// upper-bank bandwidth (read ports, then buses, then write ports) fitting
+// the budget.
+func FastestTwoLevelUnder(budget float64, candidates []TwoLevel) (TwoLevel, bool) {
+	best := -1
+	better := func(a, b TwoLevel) bool {
+		if a.Read != b.Read {
+			return a.Read > b.Read
+		}
+		if a.Buses != b.Buses {
+			return a.Buses > b.Buses
+		}
+		if a.UpperWrite != b.UpperWrite {
+			return a.UpperWrite > b.UpperWrite
+		}
+		return a.CycleTime() < b.CycleTime()
+	}
+	for i, c := range candidates {
+		if c.Area() > budget {
+			continue
+		}
+		if best < 0 || better(c, candidates[best]) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return TwoLevel{}, false
+	}
+	return candidates[best], true
+}
+
+// CyclePoint pairs a configuration label with its cost-model outputs.
+type CyclePoint struct {
+	Label   string
+	Area    float64
+	CycleNS float64
+}
+
+// CycleTimeFrontier returns, sorted by area, the candidates not dominated
+// in (area, cycle time): every kept point is strictly faster than all
+// cheaper kept points.
+func CycleTimeFrontier(points []CyclePoint) []CyclePoint {
+	sorted := append([]CyclePoint(nil), points...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Area != sorted[j].Area {
+			return sorted[i].Area < sorted[j].Area
+		}
+		return sorted[i].CycleNS < sorted[j].CycleNS
+	})
+	var out []CyclePoint
+	bestNS := 0.0
+	for _, p := range sorted {
+		if len(out) == 0 || p.CycleNS < bestNS {
+			out = append(out, p)
+			bestNS = p.CycleNS
+		}
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package area
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSingleBankCandidates(t *testing.T) {
+	cs := SingleBankCandidates(128, 4, 3)
+	if len(cs) != 3*3 { // reads 2..4 × writes 1..3
+		t.Fatalf("candidate count = %d", len(cs))
+	}
+	for _, c := range cs {
+		if c.Regs != 128 || c.Read < 2 || c.Read > 4 || c.Write < 1 || c.Write > 3 {
+			t.Errorf("bad candidate %+v", c)
+		}
+	}
+}
+
+func TestTwoLevelCandidates(t *testing.T) {
+	cs := TwoLevelCandidates(16, 128, 3, 2, 2)
+	if len(cs) != 2*2*2 {
+		t.Fatalf("candidate count = %d", len(cs))
+	}
+	for _, c := range cs {
+		if c.UpperRegs != 16 || c.LowerRegs != 128 {
+			t.Errorf("bad candidate %+v", c)
+		}
+	}
+}
+
+func TestFastestSingleBankUnder(t *testing.T) {
+	cs := SingleBankCandidates(128, 6, 4)
+	// Generous budget: must return the most-ported config.
+	best, ok := FastestSingleBankUnder(1e9, cs)
+	if !ok || best.Read != 6 || best.Write != 4 {
+		t.Errorf("generous budget chose %+v", best)
+	}
+	// Budget below the cheapest config: nothing fits.
+	if _, ok := FastestSingleBankUnder(1, cs); ok {
+		t.Error("impossible budget satisfied")
+	}
+	// The paper's C1 budget (≈10921) fits 3R2W but not 4R4W.
+	best, ok = FastestSingleBankUnder(11000, cs)
+	if !ok {
+		t.Fatal("C1 budget unsatisfiable")
+	}
+	if best.Area() > 11000 {
+		t.Errorf("chosen config area %.0f exceeds budget", best.Area())
+	}
+	if best.Read+best.Write < 5 {
+		t.Errorf("C1 budget should afford ≥5 ports, got %+v", best)
+	}
+}
+
+func TestFastestTwoLevelUnder(t *testing.T) {
+	cs := TwoLevelCandidates(16, 128, 4, 4, 3)
+	best, ok := FastestTwoLevelUnder(10600, cs)
+	if !ok {
+		t.Fatal("C1-like budget unsatisfiable")
+	}
+	if best.Area() > 10600 {
+		t.Errorf("area %.0f over budget", best.Area())
+	}
+	if _, ok := FastestTwoLevelUnder(100, cs); ok {
+		t.Error("impossible budget satisfied")
+	}
+}
+
+func TestCycleTimeFrontier(t *testing.T) {
+	pts := []CyclePoint{
+		{"a", 100, 5.0},
+		{"b", 200, 4.0},
+		{"c", 150, 6.0}, // dominated by a (cheaper and faster)
+		{"d", 300, 4.5}, // dominated by b
+		{"e", 400, 3.0},
+	}
+	f := CycleTimeFrontier(pts)
+	want := []string{"a", "b", "e"}
+	if len(f) != len(want) {
+		t.Fatalf("frontier = %+v", f)
+	}
+	for i, p := range f {
+		if p.Label != want[i] {
+			t.Errorf("frontier[%d] = %s, want %s", i, p.Label, want[i])
+		}
+	}
+}
+
+// Property: the frontier is strictly decreasing in cycle time and
+// increasing in area, and every input point is dominated by (or equal to)
+// some frontier point.
+func TestQuickCycleTimeFrontier(t *testing.T) {
+	f := func(raw []struct{ A, C uint8 }) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		pts := make([]CyclePoint, len(raw))
+		for i, r := range raw {
+			pts[i] = CyclePoint{Area: float64(r.A), CycleNS: float64(r.C) + 1}
+		}
+		fr := CycleTimeFrontier(pts)
+		for i := 1; i < len(fr); i++ {
+			if fr[i].Area < fr[i-1].Area || fr[i].CycleNS >= fr[i-1].CycleNS {
+				return false
+			}
+		}
+		for _, p := range pts {
+			dominated := false
+			for _, q := range fr {
+				if q.Area <= p.Area && q.CycleNS <= p.CycleNS {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: chosen configs always fit their budget.
+func TestQuickBudgetRespected(t *testing.T) {
+	cs := SingleBankCandidates(128, 6, 4)
+	f := func(budgetRaw uint16) bool {
+		budget := float64(budgetRaw) * 3
+		best, ok := FastestSingleBankUnder(budget, cs)
+		return !ok || best.Area() <= budget
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

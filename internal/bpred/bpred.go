@@ -1,0 +1,108 @@
+// Package bpred implements the branch predictor used by the simulated
+// processor: a gshare predictor with 64K 2-bit counters, per Table 1 of the
+// paper ("Gshare with 64K entries").
+package bpred
+
+// Gshare is a global-history XOR-indexed pattern history table of 2-bit
+// saturating counters.
+type Gshare struct {
+	table    []uint8
+	mask     uint64
+	histMask uint64
+	history  uint64
+	bits     uint
+
+	// statistics
+	lookups     uint64
+	mispredicts uint64
+}
+
+// NewGshare returns a predictor with 2^bits two-bit counters (the paper
+// uses bits=16, i.e. 64K entries) and a history length equal to the index
+// width. Counters start weakly taken.
+func NewGshare(bits uint) *Gshare { return NewGshareHist(bits, bits) }
+
+// NewGshareHist returns a gshare predictor with 2^bits counters and a
+// global history of histBits branches (histBits ≤ bits). Shorter histories
+// trade pattern depth for faster warmup and less destructive interference —
+// valuable at this repository's simulation lengths, which are ~500× shorter
+// than the paper's 100M-instruction runs.
+func NewGshareHist(bits, histBits uint) *Gshare {
+	if bits == 0 || bits > 30 {
+		panic("bpred: table size bits out of range")
+	}
+	if histBits > bits {
+		panic("bpred: history longer than index")
+	}
+	size := 1 << bits
+	t := make([]uint8, size)
+	for i := range t {
+		t[i] = 2 // weakly taken
+	}
+	return &Gshare{
+		table: t, mask: uint64(size - 1),
+		histMask: uint64(1<<histBits - 1), bits: bits,
+	}
+}
+
+func (g *Gshare) index(pc uint64) uint64 {
+	return ((pc >> 2) ^ g.history) & g.mask
+}
+
+// Predict returns the predicted direction for the branch at pc without
+// updating any state.
+func (g *Gshare) Predict(pc uint64) bool {
+	return g.table[g.index(pc)] >= 2
+}
+
+// Update records the actual outcome of the branch at pc, trains the counter
+// that produced the prediction, shifts the global history, and reports
+// whether the prediction was correct. It must be called once per executed
+// branch, in program order.
+func (g *Gshare) Update(pc uint64, taken bool) (correct bool) {
+	idx := g.index(pc)
+	pred := g.table[idx] >= 2
+	if taken {
+		if g.table[idx] < 3 {
+			g.table[idx]++
+		}
+	} else {
+		if g.table[idx] > 0 {
+			g.table[idx]--
+		}
+	}
+	g.history = (g.history << 1) & g.histMask
+	if taken {
+		g.history |= 1
+	}
+	g.lookups++
+	correct = pred == taken
+	if !correct {
+		g.mispredicts++
+	}
+	return correct
+}
+
+// Lookups returns the number of Update calls.
+func (g *Gshare) Lookups() uint64 { return g.lookups }
+
+// Mispredicts returns the number of incorrect predictions.
+func (g *Gshare) Mispredicts() uint64 { return g.mispredicts }
+
+// MispredictRate returns mispredictions per lookup, or 0 if no lookups.
+func (g *Gshare) MispredictRate() float64 {
+	if g.lookups == 0 {
+		return 0
+	}
+	return float64(g.mispredicts) / float64(g.lookups)
+}
+
+// Reset clears history, counters and statistics.
+func (g *Gshare) Reset() {
+	for i := range g.table {
+		g.table[i] = 2
+	}
+	g.history = 0
+	g.lookups = 0
+	g.mispredicts = 0
+}

@@ -1,0 +1,167 @@
+package bpred
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestAlwaysTakenLearned(t *testing.T) {
+	g := NewGshare(10)
+	const pc = 0x4000
+	for i := 0; i < 100; i++ {
+		g.Update(pc, true)
+	}
+	if !g.Predict(pc) {
+		t.Error("predictor failed to learn an always-taken branch")
+	}
+	if rate := g.MispredictRate(); rate > 0.05 {
+		t.Errorf("mispredict rate %v too high for trivial branch", rate)
+	}
+}
+
+func TestAlwaysNotTakenLearned(t *testing.T) {
+	g := NewGshare(10)
+	const pc = 0x4000
+	for i := 0; i < 100; i++ {
+		g.Update(pc, false)
+	}
+	if g.Predict(pc) {
+		t.Error("predictor failed to learn an always-not-taken branch")
+	}
+}
+
+func TestAlternatingPatternLearned(t *testing.T) {
+	// Gshare keys on global history, so a strict T/NT alternation is
+	// perfectly predictable after warmup.
+	g := NewGshare(14)
+	const pc = 0x1000
+	taken := false
+	warm := 200
+	miss := 0
+	for i := 0; i < 2000; i++ {
+		if i >= warm && g.Predict(pc) != taken {
+			miss++
+		}
+		g.Update(pc, taken)
+		taken = !taken
+	}
+	if miss > 10 {
+		t.Errorf("alternating pattern: %d misses after warmup", miss)
+	}
+}
+
+func TestLoopPatternLearned(t *testing.T) {
+	// A loop branch taken 7 times then not taken once — classic gshare food.
+	g := NewGshare(16)
+	const pc = 0x2000
+	miss := 0
+	total := 0
+	for iter := 0; iter < 500; iter++ {
+		for i := 0; i < 8; i++ {
+			taken := i != 7
+			if iter > 50 {
+				total++
+				if g.Predict(pc) != taken {
+					miss++
+				}
+			}
+			g.Update(pc, taken)
+		}
+	}
+	if rate := float64(miss) / float64(total); rate > 0.05 {
+		t.Errorf("loop pattern mispredict rate %.3f, want < 0.05", rate)
+	}
+}
+
+func TestRandomBranchNearChance(t *testing.T) {
+	g := NewGshare(16)
+	r := rng.New(1, 1)
+	const pc = 0x3000
+	for i := 0; i < 20000; i++ {
+		g.Update(pc, r.Bernoulli(0.5))
+	}
+	rate := g.MispredictRate()
+	if rate < 0.35 || rate > 0.65 {
+		t.Errorf("random branch mispredict rate %.3f, want ≈0.5", rate)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	g := NewGshare(8)
+	g.Update(0, true)
+	g.Update(0, true)
+	if g.Lookups() != 2 {
+		t.Errorf("Lookups = %d", g.Lookups())
+	}
+	if g.Mispredicts() > 2 {
+		t.Errorf("Mispredicts = %d", g.Mispredicts())
+	}
+}
+
+func TestReset(t *testing.T) {
+	g := NewGshare(8)
+	for i := 0; i < 50; i++ {
+		g.Update(uint64(i*4), i%2 == 0)
+	}
+	g.Reset()
+	if g.Lookups() != 0 || g.Mispredicts() != 0 {
+		t.Error("Reset did not clear statistics")
+	}
+	if g.MispredictRate() != 0 {
+		t.Error("MispredictRate nonzero after reset")
+	}
+}
+
+func TestNewPanicsOnBadBits(t *testing.T) {
+	for _, bits := range []uint{0, 31} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewGshare(%d) did not panic", bits)
+				}
+			}()
+			NewGshare(bits)
+		}()
+	}
+}
+
+// Property: Update's reported correctness always matches the Predict that
+// immediately preceded it.
+func TestQuickPredictUpdateAgree(t *testing.T) {
+	f := func(pcs []uint16, outcomes []bool) bool {
+		g := NewGshare(12)
+		n := len(pcs)
+		if len(outcomes) < n {
+			n = len(outcomes)
+		}
+		for i := 0; i < n; i++ {
+			pc := uint64(pcs[i]) * 4
+			pred := g.Predict(pc)
+			correct := g.Update(pc, outcomes[i])
+			if correct != (pred == outcomes[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: mispredict count never exceeds lookup count.
+func TestQuickCountsSane(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		g := NewGshare(10)
+		r := rng.New(seed, 0)
+		for i := 0; i < int(n%2000); i++ {
+			g.Update(uint64(r.Intn(1<<20))*4, r.Bernoulli(0.6))
+		}
+		return g.Mispredicts() <= g.Lookups()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

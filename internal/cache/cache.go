@@ -1,0 +1,233 @@
+// Package cache models the instruction and data caches of the simulated
+// processor (Table 1 of the paper): 64KB, 2-way set-associative, 64-byte
+// lines, 1-cycle hits. The I-cache has a 6-cycle miss time. The D-cache is
+// write-back with a 6-cycle miss time (8 cycles if the victim is dirty) and
+// supports up to 16 outstanding misses (MSHRs).
+package cache
+
+// Config describes one cache.
+type Config struct {
+	// SizeBytes is the total capacity.
+	SizeBytes int
+	// LineBytes is the line size.
+	LineBytes int
+	// Ways is the set associativity.
+	Ways int
+	// HitCycles is the access latency on a hit.
+	HitCycles int
+	// MissCycles is the latency added by a clean miss.
+	MissCycles int
+	// DirtyMissCycles is the latency added by a miss that evicts a dirty
+	// line (write-back caches); if 0, MissCycles is used.
+	DirtyMissCycles int
+	// WriteBack selects write-back (true) or read-only (false) behaviour.
+	WriteBack bool
+	// MSHRs bounds the number of outstanding misses; 0 means unlimited.
+	MSHRs int
+}
+
+// ICacheConfig returns the paper's instruction cache configuration.
+func ICacheConfig() Config {
+	return Config{SizeBytes: 64 << 10, LineBytes: 64, Ways: 2, HitCycles: 1, MissCycles: 6}
+}
+
+// DCacheConfig returns the paper's data cache configuration.
+func DCacheConfig() Config {
+	return Config{
+		SizeBytes: 64 << 10, LineBytes: 64, Ways: 2, HitCycles: 1,
+		MissCycles: 6, DirtyMissCycles: 8, WriteBack: true, MSHRs: 16,
+	}
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	// lru is a per-set timestamp; larger = more recently used.
+	lru uint64
+}
+
+// Cache is a set-associative cache timing model. It tracks hit/miss status
+// and outstanding-miss occupancy; it stores no data (the simulator is
+// timing-only).
+type Cache struct {
+	cfg      Config
+	sets     [][]line
+	setMask  uint64
+	lineBits uint
+	tick     uint64
+
+	// outstanding tracks in-flight miss completion times (absolute cycles)
+	// for MSHR accounting.
+	outstanding []uint64
+
+	accesses  uint64
+	misses    uint64
+	evictions uint64
+	dirtyEvs  uint64
+}
+
+// New builds a cache from cfg. It panics on non-power-of-two geometry,
+// matching how hardware parameterization is validated at design time.
+func New(cfg Config) *Cache {
+	if cfg.SizeBytes <= 0 || cfg.LineBytes <= 0 || cfg.Ways <= 0 {
+		panic("cache: non-positive geometry")
+	}
+	nLines := cfg.SizeBytes / cfg.LineBytes
+	if nLines%cfg.Ways != 0 {
+		panic("cache: lines not divisible by ways")
+	}
+	nSets := nLines / cfg.Ways
+	if nSets&(nSets-1) != 0 || cfg.LineBytes&(cfg.LineBytes-1) != 0 {
+		panic("cache: geometry must be a power of two")
+	}
+	lineBits := uint(0)
+	for 1<<lineBits < cfg.LineBytes {
+		lineBits++
+	}
+	sets := make([][]line, nSets)
+	backing := make([]line, nSets*cfg.Ways)
+	for i := range sets {
+		sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways]
+	}
+	if cfg.DirtyMissCycles == 0 {
+		cfg.DirtyMissCycles = cfg.MissCycles
+	}
+	return &Cache{cfg: cfg, sets: sets, setMask: uint64(nSets - 1), lineBits: lineBits}
+}
+
+// Result reports the outcome of one access.
+type Result struct {
+	// Hit reports whether the access hit.
+	Hit bool
+	// Latency is the total access latency in cycles, including any miss
+	// penalty and MSHR stall.
+	Latency int
+	// MSHRStall is the portion of Latency spent waiting for a free MSHR.
+	MSHRStall int
+}
+
+func (c *Cache) setIndex(addr uint64) uint64 { return (addr >> c.lineBits) & c.setMask }
+func (c *Cache) tag(addr uint64) uint64      { return addr >> c.lineBits >> uint(popcount(c.setMask)) }
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// Access performs a read (isWrite=false) or write (isWrite=true) at addr at
+// absolute cycle now and returns the timing result. The model is
+// non-blocking up to the MSHR limit: concurrent misses overlap, and an
+// access that needs an MSHR when all are busy is delayed until one frees.
+func (c *Cache) Access(addr uint64, isWrite bool, now uint64) Result {
+	c.tick++
+	c.accesses++
+	set := c.sets[c.setIndex(addr)]
+	tag := c.tag(addr)
+
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lru = c.tick
+			if isWrite && c.cfg.WriteBack {
+				set[i].dirty = true
+			}
+			return Result{Hit: true, Latency: c.cfg.HitCycles}
+		}
+	}
+
+	// Miss: find victim (invalid first, else LRU).
+	c.misses++
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	penalty := c.cfg.MissCycles
+	if set[victim].valid {
+		c.evictions++
+		if set[victim].dirty {
+			c.dirtyEvs++
+			penalty = c.cfg.DirtyMissCycles
+		}
+	}
+	stall := c.reserveMSHR(now)
+	set[victim] = line{tag: tag, valid: true, dirty: isWrite && c.cfg.WriteBack, lru: c.tick}
+	lat := c.cfg.HitCycles + penalty + stall
+	c.retireMSHR(now + uint64(lat))
+	return Result{Hit: false, Latency: lat, MSHRStall: stall}
+}
+
+// reserveMSHR returns the number of cycles the access must wait for a free
+// MSHR at cycle now, and drops completed entries.
+func (c *Cache) reserveMSHR(now uint64) int {
+	if c.cfg.MSHRs <= 0 {
+		return 0
+	}
+	// Drop completed misses.
+	live := c.outstanding[:0]
+	for _, t := range c.outstanding {
+		if t > now {
+			live = append(live, t)
+		}
+	}
+	c.outstanding = live
+	if len(c.outstanding) < c.cfg.MSHRs {
+		return 0
+	}
+	// Wait for the earliest completion.
+	earliest := c.outstanding[0]
+	for _, t := range c.outstanding {
+		if t < earliest {
+			earliest = t
+		}
+	}
+	return int(earliest - now)
+}
+
+func (c *Cache) retireMSHR(completion uint64) {
+	if c.cfg.MSHRs <= 0 {
+		return
+	}
+	c.outstanding = append(c.outstanding, completion)
+}
+
+// Accesses returns the total number of accesses.
+func (c *Cache) Accesses() uint64 { return c.accesses }
+
+// Misses returns the total number of misses.
+func (c *Cache) Misses() uint64 { return c.misses }
+
+// Evictions returns the number of valid lines replaced.
+func (c *Cache) Evictions() uint64 { return c.evictions }
+
+// DirtyEvictions returns the number of dirty lines replaced.
+func (c *Cache) DirtyEvictions() uint64 { return c.dirtyEvs }
+
+// MissRate returns misses per access, or 0 with no accesses.
+func (c *Cache) MissRate() float64 {
+	if c.accesses == 0 {
+		return 0
+	}
+	return float64(c.misses) / float64(c.accesses)
+}
+
+// Reset invalidates all lines and clears statistics.
+func (c *Cache) Reset() {
+	for _, set := range c.sets {
+		for i := range set {
+			set[i] = line{}
+		}
+	}
+	c.outstanding = c.outstanding[:0]
+	c.accesses, c.misses, c.evictions, c.dirtyEvs = 0, 0, 0, 0
+	c.tick = 0
+}

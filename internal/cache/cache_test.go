@@ -1,0 +1,252 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func tiny() Config {
+	return Config{SizeBytes: 256, LineBytes: 32, Ways: 2, HitCycles: 1, MissCycles: 6}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := New(tiny())
+	r := c.Access(0x100, false, 0)
+	if r.Hit {
+		t.Error("cold access hit")
+	}
+	if r.Latency != 7 {
+		t.Errorf("miss latency = %d, want 7", r.Latency)
+	}
+	r = c.Access(0x100, false, 10)
+	if !r.Hit || r.Latency != 1 {
+		t.Errorf("second access: hit=%v lat=%d, want hit lat=1", r.Hit, r.Latency)
+	}
+}
+
+func TestSameLineHits(t *testing.T) {
+	c := New(tiny())
+	c.Access(0x100, false, 0)
+	if r := c.Access(0x11f, false, 1); !r.Hit {
+		t.Error("access within the same 32B line missed")
+	}
+	if r := c.Access(0x120, false, 2); r.Hit {
+		t.Error("access to the next line hit unexpectedly")
+	}
+}
+
+func TestAssociativityAndLRU(t *testing.T) {
+	c := New(tiny()) // 4 sets × 2 ways, 32B lines; set stride = 128B
+	// Three lines mapping to the same set: 0x000, 0x080... set = (addr>>5)&3.
+	a := uint64(0x000) // set 0
+	b := uint64(0x080) // set 0 (0x80>>5 = 4, &3 = 0)
+	d := uint64(0x100) // set 0
+	c.Access(a, false, 0)
+	c.Access(b, false, 1)
+	c.Access(a, false, 2) // touch a: b becomes LRU
+	c.Access(d, false, 3) // evicts b
+	if r := c.Access(a, false, 4); !r.Hit {
+		t.Error("a should still be resident")
+	}
+	if r := c.Access(b, false, 5); r.Hit {
+		t.Error("b should have been evicted (LRU)")
+	}
+}
+
+func TestDirtyEvictionPenalty(t *testing.T) {
+	cfg := tiny()
+	cfg.WriteBack = true
+	cfg.DirtyMissCycles = 8
+	c := New(cfg)
+	a, b, d := uint64(0x000), uint64(0x080), uint64(0x100) // same set
+	c.Access(a, true, 0)                                   // dirty
+	c.Access(b, false, 1)
+	r := c.Access(d, false, 2) // evicts a (dirty, LRU)
+	if r.Hit {
+		t.Fatal("expected miss")
+	}
+	if r.Latency != 1+8 {
+		t.Errorf("dirty-evict miss latency = %d, want 9", r.Latency)
+	}
+	if c.DirtyEvictions() != 1 {
+		t.Errorf("DirtyEvictions = %d, want 1", c.DirtyEvictions())
+	}
+}
+
+func TestCleanEvictionUsesCleanPenalty(t *testing.T) {
+	cfg := tiny()
+	cfg.WriteBack = true
+	cfg.DirtyMissCycles = 8
+	c := New(cfg)
+	a, b, d := uint64(0x000), uint64(0x080), uint64(0x100)
+	c.Access(a, false, 0) // clean
+	c.Access(b, false, 1)
+	r := c.Access(d, false, 2) // evicts clean a
+	if r.Latency != 1+6 {
+		t.Errorf("clean-evict miss latency = %d, want 7", r.Latency)
+	}
+}
+
+func TestWriteMarksDirtyOnlyWhenWriteBack(t *testing.T) {
+	c := New(tiny()) // not write-back
+	a, b, d := uint64(0x000), uint64(0x080), uint64(0x100)
+	c.Access(a, true, 0)
+	c.Access(b, false, 1)
+	c.Access(d, false, 2)
+	if c.DirtyEvictions() != 0 {
+		t.Error("read-only cache recorded a dirty eviction")
+	}
+}
+
+func TestMSHRLimitStalls(t *testing.T) {
+	cfg := tiny()
+	cfg.MSHRs = 2
+	c := New(cfg)
+	// Three distinct-set misses in the same cycle: third must stall until
+	// the first completes (cycle 7).
+	r1 := c.Access(0x0000, false, 0)
+	r2 := c.Access(0x1020, false, 0)
+	r3 := c.Access(0x2040, false, 0)
+	if r1.MSHRStall != 0 || r2.MSHRStall != 0 {
+		t.Errorf("first two misses stalled: %d %d", r1.MSHRStall, r2.MSHRStall)
+	}
+	if r3.MSHRStall == 0 {
+		t.Error("third simultaneous miss did not stall on MSHRs")
+	}
+	if r3.Latency != r3.MSHRStall+7 {
+		t.Errorf("latency %d != stall %d + 7", r3.Latency, r3.MSHRStall)
+	}
+}
+
+func TestMSHRsFreeOverTime(t *testing.T) {
+	cfg := tiny()
+	cfg.MSHRs = 1
+	c := New(cfg)
+	c.Access(0x0000, false, 0) // completes at 7
+	r := c.Access(0x1020, false, 100)
+	if r.MSHRStall != 0 {
+		t.Errorf("miss long after completion stalled %d cycles", r.MSHRStall)
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := New(tiny())
+	c.Access(0x0, false, 0)
+	c.Access(0x0, false, 1)
+	c.Access(0x40, false, 2)
+	if c.Accesses() != 3 || c.Misses() != 2 {
+		t.Errorf("accesses=%d misses=%d", c.Accesses(), c.Misses())
+	}
+	if rate := c.MissRate(); rate < 0.66 || rate > 0.67 {
+		t.Errorf("MissRate = %v", rate)
+	}
+	c.Reset()
+	if c.Accesses() != 0 || c.MissRate() != 0 {
+		t.Error("Reset did not clear stats")
+	}
+	if r := c.Access(0x0, false, 0); r.Hit {
+		t.Error("Reset did not invalidate lines")
+	}
+}
+
+func TestPaperConfigs(t *testing.T) {
+	ic := New(ICacheConfig())
+	dc := New(DCacheConfig())
+	if r := ic.Access(0x1000, false, 0); r.Latency != 7 {
+		t.Errorf("I-cache miss latency = %d, want 7", r.Latency)
+	}
+	if r := ic.Access(0x1000, false, 1); r.Latency != 1 {
+		t.Errorf("I-cache hit latency = %d, want 1", r.Latency)
+	}
+	if r := dc.Access(0x1000, false, 0); r.Latency != 7 {
+		t.Errorf("D-cache clean miss latency = %d, want 7", r.Latency)
+	}
+}
+
+func TestNewPanicsOnBadGeometry(t *testing.T) {
+	bad := []Config{
+		{SizeBytes: 0, LineBytes: 32, Ways: 2},
+		{SizeBytes: 256, LineBytes: 0, Ways: 2},
+		{SizeBytes: 256, LineBytes: 32, Ways: 0},
+		{SizeBytes: 300, LineBytes: 32, Ways: 2}, // not a power of two
+		{SizeBytes: 256, LineBytes: 24, Ways: 2}, // line not power of two
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %d did not panic", i)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestWorkingSetFitsHasLowMissRate(t *testing.T) {
+	c := New(ICacheConfig()) // 64KB
+	r := rng.New(7, 7)
+	for i := 0; i < 50000; i++ {
+		c.Access(uint64(r.Intn(32<<10)), false, uint64(i)) // 32KB working set
+	}
+	if rate := c.MissRate(); rate > 0.05 {
+		t.Errorf("fitting working set miss rate %.3f, want small", rate)
+	}
+}
+
+func TestThrashingWorkingSetHasHighMissRate(t *testing.T) {
+	c := New(ICacheConfig())
+	r := rng.New(7, 9)
+	for i := 0; i < 50000; i++ {
+		c.Access(uint64(r.Intn(16<<20)), false, uint64(i)) // 16MB working set
+	}
+	if rate := c.MissRate(); rate < 0.5 {
+		t.Errorf("thrashing miss rate %.3f, want high", rate)
+	}
+}
+
+// Property: an access immediately repeated always hits, and latency is
+// always ≥ HitCycles.
+func TestQuickRepeatHits(t *testing.T) {
+	f := func(addrs []uint32) bool {
+		c := New(tiny())
+		now := uint64(0)
+		for _, a := range addrs {
+			addr := uint64(a)
+			r1 := c.Access(addr, false, now)
+			if r1.Latency < 1 {
+				return false
+			}
+			r2 := c.Access(addr, false, now+1)
+			if !r2.Hit {
+				return false
+			}
+			now += 2
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: misses ≤ accesses and eviction counters are consistent.
+func TestQuickCounterInvariants(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		cfg := tiny()
+		cfg.WriteBack = true
+		c := New(cfg)
+		r := rng.New(seed, 3)
+		for i := 0; i < int(n); i++ {
+			c.Access(uint64(r.Intn(4096)), r.Bernoulli(0.3), uint64(i))
+		}
+		return c.Misses() <= c.Accesses() &&
+			c.Evictions() <= c.Misses() &&
+			c.DirtyEvictions() <= c.Evictions()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,521 @@
+package core
+
+import "fmt"
+
+// CachingPolicy selects which results are written to the upper bank at
+// write-back (every result is always written to the lower bank).
+type CachingPolicy uint8
+
+const (
+	// CacheNonBypass caches results that no consumer captured from the
+	// bypass network (the paper's best-performing and simplest policy).
+	CacheNonBypass CachingPolicy = iota
+	// CacheReady caches results that are source operands of a
+	// not-yet-issued instruction whose operands are now all produced.
+	CacheReady
+	// CacheAll caches every result (Yung & Wilhelm-style; ablation).
+	CacheAll
+	// CacheNone never caches at write-back; the upper bank is filled only
+	// by demand fetches and prefetches (ablation).
+	CacheNone
+)
+
+// String returns the policy name as used in the paper's figure legends.
+func (p CachingPolicy) String() string {
+	switch p {
+	case CacheNonBypass:
+		return "non-bypass caching"
+	case CacheReady:
+		return "ready caching"
+	case CacheAll:
+		return "cache-all"
+	case CacheNone:
+		return "cache-none"
+	}
+	return "unknown"
+}
+
+// PrefetchPolicy selects the lower→upper prefetching scheme.
+type PrefetchPolicy uint8
+
+const (
+	// FetchOnDemand performs only demand transfers.
+	FetchOnDemand PrefetchPolicy = iota
+	// PrefetchFirstPair additionally prefetches, on each issue, the other
+	// source operand of the first consumer of the issuing instruction's
+	// result (the paper's prefetching scheme).
+	PrefetchFirstPair
+)
+
+// String returns the policy name as used in the paper's figure legends.
+func (p PrefetchPolicy) String() string {
+	switch p {
+	case FetchOnDemand:
+		return "fetch-on-demand"
+	case PrefetchFirstPair:
+		return "prefetch-first-pair"
+	}
+	return "unknown"
+}
+
+// CacheConfig describes a two-level register file cache.
+type CacheConfig struct {
+	// NumPhys is the number of physical registers (lower bank capacity).
+	NumPhys int
+	// UpperSize is the number of upper-bank entries (16 in the paper).
+	UpperSize int
+	// ReadPorts bounds upper-bank reads per cycle.
+	ReadPorts int
+	// UpperWritePorts bounds caching writes into the upper bank per cycle
+	// (the "W" of the uppermost level in the paper's Table 2).
+	UpperWritePorts int
+	// LowerWritePorts bounds result write-backs per cycle (every result is
+	// written to the lower bank).
+	LowerWritePorts int
+	// Buses is the number of lower→upper transfer buses; each bus implies
+	// a lower-bank read port and an upper-bank write port of its own
+	// (Table 2's "B").
+	Buses int
+	// TransferCycles is the bus occupancy of one transfer; the value is
+	// readable the cycle after the bus is granted. Defaults to 2.
+	TransferCycles int
+	// Caching selects the caching policy.
+	Caching CachingPolicy
+	// Prefetch selects the prefetching scheme.
+	Prefetch PrefetchPolicy
+	// Replacement selects the upper-bank replacement policy (the paper
+	// uses pseudo-LRU).
+	Replacement Replacement
+}
+
+// PaperCacheConfig returns the paper's evaluation configuration: 128
+// physical registers, a 16-register fully-associative upper bank with
+// pseudo-LRU, non-bypass caching and prefetch-first-pair, with unlimited
+// bandwidth (the Figure 5–7 setting).
+func PaperCacheConfig() CacheConfig {
+	return CacheConfig{
+		NumPhys: 128, UpperSize: 16,
+		ReadPorts: Unlimited, UpperWritePorts: Unlimited,
+		LowerWritePorts: Unlimited, Buses: Unlimited,
+		Caching: CacheNonBypass, Prefetch: PrefetchFirstPair,
+	}
+}
+
+type upperSlot struct {
+	reg        PhysReg
+	readableAt uint64
+	// pinnedUntil protects demand-fetched entries from replacement until
+	// they are read (pinForever) — the forward-progress guarantee a real
+	// design needs so that sustained caching-write pressure cannot evict a
+	// just-fetched operand before its (stalled, oldest) consumer has
+	// gathered all of its operands. Reading or releasing the register
+	// clears the pin; if every slot is pinned, replacement proceeds anyway
+	// (see pickVictim), so inserts cannot deadlock.
+	pinnedUntil uint64
+	valid       bool
+}
+
+// pinForever marks a demand-fetched entry pinned until read.
+const pinForever = ^uint64(0)
+
+type transfer struct {
+	reg       PhysReg
+	gen       uint32
+	deliverAt uint64
+	demand    bool
+}
+
+type fetchRequest struct {
+	reg PhysReg
+	gen uint32
+}
+
+// Queue membership states for CacheFile.queued.
+const (
+	queueNone uint8 = iota
+	queueDemand
+	queuePref
+)
+
+// CacheFile is the two-level register file cache. Only the upper bank
+// feeds the functional units (ReadLatency 1, single bypass level); the
+// lower bank receives every result and sources lower→upper transfers.
+type CacheFile struct {
+	cfg CacheConfig
+
+	slots     []upperSlot
+	slotOf    []int32 // per physical register: slot index or -1
+	gen       []uint32
+	freeSlots []int32
+	repl      replacer
+
+	inflight []bool  // per physical register: transfer in progress
+	queued   []uint8 // per physical register: queueNone/queueDemand/queuePref
+
+	demandQ []fetchRequest
+	prefQ   []fetchRequest
+
+	deliveries []transfer
+	busFreeAt  []uint64 // per bus; empty when Buses == Unlimited
+
+	lowerWB         *wbReservation
+	now             uint64
+	readsLeft       int
+	upperWritesLeft int
+
+	stats FileStats
+}
+
+// NewCacheFile validates cfg and builds the model.
+func NewCacheFile(cfg CacheConfig) *CacheFile {
+	if cfg.NumPhys <= 0 {
+		panic("core: NumPhys must be positive")
+	}
+	if cfg.UpperSize <= 0 || cfg.UpperSize > cfg.NumPhys {
+		panic(fmt.Sprintf("core: upper bank size %d out of range", cfg.UpperSize))
+	}
+	if cfg.ReadPorts <= 0 || cfg.UpperWritePorts <= 0 || cfg.LowerWritePorts <= 0 || cfg.Buses <= 0 {
+		panic("core: port and bus counts must be positive (use Unlimited)")
+	}
+	if cfg.TransferCycles == 0 {
+		cfg.TransferCycles = 2
+	}
+	if cfg.TransferCycles < 1 {
+		panic("core: TransferCycles must be at least 1")
+	}
+	f := &CacheFile{
+		cfg:      cfg,
+		slots:    make([]upperSlot, cfg.UpperSize),
+		slotOf:   make([]int32, cfg.NumPhys),
+		gen:      make([]uint32, cfg.NumPhys),
+		inflight: make([]bool, cfg.NumPhys),
+		queued:   make([]uint8, cfg.NumPhys),
+		repl:     newReplacer(cfg.Replacement, cfg.UpperSize),
+		lowerWB:  newWBReservation(cfg.LowerWritePorts),
+	}
+	for i := range f.slotOf {
+		f.slotOf[i] = -1
+	}
+	for i := cfg.UpperSize - 1; i >= 0; i-- {
+		f.freeSlots = append(f.freeSlots, int32(i))
+	}
+	if cfg.Buses != Unlimited {
+		f.busFreeAt = make([]uint64, cfg.Buses)
+	}
+	return f
+}
+
+// ReadLatency implements File: the upper bank is single-cycle.
+func (f *CacheFile) ReadLatency() int { return 1 }
+
+// BeginCycle implements File: deliver completed transfers, then grant free
+// buses to queued demand fetches (first) and prefetches.
+func (f *CacheFile) BeginCycle(t uint64) {
+	f.now = t
+	f.readsLeft = f.cfg.ReadPorts
+	f.upperWritesLeft = f.cfg.UpperWritePorts
+	f.lowerWB.advance(t)
+
+	// Deliver transfers arriving this cycle.
+	live := f.deliveries[:0]
+	for _, tr := range f.deliveries {
+		switch {
+		case tr.deliverAt > t:
+			live = append(live, tr)
+		case tr.gen == f.gen[tr.reg]:
+			f.inflight[tr.reg] = false
+			pin := uint64(0)
+			if tr.demand {
+				pin = pinForever
+			}
+			f.insertUpperPinned(tr.reg, t, pin)
+		default:
+			// The register was released mid-flight; drop the transfer.
+		}
+	}
+	f.deliveries = live
+
+	// Grant buses: demand queue has priority over prefetches.
+	for f.busAvailable(t) {
+		req, demand, ok := f.popFetch()
+		if !ok {
+			break
+		}
+		f.takeBus(t)
+		f.inflight[req.reg] = true
+		f.deliveries = append(f.deliveries, transfer{
+			reg: req.reg, gen: req.gen, deliverAt: t + 1, demand: demand,
+		})
+		if demand {
+			f.stats.DemandFetches++
+		} else {
+			f.stats.Prefetches++
+		}
+	}
+}
+
+func (f *CacheFile) busAvailable(t uint64) bool {
+	if f.cfg.Buses == Unlimited {
+		return true
+	}
+	for _, free := range f.busFreeAt {
+		if free <= t {
+			return true
+		}
+	}
+	return false
+}
+
+func (f *CacheFile) takeBus(t uint64) {
+	if f.cfg.Buses == Unlimited {
+		return
+	}
+	for i, free := range f.busFreeAt {
+		if free <= t {
+			f.busFreeAt[i] = t + uint64(f.cfg.TransferCycles)
+			return
+		}
+	}
+	panic("core: takeBus without available bus")
+}
+
+// popFetch pops the next live fetch request, demand queue first. A queue
+// entry is live only while the register's queued state still names that
+// queue — a prefetch entry promoted to a demand fetch leaves a dead entry
+// behind, dropped here.
+func (f *CacheFile) popFetch() (req fetchRequest, demand, ok bool) {
+	for len(f.demandQ) > 0 {
+		req, f.demandQ = f.demandQ[0], f.demandQ[1:]
+		if req.gen == f.gen[req.reg] && f.queued[req.reg] == queueDemand {
+			f.queued[req.reg] = queueNone
+			if f.slotOf[req.reg] < 0 && !f.inflight[req.reg] {
+				return req, true, true
+			}
+		}
+	}
+	for len(f.prefQ) > 0 {
+		req, f.prefQ = f.prefQ[0], f.prefQ[1:]
+		if req.gen == f.gen[req.reg] && f.queued[req.reg] == queuePref {
+			f.queued[req.reg] = queueNone
+			if f.slotOf[req.reg] < 0 && !f.inflight[req.reg] {
+				return req, false, true
+			}
+		}
+	}
+	return fetchRequest{}, false, false
+}
+
+// insertUpper places reg into the upper bank, evicting a pseudo-LRU victim
+// if the bank is full. The lower bank always retains the value, so
+// evictions are silent drops.
+func (f *CacheFile) insertUpper(reg PhysReg, readableAt uint64) {
+	f.insertUpperPinned(reg, readableAt, 0)
+}
+
+func (f *CacheFile) insertUpperPinned(reg PhysReg, readableAt uint64, pinnedUntil uint64) {
+	if f.slotOf[reg] >= 0 {
+		// Already present (e.g. a caching write raced a prefetch); refresh.
+		s := &f.slots[f.slotOf[reg]]
+		s.readableAt = min64(s.readableAt, readableAt)
+		if pinnedUntil > s.pinnedUntil {
+			s.pinnedUntil = pinnedUntil
+		}
+		f.repl.Touch(int(f.slotOf[reg]))
+		return
+	}
+	var slot int32
+	if n := len(f.freeSlots); n > 0 {
+		slot = f.freeSlots[n-1]
+		f.freeSlots = f.freeSlots[:n-1]
+		f.repl.Touch(int(slot))
+	} else {
+		slot = f.pickVictim()
+		old := f.slots[slot]
+		if old.valid {
+			f.slotOf[old.reg] = -1
+			f.stats.Evictions++
+		}
+	}
+	f.slots[slot] = upperSlot{reg: reg, readableAt: readableAt, pinnedUntil: pinnedUntil, valid: true}
+	f.slotOf[reg] = slot
+}
+
+// pickVictim returns a replacement slot, skipping pinned entries when
+// possible. If every slot is pinned, replacement proceeds anyway so
+// inserts cannot deadlock.
+func (f *CacheFile) pickVictim() int32 {
+	for try := 0; try < 4; try++ {
+		v := int32(f.repl.Victim())
+		if f.slots[v].pinnedUntil <= f.now {
+			return v
+		}
+	}
+	for i := range f.slots {
+		if f.slots[i].pinnedUntil <= f.now {
+			f.repl.Touch(i)
+			return int32(i)
+		}
+	}
+	return int32(f.repl.Victim())
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ReserveWriteback implements File: results contend for lower-bank write
+// ports.
+func (f *CacheFile) ReserveWriteback(earliest uint64) uint64 {
+	return f.lowerWB.reserve(earliest)
+}
+
+// TryRead implements File. Operands are served by the bypass network
+// (issue at t ∈ {w−2, w−1}: the result is on the FU-output/write-back path,
+// enabling back-to-back execution), or by the upper bank through a read
+// port (t ≥ w); operands resident only in the lower bank make the
+// instruction non-issuable and — when demand is true and every operand of
+// the instruction has been produced — enqueue demand fetches
+// (fetch-on-demand).
+func (f *CacheFile) TryRead(t uint64, ops []Operand, demand bool) bool {
+	portsNeeded := 0
+	missing := false
+	allProduced := true
+	for i := range ops {
+		p := ops[i].Reg
+		w := ops[i].Bus
+		switch {
+		case t+2 == w || t+1 == w:
+			ops[i].ViaBypass = true
+		case t >= w:
+			ops[i].ViaBypass = false
+			if s := f.slotOf[p]; s >= 0 && f.slots[s].readableAt <= t {
+				portsNeeded++
+			} else {
+				missing = true
+			}
+		default:
+			allProduced = false
+		}
+	}
+	if !allProduced {
+		return false
+	}
+	if missing {
+		if demand {
+			for i := range ops {
+				p := ops[i].Reg
+				if t >= ops[i].Bus && f.slotOf[p] < 0 && !f.inflight[p] && f.queued[p] != queueDemand {
+					// New request, or promotion of a pending prefetch to
+					// demand priority (the stale prefetch-queue entry dies
+					// at pop time).
+					f.queued[p] = queueDemand
+					f.demandQ = append(f.demandQ, fetchRequest{reg: p, gen: f.gen[p]})
+				}
+			}
+		}
+		return false
+	}
+	if portsNeeded > f.readsLeft {
+		f.stats.ReadPortConflicts++
+		return false
+	}
+	f.readsLeft -= portsNeeded
+	for i := range ops {
+		if ops[i].ViaBypass {
+			f.stats.BypassReads++
+		} else {
+			f.stats.Reads++
+			f.stats.UpperHits++
+			slot := f.slotOf[ops[i].Reg]
+			f.slots[slot].pinnedUntil = 0 // consumed: the pin has done its job
+			f.repl.Touch(int(slot))
+		}
+	}
+	return true
+}
+
+// Writeback implements File: the result is written to the lower bank (slot
+// already reserved) and, if the caching policy selects it and an upper
+// write port is free this cycle, also to the upper bank. A missing port
+// skips the caching write — the value remains safe in the lower bank.
+func (f *CacheFile) Writeback(t uint64, p PhysReg, hints WBHints) {
+	var cache bool
+	switch f.cfg.Caching {
+	case CacheNonBypass:
+		cache = !hints.BypassCaught
+	case CacheReady:
+		cache = hints.ReadyConsumer
+	case CacheAll:
+		cache = true
+	case CacheNone:
+		cache = false
+	}
+	if !cache {
+		return
+	}
+	if f.upperWritesLeft <= 0 {
+		f.stats.CachingSkipped++
+		return
+	}
+	f.upperWritesLeft--
+	f.stats.CachingWrites++
+	f.insertUpper(p, t)
+}
+
+// NotePrefetch implements File (prefetch-first-pair): stage p into the
+// upper bank if its value has been produced and it is not already present,
+// in flight, or queued.
+func (f *CacheFile) NotePrefetch(t uint64, p PhysReg, w uint64) {
+	if f.cfg.Prefetch != PrefetchFirstPair {
+		return
+	}
+	if w > t { // value not yet produced; nothing to read from the lower bank
+		return
+	}
+	if f.slotOf[p] >= 0 || f.inflight[p] || f.queued[p] != queueNone {
+		return
+	}
+	f.queued[p] = queuePref
+	f.prefQ = append(f.prefQ, fetchRequest{reg: p, gen: f.gen[p]})
+}
+
+// Release implements File: invalidate any upper-bank copy and cancel
+// pending transfers for p (the physical register is being reallocated).
+func (f *CacheFile) Release(p PhysReg) {
+	f.gen[p]++
+	f.queued[p] = queueNone
+	f.inflight[p] = false
+	if s := f.slotOf[p]; s >= 0 {
+		f.slots[s].valid = false
+		f.slotOf[p] = -1
+		f.freeSlots = append(f.freeSlots, s)
+	}
+}
+
+// Stats implements File.
+func (f *CacheFile) Stats() FileStats { return f.stats }
+
+// UpperResidents returns the number of valid upper-bank entries (test and
+// instrumentation hook).
+func (f *CacheFile) UpperResidents() int {
+	n := 0
+	for _, s := range f.slots {
+		if s.valid {
+			n++
+		}
+	}
+	return n
+}
+
+// InUpper reports whether p currently has an upper-bank copy.
+func (f *CacheFile) InUpper(p PhysReg) bool { return f.slotOf[p] >= 0 }
+
+// Describe reports p's residency state (diagnostics).
+func (f *CacheFile) Describe(p PhysReg) string {
+	return fmt.Sprintf("inUpper=%v inflight=%v queued=%d gen=%d demandQ=%d prefQ=%d deliveries=%d",
+		f.slotOf[p] >= 0, f.inflight[p], f.queued[p], f.gen[p],
+		len(f.demandQ), len(f.prefQ), len(f.deliveries))
+}

@@ -1,0 +1,204 @@
+// Package core implements the register file architectures studied in
+// "Multiple-Banked Register File Architectures" (Cruz, González, Valero,
+// Topham; ISCA 2000) — the paper's primary contribution.
+//
+// Three architectures are provided, all behind the File interface consumed
+// by the pipeline simulator (internal/sim):
+//
+//   - Monolithic: a single-banked register file with a 1- or 2-cycle access
+//     time and either a full bypass network or a single (last) level of
+//     bypass. These are the paper's baselines.
+//   - CacheFile: the paper's proposal — a two-level ("register file cache")
+//     organization with a small 1-cycle fully-associative upper bank that
+//     alone feeds the functional units, a large lower bank that receives
+//     every result, configurable caching policies (non-bypass / ready),
+//     fetch-on-demand, and the prefetch-first-pair prefetching scheme.
+//   - OneLevel: the single-level multiple-banked organization the paper
+//     outlines in Section 3 and lists as ongoing work in Section 6
+//     (implemented here as an extension).
+//
+// # Timing contract
+//
+// The simulator issues an instruction at cycle s; the instruction reads
+// registers during cycles s+1..s+L (L = ReadLatency), begins execution at
+// s+L+1, and its result completes at c and drives the result/write-back bus
+// at the cycle w ≥ c+1 returned by ReserveWriteback. The register file
+// writes in the first half of cycle w and supports write-through reads, so
+// a read stage starting at cycle w sees the value: instructions issuing at
+// t ≥ w−1 read through a port. The bypass network covers the gap between
+// execution-to-execution forwarding and the file:
+//
+//   - with a full bypass network (L levels: one per cycle between the
+//     producer's completion and the earliest file read), a consumer may
+//     issue as early as t = w−(L+1), executing back-to-back at c+1;
+//   - with a single level of bypass — the *last* level, which is the one
+//     that avoids availability holes (paper, Section 2) — a consumer may
+//     issue no earlier than t = w−2, one cycle later than full bypass
+//     allows when L = 2.
+//
+// For L=1 the two cases coincide (one level suffices). Operands obtained
+// from the bypass network (t ≤ w−2) consume no register file read port.
+package core
+
+import "fmt"
+
+// PhysReg identifies a physical register within one register file.
+type PhysReg int32
+
+// Unlimited is the port/bus count meaning "unconstrained", used by the
+// paper's infinite-bandwidth experiments (Figures 2 and 5–7).
+const Unlimited = int(^uint32(0) >> 1) // max int32
+
+// Operand describes one register source of an issuing instruction.
+type Operand struct {
+	// Reg is the physical register holding the value.
+	Reg PhysReg
+	// Bus is the absolute cycle at which the value drives the result bus
+	// (the producer's write-back cycle). Values architecturally present
+	// before the simulation window use Bus = 0.
+	Bus uint64
+	// ViaBypass is filled in by TryRead: true if the operand will be
+	// captured from the bypass network rather than read through a port.
+	ViaBypass bool
+}
+
+// WBHints carries the information the caching policies need at write-back
+// time. The simulator computes both from its instruction window.
+type WBHints struct {
+	// BypassCaught reports whether at least one consumer captured this
+	// result from the bypass network (used by non-bypass caching: such
+	// values are not cached).
+	BypassCaught bool
+	// ReadyConsumer reports whether some not-yet-issued instruction in the
+	// window uses this result and has all of its source operands produced
+	// (used by ready caching: only such values are cached).
+	ReadyConsumer bool
+}
+
+// FileStats aggregates observable behaviour of a register file model.
+type FileStats struct {
+	// Reads counts operands obtained through register file ports.
+	Reads uint64
+	// BypassReads counts operands captured from the bypass network.
+	BypassReads uint64
+	// ReadPortConflicts counts instruction issue attempts rejected because
+	// no read port was available.
+	ReadPortConflicts uint64
+	// UpperHits counts operands served by the upper bank (cache file only).
+	UpperHits uint64
+	// DemandFetches counts lower→upper transfers triggered on demand.
+	DemandFetches uint64
+	// Prefetches counts lower→upper transfers triggered by prefetching.
+	Prefetches uint64
+	// CachingWrites counts results written to the upper bank at write-back.
+	CachingWrites uint64
+	// CachingSkipped counts results the policy wanted to cache but could
+	// not for lack of an upper-bank write port that cycle.
+	CachingSkipped uint64
+	// Evictions counts upper-bank replacements of valid entries.
+	Evictions uint64
+}
+
+// Sub returns s minus base, field-wise. Simulators use it to discard
+// warmup-phase statistics.
+func (s FileStats) Sub(base FileStats) FileStats {
+	return FileStats{
+		Reads:             s.Reads - base.Reads,
+		BypassReads:       s.BypassReads - base.BypassReads,
+		ReadPortConflicts: s.ReadPortConflicts - base.ReadPortConflicts,
+		UpperHits:         s.UpperHits - base.UpperHits,
+		DemandFetches:     s.DemandFetches - base.DemandFetches,
+		Prefetches:        s.Prefetches - base.Prefetches,
+		CachingWrites:     s.CachingWrites - base.CachingWrites,
+		CachingSkipped:    s.CachingSkipped - base.CachingSkipped,
+		Evictions:         s.Evictions - base.Evictions,
+	}
+}
+
+// File is the register file model contract used by the pipeline simulator.
+// Implementations are single-threaded, driven one cycle at a time.
+type File interface {
+	// ReadLatency returns the number of pipeline cycles of the operand
+	// read stage (1 or 2 in the paper).
+	ReadLatency() int
+	// BeginCycle advances the model to cycle t. It must be called exactly
+	// once per cycle with consecutive values of t. Bus transfers progress
+	// and per-cycle port counters reset here.
+	BeginCycle(t uint64)
+	// ReserveWriteback books the earliest write-back slot ≥ earliest with
+	// a free write port and returns that cycle. The value is considered on
+	// the result bus, and written to the file, at the returned cycle.
+	ReserveWriteback(earliest uint64) uint64
+	// TryRead attempts to secure every source operand in ops for an
+	// instruction issuing at cycle t. On success it consumes the needed
+	// read ports, fills each Operand's ViaBypass field, and returns true;
+	// on failure the port state is left unchanged. When demand is true and
+	// every operand's value has been produced but some reside only in a
+	// slower bank, the model enqueues demand fetches for them
+	// (fetch-on-demand, cache file only).
+	TryRead(t uint64, ops []Operand, demand bool) bool
+	// Writeback delivers the result for p at its reserved cycle t (as
+	// returned by ReserveWriteback). hints feed the caching policy.
+	Writeback(t uint64, p PhysReg, hints WBHints)
+	// NotePrefetch asks the prefetch engine to stage register p (result
+	// bus cycle w) into the fast bank. Models without prefetching ignore
+	// it.
+	NotePrefetch(t uint64, p PhysReg, w uint64)
+	// Release invalidates any cached state for p; the physical register
+	// has been freed by the renamer and may be reallocated.
+	Release(p PhysReg)
+	// Stats returns accumulated statistics.
+	Stats() FileStats
+}
+
+// wbReservation is a write-port reservation calendar: a ring of per-cycle
+// use counts. The horizon must comfortably exceed the farthest-future
+// reservation distance (bounded by pipeline depth plus worst-case port
+// contention).
+type wbReservation struct {
+	counts []int32
+	ports  int
+	now    uint64
+}
+
+const reservationHorizon = 1 << 14
+
+func newWBReservation(ports int) *wbReservation {
+	if ports <= 0 {
+		panic("core: write port count must be positive (use Unlimited)")
+	}
+	return &wbReservation{counts: make([]int32, reservationHorizon), ports: ports}
+}
+
+// advance moves the calendar to cycle t, recycling slots that have fallen
+// into the past.
+func (w *wbReservation) advance(t uint64) {
+	if w.ports == Unlimited {
+		return
+	}
+	for w.now < t {
+		w.now++
+		// The slot that now maps to the farthest future cycle must be
+		// cleared before it can be reserved again.
+		w.counts[(w.now+reservationHorizon-1)%reservationHorizon] = 0
+	}
+}
+
+// reserve books the earliest cycle ≥ earliest with spare capacity.
+func (w *wbReservation) reserve(earliest uint64) uint64 {
+	if w.ports == Unlimited {
+		return earliest
+	}
+	t := earliest
+	for {
+		if t >= w.now+reservationHorizon {
+			panic(fmt.Sprintf("core: write-back reservation ran past horizon (earliest %d, now %d)", earliest, w.now))
+		}
+		idx := t % reservationHorizon
+		if int(w.counts[idx]) < w.ports {
+			w.counts[idx]++
+			return t
+		}
+		t++
+	}
+}

@@ -1,0 +1,740 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWBReservationUnlimited(t *testing.T) {
+	r := newWBReservation(Unlimited)
+	for i := uint64(0); i < 100; i++ {
+		if got := r.reserve(i); got != i {
+			t.Fatalf("unlimited reserve(%d) = %d", i, got)
+		}
+	}
+}
+
+func TestWBReservationContention(t *testing.T) {
+	r := newWBReservation(2)
+	r.advance(0)
+	if r.reserve(5) != 5 || r.reserve(5) != 5 {
+		t.Fatal("first two reservations should land on 5")
+	}
+	if got := r.reserve(5); got != 6 {
+		t.Fatalf("third reservation = %d, want 6", got)
+	}
+	if got := r.reserve(5); got != 6 {
+		t.Fatalf("fourth reservation = %d, want 6", got)
+	}
+	if got := r.reserve(5); got != 7 {
+		t.Fatalf("fifth reservation = %d, want 7", got)
+	}
+}
+
+func TestWBReservationRecycling(t *testing.T) {
+	r := newWBReservation(1)
+	for cyc := uint64(0); cyc < 3*reservationHorizon; cyc++ {
+		r.advance(cyc)
+		if got := r.reserve(cyc + 1); got != cyc+1 {
+			t.Fatalf("cycle %d: reserve = %d, want %d", cyc, got, cyc+1)
+		}
+	}
+}
+
+func TestWBReservationZeroPortsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero ports")
+		}
+	}()
+	newWBReservation(0)
+}
+
+func ops(specs ...[2]uint64) []Operand {
+	out := make([]Operand, len(specs))
+	for i, s := range specs {
+		out[i] = Operand{Reg: PhysReg(s[0]), Bus: s[1]}
+	}
+	return out
+}
+
+func TestMonolithic1CycleTiming(t *testing.T) {
+	m := NewMonolithic(MonolithicConfig{NumPhys: 128, Latency: 1, FullBypass: true, ReadPorts: Unlimited, WritePorts: Unlimited})
+	// Producer bus cycle 10: consumer may issue at 8 (bypass, back-to-back)
+	// or ≥9 (write-through read from the file).
+	m.BeginCycle(7)
+	if m.TryRead(7, ops([2]uint64{1, 10}), false) {
+		t.Error("issue at w-3 should fail for 1-cycle file")
+	}
+	m.BeginCycle(8)
+	o := ops([2]uint64{1, 10})
+	if !m.TryRead(8, o, false) {
+		t.Fatal("issue at w-2 should succeed via bypass")
+	}
+	if !o[0].ViaBypass {
+		t.Error("operand at w-2 should be via bypass")
+	}
+	m.BeginCycle(9)
+	o = ops([2]uint64{1, 10})
+	if !m.TryRead(9, o, false) || o[0].ViaBypass {
+		t.Error("issue at w-1 should read from the file, not bypass")
+	}
+	m.BeginCycle(10)
+	o = ops([2]uint64{1, 10})
+	if !m.TryRead(10, o, false) || o[0].ViaBypass {
+		t.Error("issue at w should read from the file, not bypass")
+	}
+}
+
+func TestMonolithic2CycleFullBypassTiming(t *testing.T) {
+	m := NewMonolithic(MonolithicConfig{NumPhys: 128, Latency: 2, FullBypass: true, ReadPorts: Unlimited, WritePorts: Unlimited})
+	m.BeginCycle(6)
+	if m.TryRead(6, ops([2]uint64{1, 10}), false) {
+		t.Error("issue at w-4 should fail")
+	}
+	for cyc := uint64(7); cyc <= 11; cyc++ {
+		m.BeginCycle(cyc)
+		o := ops([2]uint64{1, 10})
+		if !m.TryRead(cyc, o, false) {
+			t.Errorf("issue at %d should succeed (full bypass, L=2)", cyc)
+		}
+		wantBypass := cyc <= 8 // w-3 and w-2 come from the two bypass levels
+		if o[0].ViaBypass != wantBypass {
+			t.Errorf("cycle %d: ViaBypass = %v, want %v", cyc, o[0].ViaBypass, wantBypass)
+		}
+	}
+}
+
+func TestMonolithic2CycleSingleBypassTiming(t *testing.T) {
+	m := NewMonolithic(MonolithicConfig{NumPhys: 128, Latency: 2, FullBypass: false, ReadPorts: Unlimited, WritePorts: Unlimited})
+	m.BeginCycle(7)
+	if m.TryRead(7, ops([2]uint64{1, 10}), false) {
+		t.Error("issue at w-3 should fail with a single bypass level")
+	}
+	m.BeginCycle(8)
+	o := ops([2]uint64{1, 10})
+	if !m.TryRead(8, o, false) || !o[0].ViaBypass {
+		t.Error("issue at w-2 should succeed via the last bypass level")
+	}
+	m.BeginCycle(9)
+	o = ops([2]uint64{1, 10})
+	if !m.TryRead(9, o, false) || o[0].ViaBypass {
+		t.Error("issue at w-1 should read through a port")
+	}
+}
+
+func TestMonolithicReadPortLimit(t *testing.T) {
+	m := NewMonolithic(MonolithicConfig{NumPhys: 128, Latency: 1, FullBypass: true, ReadPorts: 3, WritePorts: Unlimited})
+	m.BeginCycle(100)
+	// Values produced long ago: every operand needs a port.
+	if !m.TryRead(100, ops([2]uint64{1, 0}, [2]uint64{2, 0}), false) {
+		t.Fatal("first read (2 ports) should succeed")
+	}
+	if !m.TryRead(100, ops([2]uint64{3, 0}), false) {
+		t.Fatal("second read (1 port) should succeed")
+	}
+	if m.TryRead(100, ops([2]uint64{4, 0}), false) {
+		t.Fatal("fourth port should not exist")
+	}
+	if m.Stats().ReadPortConflicts != 1 {
+		t.Errorf("ReadPortConflicts = %d, want 1", m.Stats().ReadPortConflicts)
+	}
+	m.BeginCycle(101)
+	if !m.TryRead(101, ops([2]uint64{4, 0}), false) {
+		t.Fatal("ports should refresh next cycle")
+	}
+}
+
+func TestMonolithicBypassNeedsNoPort(t *testing.T) {
+	m := NewMonolithic(MonolithicConfig{NumPhys: 128, Latency: 1, FullBypass: true, ReadPorts: 1, WritePorts: Unlimited})
+	m.BeginCycle(8)
+	// Two operands on the bypass (w=10, issue at w-2) plus zero ports used.
+	if !m.TryRead(8, ops([2]uint64{1, 10}, [2]uint64{2, 10}), false) {
+		t.Fatal("bypassed operands must not consume ports")
+	}
+	st := m.Stats()
+	if st.BypassReads != 2 || st.Reads != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestMonolithicFailedTryReadLeavesPorts(t *testing.T) {
+	m := NewMonolithic(MonolithicConfig{NumPhys: 128, Latency: 1, FullBypass: true, ReadPorts: 1, WritePorts: Unlimited})
+	m.BeginCycle(50)
+	// One operand readable, one not produced: must fail and not consume the port.
+	if m.TryRead(50, ops([2]uint64{1, 0}, [2]uint64{2, 99}), false) {
+		t.Fatal("read with unproduced operand should fail")
+	}
+	if !m.TryRead(50, ops([2]uint64{3, 0}), false) {
+		t.Fatal("port should still be free after failed TryRead")
+	}
+}
+
+func TestMonolithicWritebackReservation(t *testing.T) {
+	m := NewMonolithic(MonolithicConfig{NumPhys: 128, Latency: 1, FullBypass: true, ReadPorts: Unlimited, WritePorts: 1})
+	m.BeginCycle(0)
+	if w := m.ReserveWriteback(4); w != 4 {
+		t.Errorf("first WB = %d", w)
+	}
+	if w := m.ReserveWriteback(4); w != 5 {
+		t.Errorf("contended WB = %d, want 5", w)
+	}
+}
+
+func TestMonolithicConfigValidation(t *testing.T) {
+	bad := []MonolithicConfig{
+		{NumPhys: 0, Latency: 1, ReadPorts: 1, WritePorts: 1},
+		{NumPhys: 8, Latency: 0, ReadPorts: 1, WritePorts: 1},
+		{NumPhys: 8, Latency: 1, ReadPorts: 0, WritePorts: 1},
+		{NumPhys: 8, Latency: 1, ReadPorts: 1, WritePorts: 0},
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %d did not panic", i)
+				}
+			}()
+			NewMonolithic(cfg)
+		}()
+	}
+}
+
+func TestTreePLRUVictimRotation(t *testing.T) {
+	p := newTreePLRU(4)
+	seen := map[int]bool{}
+	for i := 0; i < 4; i++ {
+		seen[p.Victim()] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("4 victims covered only %d distinct slots", len(seen))
+	}
+}
+
+func TestTreePLRUTouchProtects(t *testing.T) {
+	p := newTreePLRU(8)
+	for i := 0; i < 100; i++ {
+		p.Touch(3)
+		if v := p.Victim(); v == 3 {
+			t.Fatal("most recently touched slot chosen as victim")
+		}
+		p.Touch(3)
+	}
+}
+
+func TestTreePLRUBadSizePanics(t *testing.T) {
+	for _, n := range []int{0, 3, -4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("size %d did not panic", n)
+				}
+			}()
+			newTreePLRU(n)
+		}()
+	}
+}
+
+func TestListLRUExact(t *testing.T) {
+	l := newListLRU(3)
+	l.Touch(0)
+	l.Touch(1)
+	l.Touch(2)
+	l.Touch(0) // order now 1 < 2 < 0
+	if v := l.Victim(); v != 1 {
+		t.Errorf("victim = %d, want 1", v)
+	}
+	if v := l.Victim(); v != 2 {
+		t.Errorf("victim = %d, want 2", v)
+	}
+}
+
+func TestNewReplacerFallback(t *testing.T) {
+	if _, ok := newReplacer(PseudoLRU, 16).(*treePLRU); !ok {
+		t.Error("power-of-two pseudo-LRU should use the tree")
+	}
+	if _, ok := newReplacer(PseudoLRU, 12).(*listLRU); !ok {
+		t.Error("non-power-of-two should fall back to exact LRU")
+	}
+	if _, ok := newReplacer(TrueLRU, 16).(*listLRU); !ok {
+		t.Error("TrueLRU should use the list")
+	}
+}
+
+// Property: a pseudo-LRU victim is never one of the (n/2) most recently
+// touched distinct slots... weaker but robust: the victim never equals the
+// last-touched slot.
+func TestQuickPLRUNeverEvictsMRU(t *testing.T) {
+	f := func(touches []uint8) bool {
+		p := newTreePLRU(16)
+		last := -1
+		for _, tc := range touches {
+			slot := int(tc % 16)
+			p.Touch(slot)
+			last = slot
+			if p.Victim() == last {
+				return false
+			}
+			p.Touch(last) // restore MRU status disturbed by Victim's touch
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func unlimitedCache() CacheConfig {
+	c := PaperCacheConfig()
+	return c
+}
+
+func TestCacheFileBypassCatch(t *testing.T) {
+	f := NewCacheFile(unlimitedCache())
+	f.BeginCycle(9)
+	o := ops([2]uint64{5, 10})
+	if !f.TryRead(9, o, false) || !o[0].ViaBypass {
+		t.Fatal("operand at w-1 should come from bypass")
+	}
+}
+
+func TestCacheFileUpperHitAfterCachingWriteback(t *testing.T) {
+	f := NewCacheFile(unlimitedCache())
+	f.BeginCycle(10)
+	f.Writeback(10, 5, WBHints{BypassCaught: false}) // non-bypass → cached
+	if !f.InUpper(5) {
+		t.Fatal("non-bypassed result not cached")
+	}
+	o := ops([2]uint64{5, 10})
+	if !f.TryRead(10, o, false) || o[0].ViaBypass {
+		t.Fatal("cached value should be readable from the upper bank at w")
+	}
+	if f.Stats().UpperHits != 1 {
+		t.Errorf("UpperHits = %d", f.Stats().UpperHits)
+	}
+}
+
+func TestCacheFileNonBypassPolicySkipsBypassedValues(t *testing.T) {
+	f := NewCacheFile(unlimitedCache())
+	f.BeginCycle(10)
+	f.Writeback(10, 5, WBHints{BypassCaught: true})
+	if f.InUpper(5) {
+		t.Fatal("bypassed result should not be cached under non-bypass policy")
+	}
+}
+
+func TestCacheFileReadyPolicy(t *testing.T) {
+	cfg := unlimitedCache()
+	cfg.Caching = CacheReady
+	f := NewCacheFile(cfg)
+	f.BeginCycle(10)
+	f.Writeback(10, 5, WBHints{ReadyConsumer: false})
+	if f.InUpper(5) {
+		t.Fatal("no ready consumer → should not cache")
+	}
+	f.Writeback(10, 6, WBHints{ReadyConsumer: true})
+	if !f.InUpper(6) {
+		t.Fatal("ready consumer → should cache")
+	}
+}
+
+func TestCacheFileCacheAllAndNone(t *testing.T) {
+	cfg := unlimitedCache()
+	cfg.Caching = CacheAll
+	f := NewCacheFile(cfg)
+	f.BeginCycle(1)
+	f.Writeback(1, 3, WBHints{BypassCaught: true})
+	if !f.InUpper(3) {
+		t.Error("cache-all should cache bypassed results")
+	}
+	cfg.Caching = CacheNone
+	g := NewCacheFile(cfg)
+	g.BeginCycle(1)
+	g.Writeback(1, 3, WBHints{})
+	if g.InUpper(3) {
+		t.Error("cache-none cached a value")
+	}
+}
+
+func TestCacheFileDemandFetch(t *testing.T) {
+	f := NewCacheFile(unlimitedCache())
+	// Value of reg 7 produced at cycle 5 but bypassed → lower bank only.
+	f.BeginCycle(5)
+	f.Writeback(5, 7, WBHints{BypassCaught: true})
+	// At cycle 20 a consumer wants it: not in upper → demand fetch.
+	f.BeginCycle(20)
+	o := ops([2]uint64{7, 5})
+	if f.TryRead(20, o, true) {
+		t.Fatal("lower-only operand must not be readable immediately")
+	}
+	// Bus granted at 21, delivered at 22, readable for issues ≥ 22.
+	f.BeginCycle(21)
+	if f.TryRead(21, o, true) {
+		t.Fatal("operand should still be in flight at cycle 21")
+	}
+	f.BeginCycle(22)
+	if !f.TryRead(22, o, true) {
+		t.Fatal("operand should be readable after delivery")
+	}
+	if f.Stats().DemandFetches != 1 {
+		t.Errorf("DemandFetches = %d, want 1", f.Stats().DemandFetches)
+	}
+}
+
+func TestCacheFileDemandOnlyWhenAllProduced(t *testing.T) {
+	f := NewCacheFile(unlimitedCache())
+	f.BeginCycle(5)
+	f.Writeback(5, 7, WBHints{BypassCaught: true})
+	f.BeginCycle(20)
+	// Second operand not yet produced (w=100): no demand fetch enqueued.
+	o := ops([2]uint64{7, 5}, [2]uint64{8, 100})
+	if f.TryRead(20, o, true) {
+		t.Fatal("read should fail")
+	}
+	f.BeginCycle(21)
+	f.BeginCycle(22)
+	if f.Stats().DemandFetches != 0 {
+		t.Errorf("premature demand fetch issued: %d", f.Stats().DemandFetches)
+	}
+}
+
+func TestCacheFilePrefetch(t *testing.T) {
+	f := NewCacheFile(unlimitedCache())
+	f.BeginCycle(5)
+	f.Writeback(5, 9, WBHints{BypassCaught: true}) // lower only
+	f.BeginCycle(6)
+	f.NotePrefetch(6, 9, 5)
+	f.BeginCycle(7) // granted
+	f.BeginCycle(8) // delivered
+	if !f.InUpper(9) {
+		t.Fatal("prefetched value not in upper bank")
+	}
+	if f.Stats().Prefetches != 1 {
+		t.Errorf("Prefetches = %d", f.Stats().Prefetches)
+	}
+}
+
+func TestCacheFilePrefetchDisabledUnderFetchOnDemand(t *testing.T) {
+	cfg := unlimitedCache()
+	cfg.Prefetch = FetchOnDemand
+	f := NewCacheFile(cfg)
+	f.BeginCycle(5)
+	f.Writeback(5, 9, WBHints{BypassCaught: true})
+	f.NotePrefetch(5, 9, 5)
+	f.BeginCycle(6)
+	f.BeginCycle(7)
+	if f.Stats().Prefetches != 0 {
+		t.Error("fetch-on-demand issued a prefetch")
+	}
+}
+
+func TestCacheFilePrefetchIgnoresUnproduced(t *testing.T) {
+	f := NewCacheFile(unlimitedCache())
+	f.BeginCycle(5)
+	f.NotePrefetch(5, 9, 50) // value not produced until cycle 50
+	f.BeginCycle(6)
+	if f.Stats().Prefetches != 0 {
+		t.Error("prefetch of unproduced value issued")
+	}
+}
+
+func TestCacheFileDemandPriorityOverPrefetch(t *testing.T) {
+	cfg := unlimitedCache()
+	cfg.Buses = 1
+	f := NewCacheFile(cfg)
+	f.BeginCycle(5)
+	f.Writeback(5, 1, WBHints{BypassCaught: true})
+	f.Writeback(5, 2, WBHints{BypassCaught: true})
+	// Enqueue a prefetch for 1 then a demand for 2.
+	f.NotePrefetch(5, 1, 5)
+	o := ops([2]uint64{2, 5})
+	f.TryRead(5, o, true)
+	f.BeginCycle(6) // one bus: demand for reg 2 must win
+	if f.Stats().DemandFetches != 1 || f.Stats().Prefetches != 0 {
+		t.Errorf("demand=%d pref=%d after first grant", f.Stats().DemandFetches, f.Stats().Prefetches)
+	}
+}
+
+func TestCacheFileBusOccupancy(t *testing.T) {
+	cfg := unlimitedCache()
+	cfg.Buses = 1
+	cfg.TransferCycles = 2
+	f := NewCacheFile(cfg)
+	f.BeginCycle(5)
+	for _, r := range []PhysReg{1, 2} {
+		f.Writeback(5, r, WBHints{BypassCaught: true})
+	}
+	f.TryRead(5, ops([2]uint64{1, 5}), true)
+	f.TryRead(5, ops([2]uint64{2, 5}), true)
+	f.BeginCycle(6) // grant reg 1; bus busy 6-7
+	f.BeginCycle(7) // delivery of 1; bus still busy
+	if got := f.Stats().DemandFetches; got != 1 {
+		t.Fatalf("grants after cycle 7 = %d, want 1", got)
+	}
+	f.BeginCycle(8) // bus free again: grant reg 2
+	if got := f.Stats().DemandFetches; got != 2 {
+		t.Fatalf("grants after cycle 8 = %d, want 2", got)
+	}
+}
+
+func TestCacheFileEviction(t *testing.T) {
+	cfg := unlimitedCache()
+	cfg.UpperSize = 4
+	f := NewCacheFile(cfg)
+	f.BeginCycle(1)
+	for r := PhysReg(0); r < 5; r++ {
+		f.Writeback(1, r, WBHints{})
+	}
+	if f.UpperResidents() != 4 {
+		t.Errorf("residents = %d, want 4", f.UpperResidents())
+	}
+	if f.Stats().Evictions != 1 {
+		t.Errorf("Evictions = %d, want 1", f.Stats().Evictions)
+	}
+}
+
+func TestCacheFileReleaseInvalidates(t *testing.T) {
+	f := NewCacheFile(unlimitedCache())
+	f.BeginCycle(1)
+	f.Writeback(1, 5, WBHints{})
+	f.Release(5)
+	if f.InUpper(5) {
+		t.Fatal("released register still in upper bank")
+	}
+	// Freed slot must be reusable without eviction.
+	f.Writeback(1, 6, WBHints{})
+	if !f.InUpper(6) || f.Stats().Evictions != 0 {
+		t.Error("slot not recycled cleanly")
+	}
+}
+
+func TestCacheFileReleaseCancelsInflight(t *testing.T) {
+	f := NewCacheFile(unlimitedCache())
+	f.BeginCycle(5)
+	f.Writeback(5, 7, WBHints{BypassCaught: true})
+	f.TryRead(5, ops([2]uint64{7, 5}), true) // enqueue demand
+	f.Release(7)                             // freed before grant
+	f.BeginCycle(6)
+	f.BeginCycle(7)
+	if f.InUpper(7) {
+		t.Fatal("stale transfer installed a released register")
+	}
+}
+
+func TestCacheFileGenerationGuard(t *testing.T) {
+	f := NewCacheFile(unlimitedCache())
+	f.BeginCycle(5)
+	f.Writeback(5, 7, WBHints{BypassCaught: true})
+	f.TryRead(5, ops([2]uint64{7, 5}), true)
+	f.BeginCycle(6) // granted: in flight, delivery at 7
+	f.Release(7)    // released mid-flight; register reallocated
+	f.BeginCycle(7) // delivery must be dropped
+	if f.InUpper(7) {
+		t.Fatal("mid-flight release not honored")
+	}
+}
+
+func TestCacheFileUpperWritePortLimit(t *testing.T) {
+	cfg := unlimitedCache()
+	cfg.UpperWritePorts = 1
+	f := NewCacheFile(cfg)
+	f.BeginCycle(1)
+	f.Writeback(1, 1, WBHints{})
+	f.Writeback(1, 2, WBHints{})
+	if f.InUpper(2) {
+		t.Fatal("second caching write should be skipped (one port)")
+	}
+	st := f.Stats()
+	if st.CachingWrites != 1 || st.CachingSkipped != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	f.BeginCycle(2)
+	f.Writeback(2, 3, WBHints{})
+	if !f.InUpper(3) {
+		t.Error("upper write ports should refresh each cycle")
+	}
+}
+
+func TestCacheFileReadPortLimit(t *testing.T) {
+	cfg := unlimitedCache()
+	cfg.ReadPorts = 1
+	f := NewCacheFile(cfg)
+	f.BeginCycle(1)
+	f.Writeback(1, 1, WBHints{})
+	f.Writeback(1, 2, WBHints{})
+	if !f.TryRead(1, ops([2]uint64{1, 1}), false) {
+		t.Fatal("first read should get the port")
+	}
+	if f.TryRead(1, ops([2]uint64{2, 1}), false) {
+		t.Fatal("second read should be port-limited")
+	}
+}
+
+func TestCacheFileConfigValidation(t *testing.T) {
+	bad := []CacheConfig{
+		{NumPhys: 0, UpperSize: 4, ReadPorts: 1, UpperWritePorts: 1, LowerWritePorts: 1, Buses: 1},
+		{NumPhys: 8, UpperSize: 0, ReadPorts: 1, UpperWritePorts: 1, LowerWritePorts: 1, Buses: 1},
+		{NumPhys: 8, UpperSize: 16, ReadPorts: 1, UpperWritePorts: 1, LowerWritePorts: 1, Buses: 1},
+		{NumPhys: 8, UpperSize: 4, ReadPorts: 0, UpperWritePorts: 1, LowerWritePorts: 1, Buses: 1},
+		{NumPhys: 8, UpperSize: 4, ReadPorts: 1, UpperWritePorts: 1, LowerWritePorts: 1, Buses: 1, TransferCycles: -1},
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %d did not panic", i)
+				}
+			}()
+			NewCacheFile(cfg)
+		}()
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	if CacheNonBypass.String() != "non-bypass caching" || CacheReady.String() != "ready caching" {
+		t.Error("caching policy names wrong")
+	}
+	if FetchOnDemand.String() != "fetch-on-demand" || PrefetchFirstPair.String() != "prefetch-first-pair" {
+		t.Error("prefetch policy names wrong")
+	}
+	if PseudoLRU.String() != "pseudo-LRU" || TrueLRU.String() != "true-LRU" {
+		t.Error("replacement names wrong")
+	}
+	if AssignRoundRobin.String() != "round-robin" || AssignLeastLoaded.String() != "least-loaded" {
+		t.Error("assignment names wrong")
+	}
+}
+
+// Property: the upper bank never holds more than UpperSize valid entries,
+// and slotOf is consistent with slots, under arbitrary operation sequences.
+func TestQuickCacheFileInvariants(t *testing.T) {
+	f := func(opsSeq []uint16) bool {
+		cfg := unlimitedCache()
+		cfg.UpperSize = 8
+		cfg.NumPhys = 32
+		cf := NewCacheFile(cfg)
+		cycle := uint64(0)
+		for _, op := range opsSeq {
+			reg := PhysReg(op % 32)
+			switch (op >> 5) % 4 {
+			case 0:
+				cycle++
+				cf.BeginCycle(cycle)
+			case 1:
+				cf.Writeback(cycle, reg, WBHints{BypassCaught: op&1 == 0})
+			case 2:
+				cf.Release(reg)
+			case 3:
+				cf.NotePrefetch(cycle, reg, uint64(op%8))
+			}
+			if cf.UpperResidents() > 8 {
+				return false
+			}
+			// slotOf ↔ slots consistency.
+			for r := PhysReg(0); r < 32; r++ {
+				if s := cf.slotOf[r]; s >= 0 {
+					if !cf.slots[s].valid || cf.slots[s].reg != r {
+						return false
+					}
+				}
+			}
+			for si, s := range cf.slots {
+				if s.valid && cf.slotOf[s.reg] != int32(si) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOneLevelBankAssignmentRoundRobin(t *testing.T) {
+	f := NewOneLevel(OneLevelConfig{NumPhys: 16, Banks: 4, ReadPortsPerBank: 2, WritePortsPerBank: 1})
+	got := []int{f.AssignBank(0), f.AssignBank(1), f.AssignBank(2), f.AssignBank(3), f.AssignBank(4)}
+	want := []int{0, 1, 2, 3, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("round-robin assignment %v, want %v", got, want)
+		}
+	}
+}
+
+func TestOneLevelLeastLoaded(t *testing.T) {
+	f := NewOneLevel(OneLevelConfig{NumPhys: 4, Banks: 2, ReadPortsPerBank: 2, WritePortsPerBank: 1, Assignment: AssignLeastLoaded})
+	// Initial spread: regs 0,2 → bank 0; regs 1,3 → bank 1 (2 each).
+	f.Release(0)
+	f.Release(2) // bank 0 now lighter
+	if b := f.AssignBank(0); b != 0 {
+		t.Errorf("least-loaded chose bank %d, want 0", b)
+	}
+}
+
+func TestOneLevelReadPortContentionPerBank(t *testing.T) {
+	f := NewOneLevel(OneLevelConfig{NumPhys: 8, Banks: 2, ReadPortsPerBank: 1, WritePortsPerBank: 1})
+	f.BeginCycle(10)
+	// regs 0 and 2 are both in bank 0 (round-robin initial spread).
+	if !f.TryRead(10, ops([2]uint64{0, 0}), false) {
+		t.Fatal("first bank-0 read should succeed")
+	}
+	if f.TryRead(10, ops([2]uint64{2, 0}), false) {
+		t.Fatal("second bank-0 read should be port-limited")
+	}
+	// reg 1 is in bank 1: its port is independent.
+	if !f.TryRead(10, ops([2]uint64{1, 0}), false) {
+		t.Fatal("bank-1 read should succeed")
+	}
+}
+
+func TestOneLevelBypassTiming(t *testing.T) {
+	f := NewOneLevel(OneLevelConfig{NumPhys: 8, Banks: 2, ReadPortsPerBank: 1, WritePortsPerBank: 1})
+	f.BeginCycle(8)
+	o := ops([2]uint64{0, 10})
+	if !f.TryRead(8, o, false) || !o[0].ViaBypass {
+		t.Fatal("one-level file should bypass at w-2")
+	}
+	f.BeginCycle(9)
+	o = ops([2]uint64{0, 10})
+	if !f.TryRead(9, o, false) || o[0].ViaBypass {
+		t.Fatal("issue at w-1 should read through a port")
+	}
+	f.BeginCycle(7)
+	if f.TryRead(7, ops([2]uint64{0, 10}), false) {
+		t.Fatal("issue at w-3 should fail")
+	}
+}
+
+func TestOneLevelWritebackBank(t *testing.T) {
+	f := NewOneLevel(OneLevelConfig{NumPhys: 8, Banks: 2, ReadPortsPerBank: 1, WritePortsPerBank: 1})
+	f.BeginCycle(0)
+	// Bank 0 gets congested; bank 1 stays free.
+	if w := f.ReserveWritebackBank(0, 5); w != 5 {
+		t.Errorf("first WB = %d", w)
+	}
+	if w := f.ReserveWritebackBank(2, 5); w != 6 {
+		t.Errorf("contended same-bank WB = %d, want 6", w)
+	}
+	if w := f.ReserveWritebackBank(1, 5); w != 5 {
+		t.Errorf("other-bank WB = %d, want 5", w)
+	}
+}
+
+func TestOneLevelConfigValidation(t *testing.T) {
+	bad := []OneLevelConfig{
+		{NumPhys: 0, Banks: 2, ReadPortsPerBank: 1, WritePortsPerBank: 1},
+		{NumPhys: 8, Banks: 0, ReadPortsPerBank: 1, WritePortsPerBank: 1},
+		{NumPhys: 8, Banks: 2, ReadPortsPerBank: 0, WritePortsPerBank: 1},
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %d did not panic", i)
+				}
+			}()
+			NewOneLevel(cfg)
+		}()
+	}
+}

@@ -1,0 +1,118 @@
+package core
+
+import "fmt"
+
+// MonolithicConfig describes a single-banked register file.
+type MonolithicConfig struct {
+	// NumPhys is the number of physical registers.
+	NumPhys int
+	// Latency is the read access time in cycles (1 or 2 in the paper).
+	Latency int
+	// FullBypass selects a complete bypass network (one level per read
+	// cycle). When false, only the last bypass level is present: dependent
+	// instructions may issue no earlier than one cycle before the
+	// producer's write-back.
+	FullBypass bool
+	// ReadPorts and WritePorts bound per-cycle port usage; use Unlimited
+	// for the infinite-bandwidth experiments.
+	ReadPorts, WritePorts int
+}
+
+// Monolithic is a single-banked register file: the paper's baseline
+// architectures (1-cycle; 2-cycle with full bypass; 2-cycle with a single
+// level of bypass).
+type Monolithic struct {
+	cfg       MonolithicConfig
+	wb        *wbReservation
+	now       uint64
+	readsLeft int
+	stats     FileStats
+}
+
+// NewMonolithic validates cfg and builds the model.
+func NewMonolithic(cfg MonolithicConfig) *Monolithic {
+	if cfg.NumPhys <= 0 {
+		panic("core: NumPhys must be positive")
+	}
+	if cfg.Latency < 1 {
+		panic(fmt.Sprintf("core: latency %d out of range", cfg.Latency))
+	}
+	if cfg.ReadPorts <= 0 || cfg.WritePorts <= 0 {
+		panic("core: port counts must be positive (use Unlimited)")
+	}
+	return &Monolithic{cfg: cfg, wb: newWBReservation(cfg.WritePorts)}
+}
+
+// ReadLatency implements File.
+func (m *Monolithic) ReadLatency() int { return m.cfg.Latency }
+
+// BeginCycle implements File.
+func (m *Monolithic) BeginCycle(t uint64) {
+	m.now = t
+	m.readsLeft = m.cfg.ReadPorts
+	m.wb.advance(t)
+}
+
+// ReserveWriteback implements File.
+func (m *Monolithic) ReserveWriteback(earliest uint64) uint64 {
+	return m.wb.reserve(earliest)
+}
+
+// minIssueDelta returns how many cycles before the producer's write-back a
+// consumer may issue. With L bypass levels (full bypass), the earliest
+// consumer executes back-to-back at c+1 = w, i.e. issues at w−(L+1). With
+// only the last level, the earliest execution is w+L−1, i.e. issue at w−2.
+// The register file itself serves issues at w−1 and later (write-through:
+// a value written at w is readable by a read stage starting at w).
+func (m *Monolithic) minIssueDelta() uint64 {
+	if m.cfg.FullBypass {
+		return uint64(m.cfg.Latency) + 1
+	}
+	return 2
+}
+
+// TryRead implements File. An operand with bus cycle w is obtainable at
+// issue cycle t iff t+delta ≥ w (delta per minIssueDelta); it comes from
+// the bypass network (no port) iff t ≤ w−2; issues at t ≥ w−1 read through
+// a port.
+func (m *Monolithic) TryRead(t uint64, ops []Operand, demand bool) bool {
+	delta := m.minIssueDelta()
+	portsNeeded := 0
+	for i := range ops {
+		if t+delta < ops[i].Bus {
+			return false // value not yet catchable
+		}
+		if t+1 < ops[i].Bus {
+			ops[i].ViaBypass = true
+		} else {
+			ops[i].ViaBypass = false
+			portsNeeded++
+		}
+	}
+	if portsNeeded > m.readsLeft {
+		m.stats.ReadPortConflicts++
+		return false
+	}
+	m.readsLeft -= portsNeeded
+	for i := range ops {
+		if ops[i].ViaBypass {
+			m.stats.BypassReads++
+		} else {
+			m.stats.Reads++
+		}
+	}
+	return true
+}
+
+// Writeback implements File. The lower-bank write slot was reserved by
+// ReserveWriteback; nothing further is needed for a single bank.
+func (m *Monolithic) Writeback(t uint64, p PhysReg, hints WBHints) {}
+
+// NotePrefetch implements File; a single bank has nothing to prefetch.
+func (m *Monolithic) NotePrefetch(t uint64, p PhysReg, w uint64) {}
+
+// Release implements File; a single bank keeps no cached state.
+func (m *Monolithic) Release(p PhysReg) {}
+
+// Stats implements File.
+func (m *Monolithic) Stats() FileStats { return m.stats }

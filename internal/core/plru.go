@@ -1,0 +1,127 @@
+package core
+
+// Replacement selects the upper-bank replacement policy.
+type Replacement uint8
+
+const (
+	// PseudoLRU is the paper's tree pseudo-LRU policy.
+	PseudoLRU Replacement = iota
+	// TrueLRU is an exact-LRU variant, provided for ablation studies.
+	TrueLRU
+)
+
+// String returns the policy name.
+func (r Replacement) String() string {
+	switch r {
+	case PseudoLRU:
+		return "pseudo-LRU"
+	case TrueLRU:
+		return "true-LRU"
+	}
+	return "unknown"
+}
+
+// replacer picks victims among n slots.
+type replacer interface {
+	// Touch marks slot i most recently used.
+	Touch(i int)
+	// Victim returns the slot to replace (and marks it used).
+	Victim() int
+}
+
+// treePLRU is a binary-tree pseudo-LRU over a power-of-two number of slots.
+// Each internal node stores one bit pointing toward the less recently used
+// subtree.
+type treePLRU struct {
+	bits []bool // internal nodes, heap order; len = n-1
+	n    int
+}
+
+func newTreePLRU(n int) *treePLRU {
+	if n <= 0 || n&(n-1) != 0 {
+		panic("core: tree pseudo-LRU size must be a positive power of two")
+	}
+	return &treePLRU{bits: make([]bool, n-1), n: n}
+}
+
+// Touch implements replacer: flip the bits along the path to i so they
+// point away from it.
+func (p *treePLRU) Touch(i int) {
+	if i < 0 || i >= p.n {
+		panic("core: pseudo-LRU touch out of range")
+	}
+	node := 0
+	lo, hi := 0, p.n
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if i < mid {
+			p.bits[node] = true // LRU side is the right subtree
+			node = 2*node + 1
+			hi = mid
+		} else {
+			p.bits[node] = false // LRU side is the left subtree
+			node = 2*node + 2
+			lo = mid
+		}
+	}
+}
+
+// Victim implements replacer: follow the LRU bits to a leaf and touch it.
+func (p *treePLRU) Victim() int {
+	node := 0
+	lo, hi := 0, p.n
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if p.bits[node] {
+			// A true bit records that the last access went left, so the
+			// LRU side is the right subtree.
+			node = 2*node + 2
+			lo = mid
+		} else {
+			node = 2*node + 1
+			hi = mid
+		}
+	}
+	p.Touch(lo)
+	return lo
+}
+
+// listLRU is exact LRU via use timestamps.
+type listLRU struct {
+	stamp []uint64
+	clock uint64
+}
+
+func newListLRU(n int) *listLRU {
+	if n <= 0 {
+		panic("core: LRU size must be positive")
+	}
+	return &listLRU{stamp: make([]uint64, n)}
+}
+
+// Touch implements replacer.
+func (l *listLRU) Touch(i int) {
+	l.clock++
+	l.stamp[i] = l.clock
+}
+
+// Victim implements replacer.
+func (l *listLRU) Victim() int {
+	best := 0
+	for i := 1; i < len(l.stamp); i++ {
+		if l.stamp[i] < l.stamp[best] {
+			best = i
+		}
+	}
+	l.Touch(best)
+	return best
+}
+
+// newReplacer builds the requested policy; pseudo-LRU falls back to exact
+// LRU for non-power-of-two sizes.
+func newReplacer(policy Replacement, n int) replacer {
+	if policy == PseudoLRU && n&(n-1) == 0 {
+		return newTreePLRU(n)
+	}
+	return newListLRU(n)
+}

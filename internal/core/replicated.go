@@ -1,0 +1,182 @@
+package core
+
+import "fmt"
+
+// ReplicatedConfig describes a replicated multi-banked register file in
+// the style of the Alpha 21264 integer unit (paper §5, Kessler [3]): every
+// bank holds a full copy of all values, each functional-unit cluster reads
+// only from its local bank, and results are written to every bank — the
+// local bank immediately, remote banks one cycle later. Replication cuts
+// per-bank read ports at the cost of duplicated storage and a one-cycle
+// cross-cluster penalty.
+type ReplicatedConfig struct {
+	// NumPhys is the number of physical registers (replicated per bank).
+	NumPhys int
+	// Clusters is the number of banks/clusters (2 in the 21264).
+	Clusters int
+	// ReadPortsPerBank bounds per-cluster, per-cycle operand reads.
+	ReadPortsPerBank int
+	// WritePortsPerBank bounds per-bank result writes per cycle; every
+	// result needs a slot in every bank.
+	WritePortsPerBank int
+	// RemoteDelay is the extra cycles before a result reaches non-local
+	// banks (1 in the 21264).
+	RemoteDelay int
+}
+
+// Replicated implements the replicated organization. It is driven through
+// the File interface plus the cluster-aware entry points the simulator
+// uses when it knows the instruction's cluster (AssignCluster,
+// TryReadCluster, ReserveWritebackAll).
+type Replicated struct {
+	cfg       ReplicatedConfig
+	home      []int8 // producing cluster per physical register
+	readsLeft []int
+	wb        []*wbReservation
+	nextClu   int
+	now       uint64
+	stats     FileStats
+}
+
+// NewReplicated validates cfg and builds the model.
+func NewReplicated(cfg ReplicatedConfig) *Replicated {
+	if cfg.NumPhys <= 0 {
+		panic("core: NumPhys must be positive")
+	}
+	if cfg.Clusters < 1 || cfg.Clusters > 8 {
+		panic(fmt.Sprintf("core: cluster count %d out of range", cfg.Clusters))
+	}
+	if cfg.ReadPortsPerBank <= 0 || cfg.WritePortsPerBank <= 0 {
+		panic("core: port counts must be positive (use Unlimited)")
+	}
+	if cfg.RemoteDelay < 0 {
+		panic("core: negative remote delay")
+	}
+	if cfg.RemoteDelay == 0 {
+		cfg.RemoteDelay = 1
+	}
+	f := &Replicated{
+		cfg:       cfg,
+		home:      make([]int8, cfg.NumPhys),
+		readsLeft: make([]int, cfg.Clusters),
+		wb:        make([]*wbReservation, cfg.Clusters),
+	}
+	for i := range f.wb {
+		f.wb[i] = newWBReservation(cfg.WritePortsPerBank)
+	}
+	return f
+}
+
+// ReadLatency implements File: banks are single-cycle.
+func (f *Replicated) ReadLatency() int { return 1 }
+
+// BeginCycle implements File.
+func (f *Replicated) BeginCycle(t uint64) {
+	f.now = t
+	for c := range f.readsLeft {
+		f.readsLeft[c] = f.cfg.ReadPortsPerBank
+		f.wb[c].advance(t)
+	}
+}
+
+// AssignCluster steers the instruction producing p to a cluster
+// (round-robin, like the 21264's slotting) and returns it. The simulator
+// calls it at dispatch.
+func (f *Replicated) AssignCluster(p PhysReg) int {
+	c := f.nextClu
+	f.nextClu = (f.nextClu + 1) % f.cfg.Clusters
+	f.home[p] = int8(c)
+	return c
+}
+
+// SetHome records that p is produced by an instruction already steered to
+// cluster c (used when the simulator owns the steering decision).
+func (f *Replicated) SetHome(p PhysReg, c int) { f.home[p] = int8(c) }
+
+// Clusters returns the configured cluster count.
+func (f *Replicated) Clusters() int { return f.cfg.Clusters }
+
+// HomeCluster returns the cluster that produces (or produced) p.
+func (f *Replicated) HomeCluster(p PhysReg) int { return int(f.home[p]) }
+
+// busCycleAt returns the cycle at which p's value reaches cluster c's
+// bank: the local bank at the write-back cycle w, remote banks RemoteDelay
+// later.
+func (f *Replicated) busCycleAt(p PhysReg, w uint64, c int) uint64 {
+	if int(f.home[p]) == c || w == 0 {
+		return w
+	}
+	return w + uint64(f.cfg.RemoteDelay)
+}
+
+// TryReadCluster attempts to secure the operands for an instruction
+// issuing at cycle t in cluster c: bypass (within the effective bus cycle
+// window) or a local-bank read port.
+func (f *Replicated) TryReadCluster(t uint64, ops []Operand, c int) bool {
+	need := 0
+	for i := range ops {
+		w := f.busCycleAt(ops[i].Reg, ops[i].Bus, c)
+		switch {
+		case t+2 == w:
+			ops[i].ViaBypass = true
+		case t+1 >= w:
+			ops[i].ViaBypass = false
+			need++
+		default:
+			return false
+		}
+	}
+	if need > f.readsLeft[c] {
+		f.stats.ReadPortConflicts++
+		return false
+	}
+	f.readsLeft[c] -= need
+	for i := range ops {
+		if ops[i].ViaBypass {
+			f.stats.BypassReads++
+		} else {
+			f.stats.Reads++
+		}
+	}
+	return true
+}
+
+// TryRead implements File; without a cluster hint it reads from cluster 0.
+func (f *Replicated) TryRead(t uint64, ops []Operand, demand bool) bool {
+	return f.TryReadCluster(t, ops, 0)
+}
+
+// ReserveWritebackAll books a write slot for p in every bank — the local
+// bank at the earliest free cycle, remote banks checked RemoteDelay later —
+// and returns the local write-back cycle.
+func (f *Replicated) ReserveWritebackAll(p PhysReg, earliest uint64) uint64 {
+	home := int(f.home[p])
+	w := f.wb[home].reserve(earliest)
+	for c := range f.wb {
+		if c == home {
+			continue
+		}
+		// The remote write follows the cross-cluster bus; contention there
+		// pushes the remote copy later but not the local result.
+		f.wb[c].reserve(w + uint64(f.cfg.RemoteDelay))
+	}
+	return w
+}
+
+// ReserveWriteback implements File.
+func (f *Replicated) ReserveWriteback(earliest uint64) uint64 {
+	return f.wb[0].reserve(earliest)
+}
+
+// Writeback implements File; replication needs no policy decisions.
+func (f *Replicated) Writeback(t uint64, p PhysReg, hints WBHints) {}
+
+// NotePrefetch implements File; a replicated organization has no
+// transfers to schedule.
+func (f *Replicated) NotePrefetch(t uint64, p PhysReg, w uint64) {}
+
+// Release implements File.
+func (f *Replicated) Release(p PhysReg) {}
+
+// Stats implements File.
+func (f *Replicated) Stats() FileStats { return f.stats }

@@ -1,0 +1,168 @@
+package core
+
+import "testing"
+
+func repl2() *Replicated {
+	return NewReplicated(ReplicatedConfig{
+		NumPhys: 32, Clusters: 2, ReadPortsPerBank: 2, WritePortsPerBank: 2, RemoteDelay: 1,
+	})
+}
+
+func TestReplicatedClusterAssignmentRoundRobin(t *testing.T) {
+	f := repl2()
+	if f.AssignCluster(0) != 0 || f.AssignCluster(1) != 1 || f.AssignCluster(2) != 0 {
+		t.Error("round-robin steering broken")
+	}
+	if f.HomeCluster(1) != 1 {
+		t.Error("home cluster not recorded")
+	}
+}
+
+func TestReplicatedLocalVsRemoteTiming(t *testing.T) {
+	f := repl2()
+	f.AssignCluster(5) // home cluster 0
+	// Local consumer: bypass at w-2, port read from w-1.
+	f.BeginCycle(8)
+	o := ops([2]uint64{5, 10})
+	if !f.TryReadCluster(8, o, 0) || !o[0].ViaBypass {
+		t.Fatal("local consumer should bypass at w-2")
+	}
+	// Remote consumer sees the value one cycle later: at w-2 nothing, at
+	// w-1 the (delayed) bypass.
+	f.BeginCycle(8)
+	if f.TryReadCluster(8, ops([2]uint64{5, 10}), 1) {
+		t.Fatal("remote consumer caught the value too early")
+	}
+	f.BeginCycle(9)
+	o = ops([2]uint64{5, 10})
+	if !f.TryReadCluster(9, o, 1) || !o[0].ViaBypass {
+		t.Fatal("remote consumer should catch the delayed bus at w-1")
+	}
+}
+
+func TestReplicatedOldValuesEverywhere(t *testing.T) {
+	f := repl2()
+	// Architectural values (bus 0) are in every bank.
+	f.BeginCycle(100)
+	if !f.TryReadCluster(100, ops([2]uint64{3, 0}), 0) {
+		t.Fatal("cluster 0 read failed")
+	}
+	if !f.TryReadCluster(100, ops([2]uint64{4, 0}), 1) {
+		t.Fatal("cluster 1 read failed")
+	}
+}
+
+func TestReplicatedPerClusterPorts(t *testing.T) {
+	f := repl2() // 2 read ports per bank
+	f.BeginCycle(50)
+	if !f.TryReadCluster(50, ops([2]uint64{1, 0}, [2]uint64{2, 0}), 0) {
+		t.Fatal("first 2-port read should succeed")
+	}
+	if f.TryReadCluster(50, ops([2]uint64{3, 0}), 0) {
+		t.Fatal("cluster 0 ports exhausted; read should fail")
+	}
+	if !f.TryReadCluster(50, ops([2]uint64{3, 0}), 1) {
+		t.Fatal("cluster 1 ports are independent")
+	}
+	if f.Stats().ReadPortConflicts != 1 {
+		t.Errorf("conflicts = %d", f.Stats().ReadPortConflicts)
+	}
+}
+
+func TestReplicatedWritebackAllBanks(t *testing.T) {
+	cfg := ReplicatedConfig{NumPhys: 8, Clusters: 2, ReadPortsPerBank: 2, WritePortsPerBank: 1, RemoteDelay: 1}
+	f := NewReplicated(cfg)
+	f.BeginCycle(0)
+	f.AssignCluster(0) // home 0
+	f.AssignCluster(1) // home 1
+	w0 := f.ReserveWritebackAll(0, 5)
+	if w0 != 5 {
+		t.Fatalf("first local WB = %d", w0)
+	}
+	// Register 1's home bank is 1; its remote write lands in bank 0 at
+	// w+1. Bank 0's cycle-5 slot is taken, but that does not block a
+	// home-bank reservation at 5 in bank 1.
+	if w1 := f.ReserveWritebackAll(1, 5); w1 != 5 {
+		t.Fatalf("bank-1 local WB = %d, want 5", w1)
+	}
+	// A second bank-0-homed result at 5 must be pushed past both the
+	// cycle-5 local write of reg 0 and the cycle-6 remote write of reg 1.
+	f.AssignCluster(2) // home 0
+	if w2 := f.ReserveWritebackAll(2, 5); w2 != 7 {
+		t.Fatalf("contended bank-0 WB = %d, want 7", w2)
+	}
+}
+
+func TestReplicatedConfigValidation(t *testing.T) {
+	bad := []ReplicatedConfig{
+		{NumPhys: 0, Clusters: 2, ReadPortsPerBank: 1, WritePortsPerBank: 1},
+		{NumPhys: 8, Clusters: 0, ReadPortsPerBank: 1, WritePortsPerBank: 1},
+		{NumPhys: 8, Clusters: 9, ReadPortsPerBank: 1, WritePortsPerBank: 1},
+		{NumPhys: 8, Clusters: 2, ReadPortsPerBank: 0, WritePortsPerBank: 1},
+		{NumPhys: 8, Clusters: 2, ReadPortsPerBank: 1, WritePortsPerBank: 1, RemoteDelay: -1},
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %d did not panic", i)
+				}
+			}()
+			NewReplicated(cfg)
+		}()
+	}
+}
+
+func TestCacheFileDemandPinSurvivesPressure(t *testing.T) {
+	// The forward-progress guarantee: a demand-fetched entry must survive
+	// sustained caching-write pressure long enough to be read.
+	cfg := PaperCacheConfig()
+	cfg.UpperSize = 4
+	f := NewCacheFile(cfg)
+	f.BeginCycle(5)
+	f.Writeback(5, 30, WBHints{BypassCaught: true}) // lower-only
+	f.TryRead(5, ops([2]uint64{30, 5}), true)       // demand fetch
+	f.BeginCycle(6)                                 // granted
+	f.BeginCycle(7)                                 // delivered, pinned
+	// Hammer the upper bank with caching writes.
+	for r := PhysReg(0); r < 8; r++ {
+		f.Writeback(7, r, WBHints{})
+	}
+	if !f.InUpper(30) {
+		t.Fatal("pinned demand-fetched entry was evicted")
+	}
+	// The pin holds across cycles until the value is read.
+	f.BeginCycle(50)
+	for r := PhysReg(8); r < 20; r++ {
+		f.Writeback(50, r, WBHints{})
+	}
+	if !f.InUpper(30) {
+		t.Fatal("unread demand-fetched entry lost its pin")
+	}
+	// Releasing the register frees the slot regardless of the pin.
+	f.Release(30)
+	if f.InUpper(30) {
+		t.Fatal("released register still resident")
+	}
+}
+
+func TestCacheFileReadClearsPin(t *testing.T) {
+	cfg := PaperCacheConfig()
+	cfg.UpperSize = 4
+	f := NewCacheFile(cfg)
+	f.BeginCycle(5)
+	f.Writeback(5, 30, WBHints{BypassCaught: true})
+	f.TryRead(5, ops([2]uint64{30, 5}), true)
+	f.BeginCycle(6)
+	f.BeginCycle(7)
+	if !f.TryRead(7, ops([2]uint64{30, 5}), true) {
+		t.Fatal("delivered entry not readable")
+	}
+	// Once read, the entry competes normally and can be evicted.
+	for r := PhysReg(0); r < 8; r++ {
+		f.Writeback(7, r, WBHints{})
+	}
+	if f.InUpper(30) {
+		t.Fatal("consumed entry still pinned against eviction")
+	}
+}

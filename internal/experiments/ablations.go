@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// AblationResult holds the extension studies of DESIGN.md §7: the policy
+// cross product under limited bandwidth (the regime where the paper notes
+// prefetching becomes visible), the upper-bank size and bus-count sweeps,
+// the replacement-policy comparison, and the alternative multi-banked
+// organizations evaluated at comparable port budgets.
+type AblationResult struct {
+	// Policies: caching×prefetch under C2-like bandwidth.
+	Policies []ArchIPC
+	// UpperSizes maps upper-bank capacity → suite hmeans.
+	UpperSizes []SweepPoint
+	// Buses maps bus count → suite hmeans.
+	Buses []SweepPoint
+	// Replacement compares pseudo-LRU and true LRU.
+	Replacement []ArchIPC
+	// Organizations compares the RF cache with the one-level and
+	// replicated organizations.
+	Organizations []ArchIPC
+}
+
+// SweepPoint is one point of a one-dimensional parameter sweep.
+type SweepPoint struct {
+	Param int
+	Int   float64
+	FP    float64
+}
+
+// limitedCache returns the C2-like bandwidth cache configuration used by
+// the ablations.
+func limitedCache() core.CacheConfig {
+	c := core.PaperCacheConfig()
+	c.ReadPorts, c.UpperWritePorts, c.LowerWritePorts, c.Buses = 4, 3, 3, 2
+	return c
+}
+
+// Ablations runs every extension study.
+func Ablations(opt Options) *AblationResult {
+	res := &AblationResult{}
+
+	// Policy cross product under limited bandwidth.
+	var specs []sim.RFSpec
+	for _, caching := range []core.CachingPolicy{core.CacheReady, core.CacheNonBypass, core.CacheAll, core.CacheNone} {
+		for _, pf := range []core.PrefetchPolicy{core.FetchOnDemand, core.PrefetchFirstPair} {
+			c := limitedCache()
+			c.Caching = caching
+			c.Prefetch = pf
+			specs = append(specs, sim.CacheSpec(c))
+		}
+	}
+	res.Policies = runArchs(opt, specs, nil)
+
+	// Upper-bank size sweep.
+	var sizeSpecs []sim.RFSpec
+	sizes := []int{8, 16, 32, 64}
+	for _, s := range sizes {
+		c := limitedCache()
+		c.UpperSize = s
+		spec := sim.CacheSpec(c)
+		spec.Name = fmt.Sprintf("upper=%d", s)
+		sizeSpecs = append(sizeSpecs, spec)
+	}
+	for i, a := range runArchs(opt, sizeSpecs, nil) {
+		res.UpperSizes = append(res.UpperSizes, SweepPoint{Param: sizes[i], Int: a.IntHM, FP: a.FPHM})
+	}
+
+	// Bus-count sweep.
+	var busSpecs []sim.RFSpec
+	buses := []int{1, 2, 4}
+	for _, b := range buses {
+		c := limitedCache()
+		c.Buses = b
+		spec := sim.CacheSpec(c)
+		spec.Name = fmt.Sprintf("buses=%d", b)
+		busSpecs = append(busSpecs, spec)
+	}
+	for i, a := range runArchs(opt, busSpecs, nil) {
+		res.Buses = append(res.Buses, SweepPoint{Param: buses[i], Int: a.IntHM, FP: a.FPHM})
+	}
+
+	// Replacement policy.
+	var replSpecs []sim.RFSpec
+	for _, pol := range []core.Replacement{core.PseudoLRU, core.TrueLRU} {
+		c := limitedCache()
+		c.Replacement = pol
+		spec := sim.CacheSpec(c)
+		spec.Name = pol.String()
+		replSpecs = append(replSpecs, spec)
+	}
+	res.Replacement = runArchs(opt, replSpecs, nil)
+
+	// Alternative organizations at comparable read bandwidth.
+	res.Organizations = runArchs(opt, []sim.RFSpec{
+		sim.CacheSpec(limitedCache()),
+		sim.OneLevelSpec(core.OneLevelConfig{
+			Banks: 2, ReadPortsPerBank: 2, WritePortsPerBank: 2,
+		}),
+		sim.OneLevelSpec(core.OneLevelConfig{
+			Banks: 2, ReadPortsPerBank: 2, WritePortsPerBank: 2,
+			Assignment: core.AssignLeastLoaded,
+		}),
+		sim.ReplicatedSpec(core.ReplicatedConfig{
+			Clusters: 2, ReadPortsPerBank: 2, WritePortsPerBank: 3, RemoteDelay: 1,
+		}),
+	}, nil)
+
+	return res
+}
+
+// Render prints the ablation report.
+func (r *AblationResult) Render(w io.Writer) {
+	header(w, "Extensions & ablations", "Design-space studies beyond the paper's headline configurations (DESIGN.md §7)")
+
+	fmt.Fprintln(w, "Caching × prefetch policies, limited bandwidth (4R/3W upper, 2 buses):")
+	tab := stats.NewTable("policy", "Int hmean", "FP hmean")
+	for _, a := range r.Policies {
+		tab.AddRow(a.Name, fmt.Sprintf("%.3f", a.IntHM), fmt.Sprintf("%.3f", a.FPHM))
+	}
+	fmt.Fprint(w, tab)
+
+	fmt.Fprintln(w, "\nUpper-bank size sweep:")
+	tab = stats.NewTable("entries", "Int hmean", "FP hmean")
+	for _, p := range r.UpperSizes {
+		tab.AddRow(fmt.Sprint(p.Param), fmt.Sprintf("%.3f", p.Int), fmt.Sprintf("%.3f", p.FP))
+	}
+	fmt.Fprint(w, tab)
+
+	fmt.Fprintln(w, "\nInter-bank bus sweep:")
+	tab = stats.NewTable("buses", "Int hmean", "FP hmean")
+	for _, p := range r.Buses {
+		tab.AddRow(fmt.Sprint(p.Param), fmt.Sprintf("%.3f", p.Int), fmt.Sprintf("%.3f", p.FP))
+	}
+	fmt.Fprint(w, tab)
+
+	fmt.Fprintln(w, "\nUpper-bank replacement policy:")
+	tab = stats.NewTable("policy", "Int hmean", "FP hmean")
+	for _, a := range r.Replacement {
+		tab.AddRow(a.Name, fmt.Sprintf("%.3f", a.IntHM), fmt.Sprintf("%.3f", a.FPHM))
+	}
+	fmt.Fprint(w, tab)
+
+	fmt.Fprintln(w, "\nMultiple-banked organizations (comparable per-cycle read bandwidth):")
+	tab = stats.NewTable("organization", "Int hmean", "FP hmean")
+	for _, a := range r.Organizations {
+		tab.AddRow(a.Name, fmt.Sprintf("%.3f", a.IntHM), fmt.Sprintf("%.3f", a.FPHM))
+	}
+	fmt.Fprint(w, tab)
+}

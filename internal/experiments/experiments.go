@@ -1,0 +1,101 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 4): the IPC-vs-registers curve (Figure 1), the
+// register file latency/bypass study (Figure 2), the live-value
+// distributions (Figure 3), the caching/prefetching policy comparison
+// (Figure 5), the architecture comparisons (Figures 6 and 7), the
+// area/performance Pareto study (Figure 8), the cycle-time-factored
+// throughput comparison (Figure 9), and Tables 1 and 2.
+//
+// Each Fig*/Table* function runs the required simulations (in parallel
+// across benchmarks and configurations) and returns a structured result
+// whose Render method prints the same rows/series the paper reports.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Instructions is the per-benchmark dynamic instruction budget
+	// (the paper used 100M; the default here is 120K, which is enough for
+	// stable relative comparisons on the synthetic workloads).
+	Instructions uint64
+	// Parallelism bounds concurrent simulations; 0 uses GOMAXPROCS.
+	Parallelism int
+}
+
+// DefaultOptions returns the standard experiment budget.
+func DefaultOptions() Options {
+	return Options{Instructions: 120000}
+}
+
+func (o Options) instructions() uint64 {
+	if o.Instructions == 0 {
+		return 120000
+	}
+	return o.Instructions
+}
+
+func (o Options) parallelism() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// job is one simulation to run; the runner stores the result at Out.
+type job struct {
+	cfg  sim.Config
+	prof trace.Profile
+	out  *sim.Result
+}
+
+// runAll executes jobs concurrently.
+func runAll(opt Options, jobs []job) {
+	sem := make(chan struct{}, opt.parallelism())
+	var wg sync.WaitGroup
+	for i := range jobs {
+		wg.Add(1)
+		go func(j *job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			*j.out = sim.New(j.cfg, trace.New(j.prof)).Run()
+		}(&jobs[i])
+	}
+	wg.Wait()
+}
+
+// suiteHmean computes per-suite harmonic means of a benchmark-indexed IPC
+// map, in trace.All() order.
+func suiteHmean(ipc map[string]float64) (intHM, fpHM float64) {
+	var ints, fps []float64
+	for _, p := range trace.All() {
+		v, ok := ipc[p.Name]
+		if !ok {
+			continue
+		}
+		if p.FP {
+			fps = append(fps, v)
+		} else {
+			ints = append(ints, v)
+		}
+	}
+	return stats.HarmonicMean(ints), stats.HarmonicMean(fps)
+}
+
+// header prints a figure banner.
+func header(w io.Writer, title, caption string) {
+	fmt.Fprintf(w, "\n== %s ==\n%s\n\n", title, caption)
+}
+
+// pct formats a fractional delta as a signed percentage.
+func pct(f float64) string { return fmt.Sprintf("%+.1f%%", 100*f) }

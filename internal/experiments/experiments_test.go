@@ -1,0 +1,237 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// tiny returns a fast experiment budget for tests.
+func tiny() Options { return Options{Instructions: 12000} }
+
+func TestFig1MonotoneAndComplete(t *testing.T) {
+	r := Fig1(tiny())
+	if len(r.Sizes) != 8 || len(r.IntHM) != 8 || len(r.FPHM) != 8 {
+		t.Fatalf("Fig1 shape wrong: %d/%d/%d", len(r.Sizes), len(r.IntHM), len(r.FPHM))
+	}
+	// The paper's Figure 1: IPC grows with register count and flattens;
+	// 256 registers must beat 48 on both suites.
+	if r.IntHM[7] <= r.IntHM[0] {
+		t.Errorf("int IPC did not grow with registers: %.3f -> %.3f", r.IntHM[0], r.IntHM[7])
+	}
+	if r.FPHM[7] <= r.FPHM[0] {
+		t.Errorf("fp IPC did not grow with registers: %.3f -> %.3f", r.FPHM[0], r.FPHM[7])
+	}
+	var sb strings.Builder
+	r.Render(&sb)
+	if !strings.Contains(sb.String(), "256") {
+		t.Error("render missing register sizes")
+	}
+}
+
+func TestFig2Ordering(t *testing.T) {
+	r := Fig2(tiny())
+	if len(r.Archs) != 3 {
+		t.Fatal("Fig2 needs 3 architectures")
+	}
+	one, full, single := r.Archs[0], r.Archs[1], r.Archs[2]
+	if !(one.IntHM >= full.IntHM && full.IntHM >= single.IntHM) {
+		t.Errorf("int ordering violated: %.3f %.3f %.3f", one.IntHM, full.IntHM, single.IntHM)
+	}
+	if !(one.FPHM >= full.FPHM && full.FPHM >= single.FPHM) {
+		t.Errorf("fp ordering violated: %.3f %.3f %.3f", one.FPHM, full.FPHM, single.FPHM)
+	}
+	// Integer codes must be hit harder by the single-bypass 2-cycle file.
+	intLoss := 1 - single.IntHM/one.IntHM
+	fpLoss := 1 - single.FPHM/one.FPHM
+	if intLoss <= fpLoss {
+		t.Errorf("int loss %.3f should exceed fp loss %.3f", intLoss, fpLoss)
+	}
+	// Every benchmark present.
+	for _, p := range trace.All() {
+		if _, ok := one.IPC[p.Name]; !ok {
+			t.Errorf("benchmark %s missing from Fig2", p.Name)
+		}
+	}
+}
+
+func TestFig3Distributions(t *testing.T) {
+	r := Fig3(tiny())
+	for name, cdf := range map[string][]float64{
+		"IntValue": r.IntValue, "IntReady": r.IntReady,
+		"FPValue": r.FPValue, "FPReady": r.FPReady,
+	} {
+		if len(cdf) != 33 {
+			t.Fatalf("%s: CDF length %d", name, len(cdf))
+		}
+		prev := -1.0
+		for i, v := range cdf {
+			if v < prev-1e-9 {
+				t.Errorf("%s: CDF not monotone at %d", name, i)
+			}
+			prev = v
+		}
+	}
+	// Ready values are a subset of live values: the ready CDF dominates.
+	for i := range r.IntValue {
+		if r.IntReady[i] < r.IntValue[i]-1e-9 {
+			t.Errorf("ready CDF below value CDF at %d: %.2f < %.2f", i, r.IntReady[i], r.IntValue[i])
+		}
+	}
+	// The paper's point: a handful of registers suffices 90% of the time.
+	if p := p90(r.IntValue); p > 24 {
+		t.Errorf("int 90th percentile %d implausibly high", p)
+	}
+}
+
+func TestFig5PolicyComparison(t *testing.T) {
+	r := Fig5(tiny())
+	if len(r.Archs) != 4 {
+		t.Fatal("Fig5 needs 4 configurations")
+	}
+	for _, a := range r.Archs {
+		if a.IntHM <= 0 || a.FPHM <= 0 {
+			t.Errorf("%s: non-positive hmean", a.Name)
+		}
+	}
+}
+
+func TestFig6And7Consistency(t *testing.T) {
+	r6 := Fig6(tiny())
+	rfc, two := r6.Archs[1], r6.Archs[2]
+	if rfc.IntHM <= two.IntHM {
+		t.Errorf("RF cache (%.3f) should beat the 2-cycle single-bypass file (%.3f)", rfc.IntHM, two.IntHM)
+	}
+	r7 := Fig7(tiny())
+	if r7.Archs[0].IntHM <= 0 || r7.Archs[1].IntHM <= 0 {
+		t.Error("Fig7 produced non-positive IPC")
+	}
+}
+
+func TestFig9HeadlineDirection(t *testing.T) {
+	r := Fig9(Options{Instructions: 15000})
+	// The paper's headline: with cycle time factored in, the RF cache
+	// crushes the non-pipelined single bank.
+	if sp := r.Best("rf-cache", "int") / r.Best("1-cycle", "int"); sp < 1.3 {
+		t.Errorf("int speedup %.2f, expected well above 1.3", sp)
+	}
+	if sp := r.Best("rf-cache", "fp") / r.Best("1-cycle", "fp"); sp < 1.3 {
+		t.Errorf("fp speedup %.2f, expected well above 1.3", sp)
+	}
+	if len(r.Rows) != 12 {
+		t.Errorf("Fig9 rows = %d, want 12", len(r.Rows))
+	}
+	var sb strings.Builder
+	r.Render(&sb)
+	if !strings.Contains(sb.String(), "C4") {
+		t.Error("render missing configurations")
+	}
+}
+
+func TestFig8Frontiers(t *testing.T) {
+	r := Fig8(Options{Instructions: 8000})
+	for _, arch := range r.ArchOrder {
+		if len(r.Points[arch]) == 0 {
+			t.Fatalf("no points for %s", arch)
+		}
+		if len(r.IntFrontier[arch]) == 0 || len(r.FPFrontier[arch]) == 0 {
+			t.Fatalf("empty frontier for %s", arch)
+		}
+		// Frontier must be monotone: increasing area, increasing IPC.
+		pts := r.Points[arch]
+		prevA, prevV := -1.0, -1.0
+		for _, i := range r.IntFrontier[arch] {
+			if pts[i].Area < prevA || pts[i].IntRel <= prevV {
+				t.Errorf("%s frontier not monotone", arch)
+			}
+			prevA, prevV = pts[i].Area, pts[i].IntRel
+		}
+	}
+	// Relative IPC never exceeds ~1 (the baseline has unlimited ports).
+	for _, pts := range r.Points {
+		for _, p := range pts {
+			if p.IntRel > 1.05 || p.FPRel > 1.05 {
+				t.Errorf("relative IPC %v/%v exceeds the unlimited-port baseline", p.IntRel, p.FPRel)
+			}
+		}
+	}
+}
+
+func TestTablesRender(t *testing.T) {
+	var sb strings.Builder
+	Table1(&sb)
+	for _, want := range []string{"Gshare", "128 int / 128 FP", "8 instructions"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("Table 1 missing %q", want)
+		}
+	}
+	sb.Reset()
+	Table2(&sb)
+	for _, want := range []string{"C1", "C4", "10921", "4.71"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("Table 2 missing %q", want)
+		}
+	}
+}
+
+func TestSuiteHmean(t *testing.T) {
+	ipc := map[string]float64{}
+	for _, p := range trace.All() {
+		ipc[p.Name] = 2.0
+	}
+	i, f := suiteHmean(ipc)
+	if i != 2 || f != 2 {
+		t.Errorf("hmean of constant 2 = %v/%v", i, f)
+	}
+	// Missing benchmarks are skipped, not zero-counted.
+	delete(ipc, "gcc")
+	i, _ = suiteHmean(ipc)
+	if i != 2 {
+		t.Errorf("hmean with missing entry = %v", i)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	var o Options
+	if o.instructions() == 0 {
+		t.Error("zero default instruction budget")
+	}
+	if o.parallelism() < 1 {
+		t.Error("zero default parallelism")
+	}
+	o = Options{Instructions: 5, Parallelism: 3}
+	if o.instructions() != 5 || o.parallelism() != 3 {
+		t.Error("explicit options not honored")
+	}
+}
+
+func TestAblations(t *testing.T) {
+	r := Ablations(Options{Instructions: 8000})
+	if len(r.Policies) != 8 {
+		t.Errorf("policy cross product has %d entries, want 8", len(r.Policies))
+	}
+	if len(r.UpperSizes) != 4 || len(r.Buses) != 3 || len(r.Replacement) != 2 {
+		t.Errorf("sweep sizes wrong: %d/%d/%d", len(r.UpperSizes), len(r.Buses), len(r.Replacement))
+	}
+	if len(r.Organizations) != 4 {
+		t.Errorf("organization comparison has %d entries", len(r.Organizations))
+	}
+	for _, p := range r.UpperSizes {
+		if p.Int <= 0 || p.FP <= 0 {
+			t.Errorf("upper size %d produced non-positive hmeans", p.Param)
+		}
+	}
+	// Larger upper banks should not clearly hurt.
+	first, last := r.UpperSizes[0], r.UpperSizes[len(r.UpperSizes)-1]
+	if last.FP < first.FP*0.95 {
+		t.Errorf("64-entry upper bank (%.3f) clearly worse than 8-entry (%.3f)", last.FP, first.FP)
+	}
+	var sb strings.Builder
+	r.Render(&sb)
+	for _, want := range []string{"Upper-bank size sweep", "bus sweep", "replacement", "organizations"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("ablation report missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/area"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// PortPoint is one port configuration evaluated in the Figure 8 sweep.
+type PortPoint struct {
+	// Label describes the port configuration.
+	Label string
+	// Area is the register file area in 10⁴λ² (one file, the paper's
+	// Table 2 convention).
+	Area float64
+	// IntRel and FPRel are suite harmonic-mean IPCs relative to the
+	// 1-cycle single bank with unlimited ports.
+	IntRel, FPRel float64
+}
+
+// Fig8Result holds the Figure 8 sweep: for each architecture, the Pareto
+// frontier of (area, relative IPC) over port configurations, separately
+// for SpecInt95 and SpecFP95.
+type Fig8Result struct {
+	// Points holds every evaluated configuration per architecture.
+	Points map[string][]PortPoint
+	// IntFrontier and FPFrontier are indices into Points per architecture.
+	IntFrontier map[string][]int
+	FPFrontier  map[string][]int
+	// ArchOrder fixes rendering order.
+	ArchOrder []string
+}
+
+// fig8Config couples a simulator spec with its area-model cost.
+type fig8Config struct {
+	arch  string
+	label string
+	spec  sim.RFSpec
+	area  float64
+}
+
+// fig8Sweep enumerates the port configurations of the three single-bypass
+// architectures, mirroring the paper's exhaustive read/write port search
+// (pruned here to the plausible neighborhood of the paper's Table 2).
+func fig8Sweep() []fig8Config {
+	var out []fig8Config
+	for _, r := range []int{2, 3, 4, 6} {
+		for _, w := range []int{1, 2, 3, 4} {
+			sb := area.SingleBank{Regs: 128, Read: r, Write: w}
+			out = append(out, fig8Config{
+				arch:  "1-cycle",
+				label: fmt.Sprintf("R%dW%d", r, w),
+				spec:  sim.Mono1Cycle(r, w),
+				area:  sb.Area(),
+			})
+			out = append(out, fig8Config{
+				arch:  "2-cycle",
+				label: fmt.Sprintf("R%dW%d", r, w),
+				spec:  sim.Mono2CycleSingle(r, w),
+				area:  sb.Area(),
+			})
+		}
+	}
+	for _, r := range []int{2, 3, 4} {
+		for _, w := range []int{2, 3, 4} {
+			for _, b := range []int{1, 2, 3} {
+				cfg := core.PaperCacheConfig()
+				cfg.ReadPorts, cfg.UpperWritePorts, cfg.LowerWritePorts, cfg.Buses = r, w, w, b
+				tl := area.TwoLevel{
+					UpperRegs: 16, LowerRegs: 128,
+					Read: r, UpperWrite: w, LowerWrite: w, Buses: b,
+				}
+				out = append(out, fig8Config{
+					arch:  "rf-cache",
+					label: fmt.Sprintf("R%dW%dB%d", r, w, b),
+					spec:  sim.CacheSpec(cfg),
+					area:  tl.Area(),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Fig8 reproduces the paper's Figure 8: relative performance for a varying
+// area cost, keeping only Pareto-optimal port configurations per
+// architecture.
+func Fig8(opt Options) *Fig8Result {
+	configs := fig8Sweep()
+	profiles := trace.All()
+
+	// Baseline: 1-cycle, unlimited ports.
+	baseIPC := make([]sim.Result, len(profiles))
+	var jobs []job
+	for pi, p := range profiles {
+		cfg := sim.DefaultConfig(sim.Mono1Cycle(core.Unlimited, core.Unlimited), opt.instructions())
+		jobs = append(jobs, job{cfg: cfg, prof: p, out: &baseIPC[pi]})
+	}
+	results := make([]sim.Result, len(configs)*len(profiles))
+	for ci := range configs {
+		for pi, p := range profiles {
+			cfg := sim.DefaultConfig(configs[ci].spec, opt.instructions())
+			jobs = append(jobs, job{cfg: cfg, prof: p, out: &results[ci*len(profiles)+pi]})
+		}
+	}
+	runAll(opt, jobs)
+
+	base := map[string]float64{}
+	for pi, p := range profiles {
+		base[p.Name] = baseIPC[pi].IPC
+	}
+	baseInt, baseFP := suiteHmean(base)
+
+	res := &Fig8Result{
+		Points:      map[string][]PortPoint{},
+		IntFrontier: map[string][]int{},
+		FPFrontier:  map[string][]int{},
+		ArchOrder:   []string{"1-cycle", "rf-cache", "2-cycle"},
+	}
+	for ci, c := range configs {
+		ipc := map[string]float64{}
+		for pi, p := range profiles {
+			ipc[p.Name] = results[ci*len(profiles)+pi].IPC
+		}
+		intHM, fpHM := suiteHmean(ipc)
+		res.Points[c.arch] = append(res.Points[c.arch], PortPoint{
+			Label: c.label, Area: c.area,
+			IntRel: intHM / baseInt, FPRel: fpHM / baseFP,
+		})
+	}
+	for arch, pts := range res.Points {
+		costs := make([]float64, len(pts))
+		intv := make([]float64, len(pts))
+		fpv := make([]float64, len(pts))
+		for i, p := range pts {
+			costs[i], intv[i], fpv[i] = p.Area, p.IntRel, p.FPRel
+		}
+		res.IntFrontier[arch] = stats.ParetoFrontier(costs, intv)
+		res.FPFrontier[arch] = stats.ParetoFrontier(costs, fpv)
+	}
+	return res
+}
+
+// Render prints the Pareto frontiers.
+func (r *Fig8Result) Render(w io.Writer) {
+	header(w, "Figure 8", "Relative performance (vs 1-cycle w/ unlimited ports) for a varying area cost; Pareto-optimal port configurations")
+	for _, suite := range []string{"SpecInt95", "SpecFP95"} {
+		fmt.Fprintf(w, "%s:\n", suite)
+		tab := stats.NewTable("architecture", "config", "area(10^4 λ^2)", "relative IPC")
+		for _, arch := range r.ArchOrder {
+			frontier := r.IntFrontier[arch]
+			if suite == "SpecFP95" {
+				frontier = r.FPFrontier[arch]
+			}
+			for _, i := range frontier {
+				p := r.Points[arch][i]
+				rel := p.IntRel
+				if suite == "SpecFP95" {
+					rel = p.FPRel
+				}
+				tab.AddRow(arch, p.Label, fmt.Sprintf("%.0f", p.Area), fmt.Sprintf("%.3f", rel))
+			}
+		}
+		fmt.Fprint(w, tab)
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/area"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Fig9Row is one configuration × architecture point of Figure 9.
+type Fig9Row struct {
+	Config string
+	Arch   string
+	// CycleNS is the processor cycle time in ns from the area model.
+	CycleNS float64
+	// IntHM and FPHM are suite harmonic-mean IPCs.
+	IntHM, FPHM float64
+	// IntRel and FPRel are instruction throughputs (IPC/cycle time)
+	// relative to the 1-cycle single bank at configuration C1.
+	IntRel, FPRel float64
+}
+
+// Fig9Result holds the cycle-time-factored comparison of Figure 9.
+type Fig9Result struct{ Rows []Fig9Row }
+
+// Fig9 reproduces the paper's Figure 9: instruction throughput when the
+// register file access time sets the processor cycle time, for the
+// matched-area configurations C1–C4 of Table 2.
+func Fig9(opt Options) *Fig9Result {
+	type variant struct {
+		arch    string
+		spec    func(c area.PaperConfig) sim.RFSpec
+		cycleNS func(c area.PaperConfig) float64
+	}
+	variants := []variant{
+		{
+			arch:    "1-cycle",
+			spec:    func(c area.PaperConfig) sim.RFSpec { return sim.Mono1Cycle(c.SB.Read, c.SB.Write) },
+			cycleNS: func(c area.PaperConfig) float64 { return c.SB.CycleTime(1) },
+		},
+		{
+			arch: "rf-cache",
+			spec: func(c area.PaperConfig) sim.RFSpec {
+				cfg := core.PaperCacheConfig()
+				cfg.ReadPorts = c.RFC.Read
+				cfg.UpperWritePorts = c.RFC.UpperWrite
+				cfg.LowerWritePorts = c.RFC.LowerWrite
+				cfg.Buses = c.RFC.Buses
+				return sim.CacheSpec(cfg)
+			},
+			cycleNS: func(c area.PaperConfig) float64 { return c.RFC.CycleTime() },
+		},
+		{
+			arch:    "2-cycle, 1-bypass",
+			spec:    func(c area.PaperConfig) sim.RFSpec { return sim.Mono2CycleSingle(c.SB.Read, c.SB.Write) },
+			cycleNS: func(c area.PaperConfig) float64 { return c.SB.CycleTime(2) },
+		},
+	}
+	configs := area.Table2()
+	profiles := trace.All()
+	results := make([]sim.Result, len(configs)*len(variants)*len(profiles))
+	var jobs []job
+	idx := func(ci, vi, pi int) int { return (ci*len(variants)+vi)*len(profiles) + pi }
+	for ci, c := range configs {
+		for vi, v := range variants {
+			for pi, p := range profiles {
+				cfg := sim.DefaultConfig(v.spec(c), opt.instructions())
+				jobs = append(jobs, job{cfg: cfg, prof: p, out: &results[idx(ci, vi, pi)]})
+			}
+		}
+	}
+	runAll(opt, jobs)
+
+	res := &Fig9Result{}
+	var baseInt, baseFP float64 // 1-cycle @ C1 throughput
+	for ci, c := range configs {
+		for vi, v := range variants {
+			ipc := map[string]float64{}
+			for pi, p := range profiles {
+				ipc[p.Name] = results[idx(ci, vi, pi)].IPC
+			}
+			intHM, fpHM := suiteHmean(ipc)
+			ns := v.cycleNS(c)
+			row := Fig9Row{
+				Config: c.Name, Arch: v.arch, CycleNS: ns,
+				IntHM: intHM, FPHM: fpHM,
+			}
+			if ci == 0 && vi == 0 {
+				baseInt = intHM / ns
+				baseFP = fpHM / ns
+			}
+			row.IntRel = (intHM / ns) / baseInt
+			row.FPRel = (fpHM / ns) / baseFP
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res
+}
+
+// Best returns the best (max) relative throughput per architecture for a
+// suite ("int" or "fp").
+func (r *Fig9Result) Best(arch, suite string) float64 {
+	best := 0.0
+	for _, row := range r.Rows {
+		if row.Arch != arch {
+			continue
+		}
+		v := row.IntRel
+		if suite == "fp" {
+			v = row.FPRel
+		}
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Render prints the figure data and the paper's headline speedups.
+func (r *Fig9Result) Render(w io.Writer) {
+	header(w, "Figure 9", "Relative instruction throughput when the RF access time sets the cycle time (configs C1–C4 of Table 2)")
+	tab := stats.NewTable("config", "architecture", "cycle(ns)", "Int IPC", "FP IPC", "Int rel-throughput", "FP rel-throughput")
+	for _, row := range r.Rows {
+		tab.AddRow(row.Config, row.Arch, fmt.Sprintf("%.2f", row.CycleNS),
+			fmt.Sprintf("%.3f", row.IntHM), fmt.Sprintf("%.3f", row.FPHM),
+			fmt.Sprintf("%.3f", row.IntRel), fmt.Sprintf("%.3f", row.FPRel))
+	}
+	fmt.Fprint(w, tab)
+	rfcInt, rfcFP := r.Best("rf-cache", "int"), r.Best("rf-cache", "fp")
+	oneInt, oneFP := r.Best("1-cycle", "int"), r.Best("1-cycle", "fp")
+	twoInt, twoFP := r.Best("2-cycle, 1-bypass", "int"), r.Best("2-cycle, 1-bypass", "fp")
+	fmt.Fprintf(w, "\nBest-config speedup of RF cache over 1-cycle:          Int %s, FP %s (paper: +87%%, +92%%)\n",
+		pct(rfcInt/oneInt-1), pct(rfcFP/oneFP-1))
+	fmt.Fprintf(w, "Best-config speedup of RF cache over 2-cycle/1-bypass: Int %s, FP %s (paper: +9%%, ≈0%%)\n",
+		pct(rfcInt/twoInt-1), pct(rfcFP/twoFP-1))
+}

@@ -1,0 +1,288 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Fig1Result holds the Figure 1 data: harmonic-mean IPC of each suite for
+// a varying number of physical registers (reorder buffer and instruction
+// queue of 256 entries, one-cycle register file, unlimited ports).
+type Fig1Result struct {
+	Sizes []int
+	IntHM []float64
+	FPHM  []float64
+}
+
+// Fig1 reproduces the paper's Figure 1.
+func Fig1(opt Options) *Fig1Result {
+	res := &Fig1Result{Sizes: []int{48, 64, 96, 128, 160, 192, 224, 256}}
+	profiles := trace.All()
+	results := make([]sim.Result, len(res.Sizes)*len(profiles))
+	var jobs []job
+	for si, size := range res.Sizes {
+		for pi, p := range profiles {
+			cfg := sim.DefaultConfig(sim.Mono1Cycle(core.Unlimited, core.Unlimited), opt.instructions())
+			cfg.WindowSize = 256
+			cfg.PhysRegs = size
+			jobs = append(jobs, job{cfg: cfg, prof: p, out: &results[si*len(profiles)+pi]})
+		}
+	}
+	runAll(opt, jobs)
+	for si := range res.Sizes {
+		ipc := map[string]float64{}
+		for pi, p := range profiles {
+			ipc[p.Name] = results[si*len(profiles)+pi].IPC
+		}
+		intHM, fpHM := suiteHmean(ipc)
+		res.IntHM = append(res.IntHM, intHM)
+		res.FPHM = append(res.FPHM, fpHM)
+	}
+	return res
+}
+
+// Render prints the figure data.
+func (r *Fig1Result) Render(w io.Writer) {
+	header(w, "Figure 1", "IPC for a varying number of physical registers (hmean; ROB/IQ = 256; 1-cycle RF)")
+	tab := stats.NewTable("registers", "SpecInt95 IPC", "SpecFP95 IPC")
+	for i, s := range r.Sizes {
+		tab.AddRow(fmt.Sprint(s), fmt.Sprintf("%.3f", r.IntHM[i]), fmt.Sprintf("%.3f", r.FPHM[i]))
+	}
+	fmt.Fprint(w, tab)
+}
+
+// ArchIPC is one architecture's per-benchmark IPC plus suite hmeans.
+type ArchIPC struct {
+	Name  string
+	IPC   map[string]float64
+	IntHM float64
+	FPHM  float64
+}
+
+// runArchs simulates every benchmark under each register file spec.
+func runArchs(opt Options, specs []sim.RFSpec, mutate func(*sim.Config)) []ArchIPC {
+	profiles := trace.All()
+	results := make([]sim.Result, len(specs)*len(profiles))
+	var jobs []job
+	for ai, spec := range specs {
+		for pi, p := range profiles {
+			cfg := sim.DefaultConfig(spec, opt.instructions())
+			if mutate != nil {
+				mutate(&cfg)
+			}
+			jobs = append(jobs, job{cfg: cfg, prof: p, out: &results[ai*len(profiles)+pi]})
+		}
+	}
+	runAll(opt, jobs)
+	out := make([]ArchIPC, len(specs))
+	for ai, spec := range specs {
+		a := ArchIPC{Name: spec.Name, IPC: map[string]float64{}}
+		for pi, p := range profiles {
+			a.IPC[p.Name] = results[ai*len(profiles)+pi].IPC
+		}
+		a.IntHM, a.FPHM = suiteHmean(a.IPC)
+		out[ai] = a
+	}
+	return out
+}
+
+// renderArchTable prints per-benchmark IPCs for a set of architectures,
+// grouped by suite with harmonic means, in the layout of the paper's
+// per-benchmark bar charts.
+func renderArchTable(w io.Writer, archs []ArchIPC) {
+	cols := []string{"benchmark"}
+	for _, a := range archs {
+		cols = append(cols, a.Name)
+	}
+	tab := stats.NewTable(cols...)
+	addRow := func(name string) {
+		cells := []string{name}
+		for _, a := range archs {
+			cells = append(cells, fmt.Sprintf("%.3f", a.IPC[name]))
+		}
+		tab.AddRow(cells...)
+	}
+	for _, p := range trace.SpecInt95() {
+		addRow(p.Name)
+	}
+	cells := []string{"Hmean(Int)"}
+	for _, a := range archs {
+		cells = append(cells, fmt.Sprintf("%.3f", a.IntHM))
+	}
+	tab.AddRow(cells...)
+	for _, p := range trace.SpecFP95() {
+		addRow(p.Name)
+	}
+	cells = []string{"Hmean(FP)"}
+	for _, a := range archs {
+		cells = append(cells, fmt.Sprintf("%.3f", a.FPHM))
+	}
+	tab.AddRow(cells...)
+	fmt.Fprint(w, tab)
+}
+
+// Fig2Result holds Figure 2: the impact of register file latency and
+// bypass levels on a single-banked file.
+type Fig2Result struct{ Archs []ArchIPC }
+
+// Fig2 reproduces the paper's Figure 2 (1-cycle/1-bypass vs
+// 2-cycle/2-bypass vs 2-cycle/1-bypass, unlimited ports).
+func Fig2(opt Options) *Fig2Result {
+	u := core.Unlimited
+	return &Fig2Result{Archs: runArchs(opt, []sim.RFSpec{
+		sim.Mono1Cycle(u, u), sim.Mono2CycleFull(u, u), sim.Mono2CycleSingle(u, u),
+	}, nil)}
+}
+
+// Render prints the figure data.
+func (r *Fig2Result) Render(w io.Writer) {
+	header(w, "Figure 2", "IPC for a 1-cycle RF, a 2-cycle RF, and a 2-cycle RF with one bypass level")
+	renderArchTable(w, r.Archs)
+	one, full, single := r.Archs[0], r.Archs[1], r.Archs[2]
+	fmt.Fprintf(w, "\nSpecInt95: 2-cycle/1-byp -> 2-cycle/2-byp %s; -> 1-cycle %s (paper: +20%%, +22%%)\n",
+		pct(full.IntHM/single.IntHM-1), pct(one.IntHM/single.IntHM-1))
+	fmt.Fprintf(w, "SpecFP95:  2-cycle/1-byp -> 2-cycle/2-byp %s; -> 1-cycle %s (paper: +6%%, +7%%)\n",
+		pct(full.FPHM/single.FPHM-1), pct(one.FPHM/single.FPHM-1))
+}
+
+// Fig3Result holds Figure 3: the cumulative distribution of the number of
+// registers holding values needed by pending (and by ready) instructions.
+type Fig3Result struct {
+	// IntValue etc. are CDF percentages for register counts 0..32.
+	IntValue, IntReady []float64
+	FPValue, FPReady   []float64
+}
+
+// Fig3 reproduces the paper's Figure 3 using the live-value
+// instrumentation of the simulator.
+func Fig3(opt Options) *Fig3Result {
+	profiles := trace.All()
+	results := make([]sim.Result, len(profiles))
+	var jobs []job
+	for pi, p := range profiles {
+		cfg := sim.DefaultConfig(sim.Mono1Cycle(core.Unlimited, core.Unlimited), opt.instructions())
+		cfg.ValueStats = true
+		jobs = append(jobs, job{cfg: cfg, prof: p, out: &results[pi]})
+	}
+	runAll(opt, jobs)
+	var intVal, intRdy, fpVal, fpRdy stats.Histogram
+	for pi, p := range profiles {
+		if p.FP {
+			fpVal.Merge(&results[pi].ValueHist)
+			fpRdy.Merge(&results[pi].ReadyHist)
+		} else {
+			intVal.Merge(&results[pi].ValueHist)
+			intRdy.Merge(&results[pi].ReadyHist)
+		}
+	}
+	return &Fig3Result{
+		IntValue: intVal.CDF(32), IntReady: intRdy.CDF(32),
+		FPValue: fpVal.CDF(32), FPReady: fpRdy.CDF(32),
+	}
+}
+
+// Render prints the figure data.
+func (r *Fig3Result) Render(w io.Writer) {
+	header(w, "Figure 3", "Cumulative distribution (% of cycles) of #registers holding values needed by pending / ready instructions")
+	tab := stats.NewTable("#regs", "Int value&instr", "Int value&ready", "FP value&instr", "FP value&ready")
+	for n := 0; n <= 16; n++ {
+		tab.AddRow(fmt.Sprint(n),
+			fmt.Sprintf("%.1f", r.IntValue[n]), fmt.Sprintf("%.1f", r.IntReady[n]),
+			fmt.Sprintf("%.1f", r.FPValue[n]), fmt.Sprintf("%.1f", r.FPReady[n]))
+	}
+	fmt.Fprint(w, tab)
+	fmt.Fprintf(w, "\n90th percentile registers needed: Int value %d / ready %d, FP value %d / ready %d (paper: ≈4-5 / <4, ≈5 / <3)\n",
+		p90(r.IntValue), p90(r.IntReady), p90(r.FPValue), p90(r.FPReady))
+}
+
+// p90 returns the first count whose CDF reaches 90%.
+func p90(cdf []float64) int {
+	for i, v := range cdf {
+		if v >= 90 {
+			return i
+		}
+	}
+	return len(cdf) - 1
+}
+
+// Fig5Result holds Figure 5: the four register-file-cache policy
+// combinations.
+type Fig5Result struct{ Archs []ArchIPC }
+
+// Fig5 reproduces the paper's Figure 5 ({ready, non-bypass} × {fetch-on-
+// demand, prefetch-first-pair}, unlimited bandwidth).
+func Fig5(opt Options) *Fig5Result {
+	mk := func(c core.CachingPolicy, pf core.PrefetchPolicy) sim.RFSpec {
+		cfg := core.PaperCacheConfig()
+		cfg.Caching = c
+		cfg.Prefetch = pf
+		return sim.CacheSpec(cfg)
+	}
+	return &Fig5Result{Archs: runArchs(opt, []sim.RFSpec{
+		mk(core.CacheReady, core.FetchOnDemand),
+		mk(core.CacheNonBypass, core.FetchOnDemand),
+		mk(core.CacheReady, core.PrefetchFirstPair),
+		mk(core.CacheNonBypass, core.PrefetchFirstPair),
+	}, nil)}
+}
+
+// Render prints the figure data.
+func (r *Fig5Result) Render(w io.Writer) {
+	header(w, "Figure 5", "IPC for different register file cache architectures (128+16 registers, unlimited bandwidth)")
+	renderArchTable(w, r.Archs)
+	rd, nb := r.Archs[2], r.Archs[3]
+	fmt.Fprintf(w, "\nnon-bypass vs ready caching (with prefetch): Int %s, FP %s (paper: +3%%, +2%%)\n",
+		pct(nb.IntHM/rd.IntHM-1), pct(nb.FPHM/rd.FPHM-1))
+}
+
+// Fig6Result holds Figure 6: the register file cache against single-banked
+// files with the same (single-level) bypass complexity.
+type Fig6Result struct{ Archs []ArchIPC }
+
+// Fig6 reproduces the paper's Figure 6.
+func Fig6(opt Options) *Fig6Result {
+	u := core.Unlimited
+	return &Fig6Result{Archs: runArchs(opt, []sim.RFSpec{
+		sim.Mono1Cycle(u, u),
+		sim.PaperCache(),
+		sim.Mono2CycleSingle(u, u),
+	}, nil)}
+}
+
+// Render prints the figure data.
+func (r *Fig6Result) Render(w io.Writer) {
+	header(w, "Figure 6", "Register file cache vs single bank with a single level of bypass")
+	renderArchTable(w, r.Archs)
+	one, rfc, two := r.Archs[0], r.Archs[1], r.Archs[2]
+	fmt.Fprintf(w, "\nRF cache vs 2-cycle: Int %s, FP %s (paper: +10%%, +4%%)\n",
+		pct(rfc.IntHM/two.IntHM-1), pct(rfc.FPHM/two.FPHM-1))
+	fmt.Fprintf(w, "RF cache vs 1-cycle: Int %s, FP %s (paper: -10%%, -2%%)\n",
+		pct(rfc.IntHM/one.IntHM-1), pct(rfc.FPHM/one.FPHM-1))
+}
+
+// Fig7Result holds Figure 7: the register file cache against the 2-cycle
+// single bank with a full bypass network.
+type Fig7Result struct{ Archs []ArchIPC }
+
+// Fig7 reproduces the paper's Figure 7.
+func Fig7(opt Options) *Fig7Result {
+	u := core.Unlimited
+	return &Fig7Result{Archs: runArchs(opt, []sim.RFSpec{
+		sim.PaperCache(),
+		sim.Mono2CycleFull(u, u),
+	}, nil)}
+}
+
+// Render prints the figure data.
+func (r *Fig7Result) Render(w io.Writer) {
+	header(w, "Figure 7", "Register file cache vs single bank with full bypass")
+	renderArchTable(w, r.Archs)
+	rfc, two := r.Archs[0], r.Archs[1]
+	fmt.Fprintf(w, "\nRF cache vs 2-cycle full bypass: Int %s, FP %s (paper: -8%%, -2%%) — with a much simpler bypass network\n",
+		pct(rfc.IntHM/two.IntHM-1), pct(rfc.FPHM/two.FPHM-1))
+}

@@ -1,0 +1,174 @@
+// Package isa defines the dynamic instruction model consumed by the
+// pipeline simulator.
+//
+// The simulator is trace-driven: workloads are streams of already-decoded
+// dynamic instructions (see internal/trace). Instructions carry logical
+// register operands, a class that selects a functional unit and latency,
+// and — for branches and memory operations — the metadata the timing model
+// needs (actual outcome, effective address). Values are never computed;
+// only timing is simulated, which is exactly what the paper measures.
+package isa
+
+import "fmt"
+
+// Class identifies the kind of functional unit an instruction needs.
+type Class uint8
+
+const (
+	// IntALU is a simple 1-cycle integer operation.
+	IntALU Class = iota
+	// IntMul is an integer multiply (2 cycles in the paper's Table 1).
+	IntMul
+	// IntDiv is an integer divide (14 cycles).
+	IntDiv
+	// FPALU is a simple FP operation (2 cycles).
+	FPALU
+	// FPDiv is an FP divide (14 cycles).
+	FPDiv
+	// Load is a memory read through the load/store unit.
+	Load
+	// Store is a memory write through the load/store unit.
+	Store
+	// Branch is a conditional branch, executed on a simple integer unit.
+	Branch
+	// NumClasses is the number of instruction classes.
+	NumClasses
+)
+
+var classNames = [NumClasses]string{
+	"IntALU", "IntMul", "IntDiv", "FPALU", "FPDiv", "Load", "Store", "Branch",
+}
+
+// String returns the class mnemonic.
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("Class(%d)", uint8(c))
+}
+
+// IsMem reports whether the class accesses data memory.
+func (c Class) IsMem() bool { return c == Load || c == Store }
+
+// IsFP reports whether the class uses the floating-point register file.
+func (c Class) IsFP() bool { return c == FPALU || c == FPDiv }
+
+// Register file name spaces. The simulated ISA is RISC-like with 32 integer
+// and 32 FP logical registers, like the Alpha ISA used in the paper.
+const (
+	// NumLogicalInt is the number of integer logical registers.
+	NumLogicalInt = 32
+	// NumLogicalFP is the number of FP logical registers.
+	NumLogicalFP = 32
+	// NumLogical is the total logical register count across both files.
+	NumLogical = NumLogicalInt + NumLogicalFP
+)
+
+// Reg is a logical register number. Integer registers are 0..31 and FP
+// registers are 32..63. RegNone marks an absent operand.
+type Reg int16
+
+// RegNone marks an absent source or destination operand.
+const RegNone Reg = -1
+
+// IsFP reports whether r names an FP logical register.
+func (r Reg) IsFP() bool { return r >= NumLogicalInt }
+
+// Valid reports whether r names a real register (not RegNone).
+func (r Reg) Valid() bool { return r >= 0 && r < NumLogical }
+
+// IntReg returns the logical register for integer register number n.
+func IntReg(n int) Reg { return Reg(n) }
+
+// FPReg returns the logical register for FP register number n.
+func FPReg(n int) Reg { return Reg(NumLogicalInt + n) }
+
+// Instr is one dynamic (already fetched-and-decoded) instruction.
+type Instr struct {
+	// PC is the instruction address (byte-addressed), used by the I-cache
+	// and branch predictor.
+	PC uint64
+	// Class selects the functional unit and latency.
+	Class Class
+	// Dest is the destination logical register, or RegNone (stores,
+	// branches).
+	Dest Reg
+	// Src1 and Src2 are source logical registers, RegNone if unused.
+	Src1, Src2 Reg
+	// Addr is the effective address for loads and stores.
+	Addr uint64
+	// Taken is the actual outcome for branches.
+	Taken bool
+	// Target is the branch target address for taken branches.
+	Target uint64
+}
+
+// HasDest reports whether the instruction writes a register.
+func (in *Instr) HasDest() bool { return in.Dest.Valid() }
+
+// Sources appends the valid source registers of in to dst and returns it.
+func (in *Instr) Sources(dst []Reg) []Reg {
+	if in.Src1.Valid() {
+		dst = append(dst, in.Src1)
+	}
+	if in.Src2.Valid() {
+		dst = append(dst, in.Src2)
+	}
+	return dst
+}
+
+// String formats the instruction for debugging.
+func (in *Instr) String() string {
+	s := fmt.Sprintf("%#x %s", in.PC, in.Class)
+	if in.Dest.Valid() {
+		s += fmt.Sprintf(" d%d", in.Dest)
+	}
+	if in.Src1.Valid() {
+		s += fmt.Sprintf(" s%d", in.Src1)
+	}
+	if in.Src2.Valid() {
+		s += fmt.Sprintf(" s%d", in.Src2)
+	}
+	if in.Class.IsMem() {
+		s += fmt.Sprintf(" @%#x", in.Addr)
+	}
+	if in.Class == Branch {
+		if in.Taken {
+			s += fmt.Sprintf(" T->%#x", in.Target)
+		} else {
+			s += " NT"
+		}
+	}
+	return s
+}
+
+// Stream produces dynamic instructions one at a time. Implementations must
+// be deterministic for a given construction so that different register file
+// architectures are compared on identical instruction sequences.
+type Stream interface {
+	// Next returns the next dynamic instruction. The returned pointer is
+	// only valid until the following call to Next.
+	Next() *Instr
+}
+
+// Latency returns the execution latency in cycles for each class, per the
+// paper's Table 1 (simple int 1; int mult 2; int div 14; simple FP 2;
+// FP div 14; loads/stores take 1 cycle in the FU plus cache time; branches
+// execute on simple integer units).
+func Latency(c Class) int {
+	switch c {
+	case IntALU, Branch:
+		return 1
+	case IntMul:
+		return 2
+	case IntDiv:
+		return 14
+	case FPALU:
+		return 2
+	case FPDiv:
+		return 14
+	case Load, Store:
+		return 1 // address generation; memory time added by the D-cache model
+	}
+	return 1
+}

@@ -1,0 +1,123 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestClassString(t *testing.T) {
+	cases := map[Class]string{
+		IntALU: "IntALU", IntMul: "IntMul", IntDiv: "IntDiv",
+		FPALU: "FPALU", FPDiv: "FPDiv", Load: "Load", Store: "Store",
+		Branch: "Branch",
+	}
+	for c, want := range cases {
+		if got := c.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", c, got, want)
+		}
+	}
+	if got := Class(200).String(); !strings.Contains(got, "200") {
+		t.Errorf("out-of-range class String() = %q", got)
+	}
+}
+
+func TestClassPredicates(t *testing.T) {
+	for c := Class(0); c < NumClasses; c++ {
+		wantMem := c == Load || c == Store
+		if got := c.IsMem(); got != wantMem {
+			t.Errorf("%v.IsMem() = %v, want %v", c, got, wantMem)
+		}
+		wantFP := c == FPALU || c == FPDiv
+		if got := c.IsFP(); got != wantFP {
+			t.Errorf("%v.IsFP() = %v, want %v", c, got, wantFP)
+		}
+	}
+}
+
+func TestRegNamespaces(t *testing.T) {
+	if r := IntReg(5); r.IsFP() || !r.Valid() {
+		t.Errorf("IntReg(5) = %d: IsFP=%v Valid=%v", r, r.IsFP(), r.Valid())
+	}
+	if r := FPReg(5); !r.IsFP() || !r.Valid() {
+		t.Errorf("FPReg(5) = %d: IsFP=%v Valid=%v", r, r.IsFP(), r.Valid())
+	}
+	if RegNone.Valid() {
+		t.Error("RegNone reported Valid")
+	}
+	if Reg(NumLogical).Valid() {
+		t.Error("out-of-range register reported Valid")
+	}
+}
+
+func TestSources(t *testing.T) {
+	in := Instr{Src1: IntReg(1), Src2: IntReg(2)}
+	got := in.Sources(nil)
+	if len(got) != 2 || got[0] != IntReg(1) || got[1] != IntReg(2) {
+		t.Errorf("Sources = %v", got)
+	}
+	in = Instr{Src1: RegNone, Src2: IntReg(2)}
+	got = in.Sources(nil)
+	if len(got) != 1 || got[0] != IntReg(2) {
+		t.Errorf("Sources with one operand = %v", got)
+	}
+	in = Instr{Src1: RegNone, Src2: RegNone}
+	if got := in.Sources(nil); len(got) != 0 {
+		t.Errorf("Sources with no operands = %v", got)
+	}
+}
+
+func TestHasDest(t *testing.T) {
+	in := Instr{Dest: IntReg(3)}
+	if !in.HasDest() {
+		t.Error("HasDest false for valid dest")
+	}
+	in.Dest = RegNone
+	if in.HasDest() {
+		t.Error("HasDest true for RegNone")
+	}
+}
+
+func TestLatencyTable(t *testing.T) {
+	want := map[Class]int{
+		IntALU: 1, Branch: 1, IntMul: 2, IntDiv: 14,
+		FPALU: 2, FPDiv: 14, Load: 1, Store: 1,
+	}
+	for c, lat := range want {
+		if got := Latency(c); got != lat {
+			t.Errorf("Latency(%v) = %d, want %d", c, got, lat)
+		}
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	in := Instr{PC: 0x1000, Class: Load, Dest: IntReg(4), Src1: IntReg(2), Src2: RegNone, Addr: 0xbeef}
+	s := in.String()
+	for _, sub := range []string{"0x1000", "Load", "d4", "s2", "0xbeef"} {
+		if !strings.Contains(s, sub) {
+			t.Errorf("String() = %q missing %q", s, sub)
+		}
+	}
+	br := Instr{PC: 0x2000, Class: Branch, Dest: RegNone, Src1: IntReg(1), Src2: RegNone, Taken: true, Target: 0x3000}
+	s = br.String()
+	if !strings.Contains(s, "T->0x3000") {
+		t.Errorf("taken branch String() = %q", s)
+	}
+	br.Taken = false
+	if s = br.String(); !strings.Contains(s, "NT") {
+		t.Errorf("not-taken branch String() = %q", s)
+	}
+}
+
+// Property: IntReg and FPReg never collide and are always valid for
+// in-range inputs.
+func TestQuickRegSpaces(t *testing.T) {
+	f := func(nRaw uint8) bool {
+		n := int(nRaw % NumLogicalInt)
+		i, fp := IntReg(n), FPReg(n)
+		return i.Valid() && fp.Valid() && i != fp && !i.IsFP() && fp.IsFP()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,204 @@
+// Package lsq models the load/store queue of the simulated processor:
+// 64 entries with store-to-load forwarding, where loads may execute once
+// all prior store addresses are known (Table 1 of the paper).
+package lsq
+
+import "repro/internal/cache"
+
+// Kind distinguishes loads from stores.
+type Kind uint8
+
+const (
+	// KindLoad marks a load entry.
+	KindLoad Kind = iota
+	// KindStore marks a store entry.
+	KindStore
+)
+
+// Entry is one queue slot.
+type entry struct {
+	seq       uint64 // program-order sequence number
+	kind      Kind
+	addr      uint64
+	addrKnown bool
+	done      bool
+	valid     bool
+}
+
+// Queue is a combined load/store queue indexed in program order.
+type Queue struct {
+	entries  []entry
+	head     int
+	count    int
+	capacity int
+
+	forwards uint64
+	issued   uint64
+}
+
+// New returns a queue with the given capacity.
+func New(capacity int) *Queue {
+	if capacity <= 0 {
+		panic("lsq: non-positive capacity")
+	}
+	return &Queue{entries: make([]entry, capacity), capacity: capacity}
+}
+
+// Full reports whether no slot is free.
+func (q *Queue) Full() bool { return q.count == q.capacity }
+
+// Len returns the number of occupied slots.
+func (q *Queue) Len() int { return q.count }
+
+// Cap returns the capacity.
+func (q *Queue) Cap() int { return q.capacity }
+
+// Insert allocates a slot for a memory operation with program-order
+// sequence number seq and returns a ticket identifying it. The address is
+// not yet known. Insert panics if the queue is full or seq is not
+// monotonically increasing (callers check Full first; sequence ordering is
+// a dispatch invariant).
+func (q *Queue) Insert(seq uint64, kind Kind) int {
+	if q.Full() {
+		panic("lsq: insert into full queue")
+	}
+	idx := (q.head + q.count) % q.capacity
+	if q.count > 0 {
+		prev := q.entries[(q.head+q.count-1)%q.capacity]
+		if prev.seq >= seq {
+			panic("lsq: out-of-order insert")
+		}
+	}
+	q.entries[idx] = entry{seq: seq, kind: kind, valid: true}
+	q.count++
+	return idx
+}
+
+// SetAddress records the effective address of ticket t (computed in the
+// execute stage).
+func (q *Queue) SetAddress(t int, addr uint64) {
+	e := &q.entries[t]
+	if !e.valid {
+		panic("lsq: SetAddress on invalid ticket")
+	}
+	e.addr = addr
+	e.addrKnown = true
+}
+
+// CanIssueLoad reports whether the load at ticket t may access memory:
+// every earlier store must have a known address (conservative disambiguation,
+// per the paper: "loads may execute when prior store addresses are known").
+func (q *Queue) CanIssueLoad(t int) bool {
+	e := &q.entries[t]
+	if !e.valid || e.kind != KindLoad || !e.addrKnown {
+		return false
+	}
+	for i, n := q.head, 0; n < q.count; i, n = (i+1)%q.capacity, n+1 {
+		s := &q.entries[i]
+		if s.seq >= e.seq {
+			break
+		}
+		if s.kind == KindStore && !s.addrKnown {
+			return false
+		}
+	}
+	return true
+}
+
+// Result describes a completed load lookup.
+type Result struct {
+	// Forwarded reports whether the value came from an earlier in-queue
+	// store (no cache access needed).
+	Forwarded bool
+	// Latency is the load-to-use latency in cycles.
+	Latency int
+	// CacheHit is meaningful when !Forwarded.
+	CacheHit bool
+}
+
+// IssueLoad performs the memory access for the load at ticket t at absolute
+// cycle now, using dc for the data cache (may be nil for a perfect cache).
+// It must only be called when CanIssueLoad(t) is true.
+func (q *Queue) IssueLoad(t int, dc *cache.Cache, now uint64) Result {
+	e := &q.entries[t]
+	if !q.CanIssueLoad(t) {
+		panic("lsq: IssueLoad before CanIssueLoad")
+	}
+	q.issued++
+	// Search for the youngest earlier store to the same address.
+	var match *entry
+	for i, n := q.head, 0; n < q.count; i, n = (i+1)%q.capacity, n+1 {
+		s := &q.entries[i]
+		if s.seq >= e.seq {
+			break
+		}
+		if s.kind == KindStore && s.addrKnown && sameWord(s.addr, e.addr) {
+			match = s
+		}
+	}
+	if match != nil {
+		q.forwards++
+		e.done = true
+		return Result{Forwarded: true, Latency: 1}
+	}
+	if dc == nil {
+		e.done = true
+		return Result{Latency: 1, CacheHit: true}
+	}
+	r := dc.Access(e.addr, false, now)
+	e.done = true
+	return Result{Latency: r.Latency, CacheHit: r.Hit}
+}
+
+// IssueStore marks the store at ticket t executed (address known, data
+// buffered). Stores write the cache at commit.
+func (q *Queue) IssueStore(t int) {
+	e := &q.entries[t]
+	if !e.valid || e.kind != KindStore || !e.addrKnown {
+		panic("lsq: IssueStore on invalid or address-less store")
+	}
+	e.done = true
+}
+
+// Done reports whether ticket t has executed.
+func (q *Queue) Done(t int) bool { return q.entries[t].valid && q.entries[t].done }
+
+// Commit retires the oldest entry, which must match seq; stores write the
+// data cache at commit time. It returns the store write-back latency (0 for
+// loads).
+func (q *Queue) Commit(seq uint64, dc *cache.Cache, now uint64) int {
+	if q.count == 0 {
+		panic("lsq: commit from empty queue")
+	}
+	e := &q.entries[q.head]
+	if e.seq != seq {
+		panic("lsq: commit out of order")
+	}
+	lat := 0
+	if e.kind == KindStore && dc != nil {
+		r := dc.Access(e.addr, true, now)
+		lat = r.Latency
+	}
+	e.valid = false
+	q.head = (q.head + 1) % q.capacity
+	q.count--
+	return lat
+}
+
+// Flush empties the queue (used on reset).
+func (q *Queue) Flush() {
+	for i := range q.entries {
+		q.entries[i] = entry{}
+	}
+	q.head, q.count = 0, 0
+}
+
+// Forwards returns the number of store-to-load forwards.
+func (q *Queue) Forwards() uint64 { return q.forwards }
+
+// IssuedLoads returns the number of loads issued.
+func (q *Queue) IssuedLoads() uint64 { return q.issued }
+
+// sameWord reports whether two addresses fall in the same 8-byte word,
+// the forwarding granularity.
+func sameWord(a, b uint64) bool { return a>>3 == b>>3 }

@@ -1,0 +1,280 @@
+package lsq
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cache"
+)
+
+func TestInsertAndCapacity(t *testing.T) {
+	q := New(2)
+	if q.Full() || q.Len() != 0 || q.Cap() != 2 {
+		t.Fatal("fresh queue state wrong")
+	}
+	q.Insert(1, KindLoad)
+	q.Insert(2, KindStore)
+	if !q.Full() || q.Len() != 2 {
+		t.Error("queue should be full")
+	}
+}
+
+func TestInsertFullPanics(t *testing.T) {
+	q := New(1)
+	q.Insert(1, KindLoad)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("insert into full queue did not panic")
+		}
+	}()
+	q.Insert(2, KindLoad)
+}
+
+func TestOutOfOrderInsertPanics(t *testing.T) {
+	q := New(4)
+	q.Insert(5, KindLoad)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-order insert did not panic")
+		}
+	}()
+	q.Insert(3, KindLoad)
+}
+
+func TestLoadWaitsForPriorStoreAddress(t *testing.T) {
+	q := New(8)
+	st := q.Insert(1, KindStore)
+	ld := q.Insert(2, KindLoad)
+	q.SetAddress(ld, 0x100)
+	if q.CanIssueLoad(ld) {
+		t.Error("load issued before prior store address known")
+	}
+	q.SetAddress(st, 0x200)
+	if !q.CanIssueLoad(ld) {
+		t.Error("load blocked although all prior store addresses known")
+	}
+}
+
+func TestLoadNeedsOwnAddress(t *testing.T) {
+	q := New(8)
+	ld := q.Insert(1, KindLoad)
+	if q.CanIssueLoad(ld) {
+		t.Error("load with unknown address reported issuable")
+	}
+}
+
+func TestStoreForwarding(t *testing.T) {
+	q := New(8)
+	st := q.Insert(1, KindStore)
+	ld := q.Insert(2, KindLoad)
+	q.SetAddress(st, 0x100)
+	q.SetAddress(ld, 0x104) // same 8-byte word
+	r := q.IssueLoad(ld, nil, 0)
+	if !r.Forwarded || r.Latency != 1 {
+		t.Errorf("expected forward, got %+v", r)
+	}
+	if q.Forwards() != 1 {
+		t.Errorf("Forwards = %d", q.Forwards())
+	}
+}
+
+func TestNoForwardAcrossWords(t *testing.T) {
+	q := New(8)
+	st := q.Insert(1, KindStore)
+	ld := q.Insert(2, KindLoad)
+	q.SetAddress(st, 0x100)
+	q.SetAddress(ld, 0x108) // next word
+	r := q.IssueLoad(ld, nil, 0)
+	if r.Forwarded {
+		t.Error("forwarded across different words")
+	}
+}
+
+func TestYoungestMatchingStoreForwards(t *testing.T) {
+	// Two stores to the same word; the load must see the younger one —
+	// observable here only through the forward flag, but exercises the scan.
+	q := New(8)
+	s1 := q.Insert(1, KindStore)
+	s2 := q.Insert(2, KindStore)
+	ld := q.Insert(3, KindLoad)
+	q.SetAddress(s1, 0x100)
+	q.SetAddress(s2, 0x100)
+	q.SetAddress(ld, 0x100)
+	if r := q.IssueLoad(ld, nil, 0); !r.Forwarded {
+		t.Error("load did not forward from earlier stores")
+	}
+}
+
+func TestLaterStoreDoesNotForward(t *testing.T) {
+	q := New(8)
+	ld := q.Insert(1, KindLoad)
+	st := q.Insert(2, KindStore)
+	q.SetAddress(ld, 0x100)
+	q.SetAddress(st, 0x100)
+	if r := q.IssueLoad(ld, nil, 0); r.Forwarded {
+		t.Error("load forwarded from a younger store")
+	}
+}
+
+func TestLoadUsesCache(t *testing.T) {
+	q := New(8)
+	dc := cache.New(cache.DCacheConfig())
+	ld := q.Insert(1, KindLoad)
+	q.SetAddress(ld, 0x1000)
+	r := q.IssueLoad(ld, dc, 0)
+	if r.Forwarded || r.CacheHit {
+		t.Errorf("cold load should miss: %+v", r)
+	}
+	if r.Latency != 7 {
+		t.Errorf("cold load latency = %d, want 7", r.Latency)
+	}
+}
+
+func TestIssueLoadRequiresReadiness(t *testing.T) {
+	q := New(8)
+	q.Insert(1, KindStore)
+	ld := q.Insert(2, KindLoad)
+	q.SetAddress(ld, 0x10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("IssueLoad before CanIssueLoad did not panic")
+		}
+	}()
+	q.IssueLoad(ld, nil, 0)
+}
+
+func TestCommitOrderAndStoreWriteback(t *testing.T) {
+	q := New(8)
+	dc := cache.New(cache.DCacheConfig())
+	st := q.Insert(1, KindStore)
+	ld := q.Insert(2, KindLoad)
+	q.SetAddress(st, 0x40)
+	q.SetAddress(ld, 0x80)
+	q.IssueStore(st)
+	q.IssueLoad(ld, dc, 0)
+	if lat := q.Commit(1, dc, 10); lat == 0 {
+		t.Error("store commit should access the cache")
+	}
+	if lat := q.Commit(2, dc, 11); lat != 0 {
+		t.Errorf("load commit latency = %d, want 0", lat)
+	}
+	if q.Len() != 0 {
+		t.Errorf("queue not empty after commits: %d", q.Len())
+	}
+}
+
+func TestCommitOutOfOrderPanics(t *testing.T) {
+	q := New(8)
+	q.Insert(1, KindLoad)
+	q.Insert(2, KindLoad)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-order commit did not panic")
+		}
+	}()
+	q.Commit(2, nil, 0)
+}
+
+func TestDoneTracking(t *testing.T) {
+	q := New(8)
+	st := q.Insert(1, KindStore)
+	if q.Done(st) {
+		t.Error("fresh entry reported done")
+	}
+	q.SetAddress(st, 0x10)
+	q.IssueStore(st)
+	if !q.Done(st) {
+		t.Error("issued store not done")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	q := New(4)
+	q.Insert(1, KindLoad)
+	q.Insert(2, KindStore)
+	q.Flush()
+	if q.Len() != 0 || q.Full() {
+		t.Error("flush did not empty queue")
+	}
+	// After flush, inserts restart cleanly.
+	q.Insert(1, KindLoad)
+	if q.Len() != 1 {
+		t.Error("insert after flush failed")
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	q := New(2)
+	seq := uint64(1)
+	for i := 0; i < 10; i++ {
+		tk := q.Insert(seq, KindLoad)
+		q.SetAddress(tk, uint64(i*64))
+		q.IssueLoad(tk, nil, uint64(i))
+		q.Commit(seq, nil, uint64(i))
+		seq++
+	}
+	if q.Len() != 0 {
+		t.Error("wraparound bookkeeping broken")
+	}
+}
+
+// Property: with only loads (no stores), every load with a known address is
+// issuable, and commit drains in order without panic.
+func TestQuickLoadsAlwaysIssuable(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		q := New(64)
+		seq := uint64(1)
+		var tickets []int
+		var seqs []uint64
+		for _, a := range addrs {
+			if q.Full() {
+				break
+			}
+			tk := q.Insert(seq, KindLoad)
+			q.SetAddress(tk, uint64(a))
+			if !q.CanIssueLoad(tk) {
+				return false
+			}
+			q.IssueLoad(tk, nil, 0)
+			tickets = append(tickets, tk)
+			seqs = append(seqs, seq)
+			seq++
+		}
+		for _, s := range seqs {
+			q.Commit(s, nil, 0)
+		}
+		return q.Len() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a load never forwards unless some earlier store shares its
+// word.
+func TestQuickForwardImpliesMatch(t *testing.T) {
+	f := func(storeAddrs []uint8, loadAddr uint8) bool {
+		q := New(64)
+		seq := uint64(1)
+		stores := storeAddrs
+		if len(stores) > 30 {
+			stores = stores[:30]
+		}
+		match := false
+		for _, a := range stores {
+			tk := q.Insert(seq, KindStore)
+			q.SetAddress(tk, uint64(a))
+			if uint64(a)>>3 == uint64(loadAddr)>>3 {
+				match = true
+			}
+			seq++
+		}
+		ld := q.Insert(seq, KindLoad)
+		q.SetAddress(ld, uint64(loadAddr))
+		r := q.IssueLoad(ld, nil, 0)
+		return r.Forwarded == match
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,152 @@
+// Package rename implements register renaming: the logical→physical map
+// and the physical-register free list of a dynamically scheduled processor.
+//
+// Semantics follow the paper's Section 2 description of why physical
+// registers are "wasted": a physical register is allocated at decode/rename
+// (before it holds a value) and is released only when the *next* instruction
+// writing the same logical register commits (late release). This inflated
+// lifetime is exactly what makes large register files necessary and what the
+// register file cache exploits.
+package rename
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// PhysReg is a physical register number. PhysNone marks "no register".
+type PhysReg int32
+
+// PhysNone marks the absence of a physical register.
+const PhysNone PhysReg = -1
+
+// File manages renaming for a single register name space of a given number
+// of logical and physical registers.
+type File struct {
+	mapTable []PhysReg // logical -> current physical
+	freeList []PhysReg
+	numPhys  int
+
+	allocs   uint64
+	releases uint64
+}
+
+// NewFile creates a rename file with numLogical architectural registers and
+// numPhys physical registers. numPhys must be at least numLogical (every
+// logical register needs a committed home).
+func NewFile(numLogical, numPhys int) *File {
+	if numPhys < numLogical {
+		panic(fmt.Sprintf("rename: %d physical registers cannot back %d logical", numPhys, numLogical))
+	}
+	f := &File{mapTable: make([]PhysReg, numLogical), numPhys: numPhys}
+	for i := range f.mapTable {
+		f.mapTable[i] = PhysReg(i)
+	}
+	for p := numLogical; p < numPhys; p++ {
+		f.freeList = append(f.freeList, PhysReg(p))
+	}
+	return f
+}
+
+// NumPhys returns the number of physical registers.
+func (f *File) NumPhys() int { return f.numPhys }
+
+// FreeCount returns the number of unallocated physical registers.
+func (f *File) FreeCount() int { return len(f.freeList) }
+
+// Lookup returns the current physical register for logical register l.
+func (f *File) Lookup(l int) PhysReg { return f.mapTable[l] }
+
+// CanRename reports whether a destination can be allocated.
+func (f *File) CanRename() bool { return len(f.freeList) > 0 }
+
+// Rename allocates a new physical register for logical destination l and
+// returns (newPhys, prevPhys). prevPhys must be freed when the renaming
+// instruction's *successor* writing l commits; the caller tracks that.
+// Rename panics if no register is free (callers gate on CanRename, which is
+// the dispatch-stall condition).
+func (f *File) Rename(l int) (newP, prevP PhysReg) {
+	if len(f.freeList) == 0 {
+		panic("rename: no free physical register")
+	}
+	newP = f.freeList[len(f.freeList)-1]
+	f.freeList = f.freeList[:len(f.freeList)-1]
+	prevP = f.mapTable[l]
+	f.mapTable[l] = newP
+	f.allocs++
+	return newP, prevP
+}
+
+// Release returns physical register p to the free list (called when the
+// instruction that superseded p's logical mapping commits).
+func (f *File) Release(p PhysReg) {
+	if p == PhysNone {
+		return
+	}
+	if int(p) < 0 || int(p) >= f.numPhys {
+		panic(fmt.Sprintf("rename: release of invalid physical register %d", p))
+	}
+	f.freeList = append(f.freeList, p)
+	f.releases++
+}
+
+// Allocs returns the number of Rename calls.
+func (f *File) Allocs() uint64 { return f.allocs }
+
+// Releases returns the number of Release calls with a real register.
+func (f *File) Releases() uint64 { return f.releases }
+
+// Map renames both integer and FP name spaces behind the isa.Reg numbering.
+type Map struct {
+	intFile *File
+	fpFile  *File
+}
+
+// NewMap creates a renamer with physInt integer and physFP floating-point
+// physical registers (the paper uses 128 of each).
+func NewMap(physInt, physFP int) *Map {
+	return &Map{
+		intFile: NewFile(isa.NumLogicalInt, physInt),
+		fpFile:  NewFile(isa.NumLogicalFP, physFP),
+	}
+}
+
+// fileFor returns the file and local index for logical register r.
+func (m *Map) fileFor(r isa.Reg) (*File, int) {
+	if r.IsFP() {
+		return m.fpFile, int(r) - isa.NumLogicalInt
+	}
+	return m.intFile, int(r)
+}
+
+// Lookup returns the current physical register backing logical register r,
+// plus whether it is in the FP file.
+func (m *Map) Lookup(r isa.Reg) (PhysReg, bool) {
+	f, idx := m.fileFor(r)
+	return f.Lookup(idx), r.IsFP()
+}
+
+// CanRename reports whether a destination in r's file can be allocated.
+func (m *Map) CanRename(r isa.Reg) bool {
+	f, _ := m.fileFor(r)
+	return f.CanRename()
+}
+
+// Rename allocates a physical register for destination r.
+func (m *Map) Rename(r isa.Reg) (newP, prevP PhysReg) {
+	f, idx := m.fileFor(r)
+	return f.Rename(idx)
+}
+
+// Release frees physical register p in r's file.
+func (m *Map) Release(r isa.Reg, p PhysReg) {
+	f, _ := m.fileFor(r)
+	f.Release(p)
+}
+
+// IntFile returns the integer rename file (for statistics).
+func (m *Map) IntFile() *File { return m.intFile }
+
+// FPFile returns the FP rename file (for statistics).
+func (m *Map) FPFile() *File { return m.fpFile }

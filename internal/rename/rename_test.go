@@ -1,0 +1,225 @@
+package rename
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+	"repro/internal/rng"
+)
+
+func TestInitialMapping(t *testing.T) {
+	f := NewFile(32, 128)
+	for l := 0; l < 32; l++ {
+		if got := f.Lookup(l); got != PhysReg(l) {
+			t.Errorf("initial Lookup(%d) = %d", l, got)
+		}
+	}
+	if f.FreeCount() != 96 {
+		t.Errorf("FreeCount = %d, want 96", f.FreeCount())
+	}
+}
+
+func TestRenameUpdatesMapAndReturnsPrev(t *testing.T) {
+	f := NewFile(32, 64)
+	newP, prevP := f.Rename(5)
+	if prevP != PhysReg(5) {
+		t.Errorf("prev = %d, want 5", prevP)
+	}
+	if f.Lookup(5) != newP {
+		t.Errorf("map not updated: %d vs %d", f.Lookup(5), newP)
+	}
+	if newP == prevP {
+		t.Error("new register equals previous")
+	}
+}
+
+func TestExhaustionAndRelease(t *testing.T) {
+	f := NewFile(2, 4) // 2 free
+	var prevs []PhysReg
+	for f.CanRename() {
+		_, prev := f.Rename(0)
+		prevs = append(prevs, prev)
+	}
+	if f.FreeCount() != 0 {
+		t.Fatal("should be exhausted")
+	}
+	f.Release(prevs[0])
+	if !f.CanRename() {
+		t.Error("release did not enable renaming")
+	}
+}
+
+func TestRenamePanicsWhenExhausted(t *testing.T) {
+	f := NewFile(2, 2) // no free registers at all
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Rename with empty free list did not panic")
+		}
+	}()
+	f.Rename(0)
+}
+
+func TestReleaseNoneIsNoop(t *testing.T) {
+	f := NewFile(2, 4)
+	before := f.FreeCount()
+	f.Release(PhysNone)
+	if f.FreeCount() != before {
+		t.Error("Release(PhysNone) changed free list")
+	}
+	if f.Releases() != 0 {
+		t.Error("Release(PhysNone) counted as a release")
+	}
+}
+
+func TestReleaseInvalidPanics(t *testing.T) {
+	f := NewFile(2, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid release did not panic")
+		}
+	}()
+	f.Release(PhysReg(99))
+}
+
+func TestNewFilePanicsOnTooFewPhys(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for phys < logical")
+		}
+	}()
+	NewFile(32, 16)
+}
+
+func TestStatsCounting(t *testing.T) {
+	f := NewFile(4, 8)
+	_, p1 := f.Rename(0)
+	_, p2 := f.Rename(1)
+	f.Release(p1)
+	f.Release(p2)
+	if f.Allocs() != 2 || f.Releases() != 2 {
+		t.Errorf("allocs=%d releases=%d", f.Allocs(), f.Releases())
+	}
+}
+
+func TestMapSeparatesNamespaces(t *testing.T) {
+	m := NewMap(64, 64)
+	pi, fpI := m.Lookup(isa.IntReg(3))
+	pf, fpF := m.Lookup(isa.FPReg(3))
+	if fpI || !fpF {
+		t.Error("namespace flags wrong")
+	}
+	if pi != PhysReg(3) || pf != PhysReg(3) {
+		t.Errorf("initial physical registers: int=%d fp=%d", pi, pf)
+	}
+	// Renaming an int register must not disturb the FP map.
+	m.Rename(isa.IntReg(3))
+	if got, _ := m.Lookup(isa.FPReg(3)); got != PhysReg(3) {
+		t.Error("int rename disturbed FP map")
+	}
+}
+
+func TestMapCanRenamePerFile(t *testing.T) {
+	m := NewMap(32, 33) // int file has 0 free, fp has 1
+	if m.CanRename(isa.IntReg(0)) {
+		t.Error("int file should be exhausted")
+	}
+	if !m.CanRename(isa.FPReg(0)) {
+		t.Error("fp file should have a free register")
+	}
+}
+
+func TestMapReleaseRoutesToRightFile(t *testing.T) {
+	m := NewMap(33, 33)
+	_, prev := m.Rename(isa.FPReg(7))
+	if m.CanRename(isa.FPReg(0)) {
+		t.Fatal("fp file should now be exhausted")
+	}
+	m.Release(isa.FPReg(7), prev)
+	if !m.CanRename(isa.FPReg(0)) {
+		t.Error("release did not return register to fp file")
+	}
+}
+
+// Property: the classic rename invariant — at any point, the set
+// {current mappings} ∪ {free list} ∪ {outstanding prev registers} is a
+// partition of all physical registers (no loss, no duplication).
+func TestQuickConservation(t *testing.T) {
+	f := func(seed uint64, steps uint16) bool {
+		const nLog, nPhys = 8, 24
+		file := NewFile(nLog, nPhys)
+		r := rng.New(seed, 11)
+		var outstanding []PhysReg
+		for i := 0; i < int(steps%500); i++ {
+			if file.CanRename() && (len(outstanding) == 0 || r.Bernoulli(0.6)) {
+				_, prev := file.Rename(r.Intn(nLog))
+				outstanding = append(outstanding, prev)
+			} else if len(outstanding) > 0 {
+				k := r.Intn(len(outstanding))
+				file.Release(outstanding[k])
+				outstanding = append(outstanding[:k], outstanding[k+1:]...)
+			}
+			// Check the partition.
+			seen := make(map[PhysReg]int, nPhys)
+			for l := 0; l < nLog; l++ {
+				seen[file.Lookup(l)]++
+			}
+			for _, p := range file.freeList {
+				seen[p]++
+			}
+			for _, p := range outstanding {
+				seen[p]++
+			}
+			if len(seen) != nPhys {
+				return false
+			}
+			for _, c := range seen {
+				if c != 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Rename never hands out a register that is currently mapped.
+func TestQuickNoDoubleAllocation(t *testing.T) {
+	f := func(seed uint64) bool {
+		file := NewFile(4, 12)
+		r := rng.New(seed, 13)
+		var outstanding []PhysReg
+		for i := 0; i < 200; i++ {
+			if file.CanRename() {
+				newP, prev := file.Rename(r.Intn(4))
+				for l := 0; l < 4; l++ {
+					if l != 0 && file.Lookup(l) == newP && PhysReg(l) != newP {
+						_ = l
+					}
+				}
+				// newP must not be any *other* current mapping.
+				count := 0
+				for l := 0; l < 4; l++ {
+					if file.Lookup(l) == newP {
+						count++
+					}
+				}
+				if count != 1 {
+					return false
+				}
+				outstanding = append(outstanding, prev)
+			}
+			if len(outstanding) > 4 {
+				file.Release(outstanding[0])
+				outstanding = outstanding[1:]
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,91 @@
+// Package rng provides a small, deterministic pseudo-random number
+// generator (PCG-XSH-RR 64/32) used by the synthetic workload generators.
+//
+// The standard library's math/rand is avoided so that workload streams are
+// bit-for-bit reproducible across Go releases: the experiments in this
+// repository compare register file architectures on identical instruction
+// streams, and that comparison is only meaningful if the stream cannot
+// drift.
+package rng
+
+// PCG is a PCG-XSH-RR 64/32 generator. The zero value is not useful;
+// construct with New.
+type PCG struct {
+	state uint64
+	inc   uint64
+}
+
+const pcgMult = 6364136223846793005
+
+// New returns a generator seeded with seed on stream seq.
+// Two generators with different seq values produce independent streams
+// even with the same seed.
+func New(seed, seq uint64) *PCG {
+	p := &PCG{inc: seq<<1 | 1}
+	p.state = 0
+	p.Uint32()
+	p.state += seed
+	p.Uint32()
+	return p
+}
+
+// Uint32 returns the next 32 uniformly distributed bits.
+func (p *PCG) Uint32() uint32 {
+	old := p.state
+	p.state = old*pcgMult + p.inc
+	xorshifted := uint32(((old >> 18) ^ old) >> 27)
+	rot := uint32(old >> 59)
+	return xorshifted>>rot | xorshifted<<((-rot)&31)
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (p *PCG) Uint64() uint64 {
+	return uint64(p.Uint32())<<32 | uint64(p.Uint32())
+}
+
+// Intn returns a uniformly distributed int in [0, n). It panics if n <= 0.
+func (p *PCG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded generation.
+	bound := uint32(n)
+	for {
+		v := p.Uint32()
+		prod := uint64(v) * uint64(bound)
+		low := uint32(prod)
+		if low >= bound || low >= -bound%bound {
+			return int(prod >> 32)
+		}
+	}
+}
+
+// Float64 returns a uniformly distributed float64 in [0, 1).
+func (p *PCG) Float64() float64 {
+	return float64(p.Uint64()>>11) / (1 << 53)
+}
+
+// Bernoulli reports true with probability prob.
+func (p *PCG) Bernoulli(prob float64) bool {
+	return p.Float64() < prob
+}
+
+// Geometric returns a sample from a geometric distribution with the given
+// success probability (mean ≈ 1/prob), always at least 1. It is used for
+// dependence-distance and run-length draws in the workload generators.
+func (p *PCG) Geometric(prob float64) int {
+	if prob >= 1 {
+		return 1
+	}
+	if prob <= 0 {
+		panic("rng: Geometric needs prob in (0, 1]")
+	}
+	n := 1
+	for !p.Bernoulli(prob) {
+		n++
+		if n >= 1<<20 { // safety valve; statistically unreachable
+			return n
+		}
+	}
+	return n
+}

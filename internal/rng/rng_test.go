@@ -1,0 +1,168 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42, 7)
+	b := New(42, 7)
+	for i := 0; i < 1000; i++ {
+		if x, y := a.Uint64(), b.Uint64(); x != y {
+			t.Fatalf("step %d: same-seed generators diverged: %d vs %d", i, x, y)
+		}
+	}
+}
+
+func TestStreamsIndependent(t *testing.T) {
+	a := New(42, 1)
+	b := New(42, 2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint32() == b.Uint32() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams with different seq look correlated: %d/1000 equal draws", same)
+	}
+}
+
+func TestSeedChangesStream(t *testing.T) {
+	a := New(1, 0)
+	b := New(2, 0)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint32() == b.Uint32() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds look correlated: %d/1000 equal draws", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	p := New(3, 3)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := p.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1, 1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	p := New(99, 5)
+	const n, draws = 10, 100000
+	var counts [n]int
+	for i := 0; i < draws; i++ {
+		counts[p.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d: got %d, want ≈%.0f", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	p := New(5, 9)
+	sum := 0.0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		f := p.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+		sum += f
+	}
+	if mean := sum / draws; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Float64 mean = %v, want ≈0.5", mean)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	p := New(11, 13)
+	for _, prob := range []float64{0.1, 0.25, 0.5, 0.9} {
+		sum := 0
+		const draws = 50000
+		for i := 0; i < draws; i++ {
+			sum += p.Geometric(prob)
+		}
+		mean := float64(sum) / draws
+		want := 1 / prob
+		if math.Abs(mean-want)/want > 0.05 {
+			t.Errorf("Geometric(%v) mean = %v, want ≈%v", prob, mean, want)
+		}
+	}
+}
+
+func TestGeometricAtLeastOne(t *testing.T) {
+	p := New(17, 19)
+	for i := 0; i < 10000; i++ {
+		if g := p.Geometric(0.99); g < 1 {
+			t.Fatalf("Geometric returned %d < 1", g)
+		}
+	}
+}
+
+func TestBernoulliExtremes(t *testing.T) {
+	p := New(23, 29)
+	for i := 0; i < 1000; i++ {
+		if p.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !p.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+// Property: Intn always lands in range for arbitrary seeds and bounds.
+func TestQuickIntnInRange(t *testing.T) {
+	f := func(seed, seq uint64, nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		p := New(seed, seq)
+		for i := 0; i < 50; i++ {
+			v := p.Intn(n)
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: identical (seed, seq) ⇒ identical streams.
+func TestQuickDeterminism(t *testing.T) {
+	f := func(seed, seq uint64) bool {
+		a, b := New(seed, seq), New(seed, seq)
+		for i := 0; i < 20; i++ {
+			if a.Uint64() != b.Uint64() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

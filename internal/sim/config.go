@@ -1,0 +1,216 @@
+// Package sim implements the cycle-level simulator of the paper's 8-way
+// dynamically-scheduled superscalar processor (Table 1), parameterized by
+// the register file architecture under study (internal/core).
+//
+// The pipeline has six stages — fetch; decode+rename; read operands (1 or 2
+// cycles, per the register file); execute; write-back; commit — with 8-wide
+// fetch/issue/commit, a 128-entry instruction window, a gshare predictor,
+// split 64KB I/D caches, a 64-entry load/store queue with forwarding, and
+// 128+128 physical registers.
+//
+// Branch misprediction is modeled timing-directed: fetch stalls past a
+// mispredicted branch until the branch executes, so architectures that
+// resolve branches later (deeper operand-read pipelines) pay a
+// proportionally larger penalty — the paper's dominant integer-code effect.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+)
+
+// RFKind selects a register file architecture.
+type RFKind uint8
+
+const (
+	// RFMonolithic is a single-banked file (1- or 2-cycle, 1 or full
+	// bypass levels).
+	RFMonolithic RFKind = iota
+	// RFCache is the paper's two-level register file cache.
+	RFCache
+	// RFOneLevel is the single-level multiple-banked organization
+	// (extension).
+	RFOneLevel
+	// RFReplicated is the fully-replicated clustered organization of the
+	// Alpha 21264 integer unit (paper §5 related work; extension).
+	RFReplicated
+)
+
+// RFSpec describes the register file architecture for both the integer and
+// FP files (the paper configures them identically).
+type RFSpec struct {
+	// Kind selects which configuration field applies.
+	Kind RFKind
+	// Mono applies when Kind == RFMonolithic; NumPhys is overridden by
+	// Config.PhysRegs.
+	Mono core.MonolithicConfig
+	// Cache applies when Kind == RFCache; NumPhys likewise overridden.
+	Cache core.CacheConfig
+	// OneLevel applies when Kind == RFOneLevel.
+	OneLevel core.OneLevelConfig
+	// Replicated applies when Kind == RFReplicated.
+	Replicated core.ReplicatedConfig
+	// Name describes the spec in outputs.
+	Name string
+}
+
+// Mono1Cycle returns the paper's baseline: one-cycle single-banked file
+// with its single level of bypass.
+func Mono1Cycle(readPorts, writePorts int) RFSpec {
+	return RFSpec{
+		Kind: RFMonolithic,
+		Mono: core.MonolithicConfig{Latency: 1, FullBypass: true, ReadPorts: readPorts, WritePorts: writePorts},
+		Name: "1-cycle",
+	}
+}
+
+// Mono2CycleFull returns the two-cycle file with two bypass levels.
+func Mono2CycleFull(readPorts, writePorts int) RFSpec {
+	return RFSpec{
+		Kind: RFMonolithic,
+		Mono: core.MonolithicConfig{Latency: 2, FullBypass: true, ReadPorts: readPorts, WritePorts: writePorts},
+		Name: "2-cycle, 2-bypass",
+	}
+}
+
+// Mono2CycleSingle returns the two-cycle file with one (the last) bypass
+// level.
+func Mono2CycleSingle(readPorts, writePorts int) RFSpec {
+	return RFSpec{
+		Kind: RFMonolithic,
+		Mono: core.MonolithicConfig{Latency: 2, FullBypass: false, ReadPorts: readPorts, WritePorts: writePorts},
+		Name: "2-cycle, 1-bypass",
+	}
+}
+
+// CacheSpec returns a register file cache spec.
+func CacheSpec(cfg core.CacheConfig) RFSpec {
+	name := fmt.Sprintf("rf-cache (%s + %s)", cfg.Caching, cfg.Prefetch)
+	return RFSpec{Kind: RFCache, Cache: cfg, Name: name}
+}
+
+// PaperCache returns the paper's best configuration: non-bypass caching
+// with prefetch-first-pair, unlimited bandwidth.
+func PaperCache() RFSpec { return CacheSpec(core.PaperCacheConfig()) }
+
+// OneLevelSpec returns a one-level multi-banked spec.
+func OneLevelSpec(cfg core.OneLevelConfig) RFSpec {
+	return RFSpec{
+		Kind: RFOneLevel, OneLevel: cfg,
+		Name: fmt.Sprintf("one-level (%d banks, %s)", cfg.Banks, cfg.Assignment),
+	}
+}
+
+// ReplicatedSpec returns a fully-replicated clustered spec (21264-style).
+func ReplicatedSpec(cfg core.ReplicatedConfig) RFSpec {
+	return RFSpec{
+		Kind: RFReplicated, Replicated: cfg,
+		Name: fmt.Sprintf("replicated (%d clusters)", cfg.Clusters),
+	}
+}
+
+// Config is the full processor configuration. DefaultConfig matches the
+// paper's Table 1.
+type Config struct {
+	// FetchWidth, IssueWidth and CommitWidth are per-cycle limits (8).
+	FetchWidth, IssueWidth, CommitWidth int
+	// WindowSize is the instruction window / reorder buffer size (128;
+	// 256 in the Figure 1 experiment).
+	WindowSize int
+	// FetchQueue buffers fetched instructions awaiting dispatch.
+	FetchQueue int
+	// LSQSize is the load/store queue capacity (64).
+	LSQSize int
+	// PhysRegs is the per-file physical register count (128 int + 128 FP).
+	PhysRegs int
+	// PredictorBits sizes the gshare table (16 → 64K entries).
+	PredictorBits uint
+	// HistoryBits is the gshare global history length. The paper's 100M
+	// instruction runs can afford full 16-bit histories; at this
+	// repository's run lengths a shorter history avoids cold-table
+	// compulsory mispredictions (see internal/bpred).
+	HistoryBits uint
+	// Functional unit pool sizes (Table 1): 6 simple int (branches too),
+	// 3 int mul/div, 4 simple FP, 2 FP div, 4 load/store ports.
+	SimpleInt, IntMulDiv, SimpleFP, FPDiv, MemPorts int
+	// ICache and DCache configure the caches; zero values use the paper's.
+	ICache, DCache cache.Config
+	// RF selects the register file architecture.
+	RF RFSpec
+	// MaxInstructions ends the run after this many committed instructions.
+	MaxInstructions uint64
+	// WarmupInstructions excludes the first commits from all statistics
+	// (caches, predictor and register file state keep warming during it),
+	// mirroring the paper's skip of each benchmark's initialization.
+	WarmupInstructions uint64
+	// ValueStats enables the Figure 3 live-value instrumentation
+	// (per-cycle window scans; measurably slower).
+	ValueStats bool
+}
+
+// DefaultConfig returns the paper's Table 1 processor with the given
+// register file architecture and instruction budget.
+func DefaultConfig(rf RFSpec, maxInstructions uint64) Config {
+	return Config{
+		FetchWidth: 8, IssueWidth: 8, CommitWidth: 8,
+		WindowSize: 128, FetchQueue: 16, LSQSize: 64,
+		PhysRegs: 128, PredictorBits: 16, HistoryBits: 8,
+		SimpleInt: 6, IntMulDiv: 3, SimpleFP: 4, FPDiv: 2, MemPorts: 4,
+		ICache: cache.ICacheConfig(), DCache: cache.DCacheConfig(),
+		RF:                 rf,
+		MaxInstructions:    maxInstructions,
+		WarmupInstructions: maxInstructions / 4,
+	}
+}
+
+// Validate reports a configuration error, or nil.
+func (c *Config) Validate() error {
+	switch {
+	case c.FetchWidth < 1 || c.IssueWidth < 1 || c.CommitWidth < 1:
+		return fmt.Errorf("sim: widths must be ≥ 1")
+	case c.WindowSize < 2:
+		return fmt.Errorf("sim: window size %d too small", c.WindowSize)
+	case c.FetchQueue < c.FetchWidth:
+		return fmt.Errorf("sim: fetch queue smaller than fetch width")
+	case c.LSQSize < 2:
+		return fmt.Errorf("sim: LSQ size %d too small", c.LSQSize)
+	case c.PhysRegs < 33:
+		return fmt.Errorf("sim: %d physical registers cannot back 32 logical", c.PhysRegs)
+	case c.SimpleInt < 1 || c.IntMulDiv < 1 || c.SimpleFP < 1 || c.FPDiv < 1 || c.MemPorts < 1:
+		return fmt.Errorf("sim: every functional unit pool needs at least one unit")
+	case c.MaxInstructions == 0:
+		return fmt.Errorf("sim: MaxInstructions must be positive")
+	case c.WarmupInstructions >= c.MaxInstructions:
+		return fmt.Errorf("sim: warmup (%d) must be shorter than the run (%d)",
+			c.WarmupInstructions, c.MaxInstructions)
+	case c.HistoryBits > c.PredictorBits:
+		return fmt.Errorf("sim: history bits %d exceed predictor index bits %d",
+			c.HistoryBits, c.PredictorBits)
+	}
+	return nil
+}
+
+// buildFile constructs one register file instance from the spec.
+func (c *Config) buildFile() core.File {
+	switch c.RF.Kind {
+	case RFMonolithic:
+		cfg := c.RF.Mono
+		cfg.NumPhys = c.PhysRegs
+		return core.NewMonolithic(cfg)
+	case RFCache:
+		cfg := c.RF.Cache
+		cfg.NumPhys = c.PhysRegs
+		return core.NewCacheFile(cfg)
+	case RFOneLevel:
+		cfg := c.RF.OneLevel
+		cfg.NumPhys = c.PhysRegs
+		return core.NewOneLevel(cfg)
+	case RFReplicated:
+		cfg := c.RF.Replicated
+		cfg.NumPhys = c.PhysRegs
+		return core.NewReplicated(cfg)
+	}
+	panic(fmt.Sprintf("sim: unknown register file kind %d", c.RF.Kind))
+}

@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/isa"
+)
+
+// Tracer receives pipeline events for debugging and teaching. Attach one
+// with Simulator.SetTracer before Run. The zero-cost path (no tracer) is
+// preserved: event formatting happens only when a tracer is installed.
+type Tracer interface {
+	// Event receives one pipeline event at the given cycle.
+	Event(cycle uint64, stage string, detail string)
+}
+
+// WriterTracer formats events one per line to an io.Writer.
+type WriterTracer struct {
+	W io.Writer
+	// From/To bound the traced cycle window; zero values trace everything.
+	From, To uint64
+}
+
+// Event implements Tracer.
+func (t *WriterTracer) Event(cycle uint64, stage, detail string) {
+	if cycle < t.From || (t.To != 0 && cycle > t.To) {
+		return
+	}
+	fmt.Fprintf(t.W, "[%8d] %-9s %s\n", cycle, stage, detail)
+}
+
+// SetTracer installs a pipeline tracer (nil disables tracing). Must be
+// called before Run.
+func (s *Simulator) SetTracer(t Tracer) { s.tracer = t }
+
+func (s *Simulator) trace(t uint64, stage string, format string, args ...any) {
+	if s.tracer == nil {
+		return
+	}
+	s.tracer.Event(t, stage, fmt.Sprintf(format, args...))
+}
+
+// traceUop renders an instruction compactly for trace lines.
+func traceUop(u *uop) string {
+	d := ""
+	if u.dest >= 0 {
+		file := "i"
+		if u.destFP {
+			file = "f"
+		}
+		d = fmt.Sprintf(" -> %s%d", file, u.dest)
+	}
+	extra := ""
+	switch u.in.Class {
+	case isa.Branch:
+		if u.in.Taken {
+			extra = " T"
+		} else {
+			extra = " NT"
+		}
+		if u.mispredicted {
+			extra += "!"
+		}
+	case isa.Load, isa.Store:
+		extra = fmt.Sprintf(" @%#x", u.in.Addr)
+	}
+	return fmt.Sprintf("#%d %v%s%s", u.seq, u.in.Class, d, extra)
+}

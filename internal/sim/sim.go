@@ -1,0 +1,759 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/lsq"
+	"repro/internal/rename"
+	"repro/internal/stats"
+)
+
+// notScheduled marks a physical register whose producer has not yet issued.
+const notScheduled = ^uint64(0)
+
+// eventHorizon bounds how far in the future completion/write-back events
+// can be scheduled.
+const eventHorizon = 4096
+
+// deadlockLimit aborts runs that stop committing (a model bug, not a
+// workload property).
+const deadlockLimit = 100000
+
+// srcOp is one renamed source operand.
+type srcOp struct {
+	phys core.PhysReg
+	fp   bool
+}
+
+// uop is one in-flight instruction.
+type uop struct {
+	in   isa.Instr
+	seq  uint64
+	live bool
+
+	dest   core.PhysReg // -1 if none
+	destFP bool
+	prev   rename.PhysReg
+	destL  isa.Reg
+
+	src  [2]srcOp
+	nsrc int
+	// issueSrcs is the number of leading sources that gate issue. For
+	// stores only the address register does: the address generation may
+	// proceed before the data is produced (split store-address/store-data,
+	// as in real designs), and in-order commit automatically enforces the
+	// data dependence — the data producer is older and must commit first.
+	issueSrcs int
+
+	lsqTicket int
+
+	// cluster is the execution cluster for replicated organizations.
+	cluster int8
+
+	issued    bool
+	completed bool
+
+	issueCycle    uint64
+	completeCycle uint64
+	wbCycle       uint64
+
+	mispredicted bool
+	bypassCaught bool
+}
+
+// Simulator runs one workload on one processor configuration.
+type Simulator struct {
+	cfg    Config
+	stream isa.Stream
+
+	intFile, fpFile core.File
+	oneLevel        [2]*core.OneLevel   // non-nil for RFOneLevel; [0]=int,[1]=fp
+	replicated      [2]*core.Replicated // non-nil for RFReplicated
+	rmap            *rename.Map
+	pred            *bpred.Gshare
+	icache, dcache  *cache.Cache
+	ldst            *lsq.Queue
+
+	// ROB ring buffer.
+	rob      []uop
+	robHead  int
+	robCount int
+
+	fetchQ []fetchEntry
+
+	// Per-file result-bus cycle and producer tables, indexed by physical
+	// register; index 0 = int file, 1 = FP file.
+	regBus      [2][]uint64
+	regProducer [2][]*uop
+
+	completionAt [eventHorizon][]*uop
+	wbAt         [eventHorizon][]*uop
+
+	fu fuPools
+
+	cycle     uint64
+	seq       uint64
+	committed uint64
+
+	fetchResumeAt uint64
+	blockedBranch bool
+	pendingInstr  *isa.Instr
+
+	// scratch buffers
+	opsInt, opsFP     []core.Operand
+	opsIntIx, opsFPIx []int
+
+	// instrumentation
+	mispredicts    uint64
+	branches       uint64
+	valueHist      stats.Histogram
+	readyHist      stats.Histogram
+	dispatchStall  uint64
+	fuConflicts    uint64
+	branchStallCyc uint64
+	icacheStallCyc uint64
+	lastCommitAt   uint64
+
+	warmed bool
+	base   snapshot
+
+	tracer Tracer
+}
+
+// snapshot records statistics at the warmup boundary; results report the
+// deltas from it.
+type snapshot struct {
+	cycles, committed     uint64
+	branches, mispredicts uint64
+	icacheAcc, icacheMiss uint64
+	dcacheAcc, dcacheMiss uint64
+	forwards              uint64
+	dispatchStalls        uint64
+	fuConflicts           uint64
+	branchStallCyc        uint64
+	icacheStallCyc        uint64
+	intStats, fpStats     core.FileStats
+}
+
+type fetchEntry struct {
+	in           isa.Instr
+	mispredicted bool
+}
+
+// fuPools tracks functional unit occupancy: each unit accepts one
+// instruction per cycle (pipelined); divides occupy their unit for the full
+// latency.
+type fuPools struct {
+	simpleInt []uint64
+	intMulDiv []uint64
+	simpleFP  []uint64
+	fpDiv     []uint64
+	mem       []uint64
+}
+
+func newFUPools(c *Config) fuPools {
+	return fuPools{
+		simpleInt: make([]uint64, c.SimpleInt),
+		intMulDiv: make([]uint64, c.IntMulDiv),
+		simpleFP:  make([]uint64, c.SimpleFP),
+		fpDiv:     make([]uint64, c.FPDiv),
+		mem:       make([]uint64, c.MemPorts),
+	}
+}
+
+func (f *fuPools) poolFor(c isa.Class) []uint64 {
+	switch c {
+	case isa.IntALU, isa.Branch:
+		return f.simpleInt
+	case isa.IntMul, isa.IntDiv:
+		return f.intMulDiv
+	case isa.FPALU:
+		return f.simpleFP
+	case isa.FPDiv:
+		return f.fpDiv
+	case isa.Load, isa.Store:
+		return f.mem
+	}
+	panic(fmt.Sprintf("sim: no functional unit pool for %v", c))
+}
+
+// take acquires a unit at cycle t for an instruction of class c, returning
+// false if all units are busy. Divides block their unit for the full
+// latency; other classes are fully pipelined.
+func (f *fuPools) take(c isa.Class, t uint64) bool {
+	pool := f.poolFor(c)
+	for i, busy := range pool {
+		if busy <= t {
+			occupy := uint64(1)
+			if c == isa.IntDiv || c == isa.FPDiv {
+				occupy = uint64(isa.Latency(c))
+			}
+			pool[i] = t + occupy
+			return true
+		}
+	}
+	return false
+}
+
+// New builds a simulator for the given configuration and instruction
+// stream. It panics on invalid configurations (experiment definitions are
+// code, not user input).
+func New(cfg Config, stream isa.Stream) *Simulator {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	s := &Simulator{
+		cfg:     cfg,
+		stream:  stream,
+		intFile: cfg.buildFile(),
+		fpFile:  cfg.buildFile(),
+		rmap:    rename.NewMap(cfg.PhysRegs, cfg.PhysRegs),
+		pred:    bpred.NewGshareHist(cfg.PredictorBits, cfg.HistoryBits),
+		icache:  cache.New(cfg.ICache),
+		dcache:  cache.New(cfg.DCache),
+		ldst:    lsq.New(cfg.LSQSize),
+		rob:     make([]uop, cfg.WindowSize),
+		fu:      newFUPools(&cfg),
+	}
+	if cfg.RF.Kind == RFOneLevel {
+		s.oneLevel[0] = s.intFile.(*core.OneLevel)
+		s.oneLevel[1] = s.fpFile.(*core.OneLevel)
+	}
+	if cfg.RF.Kind == RFReplicated {
+		s.replicated[0] = s.intFile.(*core.Replicated)
+		s.replicated[1] = s.fpFile.(*core.Replicated)
+	}
+	for f := 0; f < 2; f++ {
+		s.regBus[f] = make([]uint64, cfg.PhysRegs)
+		s.regProducer[f] = make([]*uop, cfg.PhysRegs)
+		// Architectural registers hold committed values from the start;
+		// free-list registers get a bus cycle when renamed.
+		for p := range s.regBus[f] {
+			s.regBus[f][p] = 0
+		}
+	}
+	return s
+}
+
+func (s *Simulator) fileFor(fp bool) core.File {
+	if fp {
+		return s.fpFile
+	}
+	return s.intFile
+}
+
+func fileIdx(fp bool) int {
+	if fp {
+		return 1
+	}
+	return 0
+}
+
+// Run simulates until MaxInstructions commit and returns the results.
+func (s *Simulator) Run() Result {
+	for s.committed < s.cfg.MaxInstructions {
+		t := s.cycle
+		s.intFile.BeginCycle(t)
+		s.fpFile.BeginCycle(t)
+		s.processCompletions(t)
+		s.processWritebacks(t)
+		s.commit(t)
+		s.issue(t)
+		s.dispatch(t)
+		s.fetch(t)
+		if s.cfg.ValueStats && s.warmed {
+			s.recordValueStats(t)
+		}
+		if !s.warmed && s.committed >= s.cfg.WarmupInstructions {
+			s.warmed = true
+			s.base = snapshot{
+				cycles: s.cycle + 1, committed: s.committed,
+				branches: s.branches, mispredicts: s.mispredicts,
+				icacheAcc: s.icache.Accesses(), icacheMiss: s.icache.Misses(),
+				dcacheAcc: s.dcache.Accesses(), dcacheMiss: s.dcache.Misses(),
+				forwards:       s.ldst.Forwards(),
+				dispatchStalls: s.dispatchStall,
+				fuConflicts:    s.fuConflicts,
+				branchStallCyc: s.branchStallCyc,
+				icacheStallCyc: s.icacheStallCyc,
+				intStats:       s.intFile.Stats(), fpStats: s.fpFile.Stats(),
+			}
+		}
+		s.cycle++
+		if t-s.lastCommitAt > deadlockLimit {
+			panic(fmt.Sprintf("sim: no commit for %d cycles at cycle %d (%s)\n%s",
+				deadlockLimit, t, s.cfg.RF.Name, s.describeHead(t)))
+		}
+	}
+	return s.result()
+}
+
+// describeHead reports why the window head cannot retire — the forensic
+// payload of the deadlock panic.
+func (s *Simulator) describeHead(t uint64) string {
+	if s.robCount == 0 {
+		return fmt.Sprintf("empty window; fetchResumeAt=%d blockedBranch=%v fetchQ=%d",
+			s.fetchResumeAt, s.blockedBranch, len(s.fetchQ))
+	}
+	u := &s.rob[s.robHead]
+	desc := fmt.Sprintf("head seq=%d %v issued=%v completed=%v wb=%d complete=%d",
+		u.seq, u.in.Class, u.issued, u.completed, u.wbCycle, u.completeCycle)
+	for k := 0; k < u.nsrc; k++ {
+		fi := fileIdx(u.src[k].fp)
+		w := s.regBus[fi][u.src[k].phys]
+		desc += fmt.Sprintf("\n  src%d p%d fp=%v bus=%d", k, u.src[k].phys, u.src[k].fp, w)
+		if cf, ok := s.fileFor(u.src[k].fp).(*core.CacheFile); ok {
+			desc += " " + cf.Describe(u.src[k].phys)
+		}
+	}
+	if u.in.Class == isa.Load {
+		desc += fmt.Sprintf("\n  canIssueLoad=%v", s.ldst.CanIssueLoad(u.lsqTicket))
+	}
+	return desc
+}
+
+// processCompletions handles instructions finishing execution at cycle t:
+// branch resolution (fetch redirect) and store address availability.
+func (s *Simulator) processCompletions(t uint64) {
+	slot := &s.completionAt[t%eventHorizon]
+	for _, u := range *slot {
+		u.completed = true
+		u.completeCycle = t
+		s.trace(t, "complete", "%s", traceUop(u))
+		switch u.in.Class {
+		case isa.Branch:
+			if u.mispredicted {
+				s.blockedBranch = false
+				if s.fetchResumeAt < t+1 {
+					s.fetchResumeAt = t + 1
+				}
+			}
+		case isa.Store:
+			s.ldst.SetAddress(u.lsqTicket, u.in.Addr)
+			s.ldst.IssueStore(u.lsqTicket)
+		}
+	}
+	*slot = (*slot)[:0]
+}
+
+// processWritebacks delivers results to the register files at their
+// reserved write-back cycles, computing the caching-policy hints.
+func (s *Simulator) processWritebacks(t uint64) {
+	slot := &s.wbAt[t%eventHorizon]
+	for _, u := range *slot {
+		file := s.fileFor(u.destFP)
+		s.trace(t, "writeback", "%s bypassCaught=%v", traceUop(u), u.bypassCaught)
+		hints := core.WBHints{BypassCaught: u.bypassCaught}
+		if s.cfg.RF.Kind == RFCache {
+			hints.ReadyConsumer = s.hasReadyConsumer(u, t)
+		}
+		file.Writeback(t, u.dest, hints)
+	}
+	*slot = (*slot)[:0]
+}
+
+// hasReadyConsumer reports whether some not-yet-issued window instruction
+// sources u's result and has all of its operands produced by cycle t (the
+// "ready caching" predicate).
+func (s *Simulator) hasReadyConsumer(u *uop, t uint64) bool {
+	fi := fileIdx(u.destFP)
+	for i, n := s.robHead, 0; n < s.robCount; i, n = (i+1)%len(s.rob), n+1 {
+		c := &s.rob[i]
+		if !c.live || c.issued || c.seq <= u.seq {
+			continue
+		}
+		uses := false
+		allReady := true
+		for k := 0; k < c.nsrc; k++ {
+			w := s.regBus[fileIdx(c.src[k].fp)][c.src[k].phys]
+			if w == notScheduled || w > t {
+				allReady = false
+				break
+			}
+			if fileIdx(c.src[k].fp) == fi && c.src[k].phys == u.dest {
+				uses = true
+			}
+		}
+		if uses && allReady {
+			return true
+		}
+	}
+	return false
+}
+
+// commit retires completed instructions in order, releasing the previous
+// physical registers of their logical destinations.
+func (s *Simulator) commit(t uint64) {
+	for n := 0; n < s.cfg.CommitWidth && s.robCount > 0; n++ {
+		u := &s.rob[s.robHead]
+		if !u.completed {
+			return
+		}
+		if u.dest >= 0 {
+			if t < u.wbCycle {
+				return
+			}
+		} else if t <= u.completeCycle {
+			return
+		}
+		if u.in.Class.IsMem() {
+			s.ldst.Commit(u.seq, s.dcache, t)
+		}
+		if u.dest >= 0 && u.prev != rename.PhysNone {
+			s.rmap.Release(u.destL, u.prev)
+			s.fileFor(u.destFP).Release(core.PhysReg(u.prev))
+		}
+		s.trace(t, "commit", "%s", traceUop(u))
+		u.live = false
+		s.robHead = (s.robHead + 1) % len(s.rob)
+		s.robCount--
+		s.committed++
+		s.lastCommitAt = t
+	}
+}
+
+// issue selects up to IssueWidth ready instructions, oldest first, subject
+// to functional unit, load disambiguation, and register file constraints.
+func (s *Simulator) issue(t uint64) {
+	issued := 0
+	for i, n := s.robHead, 0; n < s.robCount && issued < s.cfg.IssueWidth; i, n = (i+1)%len(s.rob), n+1 {
+		u := &s.rob[i]
+		if !u.live || u.issued {
+			continue
+		}
+		// All issue-gating producers must have scheduled their results.
+		scheduled := true
+		for k := 0; k < u.issueSrcs; k++ {
+			if s.regBus[fileIdx(u.src[k].fp)][u.src[k].phys] == notScheduled {
+				scheduled = false
+				break
+			}
+		}
+		if !scheduled {
+			continue
+		}
+		if u.in.Class == isa.Load && !s.ldst.CanIssueLoad(u.lsqTicket) {
+			continue
+		}
+		if !s.tryReadOperands(u, t) {
+			continue
+		}
+		if !s.fu.take(u.in.Class, t) {
+			s.fuConflicts++
+			continue
+		}
+		s.doIssue(u, t)
+		issued++
+	}
+}
+
+// tryReadOperands secures register file access for u's sources, split
+// across the integer and FP files. If the integer part succeeds but the FP
+// part fails, the consumed integer ports stay consumed this cycle — the
+// hardware analogue is a speculative read that is discarded.
+func (s *Simulator) tryReadOperands(u *uop, t uint64) bool {
+	s.opsInt = s.opsInt[:0]
+	s.opsFP = s.opsFP[:0]
+	s.opsIntIx = s.opsIntIx[:0]
+	s.opsFPIx = s.opsFPIx[:0]
+	for k := 0; k < u.issueSrcs; k++ {
+		op := core.Operand{Reg: u.src[k].phys, Bus: s.regBus[fileIdx(u.src[k].fp)][u.src[k].phys]}
+		if u.src[k].fp {
+			s.opsFP = append(s.opsFP, op)
+			s.opsFPIx = append(s.opsFPIx, k)
+		} else {
+			s.opsInt = append(s.opsInt, op)
+			s.opsIntIx = append(s.opsIntIx, k)
+		}
+	}
+	if s.replicated[0] != nil {
+		if len(s.opsInt) > 0 && !s.replicated[0].TryReadCluster(t, s.opsInt, int(u.cluster)) {
+			return false
+		}
+		if len(s.opsFP) > 0 && !s.replicated[1].TryReadCluster(t, s.opsFP, int(u.cluster)) {
+			return false
+		}
+	} else {
+		if len(s.opsInt) > 0 && !s.intFile.TryRead(t, s.opsInt, true) {
+			return false
+		}
+		if len(s.opsFP) > 0 && !s.fpFile.TryRead(t, s.opsFP, true) {
+			return false
+		}
+	}
+	// Mark producers whose results were captured from the bypass network.
+	for j := range s.opsInt {
+		if s.opsInt[j].ViaBypass {
+			if p := s.regProducer[0][s.opsInt[j].Reg]; p != nil && p.live {
+				p.bypassCaught = true
+			}
+		}
+	}
+	for j := range s.opsFP {
+		if s.opsFP[j].ViaBypass {
+			if p := s.regProducer[1][s.opsFP[j].Reg]; p != nil && p.live {
+				p.bypassCaught = true
+			}
+		}
+	}
+	return true
+}
+
+// readLatency returns the operand-read pipeline depth for u.
+func (s *Simulator) readLatency(u *uop) uint64 {
+	l := 0
+	for k := 0; k < u.nsrc; k++ {
+		if fl := s.fileFor(u.src[k].fp).ReadLatency(); fl > l {
+			l = fl
+		}
+	}
+	if l == 0 { // no register sources: dest file's latency gates the stage
+		l = s.fileFor(u.destFP).ReadLatency()
+	}
+	return uint64(l)
+}
+
+// doIssue finalizes the issue of u at cycle t: schedules completion and
+// write-back, and triggers prefetch-first-pair.
+func (s *Simulator) doIssue(u *uop, t uint64) {
+	u.issued = true
+	u.issueCycle = t
+	l := s.readLatency(u)
+	var c uint64
+	switch u.in.Class {
+	case isa.Load:
+		res := s.ldst.IssueLoad(u.lsqTicket, s.dcache, t+l+1)
+		c = t + l + uint64(res.Latency)
+	case isa.Store:
+		c = t + l + 1
+	default:
+		c = t + l + uint64(isa.Latency(u.in.Class))
+	}
+	u.completeCycle = c
+	s.trace(t, "issue", "%s L=%d complete@%d", traceUop(u), l, c)
+	if c-t >= eventHorizon {
+		panic("sim: completion beyond event horizon")
+	}
+	s.completionAt[c%eventHorizon] = append(s.completionAt[c%eventHorizon], u)
+
+	if u.dest >= 0 {
+		var w uint64
+		switch s.cfg.RF.Kind {
+		case RFOneLevel:
+			w = s.oneLevel[fileIdx(u.destFP)].ReserveWritebackBank(u.dest, c+1)
+		case RFReplicated:
+			w = s.replicated[fileIdx(u.destFP)].ReserveWritebackAll(u.dest, c+1)
+		default:
+			w = s.fileFor(u.destFP).ReserveWriteback(c + 1)
+		}
+		u.wbCycle = w
+		s.regBus[fileIdx(u.destFP)][u.dest] = w
+		if w-t >= eventHorizon {
+			panic("sim: write-back beyond event horizon")
+		}
+		s.wbAt[w%eventHorizon] = append(s.wbAt[w%eventHorizon], u)
+		if s.cfg.RF.Kind == RFCache {
+			s.prefetchFirstPair(u, t)
+		}
+	}
+}
+
+// prefetchFirstPair implements the paper's prefetching scheme: when u
+// issues, find the first in-window instruction that consumes u's result and
+// prefetch its *other* source operand into the upper bank.
+func (s *Simulator) prefetchFirstPair(u *uop, t uint64) {
+	fi := fileIdx(u.destFP)
+	for i, n := s.robHead, 0; n < s.robCount; i, n = (i+1)%len(s.rob), n+1 {
+		c := &s.rob[i]
+		if !c.live || c.issued || c.seq <= u.seq {
+			continue
+		}
+		uses := -1
+		for k := 0; k < c.nsrc; k++ {
+			if fileIdx(c.src[k].fp) == fi && c.src[k].phys == u.dest {
+				uses = k
+				break
+			}
+		}
+		if uses < 0 {
+			continue
+		}
+		// Prefetch the other operand, if any.
+		for k := 0; k < c.nsrc; k++ {
+			if k == uses {
+				continue
+			}
+			ofi := fileIdx(c.src[k].fp)
+			w := s.regBus[ofi][c.src[k].phys]
+			if w != notScheduled {
+				s.fileFor(c.src[k].fp).NotePrefetch(t, c.src[k].phys, w)
+			}
+		}
+		return // only the first consumer
+	}
+}
+
+// dispatch renames and inserts fetched instructions into the window.
+func (s *Simulator) dispatch(t uint64) {
+	for n := 0; n < s.cfg.FetchWidth && len(s.fetchQ) > 0; n++ {
+		fe := &s.fetchQ[0]
+		if s.robCount == len(s.rob) {
+			s.dispatchStall++
+			return
+		}
+		in := &fe.in
+		if in.HasDest() && !s.rmap.CanRename(in.Dest) {
+			s.dispatchStall++
+			return
+		}
+		if in.Class.IsMem() && s.ldst.Full() {
+			s.dispatchStall++
+			return
+		}
+
+		s.seq++
+		idx := (s.robHead + s.robCount) % len(s.rob)
+		u := &s.rob[idx]
+		*u = uop{in: *in, seq: s.seq, live: true, dest: -1, lsqTicket: -1, mispredicted: fe.mispredicted}
+		if s.replicated[0] != nil {
+			u.cluster = int8(s.seq % uint64(s.replicated[0].Clusters()))
+		}
+
+		// Sources: read the current mappings.
+		u.nsrc = 0
+		for _, r := range [2]isa.Reg{in.Src1, in.Src2} {
+			if !r.Valid() {
+				continue
+			}
+			p, fp := s.rmap.Lookup(r)
+			u.src[u.nsrc] = srcOp{phys: core.PhysReg(p), fp: fp}
+			u.nsrc++
+		}
+		u.issueSrcs = u.nsrc
+		if in.Class == isa.Store && u.nsrc > 1 {
+			u.issueSrcs = 1 // address only; see the issueSrcs field comment
+		}
+		// Destination: allocate a new physical register.
+		if in.HasDest() {
+			newP, prevP := s.rmap.Rename(in.Dest)
+			u.dest = core.PhysReg(newP)
+			u.destFP = in.Dest.IsFP()
+			u.prev = prevP
+			u.destL = in.Dest
+			fi := fileIdx(u.destFP)
+			s.regBus[fi][u.dest] = notScheduled
+			s.regProducer[fi][u.dest] = u
+			if s.cfg.RF.Kind == RFOneLevel {
+				s.oneLevel[fi].AssignBank(u.dest)
+			}
+			if s.cfg.RF.Kind == RFReplicated {
+				s.replicated[fi].SetHome(u.dest, int(u.cluster))
+			}
+		}
+		if in.Class.IsMem() {
+			u.lsqTicket = s.ldst.Insert(u.seq, lsqKind(in.Class))
+			if in.Class == isa.Load {
+				s.ldst.SetAddress(u.lsqTicket, in.Addr)
+			}
+		}
+		s.robCount++
+		s.fetchQ = s.fetchQ[1:]
+		s.trace(t, "dispatch", "%s", traceUop(u))
+	}
+}
+
+func lsqKind(c isa.Class) lsq.Kind {
+	if c == isa.Load {
+		return lsq.KindLoad
+	}
+	return lsq.KindStore
+}
+
+// fetch brings up to FetchWidth instructions into the fetch queue, stopping
+// at taken branches, I-cache misses, and mispredicted branches (which stall
+// fetch until resolution).
+func (s *Simulator) fetch(t uint64) {
+	if s.blockedBranch {
+		s.branchStallCyc++
+		return
+	}
+	if t < s.fetchResumeAt {
+		s.icacheStallCyc++
+		return
+	}
+	for n := 0; n < s.cfg.FetchWidth && len(s.fetchQ) < s.cfg.FetchQueue; n++ {
+		if s.pendingInstr == nil {
+			in := *s.stream.Next()
+			s.pendingInstr = &in
+		}
+		in := s.pendingInstr
+		if n == 0 {
+			res := s.icache.Access(in.PC, false, t)
+			if !res.Hit {
+				s.fetchResumeAt = t + uint64(res.Latency) - 1
+				return
+			}
+		}
+		fe := fetchEntry{in: *in}
+		s.pendingInstr = nil
+		if in.Class == isa.Branch {
+			s.branches++
+			correct := s.pred.Update(in.PC, in.Taken)
+			if !correct {
+				s.mispredicts++
+				fe.mispredicted = true
+				s.blockedBranch = true
+				s.fetchQ = append(s.fetchQ, fe)
+				return
+			}
+			s.fetchQ = append(s.fetchQ, fe)
+			if in.Taken {
+				return // at most one taken branch per fetch cycle
+			}
+			continue
+		}
+		s.fetchQ = append(s.fetchQ, fe)
+	}
+}
+
+// recordValueStats implements the Figure 3 instrumentation: per cycle,
+// count distinct physical registers that hold a produced value and are
+// source operands of (a) any unissued window instruction, and (b) an
+// unissued instruction whose operands are all produced.
+func (s *Simulator) recordValueStats(t uint64) {
+	var seenVal, seenReady [2]map[core.PhysReg]bool
+	for f := 0; f < 2; f++ {
+		seenVal[f] = make(map[core.PhysReg]bool, 16)
+		seenReady[f] = make(map[core.PhysReg]bool, 8)
+	}
+	for i, n := s.robHead, 0; n < s.robCount; i, n = (i+1)%len(s.rob), n+1 {
+		u := &s.rob[i]
+		if !u.live || u.issued {
+			continue
+		}
+		allReady := true
+		for k := 0; k < u.nsrc; k++ {
+			w := s.regBus[fileIdx(u.src[k].fp)][u.src[k].phys]
+			if w == notScheduled || w > t {
+				allReady = false
+			}
+		}
+		for k := 0; k < u.nsrc; k++ {
+			fi := fileIdx(u.src[k].fp)
+			w := s.regBus[fi][u.src[k].phys]
+			if w == notScheduled || w > t {
+				continue // no value yet
+			}
+			seenVal[fi][u.src[k].phys] = true
+			if allReady {
+				seenReady[fi][u.src[k].phys] = true
+			}
+		}
+	}
+	s.valueHist.Add(len(seenVal[0]) + len(seenVal[1]))
+	s.readyHist.Add(len(seenReady[0]) + len(seenReady[1]))
+}

@@ -1,0 +1,286 @@
+// Package stats provides the small statistical toolkit used by the
+// experiment harnesses: harmonic means (the paper reports harmonic-mean
+// IPC), cumulative distributions (Figure 3), and fixed-width text tables.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// HarmonicMean returns the harmonic mean of xs. It returns 0 for an empty
+// slice and panics if any value is non-positive (IPC values are always
+// positive).
+func HarmonicMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("stats: HarmonicMean of non-positive value %v", x))
+		}
+		sum += 1 / x
+	}
+	return float64(len(xs)) / sum
+}
+
+// ArithmeticMean returns the arithmetic mean of xs, or 0 for an empty slice.
+func ArithmeticMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// GeometricMean returns the geometric mean of xs, or 0 for an empty slice.
+// It panics on non-positive values.
+func GeometricMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("stats: GeometricMean of non-positive value %v", x))
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Speedup returns (new/old - 1) expressed as a fraction; e.g. 0.10 means
+// "10% faster".
+func Speedup(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return new/old - 1
+}
+
+// Histogram counts integer-valued observations (e.g. "number of live
+// registers this cycle"). The zero value is ready to use.
+type Histogram struct {
+	counts []uint64
+	total  uint64
+}
+
+// Add records one observation of value v (clamped at 0).
+func (h *Histogram) Add(v int) {
+	if v < 0 {
+		v = 0
+	}
+	for v >= len(h.counts) {
+		h.counts = append(h.counts, 0)
+	}
+	h.counts[v]++
+	h.total++
+}
+
+// AddN records n observations of value v.
+func (h *Histogram) AddN(v int, n uint64) {
+	if v < 0 {
+		v = 0
+	}
+	for v >= len(h.counts) {
+		h.counts = append(h.counts, 0)
+	}
+	h.counts[v] += n
+	h.total += n
+}
+
+// Total returns the number of recorded observations.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Count returns the number of observations with value v.
+func (h *Histogram) Count(v int) uint64 {
+	if v < 0 || v >= len(h.counts) {
+		return 0
+	}
+	return h.counts[v]
+}
+
+// Max returns the largest recorded value, or -1 if empty.
+func (h *Histogram) Max() int {
+	for v := len(h.counts) - 1; v >= 0; v-- {
+		if h.counts[v] > 0 {
+			return v
+		}
+	}
+	return -1
+}
+
+// Mean returns the mean of the recorded observations, or 0 if empty.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	sum := 0.0
+	for v, c := range h.counts {
+		sum += float64(v) * float64(c)
+	}
+	return sum / float64(h.total)
+}
+
+// CDF returns the cumulative distribution as percentages: result[v] is the
+// percentage of observations with value ≤ v, for v in [0, upTo].
+func (h *Histogram) CDF(upTo int) []float64 {
+	out := make([]float64, upTo+1)
+	if h.total == 0 {
+		return out
+	}
+	var cum uint64
+	for v := 0; v <= upTo; v++ {
+		if v < len(h.counts) {
+			cum += h.counts[v]
+		}
+		out[v] = 100 * float64(cum) / float64(h.total)
+	}
+	return out
+}
+
+// Percentile returns the smallest value v such that at least pct percent of
+// observations are ≤ v. pct is in (0, 100].
+func (h *Histogram) Percentile(pct float64) int {
+	if h.total == 0 {
+		return 0
+	}
+	need := uint64(math.Ceil(pct / 100 * float64(h.total)))
+	var cum uint64
+	for v, c := range h.counts {
+		cum += c
+		if cum >= need {
+			return v
+		}
+	}
+	return len(h.counts) - 1
+}
+
+// Merge adds all observations of other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for v, c := range other.counts {
+		if c > 0 {
+			h.AddN(v, c)
+		}
+	}
+}
+
+// Table builds fixed-width text tables in the style of the paper's tables.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; cells beyond the header width are dropped and short
+// rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.header))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row formatting each value with the given verb (e.g.
+// "%.2f") after the leading label.
+func (t *Table) AddRowf(label, verb string, vals ...float64) {
+	cells := make([]string, 0, len(vals)+1)
+	cells = append(cells, label)
+	for _, v := range vals {
+		cells = append(cells, fmt.Sprintf(verb, v))
+	}
+	t.AddRow(cells...)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	width := make([]int, len(t.header))
+	for i, h := range t.header {
+		width[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	total := len(width) - 1
+	for _, w := range width {
+		total += w + 1
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Series is a named sequence of (x, y) points, used to emit figure data.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Add appends one point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// ParetoFrontier filters (cost, value) points to those not dominated by any
+// other point: a point is kept iff no other point has lower-or-equal cost
+// and strictly higher value, or strictly lower cost and equal-or-higher
+// value. The result is sorted by ascending cost. The indices of the kept
+// points (into the input slices) are returned.
+func ParetoFrontier(cost, value []float64) []int {
+	if len(cost) != len(value) {
+		panic("stats: ParetoFrontier slice lengths differ")
+	}
+	idx := make([]int, len(cost))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ia, ib := idx[a], idx[b]
+		if cost[ia] != cost[ib] {
+			return cost[ia] < cost[ib]
+		}
+		return value[ia] > value[ib]
+	})
+	var keep []int
+	best := math.Inf(-1)
+	for _, i := range idx {
+		if value[i] > best {
+			keep = append(keep, i)
+			best = value[i]
+		}
+	}
+	return keep
+}

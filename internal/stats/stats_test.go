@@ -1,0 +1,294 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestHarmonicMean(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{2}, 2},
+		{[]float64{1, 1, 1}, 1},
+		{[]float64{2, 2}, 2},
+		{[]float64{1, 2}, 4.0 / 3},
+		{[]float64{2, 4, 4}, 3}, // 3 / (1/2+1/4+1/4)
+	}
+	for _, c := range cases {
+		if got := HarmonicMean(c.in); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("HarmonicMean(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestHarmonicMeanPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for non-positive input")
+		}
+	}()
+	HarmonicMean([]float64{1, 0})
+}
+
+func TestMeans(t *testing.T) {
+	xs := []float64{1, 2, 4}
+	if got := ArithmeticMean(xs); !almostEqual(got, 7.0/3, 1e-12) {
+		t.Errorf("ArithmeticMean = %v", got)
+	}
+	if got := GeometricMean(xs); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("GeometricMean = %v, want 2", got)
+	}
+	if ArithmeticMean(nil) != 0 || GeometricMean(nil) != 0 {
+		t.Error("empty means should be 0")
+	}
+}
+
+func TestMeanInequality(t *testing.T) {
+	// HM ≤ GM ≤ AM for positive values.
+	f := func(a, b, c uint16) bool {
+		xs := []float64{float64(a%100) + 1, float64(b%100) + 1, float64(c%100) + 1}
+		hm, gm, am := HarmonicMean(xs), GeometricMean(xs), ArithmeticMean(xs)
+		return hm <= gm+1e-9 && gm <= am+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(2, 3); !almostEqual(got, 0.5, 1e-12) {
+		t.Errorf("Speedup(2,3) = %v", got)
+	}
+	if got := Speedup(4, 2); !almostEqual(got, -0.5, 1e-12) {
+		t.Errorf("Speedup(4,2) = %v", got)
+	}
+	if got := Speedup(0, 5); got != 0 {
+		t.Errorf("Speedup(0,5) = %v, want 0", got)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Max() != -1 {
+		t.Errorf("empty Max = %d, want -1", h.Max())
+	}
+	h.Add(3)
+	h.Add(3)
+	h.Add(0)
+	h.AddN(5, 2)
+	if h.Total() != 5 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	if h.Count(3) != 2 || h.Count(5) != 2 || h.Count(0) != 1 || h.Count(4) != 0 {
+		t.Errorf("counts wrong: %d %d %d %d", h.Count(3), h.Count(5), h.Count(0), h.Count(4))
+	}
+	if h.Max() != 5 {
+		t.Errorf("Max = %d", h.Max())
+	}
+	want := (3.0 + 3 + 0 + 5 + 5) / 5
+	if got := h.Mean(); !almostEqual(got, want, 1e-12) {
+		t.Errorf("Mean = %v, want %v", got, want)
+	}
+	if h.Count(-1) != 0 {
+		t.Error("negative Count should be 0")
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Add(-7)
+	if h.Count(0) != 1 {
+		t.Error("negative Add not clamped to 0")
+	}
+}
+
+func TestHistogramCDF(t *testing.T) {
+	var h Histogram
+	h.AddN(0, 10)
+	h.AddN(1, 40)
+	h.AddN(2, 50)
+	cdf := h.CDF(3)
+	want := []float64{10, 50, 100, 100}
+	for i := range want {
+		if !almostEqual(cdf[i], want[i], 1e-9) {
+			t.Errorf("CDF[%d] = %v, want %v", i, cdf[i], want[i])
+		}
+	}
+	var empty Histogram
+	for _, v := range empty.CDF(2) {
+		if v != 0 {
+			t.Error("empty CDF should be all zero")
+		}
+	}
+}
+
+func TestHistogramPercentile(t *testing.T) {
+	var h Histogram
+	h.AddN(1, 50)
+	h.AddN(10, 50)
+	if got := h.Percentile(50); got != 1 {
+		t.Errorf("P50 = %d, want 1", got)
+	}
+	if got := h.Percentile(90); got != 10 {
+		t.Errorf("P90 = %d, want 10", got)
+	}
+	if got := h.Percentile(100); got != 10 {
+		t.Errorf("P100 = %d, want 10", got)
+	}
+	var empty Histogram
+	if empty.Percentile(50) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.AddN(1, 3)
+	b.AddN(1, 2)
+	b.AddN(4, 1)
+	a.Merge(&b)
+	if a.Total() != 6 || a.Count(1) != 5 || a.Count(4) != 1 {
+		t.Errorf("after merge: total=%d c1=%d c4=%d", a.Total(), a.Count(1), a.Count(4))
+	}
+}
+
+// Property: CDF is monotone non-decreasing and ends at 100 when it covers
+// the max value.
+func TestQuickCDFMonotone(t *testing.T) {
+	f := func(vals []uint8) bool {
+		var h Histogram
+		for _, v := range vals {
+			h.Add(int(v % 32))
+		}
+		if h.Total() == 0 {
+			return true
+		}
+		cdf := h.CDF(31)
+		prev := -1.0
+		for _, p := range cdf {
+			if p < prev {
+				return false
+			}
+			prev = p
+		}
+		return almostEqual(cdf[31], 100, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("bench", "IPC")
+	tab.AddRow("compress", "2.41")
+	tab.AddRowf("gcc", "%.2f", 2.0)
+	s := tab.String()
+	for _, sub := range []string{"bench", "IPC", "compress", "2.41", "gcc", "2.00"} {
+		if !strings.Contains(s, sub) {
+			t.Errorf("table missing %q:\n%s", sub, s)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Errorf("table has %d lines, want 4:\n%s", len(lines), s)
+	}
+}
+
+func TestTableRowPadding(t *testing.T) {
+	tab := NewTable("a", "b", "c")
+	tab.AddRow("x") // short row should pad
+	tab.AddRow("1", "2", "3", "4")
+	s := tab.String()
+	if strings.Contains(s, "4") {
+		t.Errorf("overlong row not truncated:\n%s", s)
+	}
+}
+
+func TestSeriesAdd(t *testing.T) {
+	var s Series
+	s.Add(1, 2)
+	s.Add(3, 4)
+	if len(s.X) != 2 || s.X[1] != 3 || s.Y[1] != 4 {
+		t.Errorf("series = %+v", s)
+	}
+}
+
+func TestParetoFrontier(t *testing.T) {
+	cost := []float64{1, 2, 3, 2.5, 4}
+	val := []float64{1, 3, 2, 3.5, 5}
+	keep := ParetoFrontier(cost, val)
+	// dominated: index 2 (cost 3, val 2 dominated by index 3: cost 2.5 val 3.5)
+	want := map[int]bool{0: true, 1: true, 3: true, 4: true}
+	if len(keep) != len(want) {
+		t.Fatalf("frontier = %v", keep)
+	}
+	for _, i := range keep {
+		if !want[i] {
+			t.Errorf("index %d should not be on the frontier", i)
+		}
+	}
+	// Frontier must be sorted by cost with strictly increasing value.
+	for k := 1; k < len(keep); k++ {
+		if cost[keep[k]] < cost[keep[k-1]] || val[keep[k]] <= val[keep[k-1]] {
+			t.Errorf("frontier not monotone at %d", k)
+		}
+	}
+}
+
+func TestParetoFrontierMismatchedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on mismatched lengths")
+		}
+	}()
+	ParetoFrontier([]float64{1}, nil)
+}
+
+// Property: every point not on the frontier is dominated by some frontier
+// point.
+func TestQuickParetoDomination(t *testing.T) {
+	f := func(pts []struct{ C, V uint8 }) bool {
+		if len(pts) == 0 {
+			return true
+		}
+		cost := make([]float64, len(pts))
+		val := make([]float64, len(pts))
+		for i, p := range pts {
+			cost[i] = float64(p.C)
+			val[i] = float64(p.V)
+		}
+		keep := ParetoFrontier(cost, val)
+		onF := make(map[int]bool, len(keep))
+		for _, i := range keep {
+			onF[i] = true
+		}
+		for i := range pts {
+			if onF[i] {
+				continue
+			}
+			dominated := false
+			for _, j := range keep {
+				if (cost[j] <= cost[i] && val[j] > val[i]) ||
+					(cost[j] < cost[i] && val[j] >= val[i]) ||
+					(cost[j] == cost[i] && val[j] == val[i]) {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/stats"
+)
+
+// Characterization summarizes the dynamic behaviour of a workload — the
+// quantities the paper's premises rest on (instruction mix, branch
+// behaviour, and especially the register value-reuse statistics of
+// Section 3: "most register values are read at most once").
+type Characterization struct {
+	// Instructions is the number of dynamic instructions analyzed.
+	Instructions uint64
+	// Mix counts instructions per class.
+	Mix [isa.NumClasses]uint64
+	// Branches and TakenBranches count conditional branches.
+	Branches, TakenBranches uint64
+	// ValuesProduced counts register-writing instructions.
+	ValuesProduced uint64
+	// ReadsPerValue histograms how many times each produced value is read
+	// before its logical register is overwritten.
+	ReadsPerValue stats.Histogram
+	// DepDistance histograms the producer→consumer distance in dynamic
+	// instructions (capped at 255).
+	DepDistance stats.Histogram
+	// DistinctLines counts distinct 64-byte data lines touched.
+	DistinctLines int
+}
+
+// Characterize runs the generator for n instructions and measures it.
+func Characterize(g *Generator, n uint64) *Characterization {
+	c := &Characterization{}
+	type live struct {
+		reads    uint64
+		bornAt   uint64
+		produced bool
+	}
+	values := make([]live, isa.NumLogical)
+	lines := make(map[uint64]struct{})
+	for i := uint64(0); i < n; i++ {
+		in := g.Next()
+		c.Instructions++
+		c.Mix[in.Class]++
+		if in.Class == isa.Branch {
+			c.Branches++
+			if in.Taken {
+				c.TakenBranches++
+			}
+		}
+		for _, r := range [2]isa.Reg{in.Src1, in.Src2} {
+			if !r.Valid() {
+				continue
+			}
+			v := &values[r]
+			v.reads++
+			if v.produced {
+				d := i - v.bornAt
+				if d > 255 {
+					d = 255
+				}
+				c.DepDistance.Add(int(d))
+			}
+		}
+		if in.Class.IsMem() {
+			lines[in.Addr>>6] = struct{}{}
+		}
+		if in.HasDest() {
+			v := &values[in.Dest]
+			if v.produced {
+				reads := v.reads
+				if reads > 16 {
+					reads = 16
+				}
+				c.ReadsPerValue.Add(int(reads))
+			}
+			values[in.Dest] = live{bornAt: i, produced: true}
+			c.ValuesProduced++
+		}
+	}
+	c.DistinctLines = len(lines)
+	return c
+}
+
+// ReadAtMostOnce returns the fraction of produced values read zero or one
+// times — the paper measures 88% (int) and 85% (FP).
+func (c *Characterization) ReadAtMostOnce() float64 {
+	t := c.ReadsPerValue.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(c.ReadsPerValue.Count(0)+c.ReadsPerValue.Count(1)) / float64(t)
+}
+
+// NeverRead returns the fraction of produced values never read.
+func (c *Characterization) NeverRead() float64 {
+	t := c.ReadsPerValue.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(c.ReadsPerValue.Count(0)) / float64(t)
+}
+
+// String renders a human-readable report.
+func (c *Characterization) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "instructions: %d\n", c.Instructions)
+	type mc struct {
+		cls isa.Class
+		n   uint64
+	}
+	var mix []mc
+	for cl := isa.Class(0); cl < isa.NumClasses; cl++ {
+		if c.Mix[cl] > 0 {
+			mix = append(mix, mc{cl, c.Mix[cl]})
+		}
+	}
+	sort.Slice(mix, func(i, j int) bool { return mix[i].n > mix[j].n })
+	b.WriteString("mix:")
+	for _, m := range mix {
+		fmt.Fprintf(&b, " %s %.1f%%", m.cls, 100*float64(m.n)/float64(c.Instructions))
+	}
+	b.WriteByte('\n')
+	if c.Branches > 0 {
+		fmt.Fprintf(&b, "branches: %.1f%% of instructions, %.1f%% taken\n",
+			100*float64(c.Branches)/float64(c.Instructions),
+			100*float64(c.TakenBranches)/float64(c.Branches))
+	}
+	fmt.Fprintf(&b, "values: %d produced; %.1f%% read ≤ once (%.1f%% never read); mean reads/value %.2f\n",
+		c.ValuesProduced, 100*c.ReadAtMostOnce(), 100*c.NeverRead(), c.ReadsPerValue.Mean())
+	fmt.Fprintf(&b, "dependence distance: median %d, p90 %d dynamic instructions\n",
+		c.DepDistance.Percentile(50), c.DepDistance.Percentile(90))
+	fmt.Fprintf(&b, "memory: %d distinct 64B lines touched\n", c.DistinctLines)
+	return b.String()
+}

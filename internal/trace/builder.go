@@ -1,0 +1,348 @@
+package trace
+
+import (
+	"repro/internal/isa"
+	"repro/internal/rng"
+)
+
+// pcBase is the address of the first static instruction.
+const pcBase = 0x10000
+
+// builder generates the static program for a profile.
+type builder struct {
+	prof Profile
+	r    *rng.PCG
+	prog *program
+
+	// recentInt/recentFP track destination registers in emission order so
+	// sources can be drawn with a geometric recency distribution;
+	// freshInt/freshFP track the not-yet-consumed subset. Sources are
+	// mostly drawn consume-once from the fresh lists: the paper's register
+	// usage measurements (88% of values read at most once, a significant
+	// fraction never read) are a premise of the register file cache, and
+	// the synthetic codes must reproduce them.
+	recentInt []isa.Reg
+	recentFP  []isa.Reg
+	freshInt  []isa.Reg
+	freshFP   []isa.Reg
+
+	nextIntDest int
+	nextFPDest  int
+	nextBase    uint64
+
+	mixCum []float64
+	mixCls []isa.Class
+}
+
+func newBuilder(prof Profile) *builder {
+	b := &builder{
+		prof: prof,
+		r:    rng.New(prof.Seed, 0xB111D),
+		prog: &program{},
+	}
+	// Seed recency lists so early instructions have producers to source.
+	for i := 0; i < 4; i++ {
+		b.recentInt = append(b.recentInt, isa.IntReg(i))
+		b.recentFP = append(b.recentFP, isa.FPReg(i))
+		b.freshInt = append(b.freshInt, isa.IntReg(i))
+		b.freshFP = append(b.freshFP, isa.FPReg(i))
+	}
+	// Build the cumulative mix table.
+	weights := []struct {
+		w float64
+		c isa.Class
+	}{
+		{prof.WIntALU, isa.IntALU}, {prof.WIntMul, isa.IntMul},
+		{prof.WIntDiv, isa.IntDiv}, {prof.WFPALU, isa.FPALU},
+		{prof.WFPDiv, isa.FPDiv}, {prof.WLoad, isa.Load},
+		{prof.WStore, isa.Store},
+	}
+	sum := 0.0
+	for _, w := range weights {
+		if w.w <= 0 {
+			continue
+		}
+		sum += w.w
+		b.mixCum = append(b.mixCum, sum)
+		b.mixCls = append(b.mixCls, w.c)
+	}
+	for i := range b.mixCum {
+		b.mixCum[i] /= sum
+	}
+	return b
+}
+
+// build generates the whole program: the top-level infinite loop whose body
+// fills the static-size budget.
+func (b *builder) build() *program {
+	budget := b.prof.StaticInstrs
+	top := &loop{tripMean: 1 << 20} // effectively infinite; walker re-arms it
+	top.headPC = b.nextPC()
+	for budget > 0 {
+		top.body = append(top.body, b.buildBlock(1, &budget)...)
+	}
+	top.backedge = b.addBackedge(top)
+	b.prog.top = top
+	return b.prog
+}
+
+// nextPC returns the PC the next emitted static instruction will get.
+func (b *builder) nextPC() uint64 { return pcBase + uint64(len(b.prog.instrs))*4 }
+
+// buildBlock emits items until the budget share for this block is
+// exhausted. Nested loops and forward hammocks are inserted on the way.
+func (b *builder) buildBlock(depth int, budget *int) []item {
+	var items []item
+	bodyLen := b.r.Geometric(1/float64(b.prof.BodyMean)) + 1
+	sinceBranch := 0
+	for i := 0; i < bodyLen && *budget > 0; i++ {
+		// Nested loop?
+		if depth < b.prof.MaxLoopDepth && *budget > 3*b.prof.BodyMean && b.r.Bernoulli(0.12) {
+			l := &loop{tripMean: b.drawTripMean()}
+			l.headPC = b.nextPC()
+			l.body = b.buildBlock(depth+1, budget)
+			l.backedge = b.addBackedge(l)
+			items = append(items, item{instr: -1, loop: l})
+			continue
+		}
+		// Forward hammock branch?
+		sinceBranch++
+		if sinceBranch >= b.prof.BranchEvery && *budget > 2 && b.r.Bernoulli(0.7) {
+			sinceBranch = 0
+			brIdx := b.addInstr(b.newBranch())
+			items = append(items, item{instr: brIdx})
+			// Then-part: 1..4 instructions skipped when taken.
+			k := 1 + b.r.Intn(4)
+			skipped := 0
+			for j := 0; j < k && *budget > 0; j++ {
+				idx := b.addInstr(b.newBodyInstr())
+				items = append(items, item{instr: idx})
+				*budget--
+				skipped++
+			}
+			si := &b.prog.instrs[brIdx]
+			si.skip = skipped
+			si.target = b.nextPC() // join point
+			continue
+		}
+		idx := b.addInstr(b.newBodyInstr())
+		items = append(items, item{instr: idx})
+		*budget--
+	}
+	if len(items) == 0 {
+		idx := b.addInstr(b.newBodyInstr())
+		items = append(items, item{instr: idx})
+		if *budget > 0 {
+			*budget--
+		}
+	}
+	return items
+}
+
+func (b *builder) drawTripMean() int {
+	m := b.prof.TripMean/2 + b.r.Intn(b.prof.TripMean)
+	if m < 2 {
+		m = 2
+	}
+	return m
+}
+
+// addBackedge appends the loop's back-edge branch and records its index.
+func (b *builder) addBackedge(l *loop) int32 {
+	br := sInstr{
+		class:  isa.Branch,
+		dest:   isa.RegNone,
+		src1:   b.pickSource(false),
+		src2:   isa.RegNone,
+		kind:   brLoop,
+		target: l.headPC,
+	}
+	return b.addInstr(br)
+}
+
+// newBranch builds a forward conditional branch. A FracRandomBranch
+// fraction of branches are data-dependent (outcome drawn per execution with
+// probability RandomBias); the rest are deterministic — always-not-taken
+// mostly, always-taken sometimes — like the strongly biased branches that
+// dominate real codes and that history predictors learn perfectly.
+func (b *builder) newBranch() sInstr {
+	var p float64 // deterministic not-taken
+	if b.r.Bernoulli(0.25) {
+		p = 1 // deterministic taken
+	}
+	if b.r.Bernoulli(b.prof.FracRandomBranch) {
+		p = b.prof.RandomBias
+	}
+	return sInstr{
+		class:  isa.Branch,
+		dest:   isa.RegNone,
+		src1:   b.pickSource(false),
+		src2:   isa.RegNone,
+		kind:   brIf,
+		pTaken: p,
+	}
+}
+
+// newBodyInstr draws a non-branch instruction from the profile mix.
+func (b *builder) newBodyInstr() sInstr {
+	cls := b.drawClass()
+	si := sInstr{class: cls, dest: isa.RegNone, src1: isa.RegNone, src2: isa.RegNone}
+	switch cls {
+	case isa.IntALU, isa.IntMul, isa.IntDiv:
+		si.src1 = b.pickSource(false)
+		if b.r.Bernoulli(0.45) { // the rest use immediates, like real code
+			si.src2 = b.pickSource(false)
+		}
+		si.dest = b.pickIntDest()
+	case isa.FPALU, isa.FPDiv:
+		si.src1 = b.pickSource(true)
+		if b.r.Bernoulli(0.7) {
+			si.src2 = b.pickSource(true)
+		}
+		si.dest = b.pickFPDest()
+	case isa.Load:
+		si.src1 = b.pickAddrReg()
+		if b.fpData() {
+			si.dest = b.pickFPDest()
+		} else {
+			si.dest = b.pickIntDest()
+		}
+		b.setMem(&si)
+	case isa.Store:
+		si.src1 = b.pickAddrReg()
+		si.src2 = b.pickSource(b.fpData())
+		b.setMem(&si)
+	}
+	return si
+}
+
+// pickAddrReg draws an address register. Real memory addresses come mostly
+// from base pointers and induction variables that are available early —
+// which is what lets loads disambiguate against prior stores quickly; a
+// minority chase computed pointers (critical in li-like codes).
+func (b *builder) pickAddrReg() isa.Reg {
+	if b.r.Bernoulli(0.7) {
+		return isa.IntReg(30 + b.r.Intn(2))
+	}
+	return b.pickSource(false)
+}
+
+// pickSource draws a source register. Most draws consume a fresh (not yet
+// read) recent value — real codes read 85–90% of values exactly once (the
+// paper's Section 3 measurement) — while the rest re-read an arbitrary
+// recent value.
+func (b *builder) pickSource(fp bool) isa.Reg {
+	fresh := &b.freshInt
+	recent := b.recentInt
+	if fp {
+		fresh = &b.freshFP
+		recent = b.recentFP
+	}
+	if len(*fresh) > 0 && b.r.Bernoulli(0.85) {
+		d := b.r.Geometric(b.prof.DepDistP)
+		if d > len(*fresh) {
+			d = len(*fresh)
+		}
+		idx := len(*fresh) - d
+		r := (*fresh)[idx]
+		*fresh = append((*fresh)[:idx], (*fresh)[idx+1:]...)
+		return r
+	}
+	// Re-reads concentrate on long-lived "global" registers (stack and
+	// global pointers in real code), matching the paper's observation that
+	// the few multiply-read values are stable ones. FP codes re-read
+	// almost exclusively through such stable registers (loop constants);
+	// integer codes re-read transient values more often — which is why the
+	// paper's register file cache costs integer codes more IPC than FP.
+	globalFrac := 0.55
+	if b.prof.FP {
+		globalFrac = 0.94
+	}
+	if b.r.Bernoulli(globalFrac) {
+		if fp {
+			return isa.FPReg(30 + b.r.Intn(2))
+		}
+		return isa.IntReg(30 + b.r.Intn(2))
+	}
+	d := b.r.Geometric(b.prof.DepDistP)
+	if d > len(recent) {
+		d = len(recent)
+	}
+	return recent[len(recent)-d]
+}
+
+// fpData reports whether a memory value should live in the FP file; FP
+// profiles move mostly FP data.
+func (b *builder) fpData() bool {
+	if b.prof.FP {
+		return b.r.Bernoulli(0.75)
+	}
+	return b.r.Bernoulli(0.05)
+}
+
+func (b *builder) setMem(si *sInstr) {
+	si.base = 0x100000 + b.nextBase
+	if b.r.Bernoulli(b.prof.FracStream) {
+		si.mode = memStream
+		si.stride = 8
+		b.nextBase += 1 << 12 // separate streams
+	} else {
+		si.mode = memRandom
+		b.nextBase += 64
+	}
+	b.nextBase &= 1<<28 - 1
+}
+
+func (b *builder) drawClass() isa.Class {
+	x := b.r.Float64()
+	for i, c := range b.mixCum {
+		if x < c {
+			return b.mixCls[i]
+		}
+	}
+	return b.mixCls[len(b.mixCls)-1]
+}
+
+// pickIntDest cycles destinations over a bounded pool, which (with renaming)
+// leaves ILP intact but keeps chains flowing through few names.
+func (b *builder) pickIntDest() isa.Reg {
+	r := isa.IntReg(2 + b.nextIntDest%(b.prof.DestPool))
+	b.nextIntDest++
+	if b.r.Bernoulli(0.3) { // occasional irregular reuse
+		r = isa.IntReg(2 + b.r.Intn(b.prof.DestPool))
+	}
+	b.recentInt = append(b.recentInt, r)
+	if len(b.recentInt) > 64 {
+		b.recentInt = b.recentInt[1:]
+	}
+	b.freshInt = append(b.freshInt, r)
+	if len(b.freshInt) > 24 { // values that age out are never read
+		b.freshInt = b.freshInt[1:]
+	}
+	return r
+}
+
+func (b *builder) pickFPDest() isa.Reg {
+	r := isa.FPReg(2 + b.nextFPDest%(b.prof.DestPool))
+	b.nextFPDest++
+	if b.r.Bernoulli(0.3) {
+		r = isa.FPReg(2 + b.r.Intn(b.prof.DestPool))
+	}
+	b.recentFP = append(b.recentFP, r)
+	if len(b.recentFP) > 64 {
+		b.recentFP = b.recentFP[1:]
+	}
+	b.freshFP = append(b.freshFP, r)
+	if len(b.freshFP) > 24 {
+		b.freshFP = b.freshFP[1:]
+	}
+	return r
+}
+
+// addInstr appends si to the program, assigning its PC, and returns its
+// index.
+func (b *builder) addInstr(si sInstr) int32 {
+	si.pc = b.nextPC()
+	b.prog.instrs = append(b.prog.instrs, si)
+	return int32(len(b.prog.instrs) - 1)
+}

@@ -1,0 +1,146 @@
+package trace
+
+// This file defines the 18 SPEC95 proxy profiles. The parameters are tuned
+// so the baseline simulator reproduces the qualitative landscape the paper
+// depends on (see DESIGN.md §4): SpecInt proxies have small-to-large code
+// footprints, short dependence chains, frequent and partially unpredictable
+// branches; SpecFP proxies have loop-dominated control flow, long
+// independent chains (high ILP), streaming memory and rare mispredictions.
+// Comments on each profile note the real program's dominant behaviour that
+// the parameters mimic.
+
+func intMix(p *Profile) {
+	p.WIntALU, p.WIntMul, p.WIntDiv = 52, 2, 0.4
+	p.WLoad, p.WStore = 30, 13
+}
+
+func fpMix(p *Profile) {
+	p.WIntALU, p.WIntMul = 14, 1
+	p.WFPALU, p.WFPDiv = 40, 1.6
+	p.WLoad, p.WStore = 30, 13
+}
+
+// SpecInt95 returns the eight SpecInt95 proxy profiles.
+func SpecInt95() []Profile {
+	ps := []Profile{
+		{ // compress: tight dictionary loops, data-dependent compression decisions
+			Name: "compress", StaticInstrs: 1200, MaxLoopDepth: 2, BodyMean: 7, TripMean: 24,
+			BranchEvery: 5, FracRandomBranch: 0.2, RandomBias: 0.35,
+			DepDistP: 0.45, DestPool: 8, FracStream: 0.35, WorkingSet: 1 << 18, Seed: 101,
+		},
+		{ // gcc: huge code footprint, irregular control flow
+			Name: "gcc", StaticInstrs: 26000, MaxLoopDepth: 3, BodyMean: 9, TripMean: 7,
+			BranchEvery: 5, FracRandomBranch: 0.06, RandomBias: 0.35,
+			DepDistP: 0.42, DestPool: 10, FracStream: 0.25, WorkingSet: 1 << 20, Seed: 102,
+		},
+		{ // go: the suite's least predictable branches, deep decision trees
+			Name: "go", StaticInstrs: 17000, MaxLoopDepth: 3, BodyMean: 8, TripMean: 5,
+			BranchEvery: 4, FracRandomBranch: 0.22, RandomBias: 0.38,
+			DepDistP: 0.45, DestPool: 10, FracStream: 0.2, WorkingSet: 1 << 19, Seed: 103,
+		},
+		{ // ijpeg: regular DCT/quantization loops, very predictable
+			Name: "ijpeg", StaticInstrs: 3200, MaxLoopDepth: 3, BodyMean: 14, TripMean: 32,
+			BranchEvery: 8, FracRandomBranch: 0.09, RandomBias: 0.3,
+			DepDistP: 0.28, DestPool: 14, FracStream: 0.75, WorkingSet: 1 << 19, Seed: 104,
+		},
+		{ // li: lisp interpreter, pointer chasing (serial load chains)
+			Name: "li", StaticInstrs: 4200, MaxLoopDepth: 2, BodyMean: 7, TripMean: 9,
+			BranchEvery: 5, FracRandomBranch: 0.08, RandomBias: 0.35,
+			DepDistP: 0.5, DestPool: 8, FracStream: 0.15, WorkingSet: 1 << 19, Seed: 105,
+		},
+		{ // m88ksim: CPU simulator main loop, moderately predictable dispatch
+			Name: "m88ksim", StaticInstrs: 6400, MaxLoopDepth: 2, BodyMean: 10, TripMean: 14,
+			BranchEvery: 6, FracRandomBranch: 0.03, RandomBias: 0.3,
+			DepDistP: 0.4, DestPool: 10, FracStream: 0.4, WorkingSet: 1 << 18, Seed: 106,
+		},
+		{ // perl: interpreter dispatch, hash lookups
+			Name: "perl", StaticInstrs: 12500, MaxLoopDepth: 3, BodyMean: 8, TripMean: 8,
+			BranchEvery: 5, FracRandomBranch: 0.06, RandomBias: 0.35,
+			DepDistP: 0.45, DestPool: 10, FracStream: 0.2, WorkingSet: 1 << 19, Seed: 107,
+		},
+		{ // vortex: OO database, large code but well-predicted calls
+			Name: "vortex", StaticInstrs: 23000, MaxLoopDepth: 3, BodyMean: 11, TripMean: 10,
+			BranchEvery: 6, FracRandomBranch: 0.01, RandomBias: 0.3,
+			DepDistP: 0.38, DestPool: 12, FracStream: 0.35, WorkingSet: 1 << 20, Seed: 108,
+		},
+	}
+	for i := range ps {
+		intMix(&ps[i])
+	}
+	return ps
+}
+
+// SpecFP95 returns the ten SpecFP95 proxy profiles.
+func SpecFP95() []Profile {
+	ps := []Profile{
+		{ // applu: PDE solver, blocked loops
+			Name: "applu", FP: true, StaticInstrs: 5200, MaxLoopDepth: 3, BodyMean: 18, TripMean: 30,
+			BranchEvery: 12, FracRandomBranch: 0.012, RandomBias: 0.3,
+			DepDistP: 0.14, DestPool: 18, FracStream: 0.85, WorkingSet: 1 << 21, Seed: 201,
+		},
+		{ // apsi: meteorology, mixed loop sizes, some scalar code
+			Name: "apsi", FP: true, StaticInstrs: 6800, MaxLoopDepth: 3, BodyMean: 14, TripMean: 18,
+			BranchEvery: 9, FracRandomBranch: 0.02, RandomBias: 0.3,
+			DepDistP: 0.18, DestPool: 16, FracStream: 0.7, WorkingSet: 1 << 21, Seed: 202,
+		},
+		{ // fpppp: enormous straight-line basic blocks, extreme ILP
+			Name: "fpppp", FP: true, StaticInstrs: 9000, MaxLoopDepth: 2, BodyMean: 55, TripMean: 22,
+			BranchEvery: 40, FracRandomBranch: 0.006, RandomBias: 0.3,
+			DepDistP: 0.1, DestPool: 26, FracStream: 0.6, WorkingSet: 1 << 19, Seed: 203,
+		},
+		{ // hydro2d: hydrodynamics, vectorizable loops
+			Name: "hydro2d", FP: true, StaticInstrs: 4600, MaxLoopDepth: 3, BodyMean: 16, TripMean: 40,
+			BranchEvery: 11, FracRandomBranch: 0.01, RandomBias: 0.3,
+			DepDistP: 0.15, DestPool: 18, FracStream: 0.85, WorkingSet: 1 << 21, Seed: 204,
+		},
+		{ // mgrid: multigrid stencil, the most regular code in the suite
+			Name: "mgrid", FP: true, StaticInstrs: 2600, MaxLoopDepth: 3, BodyMean: 20, TripMean: 80,
+			BranchEvery: 16, FracRandomBranch: 0.006, RandomBias: 0.3,
+			DepDistP: 0.28, DestPool: 22, FracStream: 0.93, WorkingSet: 1 << 22, Seed: 205,
+		},
+		{ // su2cor: quantum physics, larger working set, some gather access
+			Name: "su2cor", FP: true, StaticInstrs: 5800, MaxLoopDepth: 3, BodyMean: 14, TripMean: 24,
+			BranchEvery: 10, FracRandomBranch: 0.018, RandomBias: 0.3,
+			DepDistP: 0.18, DestPool: 16, FracStream: 0.55, WorkingSet: 1 << 22, Seed: 206,
+		},
+		{ // swim: shallow-water stencil, pure streaming
+			Name: "swim", FP: true, StaticInstrs: 2100, MaxLoopDepth: 2, BodyMean: 22, TripMean: 90,
+			BranchEvery: 18, FracRandomBranch: 0.005, RandomBias: 0.3,
+			DepDistP: 0.13, DestPool: 22, FracStream: 0.95, WorkingSet: 1 << 22, Seed: 207,
+		},
+		{ // tomcatv: mesh generation, strided sweeps with cache misses
+			Name: "tomcatv", FP: true, StaticInstrs: 1900, MaxLoopDepth: 2, BodyMean: 18, TripMean: 60,
+			BranchEvery: 13, FracRandomBranch: 0.01, RandomBias: 0.3,
+			DepDistP: 0.18, DestPool: 18, FracStream: 0.8, WorkingSet: 1 << 23, Seed: 208,
+		},
+		{ // turb3d: turbulence FFTs, mixed strides
+			Name: "turb3d", FP: true, StaticInstrs: 4000, MaxLoopDepth: 3, BodyMean: 16, TripMean: 28,
+			BranchEvery: 11, FracRandomBranch: 0.012, RandomBias: 0.3,
+			DepDistP: 0.15, DestPool: 18, FracStream: 0.75, WorkingSet: 1 << 21, Seed: 209,
+		},
+		{ // wave5: particle-in-cell, scatter/gather plus dense field sweeps
+			Name: "wave5", FP: true, StaticInstrs: 5400, MaxLoopDepth: 3, BodyMean: 15, TripMean: 26,
+			BranchEvery: 10, FracRandomBranch: 0.018, RandomBias: 0.3,
+			DepDistP: 0.18, DestPool: 16, FracStream: 0.6, WorkingSet: 1 << 22, Seed: 210,
+		},
+	}
+	for i := range ps {
+		fpMix(&ps[i])
+	}
+	return ps
+}
+
+// All returns every profile: SpecInt95 then SpecFP95.
+func All() []Profile {
+	return append(SpecInt95(), SpecFP95()...)
+}
+
+// ByName returns the profile with the given name, or false.
+func ByName(name string) (Profile, bool) {
+	for _, p := range All() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}

@@ -1,0 +1,342 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bpred"
+	"repro/internal/isa"
+)
+
+func testProfile() Profile {
+	p := Profile{
+		Name: "test", StaticInstrs: 500, MaxLoopDepth: 2, BodyMean: 8, TripMean: 10,
+		BranchEvery: 4, FracRandomBranch: 0.2, RandomBias: 0.5,
+		DepDistP: 0.5, DestPool: 8, FracStream: 0.5, WorkingSet: 1 << 16, Seed: 42,
+	}
+	intMix(&p)
+	return p
+}
+
+func TestValidateCatchesBadProfiles(t *testing.T) {
+	mutations := []func(*Profile){
+		func(p *Profile) { p.Name = "" },
+		func(p *Profile) { p.StaticInstrs = 2 },
+		func(p *Profile) { p.MaxLoopDepth = 0 },
+		func(p *Profile) { p.BodyMean = 1 },
+		func(p *Profile) { p.TripMean = 1 },
+		func(p *Profile) { p.DepDistP = 0 },
+		func(p *Profile) { p.DepDistP = 1.5 },
+		func(p *Profile) { p.DestPool = 1 },
+		func(p *Profile) { p.WorkingSet = 1000 }, // not a power of two
+		func(p *Profile) { p.BranchEvery = 0 },
+		func(p *Profile) {
+			p.WIntALU, p.WIntMul, p.WIntDiv, p.WLoad, p.WStore = 0, 0, 0, 0, 0
+		},
+	}
+	for i, mut := range mutations {
+		p := testProfile()
+		mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d not caught by Validate", i)
+		}
+	}
+	p := testProfile()
+	if err := p.Validate(); err != nil {
+		t.Errorf("valid profile rejected: %v", err)
+	}
+}
+
+func TestDeterministicStream(t *testing.T) {
+	a, b := New(testProfile()), New(testProfile())
+	for i := 0; i < 5000; i++ {
+		x, y := a.Next(), b.Next()
+		if *x != *y {
+			t.Fatalf("instruction %d differs: %v vs %v", i, x, y)
+		}
+	}
+}
+
+func TestSeedChangesProgram(t *testing.T) {
+	p1, p2 := testProfile(), testProfile()
+	p2.Seed = 43
+	a, b := New(p1), New(p2)
+	diff := 0
+	for i := 0; i < 1000; i++ {
+		if *a.Next() != *b.Next() {
+			diff++
+		}
+	}
+	if diff < 100 {
+		t.Errorf("different seeds produced near-identical streams (%d/1000 differ)", diff)
+	}
+}
+
+func TestStreamRunsForever(t *testing.T) {
+	g := New(testProfile())
+	for i := 0; i < 200000; i++ {
+		if g.Next() == nil {
+			t.Fatal("stream ended")
+		}
+	}
+	if g.Emitted() != 200000 {
+		t.Errorf("Emitted = %d", g.Emitted())
+	}
+}
+
+func TestStaticSizeNearBudget(t *testing.T) {
+	p := testProfile()
+	g := New(p)
+	size := g.StaticSize()
+	// Branches and loop scaffolding are not budgeted, so allow headroom.
+	if size < p.StaticInstrs/2 || size > p.StaticInstrs*3 {
+		t.Errorf("static size %d far from budget %d", size, p.StaticInstrs)
+	}
+}
+
+func TestInstructionFieldsWellFormed(t *testing.T) {
+	g := New(testProfile())
+	for i := 0; i < 20000; i++ {
+		in := g.Next()
+		if in.Class >= isa.NumClasses {
+			t.Fatalf("bad class %d", in.Class)
+		}
+		switch in.Class {
+		case isa.Branch:
+			if in.Dest.Valid() {
+				t.Fatal("branch with destination")
+			}
+			if in.Taken && in.Target == 0 {
+				t.Fatal("taken branch without target")
+			}
+		case isa.Store:
+			if in.Dest.Valid() {
+				t.Fatal("store with destination")
+			}
+			if in.Addr == 0 {
+				t.Fatal("store without address")
+			}
+		case isa.Load:
+			if !in.Dest.Valid() {
+				t.Fatal("load without destination")
+			}
+			if in.Addr == 0 {
+				t.Fatal("load without address")
+			}
+		default:
+			if !in.Dest.Valid() {
+				t.Fatalf("%v without destination", in.Class)
+			}
+		}
+		if in.Src1.Valid() && !in.Src1.Valid() {
+			t.Fatal("unreachable")
+		}
+		if in.PC < pcBase {
+			t.Fatalf("PC %#x below base", in.PC)
+		}
+	}
+}
+
+func TestMixRoughlyHonored(t *testing.T) {
+	g := New(testProfile())
+	var counts [isa.NumClasses]int
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[g.Next().Class]++
+	}
+	frac := func(c isa.Class) float64 { return float64(counts[c]) / n }
+	if f := frac(isa.IntALU); f < 0.25 || f > 0.65 {
+		t.Errorf("IntALU fraction %.2f out of band", f)
+	}
+	if f := frac(isa.Load); f < 0.10 || f > 0.40 {
+		t.Errorf("Load fraction %.2f out of band", f)
+	}
+	if f := frac(isa.Branch); f < 0.08 || f > 0.40 {
+		t.Errorf("Branch fraction %.2f out of band", f)
+	}
+}
+
+func TestFPProfileEmitsFPOps(t *testing.T) {
+	prof, ok := ByName("swim")
+	if !ok {
+		t.Fatal("swim profile missing")
+	}
+	g := New(prof)
+	fp := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		if g.Next().Class.IsFP() {
+			fp++
+		}
+	}
+	if f := float64(fp) / n; f < 0.2 {
+		t.Errorf("FP fraction %.2f too low for an FP benchmark", f)
+	}
+}
+
+func TestBranchPredictabilityOrdering(t *testing.T) {
+	// go (unpredictable) must mispredict far more than mgrid (regular).
+	rate := func(name string) float64 {
+		prof, ok := ByName(name)
+		if !ok {
+			t.Fatalf("profile %s missing", name)
+		}
+		g := New(prof)
+		pred := bpred.NewGshare(16)
+		for i := 0; i < 200000; i++ {
+			in := g.Next()
+			if in.Class == isa.Branch {
+				pred.Update(in.PC, in.Taken)
+			}
+		}
+		return pred.MispredictRate()
+	}
+	goRate, mgridRate := rate("go"), rate("mgrid")
+	if goRate < 2*mgridRate {
+		t.Errorf("go mispredict %.3f not clearly above mgrid %.3f", goRate, mgridRate)
+	}
+	if goRate < 0.04 {
+		t.Errorf("go mispredict rate %.3f unrealistically low", goRate)
+	}
+	if mgridRate > 0.05 {
+		t.Errorf("mgrid mispredict rate %.3f unrealistically high", mgridRate)
+	}
+}
+
+func TestLoopBackedgesMostlyTaken(t *testing.T) {
+	g := New(testProfile())
+	taken, total := 0, 0
+	for i := 0; i < 100000; i++ {
+		in := g.Next()
+		if in.Class == isa.Branch && in.Taken {
+			taken++
+		}
+		if in.Class == isa.Branch {
+			total++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no branches emitted")
+	}
+	f := float64(taken) / float64(total)
+	if f < 0.2 || f > 0.95 {
+		t.Errorf("taken fraction %.2f implausible", f)
+	}
+}
+
+func TestAllProfilesValidAndDistinct(t *testing.T) {
+	all := All()
+	if len(all) != 18 {
+		t.Fatalf("expected 18 profiles, got %d", len(all))
+	}
+	names := map[string]bool{}
+	seeds := map[uint64]bool{}
+	for _, p := range all {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+		if names[p.Name] {
+			t.Errorf("duplicate name %s", p.Name)
+		}
+		names[p.Name] = true
+		if seeds[p.Seed] {
+			t.Errorf("duplicate seed %d (%s)", p.Seed, p.Name)
+		}
+		seeds[p.Seed] = true
+	}
+	if len(SpecInt95()) != 8 || len(SpecFP95()) != 10 {
+		t.Error("suite sizes wrong")
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("gcc"); !ok {
+		t.Error("gcc not found")
+	}
+	if _, ok := ByName("nonexistent"); ok {
+		t.Error("found a benchmark that should not exist")
+	}
+}
+
+func TestAllProfilesProduceStreams(t *testing.T) {
+	for _, p := range All() {
+		g := New(p)
+		var branches, mems int
+		for i := 0; i < 20000; i++ {
+			in := g.Next()
+			if in.Class == isa.Branch {
+				branches++
+			}
+			if in.Class.IsMem() {
+				mems++
+			}
+		}
+		if branches == 0 {
+			t.Errorf("%s: no branches", p.Name)
+		}
+		if mems == 0 {
+			t.Errorf("%s: no memory operations", p.Name)
+		}
+	}
+}
+
+func TestStreamingAddressesAdvance(t *testing.T) {
+	p := testProfile()
+	p.FracStream = 1.0
+	g := New(p)
+	seen := map[uint64][]uint64{} // PC -> addresses
+	for i := 0; i < 50000; i++ {
+		in := g.Next()
+		if in.Class.IsMem() {
+			seen[in.PC] = append(seen[in.PC], in.Addr)
+		}
+	}
+	streams := 0
+	for _, addrs := range seen {
+		if len(addrs) < 3 {
+			continue
+		}
+		sequential := true
+		for i := 1; i < len(addrs); i++ {
+			d := int64(addrs[i]) - int64(addrs[i-1])
+			if d != 8 && d < 0 { // allow wraparound resets
+				sequential = false
+				break
+			}
+		}
+		if sequential {
+			streams++
+		}
+	}
+	if streams == 0 {
+		t.Error("no streaming access patterns detected")
+	}
+}
+
+// Property: every generated profile walk stays within its logical register
+// name space and never emits an instruction sourcing an FP register into an
+// integer-only slot (branch/address registers are integer).
+func TestQuickRegisterDiscipline(t *testing.T) {
+	f := func(seed uint64) bool {
+		p := testProfile()
+		p.Seed = seed
+		g := New(p)
+		for i := 0; i < 2000; i++ {
+			in := g.Next()
+			if in.Class == isa.Branch || in.Class.IsMem() {
+				if in.Src1.Valid() && in.Src1.IsFP() {
+					return false // address/condition registers are integer
+				}
+			}
+			for _, r := range []isa.Reg{in.Dest, in.Src1, in.Src2} {
+				if r != isa.RegNone && !r.Valid() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,199 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/isa"
+)
+
+// This file implements a compact binary capture/replay format for dynamic
+// instruction streams, so that a workload (synthetic or externally
+// produced) can be stored and simulated repeatedly with exact fidelity.
+//
+// Format: a 8-byte magic+version header, then one record per instruction:
+//
+//	flags  byte   — class (low 4 bits), taken (bit 4), hasAddr (bit 5),
+//	                hasTarget (bit 6)
+//	pc     uvarint (delta-encoded against the previous PC)
+//	dest   byte   — logical register + 1 (0 = none)
+//	src1   byte
+//	src2   byte
+//	addr   uvarint (present iff hasAddr; delta-encoded per instruction PC)
+//	target uvarint (present iff hasTarget)
+//
+// The encoding is stdlib-only (encoding/binary varints) and typically
+// takes 5–8 bytes per instruction.
+
+// traceMagic identifies trace files; the last byte is the format version.
+var traceMagic = [8]byte{'r', 'f', 't', 'r', 'a', 'c', 'e', 1}
+
+// Writer serializes instructions to an io.Writer.
+type Writer struct {
+	w      *bufio.Writer
+	lastPC uint64
+	count  uint64
+	buf    []byte
+}
+
+// NewWriter writes the header and returns a trace writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(traceMagic[:]); err != nil {
+		return nil, fmt.Errorf("trace: writing header: %w", err)
+	}
+	return &Writer{w: bw, buf: make([]byte, 0, 32)}, nil
+}
+
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// Write appends one instruction.
+func (t *Writer) Write(in *isa.Instr) error {
+	flags := byte(in.Class) & 0x0f
+	if in.Taken {
+		flags |= 1 << 4
+	}
+	hasAddr := in.Class.IsMem()
+	if hasAddr {
+		flags |= 1 << 5
+	}
+	hasTarget := in.Class == isa.Branch && in.Target != 0
+	if hasTarget {
+		flags |= 1 << 6
+	}
+	t.buf = t.buf[:0]
+	t.buf = append(t.buf, flags)
+	t.buf = binary.AppendUvarint(t.buf, zigzag(int64(in.PC)-int64(t.lastPC)))
+	t.buf = append(t.buf, regByte(in.Dest), regByte(in.Src1), regByte(in.Src2))
+	if hasAddr {
+		t.buf = binary.AppendUvarint(t.buf, in.Addr)
+	}
+	if hasTarget {
+		t.buf = binary.AppendUvarint(t.buf, in.Target)
+	}
+	t.lastPC = in.PC
+	t.count++
+	if _, err := t.w.Write(t.buf); err != nil {
+		return fmt.Errorf("trace: writing instruction %d: %w", t.count, err)
+	}
+	return nil
+}
+
+// Count returns the number of instructions written.
+func (t *Writer) Count() uint64 { return t.count }
+
+// Flush completes the stream.
+func (t *Writer) Flush() error {
+	if err := t.w.Flush(); err != nil {
+		return fmt.Errorf("trace: flush: %w", err)
+	}
+	return nil
+}
+
+func regByte(r isa.Reg) byte {
+	if !r.Valid() {
+		return 0
+	}
+	return byte(r) + 1
+}
+
+func byteReg(b byte) isa.Reg {
+	if b == 0 {
+		return isa.RegNone
+	}
+	return isa.Reg(b) - 1
+}
+
+// Reader replays a serialized trace. It implements isa.Stream; Next panics
+// on a malformed stream and wraps io.EOF into ErrEndOfTrace through Err
+// after the stream ends — callers that need graceful endings use Read.
+type Reader struct {
+	r      *bufio.Reader
+	lastPC uint64
+	cur    isa.Instr
+	count  uint64
+}
+
+// NewReader validates the header and returns a trace reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if magic != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic[:])
+	}
+	return &Reader{r: br}, nil
+}
+
+// Read returns the next instruction, or io.EOF at a clean end of stream.
+func (t *Reader) Read() (*isa.Instr, error) {
+	flags, err := t.r.ReadByte()
+	if err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("trace: instruction %d: %w", t.count+1, err)
+	}
+	dpc, err := binary.ReadUvarint(t.r)
+	if err != nil {
+		return nil, fmt.Errorf("trace: instruction %d pc: %w", t.count+1, err)
+	}
+	var regs [3]byte
+	if _, err := io.ReadFull(t.r, regs[:]); err != nil {
+		return nil, fmt.Errorf("trace: instruction %d regs: %w", t.count+1, err)
+	}
+	t.cur = isa.Instr{
+		PC:    uint64(int64(t.lastPC) + unzigzag(dpc)),
+		Class: isa.Class(flags & 0x0f),
+		Taken: flags&(1<<4) != 0,
+		Dest:  byteReg(regs[0]),
+		Src1:  byteReg(regs[1]),
+		Src2:  byteReg(regs[2]),
+	}
+	if flags&(1<<5) != 0 {
+		if t.cur.Addr, err = binary.ReadUvarint(t.r); err != nil {
+			return nil, fmt.Errorf("trace: instruction %d addr: %w", t.count+1, err)
+		}
+	}
+	if flags&(1<<6) != 0 {
+		if t.cur.Target, err = binary.ReadUvarint(t.r); err != nil {
+			return nil, fmt.Errorf("trace: instruction %d target: %w", t.count+1, err)
+		}
+	}
+	t.lastPC = t.cur.PC
+	t.count++
+	return &t.cur, nil
+}
+
+// Next implements isa.Stream; it panics at end of stream (simulations must
+// be sized within the capture — use Read for graceful handling).
+func (t *Reader) Next() *isa.Instr {
+	in, err := t.Read()
+	if err != nil {
+		panic(fmt.Sprintf("trace: stream ended after %d instructions: %v", t.count, err))
+	}
+	return in
+}
+
+// Count returns the number of instructions read so far.
+func (t *Reader) Count() uint64 { return t.count }
+
+// Capture serializes n instructions of stream into w.
+func Capture(w io.Writer, stream isa.Stream, n uint64) error {
+	tw, err := NewWriter(w)
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < n; i++ {
+		if err := tw.Write(stream.Next()); err != nil {
+			return err
+		}
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,216 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+func TestRoundTrip(t *testing.T) {
+	g := New(testProfile())
+	var buf bytes.Buffer
+	const n = 20000
+	if err := Capture(&buf, g, n); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay must be byte-for-byte identical to a fresh generator walk.
+	ref := New(testProfile())
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		got, err := r.Read()
+		if err != nil {
+			t.Fatalf("instruction %d: %v", i, err)
+		}
+		want := ref.Next()
+		if *got != *want {
+			t.Fatalf("instruction %d differs:\n got %v\nwant %v", i, got, want)
+		}
+	}
+	if _, err := r.Read(); err != io.EOF {
+		t.Errorf("expected EOF at end, got %v", err)
+	}
+	if r.Count() != n {
+		t.Errorf("Count = %d", r.Count())
+	}
+}
+
+func TestCompactEncoding(t *testing.T) {
+	g := New(testProfile())
+	var buf bytes.Buffer
+	const n = 10000
+	if err := Capture(&buf, g, n); err != nil {
+		t.Fatal(err)
+	}
+	perInstr := float64(buf.Len()) / n
+	if perInstr > 10 {
+		t.Errorf("encoding uses %.1f bytes/instruction, want ≤ 10", perInstr)
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("notatrace..."))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := NewReader(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+}
+
+func TestTruncatedStream(t *testing.T) {
+	g := New(testProfile())
+	var buf bytes.Buffer
+	if err := Capture(&buf, g, 100); err != nil {
+		t.Fatal(err)
+	}
+	// Chop mid-record.
+	data := buf.Bytes()[:buf.Len()-3]
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := r.Read(); err != nil {
+			if err == io.EOF && r.Count() == 100 {
+				t.Fatal("truncation not detected")
+			}
+			return // any error (EOF early or wrapped) is acceptable detection
+		}
+	}
+}
+
+func TestNextPanicsAtEOF(t *testing.T) {
+	g := New(testProfile())
+	var buf bytes.Buffer
+	if err := Capture(&buf, g, 5); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		r.Next()
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Next past end did not panic")
+		}
+	}()
+	r.Next()
+}
+
+func TestWriterCount(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := New(testProfile())
+	for i := 0; i < 7; i++ {
+		if err := w.Write(g.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 7 {
+		t.Errorf("Count = %d", w.Count())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: any hand-built instruction survives a round trip (fields the
+// format encodes).
+func TestQuickInstrRoundTrip(t *testing.T) {
+	f := func(pcRaw uint32, clsRaw, d, s1, s2 uint8, taken bool, addr uint32, tgt uint32) bool {
+		in := isa.Instr{
+			PC:    uint64(pcRaw),
+			Class: isa.Class(clsRaw % uint8(isa.NumClasses)),
+			Dest:  isa.Reg(int16(d%64)) - 0,
+			Src1:  isa.Reg(int16(s1 % 64)),
+			Src2:  isa.Reg(int16(s2 % 64)),
+		}
+		switch in.Class {
+		case isa.Branch:
+			in.Dest = isa.RegNone
+			in.Taken = taken
+			in.Target = uint64(tgt) + 4 // nonzero
+		case isa.Store:
+			in.Dest = isa.RegNone
+			in.Addr = uint64(addr)
+		case isa.Load:
+			in.Addr = uint64(addr)
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			return false
+		}
+		if err := w.Write(&in); err != nil || w.Flush() != nil {
+			return false
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		got, err := r.Read()
+		if err != nil {
+			return false
+		}
+		return *got == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCharacterizeMatchesPaperPremises(t *testing.T) {
+	// The premise the register file cache rests on (paper §3): most values
+	// are read at most once. Both suites must exhibit it.
+	for _, name := range []string{"compress", "swim"} {
+		p, _ := ByName(name)
+		c := Characterize(New(p), 60000)
+		if got := c.ReadAtMostOnce(); got < 0.6 {
+			t.Errorf("%s: only %.0f%% of values read ≤ once; paper measures 85-88%%", name, 100*got)
+		}
+		if c.NeverRead() <= 0 {
+			t.Errorf("%s: no never-read values; paper reports a significant fraction", name)
+		}
+		if c.Instructions != 60000 || c.ValuesProduced == 0 {
+			t.Errorf("%s: characterization incomplete: %+v", name, c)
+		}
+	}
+}
+
+func TestCharacterizeReport(t *testing.T) {
+	p, _ := ByName("gcc")
+	c := Characterize(New(p), 20000)
+	s := c.String()
+	for _, want := range []string{"instructions: 20000", "mix:", "branches:", "values:", "dependence distance", "memory:"} {
+		if !bytes.Contains([]byte(s), []byte(want)) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestCharacterizeBranchCounts(t *testing.T) {
+	p, _ := ByName("li")
+	c := Characterize(New(p), 30000)
+	if c.Branches == 0 || c.TakenBranches == 0 || c.TakenBranches > c.Branches {
+		t.Errorf("branch counts broken: %d/%d", c.TakenBranches, c.Branches)
+	}
+	var sum uint64
+	for _, n := range c.Mix {
+		sum += n
+	}
+	if sum != c.Instructions {
+		t.Errorf("mix does not sum to instruction count: %d vs %d", sum, c.Instructions)
+	}
+}
