@@ -1,7 +1,7 @@
 package repro
 
 // One benchmark per paper table/figure, plus ablation benches for the
-// design choices called out in DESIGN.md §7. Each bench regenerates its
+// design-space studies in experiments.Ablations. Each bench regenerates its
 // experiment at a reduced instruction budget (benchInstructions) and
 // reports the experiment's headline quantities via b.ReportMetric, so
 // `go test -bench=. -benchmem` prints the reproduced numbers next to the
@@ -119,7 +119,7 @@ func runIPC(b *testing.B, spec sim.RFSpec, bench string) float64 {
 }
 
 // BenchmarkAblationUpperSize sweeps the upper-bank capacity (the paper
-// fixes 16; DESIGN.md §7 calls out the sweep).
+// fixes 16; experiments.Ablations sweeps it).
 func BenchmarkAblationUpperSize(b *testing.B) {
 	for _, size := range []int{8, 16, 32} {
 		b.Run(map[int]string{8: "08", 16: "16", 32: "32"}[size], func(b *testing.B) {

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/sweep"
 )
 
 func main() {
@@ -30,7 +31,11 @@ func main() {
 	)
 	flag.Parse()
 
-	opt := experiments.Options{Instructions: *n}
+	// One runner for the whole invocation: configurations shared between
+	// figures (the 1-cycle baseline recurs in Figures 2, 6 and 8, the
+	// paper cache in Figures 5, 6 and 7) are simulated once.
+	runner := sweep.NewRunner(sweep.RunnerConfig{})
+	opt := experiments.Options{Instructions: *n, Runner: runner}
 	w := os.Stdout
 
 	wantFig := map[string]bool{}
@@ -86,5 +91,7 @@ func main() {
 	if *ablate {
 		experiments.Ablations(opt).Render(w)
 	}
-	fmt.Fprintf(w, "\n[%d instructions/benchmark, total wall time %s]\n", *n, time.Since(start).Round(time.Millisecond))
+	st := runner.CacheStats()
+	fmt.Fprintf(w, "\n[%d instructions/benchmark, %d simulations (%d cache hits), total wall time %s]\n",
+		*n, st.Misses, st.Hits, time.Since(start).Round(time.Millisecond))
 }

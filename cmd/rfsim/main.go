@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 	"repro/internal/trace"
 )
 
@@ -81,19 +82,12 @@ func main() {
 		cfg.LowerWritePorts = ports(*wports)
 		cfg.Buses = ports(*buses)
 		cfg.UpperSize = *upper
-		switch *caching {
-		case "nonbypass":
-			cfg.Caching = core.CacheNonBypass
-		case "ready":
-			cfg.Caching = core.CacheReady
-		case "all":
-			cfg.Caching = core.CacheAll
-		case "none":
-			cfg.Caching = core.CacheNone
-		default:
-			fmt.Fprintf(os.Stderr, "rfsim: unknown caching policy %q\n", *caching)
+		pol, err := sweep.ParseCachingPolicy(*caching)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rfsim: %v\n", err)
 			os.Exit(1)
 		}
+		cfg.Caching = pol
 		if !*pf {
 			cfg.Prefetch = core.FetchOnDemand
 		}

@@ -9,14 +9,17 @@
 //     multi-banked extension;
 //   - internal/sim — the cycle-level 8-way out-of-order processor
 //     (Table 1 of the paper) that evaluates them;
+//   - internal/sweep — the experiment orchestration engine: bounded
+//     worker pool, content-addressed result cache, sweep-matrix specs;
 //   - internal/trace — synthetic SPEC95-proxy workloads;
 //   - internal/area — the area/access-time cost model calibrated against
 //     the paper's Table 2;
 //   - internal/experiments — one runner per paper figure and table.
 //
 // Executables: cmd/rfexp regenerates every figure/table; cmd/rfsim runs a
-// single benchmark × architecture simulation. See README.md, DESIGN.md and
-// EXPERIMENTS.md, and the runnable programs under examples/.
+// single benchmark × architecture simulation; cmd/rfbatch runs
+// user-defined sweep matrices from a JSON spec. See README.md and the
+// runnable programs under examples/.
 //
 // The benchmarks in bench_test.go regenerate each experiment at a reduced
 // instruction budget and report the headline metrics via b.ReportMetric.

@@ -175,7 +175,7 @@ func Table2() []PaperConfig {
 }
 
 // Published holds the paper's Table 2 reference values for validation and
-// for the EXPERIMENTS.md comparison.
+// for the modeled-vs-published columns of the Table 2 renderer.
 type Published struct {
 	Name              string
 	SBArea, SB1Cycle  float64 // one-cycle single-banked: area (10⁴λ²), cycle time (ns)

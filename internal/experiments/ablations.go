@@ -9,7 +9,7 @@ import (
 	"repro/internal/stats"
 )
 
-// AblationResult holds the extension studies of DESIGN.md §7: the policy
+// AblationResult holds the extension studies beyond the paper: the policy
 // cross product under limited bandwidth (the regime where the paper notes
 // prefetching becomes visible), the upper-bank size and bus-count sweeps,
 // the replacement-policy comparison, and the alternative multi-banked
@@ -118,7 +118,7 @@ func Ablations(opt Options) *AblationResult {
 
 // Render prints the ablation report.
 func (r *AblationResult) Render(w io.Writer) {
-	header(w, "Extensions & ablations", "Design-space studies beyond the paper's headline configurations (DESIGN.md §7)")
+	header(w, "Extensions & ablations", "Design-space studies beyond the paper's headline configurations")
 
 	fmt.Fprintln(w, "Caching × prefetch policies, limited bandwidth (4R/3W upper, 2 buses):")
 	tab := stats.NewTable("policy", "Int hmean", "FP hmean")

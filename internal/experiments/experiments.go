@@ -14,11 +14,10 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"runtime"
-	"sync"
 
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/trace"
 )
 
@@ -30,6 +29,11 @@ type Options struct {
 	Instructions uint64
 	// Parallelism bounds concurrent simulations; 0 uses GOMAXPROCS.
 	Parallelism int
+	// Runner, when non-nil, executes the simulations; sharing one Runner
+	// across figures caches identical configurations (the 1-cycle
+	// baseline alone recurs in Figures 2, 6 and 8). When nil a
+	// process-wide shared runner is used.
+	Runner *sweep.Runner
 }
 
 // DefaultOptions returns the standard experiment budget.
@@ -44,34 +48,35 @@ func (o Options) instructions() uint64 {
 	return o.Instructions
 }
 
-func (o Options) parallelism() int {
-	if o.Parallelism > 0 {
-		return o.Parallelism
+// sharedRunner memoizes simulations across every figure run in this
+// process that does not bring its own Runner.
+var sharedRunner = sweep.NewRunner(sweep.RunnerConfig{})
+
+func (o Options) runner() *sweep.Runner {
+	if o.Runner != nil {
+		return o.Runner
 	}
-	return runtime.GOMAXPROCS(0)
+	return sharedRunner
 }
 
-// job is one simulation to run; the runner stores the result at Out.
+// job is one simulation to run; the runner stores the result at out.
 type job struct {
 	cfg  sim.Config
 	prof trace.Profile
 	out  *sim.Result
 }
 
-// runAll executes jobs concurrently.
+// runAll executes jobs through the sweep engine: bounded parallelism plus
+// content-addressed caching of repeated configurations.
 func runAll(opt Options, jobs []job) {
-	sem := make(chan struct{}, opt.parallelism())
-	var wg sync.WaitGroup
-	for i := range jobs {
-		wg.Add(1)
-		go func(j *job) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			*j.out = sim.New(j.cfg, trace.New(j.prof)).Run()
-		}(&jobs[i])
+	sjobs := make([]sweep.Job, len(jobs))
+	for i, j := range jobs {
+		sjobs[i] = sweep.Job{Profile: j.prof, Config: j.cfg}
 	}
-	wg.Wait()
+	outs := opt.runner().RunOutcomes(sjobs, opt.Parallelism)
+	for i := range jobs {
+		*jobs[i].out = outs[i].Result
+	}
 }
 
 // suiteHmean computes per-suite harmonic means of a benchmark-indexed IPC

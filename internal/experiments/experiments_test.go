@@ -1,14 +1,33 @@
 package experiments
 
 import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"repro/internal/trace"
 )
 
-// tiny returns a fast experiment budget for tests.
-func tiny() Options { return Options{Instructions: 12000} }
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// budget returns the full instruction budget, or the reduced one under
+// `go test -short`. The reduced budgets keep every test's qualitative
+// assertion valid while cutting the package wall-clock several-fold; the
+// default path keeps the full budgets.
+func budget(full, short uint64) uint64 {
+	if testing.Short() {
+		return short
+	}
+	return full
+}
+
+// tiny returns a fast experiment budget for tests. All tests share the
+// package-wide sweep runner, so configurations repeated across figures
+// (the 1-cycle baseline, the paper cache, ...) simulate once per budget.
+func tiny() Options { return Options{Instructions: budget(12000, 4000)} }
 
 func TestFig1MonotoneAndComplete(t *testing.T) {
 	r := Fig1(tiny())
@@ -110,7 +129,7 @@ func TestFig6And7Consistency(t *testing.T) {
 }
 
 func TestFig9HeadlineDirection(t *testing.T) {
-	r := Fig9(Options{Instructions: 15000})
+	r := Fig9(Options{Instructions: budget(15000, 5000)})
 	// The paper's headline: with cycle time factored in, the RF cache
 	// crushes the non-pipelined single bank.
 	if sp := r.Best("rf-cache", "int") / r.Best("1-cycle", "int"); sp < 1.3 {
@@ -130,6 +149,12 @@ func TestFig9HeadlineDirection(t *testing.T) {
 }
 
 func TestFig8Frontiers(t *testing.T) {
+	if testing.Short() {
+		// Fig8's exhaustive port sweep is 792 simulations — close to half
+		// of this package's entire workload; its structural assertions are
+		// covered by the default (full-budget) path.
+		t.Skip("skipping the Figure 8 port sweep in -short mode")
+	}
 	r := Fig8(Options{Instructions: 8000})
 	for _, arch := range r.ArchOrder {
 		if len(r.Points[arch]) == 0 {
@@ -197,17 +222,20 @@ func TestOptionsDefaults(t *testing.T) {
 	if o.instructions() == 0 {
 		t.Error("zero default instruction budget")
 	}
-	if o.parallelism() < 1 {
-		t.Error("zero default parallelism")
+	if o.runner() == nil {
+		t.Error("nil default runner")
 	}
 	o = Options{Instructions: 5, Parallelism: 3}
-	if o.instructions() != 5 || o.parallelism() != 3 {
+	if o.instructions() != 5 {
 		t.Error("explicit options not honored")
+	}
+	if o.runner() != sharedRunner {
+		t.Error("default runner is not the shared one")
 	}
 }
 
 func TestAblations(t *testing.T) {
-	r := Ablations(Options{Instructions: 8000})
+	r := Ablations(Options{Instructions: budget(8000, 2500)})
 	if len(r.Policies) != 8 {
 		t.Errorf("policy cross product has %d entries, want 8", len(r.Policies))
 	}
@@ -234,4 +262,49 @@ func TestAblations(t *testing.T) {
 			t.Errorf("ablation report missing %q", want)
 		}
 	}
+}
+
+// checkGolden compares rendered output against a golden file, rewriting
+// it under -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test -run Golden -update ./internal/experiments/`): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s: output diverged from golden file.\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestTable2Golden locks the Table 2 renderer (area/cycle-time model plus
+// formatting) against regressions.
+func TestTable2Golden(t *testing.T) {
+	var buf bytes.Buffer
+	Table2(&buf)
+	checkGolden(t, "table2.golden", buf.Bytes())
+}
+
+// goldenBudget is the fixed small budget of the figure golden tests; it
+// must not vary with -short, or the files would not match.
+const goldenBudget = 6000
+
+// TestFig2Golden locks the full Figure 2 pipeline — trace generation,
+// simulation, suite aggregation and rendering — at a fixed small budget.
+// The simulations are deterministic at every parallelism level, so this
+// diff-checks refactors of the experiments and sweep layers.
+func TestFig2Golden(t *testing.T) {
+	var buf bytes.Buffer
+	Fig2(Options{Instructions: goldenBudget}).Render(&buf)
+	checkGolden(t, "fig2.golden", buf.Bytes())
 }

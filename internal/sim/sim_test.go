@@ -8,7 +8,15 @@ import (
 	"repro/internal/trace"
 )
 
-const testInstrs = 60000
+// testInstrs returns the per-run instruction budget: the full 60000 by
+// default, reduced under `go test -short` (the qualitative orderings the
+// tests assert are stable well below the reduced budget).
+func testInstrs() uint64 {
+	if testing.Short() {
+		return 20000
+	}
+	return 60000
+}
 
 func testStream(name string) *trace.Generator {
 	p, ok := trace.ByName(name)
@@ -33,8 +41,8 @@ func TestSmokeAllArchitectures(t *testing.T) {
 		PaperCache(),
 	}
 	for _, spec := range specs {
-		r := run(t, spec, "compress", testInstrs)
-		want := uint64(testInstrs) - uint64(testInstrs)/4 // post-warmup commits
+		r := run(t, spec, "compress", testInstrs())
+		want := testInstrs() - testInstrs()/4 // post-warmup commits
 		if r.Instructions+16 < want || r.Instructions > want+16 {
 			t.Errorf("%s: measured %d instructions, want ≈%d", spec.Name, r.Instructions, want)
 		}
@@ -52,10 +60,10 @@ func TestSmokeAllArchitectures(t *testing.T) {
 func TestArchitectureOrdering(t *testing.T) {
 	u := core.Unlimited
 	for _, bench := range []string{"compress", "swim"} {
-		one := run(t, Mono1Cycle(u, u), bench, testInstrs).IPC
-		twoFull := run(t, Mono2CycleFull(u, u), bench, testInstrs).IPC
-		twoSingle := run(t, Mono2CycleSingle(u, u), bench, testInstrs).IPC
-		rfc := run(t, PaperCache(), bench, testInstrs).IPC
+		one := run(t, Mono1Cycle(u, u), bench, testInstrs()).IPC
+		twoFull := run(t, Mono2CycleFull(u, u), bench, testInstrs()).IPC
+		twoSingle := run(t, Mono2CycleSingle(u, u), bench, testInstrs()).IPC
+		rfc := run(t, PaperCache(), bench, testInstrs()).IPC
 		t.Logf("%s: 1c=%.3f 2c-full=%.3f 2c-1byp=%.3f rfc=%.3f", bench, one, twoFull, twoSingle, rfc)
 		if !(one >= twoFull*0.999) {
 			t.Errorf("%s: 1-cycle (%.3f) should beat 2-cycle full bypass (%.3f)", bench, one, twoFull)
@@ -85,8 +93,8 @@ func TestIntCodesMoreBranchSensitive(t *testing.T) {
 	// single-bypass file than FP codes do.
 	u := core.Unlimited
 	lossOn := func(bench string) float64 {
-		one := run(t, Mono1Cycle(u, u), bench, testInstrs).IPC
-		two := run(t, Mono2CycleSingle(u, u), bench, testInstrs).IPC
+		one := run(t, Mono1Cycle(u, u), bench, testInstrs()).IPC
+		two := run(t, Mono2CycleSingle(u, u), bench, testInstrs()).IPC
 		return 1 - two/one
 	}
 	intLoss := lossOn("go")
@@ -100,7 +108,7 @@ func TestIntCodesMoreBranchSensitive(t *testing.T) {
 func TestMorePhysicalRegistersHelp(t *testing.T) {
 	u := core.Unlimited
 	ipcAt := func(regs int) float64 {
-		cfg := DefaultConfig(Mono1Cycle(u, u), testInstrs)
+		cfg := DefaultConfig(Mono1Cycle(u, u), testInstrs())
 		cfg.WindowSize = 256
 		cfg.PhysRegs = regs
 		return New(cfg, testStream("swim")).Run().IPC
@@ -114,8 +122,8 @@ func TestMorePhysicalRegistersHelp(t *testing.T) {
 
 func TestReadPortLimitHurts(t *testing.T) {
 	u := core.Unlimited
-	wide := run(t, Mono1Cycle(u, u), "swim", testInstrs).IPC
-	narrow := run(t, Mono1Cycle(2, u), "swim", testInstrs).IPC
+	wide := run(t, Mono1Cycle(u, u), "swim", testInstrs()).IPC
+	narrow := run(t, Mono1Cycle(2, u), "swim", testInstrs()).IPC
 	t.Logf("unlimited ports %.3f, 2 read ports %.3f", wide, narrow)
 	if narrow >= wide {
 		t.Errorf("2 read ports (%.3f) should lose to unlimited (%.3f)", narrow, wide)
@@ -124,8 +132,8 @@ func TestReadPortLimitHurts(t *testing.T) {
 
 func TestWritePortLimitHurts(t *testing.T) {
 	u := core.Unlimited
-	wide := run(t, Mono1Cycle(u, u), "swim", testInstrs).IPC
-	narrow := run(t, Mono1Cycle(u, 1), "swim", testInstrs).IPC
+	wide := run(t, Mono1Cycle(u, u), "swim", testInstrs()).IPC
+	narrow := run(t, Mono1Cycle(u, 1), "swim", testInstrs()).IPC
 	if narrow >= wide {
 		t.Errorf("1 write port (%.3f) should lose to unlimited (%.3f)", narrow, wide)
 	}
@@ -139,8 +147,8 @@ func TestPrefetchHelpsWithLimitedBuses(t *testing.T) {
 		c.ReadPorts, c.UpperWritePorts, c.LowerWritePorts, c.Buses = 4, 3, 3, 2
 		return CacheSpec(c)
 	}
-	demand := run(t, mk(core.FetchOnDemand), "mgrid", testInstrs).IPC
-	pref := run(t, mk(core.PrefetchFirstPair), "mgrid", testInstrs).IPC
+	demand := run(t, mk(core.FetchOnDemand), "mgrid", testInstrs()).IPC
+	pref := run(t, mk(core.PrefetchFirstPair), "mgrid", testInstrs()).IPC
 	t.Logf("fetch-on-demand %.3f, prefetch-first-pair %.3f", demand, pref)
 	if pref < demand*0.98 {
 		t.Errorf("prefetching (%.3f) should not clearly lose to demand fetching (%.3f)", pref, demand)
@@ -187,9 +195,9 @@ func TestCachingPolicies(t *testing.T) {
 		c.Caching = p
 		return CacheSpec(c)
 	}
-	nb := run(t, mk(core.CacheNonBypass), "compress", testInstrs).IPC
-	rd := run(t, mk(core.CacheReady), "compress", testInstrs).IPC
-	none := run(t, mk(core.CacheNone), "compress", testInstrs).IPC
+	nb := run(t, mk(core.CacheNonBypass), "compress", testInstrs()).IPC
+	rd := run(t, mk(core.CacheReady), "compress", testInstrs()).IPC
+	none := run(t, mk(core.CacheNone), "compress", testInstrs()).IPC
 	t.Logf("non-bypass %.3f, ready %.3f, cache-none %.3f", nb, rd, none)
 	if none >= nb {
 		t.Errorf("cache-none (%.3f) should lose to non-bypass caching (%.3f)", none, nb)
@@ -201,8 +209,8 @@ func TestMispredictionPenaltyGrowsWithLatency(t *testing.T) {
 	// than on a branch-free... approximated by comparing mispredict-heavy
 	// "go" against predictable "swim".
 	u := core.Unlimited
-	r1 := run(t, Mono1Cycle(u, u), "go", testInstrs)
-	r2 := run(t, Mono2CycleFull(u, u), "go", testInstrs)
+	r1 := run(t, Mono1Cycle(u, u), "go", testInstrs())
+	r2 := run(t, Mono2CycleFull(u, u), "go", testInstrs())
 	if r2.Cycles <= r1.Cycles {
 		t.Errorf("2-cycle file used %d cycles vs %d for 1-cycle on go", r2.Cycles, r1.Cycles)
 	}

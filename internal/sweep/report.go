@@ -1,0 +1,86 @@
+package sweep
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Row is one job's flattened measurements in a Report.
+type Row struct {
+	Benchmark    string  `json:"benchmark"`
+	Arch         string  `json:"arch"`
+	Seed         uint64  `json:"seed,omitempty"`
+	Instructions uint64  `json:"instructions"`
+	Cycles       uint64  `json:"cycles"`
+	IPC          float64 `json:"ipc"`
+	MispredRate  float64 `json:"mispredict_rate"`
+	ICacheMiss   float64 `json:"icache_miss_rate"`
+	DCacheMiss   float64 `json:"dcache_miss_rate"`
+	Key          string  `json:"key"`
+	Cached       bool    `json:"cached"`
+}
+
+// Report is the emission-ready form of a finished sweep.
+type Report struct {
+	Name  string     `json:"name,omitempty"`
+	Rows  []Row      `json:"rows"`
+	Cache CacheStats `json:"cache"`
+}
+
+// NewReport flattens job outcomes into a report. The jobs and outcomes
+// slices must be parallel, as produced by Runner.RunOutcomes.
+func NewReport(name string, jobs []Job, outs []Outcome, stats CacheStats) *Report {
+	rep := &Report{Name: name, Cache: stats}
+	for i, o := range outs {
+		j := jobs[i]
+		rep.Rows = append(rep.Rows, Row{
+			Benchmark:    j.Profile.Name,
+			Arch:         j.Config.RF.Name,
+			Seed:         j.Seed,
+			Instructions: o.Result.Instructions,
+			Cycles:       o.Result.Cycles,
+			IPC:          o.Result.IPC,
+			MispredRate:  o.Result.MispredictRate(),
+			ICacheMiss:   o.Result.ICacheMissRate,
+			DCacheMiss:   o.Result.DCacheMissRate,
+			Key:          string(o.Key),
+			Cached:       o.Cached,
+		})
+	}
+	return rep
+}
+
+// WriteJSON emits the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteCSV emits the rows as CSV with a header line.
+func (r *Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"benchmark", "arch", "seed", "instructions", "cycles", "ipc",
+		"mispredict_rate", "icache_miss_rate", "dcache_miss_rate", "cached",
+	}); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if err := cw.Write([]string{
+			row.Benchmark, row.Arch, fmt.Sprint(row.Seed),
+			fmt.Sprint(row.Instructions), fmt.Sprint(row.Cycles),
+			fmt.Sprintf("%.4f", row.IPC),
+			fmt.Sprintf("%.4f", row.MispredRate),
+			fmt.Sprintf("%.4f", row.ICacheMiss),
+			fmt.Sprintf("%.4f", row.DCacheMiss),
+			fmt.Sprint(row.Cached),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

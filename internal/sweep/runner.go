@@ -1,0 +1,192 @@
+package sweep
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// Progress reports one finished job to the RunnerConfig.OnProgress
+// callback.
+type Progress struct {
+	// Done and Total count jobs of the current batch.
+	Done, Total int
+	// Index is the job's position in the batch.
+	Index int
+	// Job is the finished job.
+	Job Job
+	// Cached marks a result served from the cache (or deduplicated
+	// against an identical job earlier in the same batch).
+	Cached bool
+}
+
+// CacheStats counts cache effectiveness across a Runner's lifetime. A job
+// counts as a hit when its result was not simulated for it: it was found
+// in the cache, or it duplicated another job of the same batch.
+type CacheStats struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+}
+
+// RunnerConfig configures a Runner. The zero value is usable: GOMAXPROCS
+// workers, caching enabled, no progress callback.
+type RunnerConfig struct {
+	// Parallelism bounds concurrent simulations; 0 uses GOMAXPROCS.
+	Parallelism int
+	// OnProgress, when non-nil, is called after each job of a batch
+	// resolves. Calls are serialized.
+	OnProgress func(Progress)
+	// Simulate overrides the simulation function (tests); nil runs the
+	// real simulator.
+	Simulate func(Job) sim.Result
+	// DisableCache turns the result cache off; every job simulates.
+	DisableCache bool
+}
+
+// Runner executes job batches through a bounded worker pool, memoizing
+// results by job content. It is safe for concurrent use, and its cache
+// persists across Run calls.
+type Runner struct {
+	cfg RunnerConfig
+
+	mu    sync.Mutex
+	cache map[Key]sim.Result
+	stats CacheStats
+}
+
+// NewRunner returns a Runner with the given configuration.
+func NewRunner(cfg RunnerConfig) *Runner {
+	if cfg.Simulate == nil {
+		cfg.Simulate = simulate
+	}
+	return &Runner{cfg: cfg, cache: make(map[Key]sim.Result)}
+}
+
+// Outcome is one job's result plus its cache provenance.
+type Outcome struct {
+	// Result holds the simulation measurements.
+	Result sim.Result
+	// Key is the job's content address.
+	Key Key
+	// Cached marks a result not simulated for this job (cache hit or
+	// within-batch duplicate).
+	Cached bool
+}
+
+// RunOutcomes executes the batch and reports per-job results with cache
+// provenance, in job order. parallelism overrides the configured bound
+// for this batch; 0 defers to RunnerConfig.Parallelism, then GOMAXPROCS.
+// Results are identical at every parallelism level.
+func (r *Runner) RunOutcomes(jobs []Job, parallelism int) []Outcome {
+	if parallelism <= 0 {
+		parallelism = r.cfg.Parallelism
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	outs := make([]Outcome, len(jobs))
+
+	// Resolve each job against the cache, and group the rest by key so
+	// within-batch duplicates simulate once. firstOf holds, per unique
+	// key, the index of the job that will simulate it; later indices with
+	// the same key are hits.
+	var unique []int
+	waiters := make(map[Key][]int)
+	fromCache := make([]bool, len(jobs))
+	done := 0
+	var progressMu sync.Mutex
+	emit := func(i int, cached bool) {
+		progressMu.Lock()
+		defer progressMu.Unlock()
+		done++
+		if r.cfg.OnProgress != nil {
+			r.cfg.OnProgress(Progress{Done: done, Total: len(jobs), Index: i, Job: jobs[i], Cached: cached})
+		}
+	}
+
+	r.mu.Lock()
+	for i := range jobs {
+		k := jobs[i].Key()
+		outs[i].Key = k
+		if !r.cfg.DisableCache {
+			if res, ok := r.cache[k]; ok {
+				outs[i].Result = res
+				outs[i].Cached = true
+				fromCache[i] = true
+				r.stats.Hits++
+				continue
+			}
+			if _, dup := waiters[k]; dup {
+				waiters[k] = append(waiters[k], i)
+				outs[i].Cached = true
+				r.stats.Hits++
+				continue
+			}
+			waiters[k] = []int{}
+		}
+		unique = append(unique, i)
+		r.stats.Misses++
+	}
+	r.mu.Unlock()
+
+	// Report jobs resolved from the cache before any simulation starts;
+	// within-batch duplicates are reported when their unique job finishes.
+	for i := range jobs {
+		if fromCache[i] {
+			emit(i, true)
+		}
+	}
+
+	sem := make(chan struct{}, parallelism)
+	var wg sync.WaitGroup
+	for _, i := range unique {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res := r.cfg.Simulate(jobs[i])
+			outs[i].Result = res
+			k := outs[i].Key
+			var dups []int
+			r.mu.Lock()
+			if !r.cfg.DisableCache {
+				r.cache[k] = res
+				dups = waiters[k]
+				for _, w := range dups {
+					outs[w].Result = res
+				}
+			}
+			r.mu.Unlock()
+			emit(i, false)
+			for _, w := range dups {
+				emit(w, true)
+			}
+		}(i)
+	}
+	wg.Wait()
+	return outs
+}
+
+// CacheStats returns the lifetime hit/miss counts.
+func (r *Runner) CacheStats() CacheStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// CacheLen returns the number of distinct results held.
+func (r *Runner) CacheLen() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.cache)
+}
+
+// ResetCache drops every cached result and zeroes the statistics.
+func (r *Runner) ResetCache() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.cache = make(map[Key]sim.Result)
+	r.stats = CacheStats{}
+}

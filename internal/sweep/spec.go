@@ -1,0 +1,314 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Spec is a user-defined sweep matrix: the cross product of benchmarks,
+// architecture configurations and seed replicates, each run for the same
+// instruction budget. It is the JSON input of cmd/rfbatch.
+type Spec struct {
+	// Name labels the sweep in reports.
+	Name string `json:"name,omitempty"`
+	// Instructions is the per-run dynamic instruction budget
+	// (default 120000).
+	Instructions uint64 `json:"instructions,omitempty"`
+	// Parallelism bounds concurrent simulations (default GOMAXPROCS).
+	Parallelism int `json:"parallelism,omitempty"`
+	// Benchmarks names the workloads; empty runs all 18 SPEC95 proxies.
+	Benchmarks []string `json:"benchmarks,omitempty"`
+	// Seeds lists trace-seed overrides for replicated runs; empty uses
+	// each profile's built-in seed.
+	Seeds []uint64 `json:"seeds,omitempty"`
+	// Architectures holds one matrix per register file family; each
+	// expands to the cross product of its dimension lists.
+	Architectures []ArchMatrix `json:"architectures"`
+}
+
+// ArchMatrix describes one register file family plus per-dimension value
+// lists. Every empty list defaults to a single family-appropriate value,
+// and the expansion is the cross product of all lists.
+type ArchMatrix struct {
+	// Kind is the family: 1cycle, 2cycle, 2cycle1b, rfcache, onelevel or
+	// replicated.
+	Kind string `json:"kind"`
+	// ReadPorts and WritePorts list port counts; 0 means unlimited. For
+	// onelevel and replicated they are per-bank counts.
+	ReadPorts  []int `json:"read_ports,omitempty"`
+	WritePorts []int `json:"write_ports,omitempty"`
+	// Buses lists rf-cache transfer bus counts; 0 means unlimited.
+	Buses []int `json:"buses,omitempty"`
+	// UpperSizes lists rf-cache upper bank capacities (default 16).
+	UpperSizes []int `json:"upper_sizes,omitempty"`
+	// Caching lists rf-cache caching policies: nonbypass, ready, all,
+	// none (default nonbypass).
+	Caching []string `json:"caching,omitempty"`
+	// Prefetch lists rf-cache prefetch policies: demand, firstpair
+	// (default firstpair).
+	Prefetch []string `json:"prefetch,omitempty"`
+	// Banks lists bank counts for onelevel (default 2).
+	Banks []int `json:"banks,omitempty"`
+	// Clusters lists cluster counts for replicated (default 2).
+	Clusters []int `json:"clusters,omitempty"`
+	// PhysRegs lists per-file physical register counts (default 128).
+	PhysRegs []int `json:"phys_regs,omitempty"`
+}
+
+// ParseSpec decodes and validates a JSON sweep specification.
+func ParseSpec(r io.Reader) (*Spec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("sweep: bad spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Validate reports a specification error, or nil.
+func (s *Spec) Validate() error {
+	if len(s.Architectures) == 0 {
+		return fmt.Errorf("sweep: spec needs at least one architecture")
+	}
+	for _, b := range s.Benchmarks {
+		if _, ok := trace.ByName(b); !ok {
+			return fmt.Errorf("sweep: unknown benchmark %q", b)
+		}
+	}
+	for i, a := range s.Architectures {
+		if _, err := a.expand(); err != nil {
+			return fmt.Errorf("sweep: architectures[%d]: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// instructions returns the budget with its default applied.
+func (s *Spec) instructions() uint64 {
+	if s.Instructions == 0 {
+		return 120000
+	}
+	return s.Instructions
+}
+
+// Jobs expands the matrix into the full job list: for each architecture
+// point, every benchmark at every seed.
+func (s *Spec) Jobs() ([]Job, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	profiles := trace.All()
+	if len(s.Benchmarks) > 0 {
+		profiles = nil
+		for _, b := range s.Benchmarks {
+			p, _ := trace.ByName(b)
+			profiles = append(profiles, p)
+		}
+	}
+	seeds := s.Seeds
+	if len(seeds) == 0 {
+		seeds = []uint64{0}
+	}
+	var jobs []Job
+	for _, a := range s.Architectures {
+		specs, err := a.expand()
+		if err != nil {
+			return nil, err
+		}
+		for _, spec := range specs {
+			for _, p := range profiles {
+				for _, seed := range seeds {
+					cfg := sim.DefaultConfig(spec.rf, s.instructions())
+					if spec.physRegs > 0 {
+						cfg.PhysRegs = spec.physRegs
+					}
+					jobs = append(jobs, Job{Profile: p, Config: cfg, Seed: seed})
+				}
+			}
+		}
+	}
+	return jobs, nil
+}
+
+// point is one expanded architecture configuration.
+type point struct {
+	rf       sim.RFSpec
+	physRegs int
+}
+
+// ports maps the spec convention (0 = unlimited) onto core.Unlimited.
+func ports(v int) int {
+	if v <= 0 {
+		return core.Unlimited
+	}
+	return v
+}
+
+// orInts substitutes a default for an empty dimension list.
+func orInts(vs []int, def int) []int {
+	if len(vs) == 0 {
+		return []int{def}
+	}
+	return vs
+}
+
+// orStrings substitutes a default for an empty dimension list.
+func orStrings(vs []string, def string) []string {
+	if len(vs) == 0 {
+		return []string{def}
+	}
+	return vs
+}
+
+// ParseCachingPolicy parses a caching policy name: nonbypass, ready, all
+// or none (case-insensitive). It is the one enumeration of policy names,
+// shared by sweep specs and the CLIs.
+func ParseCachingPolicy(s string) (core.CachingPolicy, error) {
+	switch strings.ToLower(s) {
+	case "nonbypass":
+		return core.CacheNonBypass, nil
+	case "ready":
+		return core.CacheReady, nil
+	case "all":
+		return core.CacheAll, nil
+	case "none":
+		return core.CacheNone, nil
+	}
+	return 0, fmt.Errorf("unknown caching policy %q", s)
+}
+
+// ParsePrefetchPolicy parses a prefetch policy name: demand/on-demand or
+// firstpair/first-pair (case-insensitive).
+func ParsePrefetchPolicy(s string) (core.PrefetchPolicy, error) {
+	switch strings.ToLower(s) {
+	case "demand", "on-demand":
+		return core.FetchOnDemand, nil
+	case "firstpair", "first-pair":
+		return core.PrefetchFirstPair, nil
+	}
+	return 0, fmt.Errorf("unknown prefetch policy %q", s)
+}
+
+// portLabel renders a port count for spec names.
+func portLabel(v int) string {
+	if v == core.Unlimited {
+		return "∞"
+	}
+	return fmt.Sprint(v)
+}
+
+// expand returns the cross product of the matrix dimensions as named
+// register file specs.
+func (a *ArchMatrix) expand() ([]point, error) {
+	var out []point
+	add := func(rf sim.RFSpec, regs int) {
+		if regs != 128 {
+			rf.Name = fmt.Sprintf("%s P%d", rf.Name, regs)
+		}
+		out = append(out, point{rf: rf, physRegs: regs})
+	}
+	switch strings.ToLower(a.Kind) {
+	case "1cycle", "2cycle", "2cycle1b":
+		for _, r := range orInts(a.ReadPorts, 0) {
+			for _, w := range orInts(a.WritePorts, 0) {
+				for _, regs := range orInts(a.PhysRegs, 128) {
+					var rf sim.RFSpec
+					switch strings.ToLower(a.Kind) {
+					case "1cycle":
+						rf = sim.Mono1Cycle(ports(r), ports(w))
+					case "2cycle":
+						rf = sim.Mono2CycleFull(ports(r), ports(w))
+					default:
+						rf = sim.Mono2CycleSingle(ports(r), ports(w))
+					}
+					rf.Name = fmt.Sprintf("%s R%sW%s", rf.Name, portLabel(ports(r)), portLabel(ports(w)))
+					add(rf, regs)
+				}
+			}
+		}
+	case "rfcache":
+		for _, r := range orInts(a.ReadPorts, 0) {
+			for _, w := range orInts(a.WritePorts, 0) {
+				for _, b := range orInts(a.Buses, 0) {
+					for _, u := range orInts(a.UpperSizes, 16) {
+						for _, cs := range orStrings(a.Caching, "nonbypass") {
+							for _, ps := range orStrings(a.Prefetch, "firstpair") {
+								for _, regs := range orInts(a.PhysRegs, 128) {
+									caching, err := ParseCachingPolicy(cs)
+									if err != nil {
+										return nil, err
+									}
+									prefetch, err := ParsePrefetchPolicy(ps)
+									if err != nil {
+										return nil, err
+									}
+									cfg := core.PaperCacheConfig()
+									cfg.ReadPorts = ports(r)
+									cfg.UpperWritePorts = ports(w)
+									cfg.LowerWritePorts = ports(w)
+									cfg.Buses = ports(b)
+									cfg.UpperSize = u
+									cfg.Caching = caching
+									cfg.Prefetch = prefetch
+									rf := sim.CacheSpec(cfg)
+									rf.Name = fmt.Sprintf("rf-cache R%sW%sB%s U%d %s+%s",
+										portLabel(cfg.ReadPorts), portLabel(cfg.UpperWritePorts),
+										portLabel(cfg.Buses), u, cs, ps)
+									add(rf, regs)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	case "onelevel":
+		for _, banks := range orInts(a.Banks, 2) {
+			for _, r := range orInts(a.ReadPorts, 0) {
+				for _, w := range orInts(a.WritePorts, 0) {
+					for _, regs := range orInts(a.PhysRegs, 128) {
+						rf := sim.OneLevelSpec(core.OneLevelConfig{
+							Banks:             banks,
+							ReadPortsPerBank:  ports(r),
+							WritePortsPerBank: ports(w),
+						})
+						rf.Name = fmt.Sprintf("one-level %db R%sW%s", banks, portLabel(ports(r)), portLabel(ports(w)))
+						add(rf, regs)
+					}
+				}
+			}
+		}
+	case "replicated":
+		for _, clusters := range orInts(a.Clusters, 2) {
+			for _, r := range orInts(a.ReadPorts, 0) {
+				for _, w := range orInts(a.WritePorts, 0) {
+					for _, regs := range orInts(a.PhysRegs, 128) {
+						rf := sim.ReplicatedSpec(core.ReplicatedConfig{
+							Clusters:          clusters,
+							ReadPortsPerBank:  ports(r),
+							WritePortsPerBank: ports(w),
+							RemoteDelay:       1,
+						})
+						rf.Name = fmt.Sprintf("replicated %dc R%sW%s", clusters, portLabel(ports(r)), portLabel(ports(w)))
+						add(rf, regs)
+					}
+				}
+			}
+		}
+	case "":
+		return nil, fmt.Errorf("architecture kind missing")
+	default:
+		return nil, fmt.Errorf("unknown architecture kind %q", a.Kind)
+	}
+	return out, nil
+}

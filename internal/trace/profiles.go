@@ -2,7 +2,7 @@ package trace
 
 // This file defines the 18 SPEC95 proxy profiles. The parameters are tuned
 // so the baseline simulator reproduces the qualitative landscape the paper
-// depends on (see DESIGN.md §4): SpecInt proxies have small-to-large code
+// depends on: SpecInt proxies have small-to-large code
 // footprints, short dependence chains, frequent and partially unpredictable
 // branches; SpecFP proxies have loop-dominated control flow, long
 // independent chains (high ILP), streaming memory and rare mispredictions.

@@ -1,5 +1,5 @@
 // Package trace generates the synthetic dynamic instruction streams that
-// substitute for the paper's SPEC95 workloads (see DESIGN.md §4).
+// substitute for the paper's SPEC95 workloads.
 //
 // Each workload is described by a Profile and realized as a randomly
 // generated *static* program — a tree of counted loops whose bodies contain
@@ -17,6 +17,7 @@ package trace
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/isa"
 	"repro/internal/rng"
@@ -184,6 +185,36 @@ type frame struct {
 	atEdge    bool // body finished; back-edge branch is next
 }
 
+// progCache memoizes generated static programs by profile. A program is a
+// pure function of its Profile, is immutable once built, and is read-only
+// during walking, so concurrent Generators can share one copy. Building
+// dominates the fixed cost of short simulations (large-footprint profiles
+// like gcc spend ~10ms here), and sweeps re-run the same 18 profiles
+// hundreds of times, so memoization pays for itself immediately. The cache
+// is bounded by the set of distinct profiles used in the process.
+var (
+	progMu    sync.Mutex
+	progCache = map[Profile]*program{}
+)
+
+// buildProgram returns the (possibly cached) static program for prof.
+func buildProgram(prof Profile) *program {
+	progMu.Lock()
+	prog, ok := progCache[prof]
+	progMu.Unlock()
+	if ok {
+		return prog
+	}
+	// Built outside the lock: concurrent builders for the same profile
+	// produce identical programs, so a duplicated build is wasted work,
+	// never an inconsistency.
+	prog = newBuilder(prof).build()
+	progMu.Lock()
+	progCache[prof] = prog
+	progMu.Unlock()
+	return prog
+}
+
 // New generates the static program for prof and returns a walker over its
 // dynamic instruction stream. It panics on invalid profiles (profiles are
 // compiled-in experiment definitions, not user input).
@@ -191,8 +222,7 @@ func New(prof Profile) *Generator {
 	if err := prof.Validate(); err != nil {
 		panic(err)
 	}
-	b := newBuilder(prof)
-	prog := b.build()
+	prog := buildProgram(prof)
 	g := &Generator{
 		prof:    prof,
 		prog:    prog,
