@@ -8,6 +8,12 @@ package repro
 // timing. For full-budget runs use cmd/rfexp.
 
 import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
 	"testing"
 
 	"repro/internal/core"
@@ -17,6 +23,96 @@ import (
 )
 
 const benchInstructions = 30000
+
+// benchJSON selects a path for the BENCH_sim.json snapshot of the
+// BenchmarkSim results, written after the benchmarks finish. CI gates the
+// snapshot with cmd/benchgate (see the README's Performance section);
+// refresh the committed baseline with:
+//
+//	go test -bench 'BenchmarkSim$' -benchtime 10x -run '^$' -benchjson BENCH_sim.json .
+var benchJSON = flag.String("benchjson", "", "write a JSON snapshot of BenchmarkSim results to this path")
+
+// benchSnapshot is the BENCH_sim.json schema.
+type benchSnapshot struct {
+	Schema     int                    `json:"schema"`
+	Go         string                 `json:"go"`
+	Instrs     uint64                 `json:"instructions_per_run"`
+	Benchmarks map[string]benchRecord `json:"benchmarks"`
+}
+
+// benchRecord is one benchmark's measurement.
+type benchRecord struct {
+	InstrsPerSec float64 `json:"instrs_per_sec"`
+	SecPerOp     float64 `json:"sec_per_op"`
+}
+
+var (
+	benchMu      sync.Mutex
+	benchRecords = map[string]benchRecord{}
+)
+
+func recordBench(name string, instrsPerSec, secPerOp float64) {
+	benchMu.Lock()
+	defer benchMu.Unlock()
+	benchRecords[name] = benchRecord{InstrsPerSec: instrsPerSec, SecPerOp: secPerOp}
+}
+
+// TestMain writes the benchmark snapshot once the run completes.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if *benchJSON != "" && code == 0 && len(benchRecords) > 0 {
+		snap := benchSnapshot{
+			Schema: 1, Go: runtime.Version(),
+			Instrs: benchInstructions, Benchmarks: benchRecords,
+		}
+		data, err := json.MarshalIndent(snap, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*benchJSON, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// BenchmarkSim measures raw scheduler throughput (simulated instructions
+// per wall second) on each register file organization. These are the
+// numbers the CI benchmark gate tracks.
+func BenchmarkSim(b *testing.B) {
+	u := core.Unlimited
+	cases := []struct {
+		name string
+		spec sim.RFSpec
+	}{
+		{"monolithic", sim.Mono1Cycle(u, u)},
+		{"cache", sim.PaperCache()},
+		{"onelevel", sim.OneLevelSpec(core.OneLevelConfig{
+			Banks: 2, ReadPortsPerBank: 4, WritePortsPerBank: 2,
+		})},
+		{"replicated", sim.ReplicatedSpec(core.ReplicatedConfig{
+			Clusters: 2, ReadPortsPerBank: 4, WritePortsPerBank: 4, RemoteDelay: 1,
+		})},
+	}
+	prof, ok := trace.ByName("compress")
+	if !ok {
+		b.Fatal("unknown benchmark compress")
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cfg := sim.DefaultConfig(c.spec, benchInstructions)
+				sim.New(cfg, trace.New(prof)).Run()
+			}
+			sec := b.Elapsed().Seconds()
+			ips := float64(benchInstructions) * float64(b.N) / sec
+			b.ReportMetric(ips, "instrs/s")
+			recordBench("Sim/"+c.name, ips, sec/float64(b.N))
+		})
+	}
+}
 
 func benchOpts() experiments.Options {
 	return experiments.Options{Instructions: benchInstructions}

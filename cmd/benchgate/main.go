@@ -1,0 +1,107 @@
+// Command benchgate compares a freshly measured benchmark snapshot (the
+// BENCH_sim.json emitted by `go test -bench BenchmarkSim -benchjson ...`)
+// against a committed baseline and fails when any benchmark's simulation
+// throughput regresses beyond a tolerance. CI runs it on every pull
+// request; see the README's Performance section for the workflow and for
+// refreshing the baseline.
+//
+// Usage:
+//
+//	benchgate -baseline BENCH_sim.json -current ci/BENCH_sim.json [-tolerance 0.20]
+//
+// The tolerance is generous by design: CI runners vary, and the gate is
+// meant to catch algorithmic regressions (a scan reintroduced in the cycle
+// loop), not scheduler noise.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type snapshot struct {
+	Schema     int               `json:"schema"`
+	Go         string            `json:"go"`
+	Instrs     uint64            `json:"instructions_per_run"`
+	Benchmarks map[string]record `json:"benchmarks"`
+}
+
+type record struct {
+	InstrsPerSec float64 `json:"instrs_per_sec"`
+	SecPerOp     float64 `json:"sec_per_op"`
+}
+
+func load(path string) (snapshot, error) {
+	var s snapshot
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(data, &s); err != nil {
+		return s, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(s.Benchmarks) == 0 {
+		return s, fmt.Errorf("%s: no benchmarks in snapshot", path)
+	}
+	return s, nil
+}
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_sim.json", "committed baseline snapshot")
+	current := flag.String("current", "", "freshly measured snapshot to check")
+	tolerance := flag.Float64("tolerance", 0.20, "maximum allowed fractional throughput regression")
+	flag.Parse()
+	if *current == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -current is required")
+		os.Exit(2)
+	}
+	base, err := load(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: baseline: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := load(*current)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: current: %v\n", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := false
+	for _, name := range names {
+		b := base.Benchmarks[name]
+		c, ok := cur.Benchmarks[name]
+		if !ok {
+			fmt.Printf("FAIL %-18s missing from the current snapshot\n", name)
+			failed = true
+			continue
+		}
+		ratio := c.InstrsPerSec / b.InstrsPerSec
+		status := "ok  "
+		if ratio < 1-*tolerance {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s %-18s %12.0f -> %12.0f instrs/s (%+.1f%%)\n",
+			status, name, b.InstrsPerSec, c.InstrsPerSec, 100*(ratio-1))
+	}
+	for name := range cur.Benchmarks {
+		if _, ok := base.Benchmarks[name]; !ok {
+			fmt.Printf("note %-18s new benchmark (not in baseline); refresh the baseline to track it\n", name)
+		}
+	}
+	if failed {
+		fmt.Printf("\nbenchgate: throughput regressed more than %.0f%% vs %s\n", 100**tolerance, *baseline)
+		fmt.Println("If the regression is intended, refresh the baseline:")
+		fmt.Println("  go test -bench 'BenchmarkSim$' -benchtime 10x -run '^$' -benchjson BENCH_sim.json .")
+		os.Exit(1)
+	}
+}

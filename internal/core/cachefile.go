@@ -130,6 +130,36 @@ type fetchRequest struct {
 	gen uint32
 }
 
+// fetchFIFO is an allocation-stable FIFO of fetch requests: pops advance a
+// head index, and the backing array is rewound whenever the queue drains,
+// so steady-state operation allocates nothing.
+type fetchFIFO struct {
+	buf  []fetchRequest
+	head int
+}
+
+func (q *fetchFIFO) push(r fetchRequest) { q.buf = append(q.buf, r) }
+
+func (q *fetchFIFO) pop() (fetchRequest, bool) {
+	if q.head == len(q.buf) {
+		q.reset()
+		return fetchRequest{}, false
+	}
+	r := q.buf[q.head]
+	q.head++
+	if q.head == len(q.buf) {
+		q.reset()
+	}
+	return r, true
+}
+
+func (q *fetchFIFO) reset() {
+	q.buf = q.buf[:0]
+	q.head = 0
+}
+
+func (q *fetchFIFO) len() int { return len(q.buf) - q.head }
+
 // Queue membership states for CacheFile.queued.
 const (
 	queueNone uint8 = iota
@@ -152,8 +182,8 @@ type CacheFile struct {
 	inflight []bool  // per physical register: transfer in progress
 	queued   []uint8 // per physical register: queueNone/queueDemand/queuePref
 
-	demandQ []fetchRequest
-	prefQ   []fetchRequest
+	demandQ fetchFIFO
+	prefQ   fetchFIFO
 
 	deliveries []transfer
 	busFreeAt  []uint64 // per bus; empty when Buses == Unlimited
@@ -284,8 +314,11 @@ func (f *CacheFile) takeBus(t uint64) {
 // queue — a prefetch entry promoted to a demand fetch leaves a dead entry
 // behind, dropped here.
 func (f *CacheFile) popFetch() (req fetchRequest, demand, ok bool) {
-	for len(f.demandQ) > 0 {
-		req, f.demandQ = f.demandQ[0], f.demandQ[1:]
+	for {
+		req, ok := f.demandQ.pop()
+		if !ok {
+			break
+		}
 		if req.gen == f.gen[req.reg] && f.queued[req.reg] == queueDemand {
 			f.queued[req.reg] = queueNone
 			if f.slotOf[req.reg] < 0 && !f.inflight[req.reg] {
@@ -293,8 +326,11 @@ func (f *CacheFile) popFetch() (req fetchRequest, demand, ok bool) {
 			}
 		}
 	}
-	for len(f.prefQ) > 0 {
-		req, f.prefQ = f.prefQ[0], f.prefQ[1:]
+	for {
+		req, ok := f.prefQ.pop()
+		if !ok {
+			break
+		}
 		if req.gen == f.gen[req.reg] && f.queued[req.reg] == queuePref {
 			f.queued[req.reg] = queueNone
 			if f.slotOf[req.reg] < 0 && !f.inflight[req.reg] {
@@ -412,7 +448,7 @@ func (f *CacheFile) TryRead(t uint64, ops []Operand, demand bool) bool {
 					// demand priority (the stale prefetch-queue entry dies
 					// at pop time).
 					f.queued[p] = queueDemand
-					f.demandQ = append(f.demandQ, fetchRequest{reg: p, gen: f.gen[p]})
+					f.demandQ.push(fetchRequest{reg: p, gen: f.gen[p]})
 				}
 			}
 		}
@@ -479,7 +515,7 @@ func (f *CacheFile) NotePrefetch(t uint64, p PhysReg, w uint64) {
 		return
 	}
 	f.queued[p] = queuePref
-	f.prefQ = append(f.prefQ, fetchRequest{reg: p, gen: f.gen[p]})
+	f.prefQ.push(fetchRequest{reg: p, gen: f.gen[p]})
 }
 
 // Release implements File: invalidate any upper-bank copy and cancel
@@ -517,5 +553,5 @@ func (f *CacheFile) InUpper(p PhysReg) bool { return f.slotOf[p] >= 0 }
 func (f *CacheFile) Describe(p PhysReg) string {
 	return fmt.Sprintf("inUpper=%v inflight=%v queued=%d gen=%d demandQ=%d prefQ=%d deliveries=%d",
 		f.slotOf[p] >= 0, f.inflight[p], f.queued[p], f.gen[p],
-		len(f.demandQ), len(f.prefQ), len(f.deliveries))
+		f.demandQ.len(), f.prefQ.len(), len(f.deliveries))
 }

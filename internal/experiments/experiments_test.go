@@ -5,9 +5,13 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/sweep"
 	"repro/internal/trace"
 )
 
@@ -307,4 +311,55 @@ func TestFig2Golden(t *testing.T) {
 	var buf bytes.Buffer
 	Fig2(Options{Instructions: goldenBudget}).Render(&buf)
 	checkGolden(t, "fig2.golden", buf.Bytes())
+}
+
+// TestFig2GoldenAcrossParallelism re-runs the Figure 2 golden comparison
+// with fresh (uncached) runners at parallelism 1 and 8: the event-driven
+// scheduler must produce byte-identical renders regardless of how the
+// simulations are distributed over workers.
+func TestFig2GoldenAcrossParallelism(t *testing.T) {
+	for _, par := range []int{1, 8} {
+		var buf bytes.Buffer
+		opt := Options{
+			Instructions: goldenBudget,
+			Parallelism:  par,
+			Runner:       sweep.NewRunner(sweep.RunnerConfig{DisableCache: true}),
+		}
+		Fig2(opt).Render(&buf)
+		checkGolden(t, "fig2.golden", buf.Bytes())
+		if t.Failed() {
+			t.Fatalf("parallelism %d diverged from the golden render", par)
+		}
+	}
+}
+
+// TestResultsIdenticalAcrossParallelism asserts the scheduler's Result
+// structs — every counter, not just the rendered digits — are identical
+// whether a batch runs on one worker or eight.
+func TestResultsIdenticalAcrossParallelism(t *testing.T) {
+	u := core.Unlimited
+	specs := []sim.RFSpec{
+		sim.Mono1Cycle(4, 2),
+		sim.PaperCache(),
+		sim.OneLevelSpec(core.OneLevelConfig{Banks: 2, ReadPortsPerBank: 2, WritePortsPerBank: 2}),
+		sim.Mono2CycleSingle(u, u),
+	}
+	var jobs []sweep.Job
+	for _, spec := range specs {
+		for _, bench := range []string{"compress", "swim", "gcc"} {
+			prof, ok := trace.ByName(bench)
+			if !ok {
+				t.Fatalf("unknown benchmark %s", bench)
+			}
+			jobs = append(jobs, sweep.Job{Profile: prof, Config: sim.DefaultConfig(spec, 5000)})
+		}
+	}
+	one := sweep.NewRunner(sweep.RunnerConfig{DisableCache: true}).RunOutcomes(jobs, 1)
+	eight := sweep.NewRunner(sweep.RunnerConfig{DisableCache: true}).RunOutcomes(jobs, 8)
+	for i := range jobs {
+		if !reflect.DeepEqual(one[i].Result, eight[i].Result) {
+			t.Errorf("job %d (%s on %s): results diverged across parallelism:\np1: %+v\np8: %+v",
+				i, jobs[i].Config.RF.Name, jobs[i].Profile.Name, one[i].Result, eight[i].Result)
+		}
+	}
 }

@@ -25,12 +25,23 @@ type entry struct {
 	valid     bool
 }
 
+// frontierNone marks "no store with an unknown address in the queue".
+const frontierNone = ^uint64(0)
+
 // Queue is a combined load/store queue indexed in program order.
 type Queue struct {
 	entries  []entry
 	head     int
 	count    int
 	capacity int
+
+	// frontierSeq is the sequence number of the oldest store whose address
+	// is still unknown (frontierNone when every store address is known);
+	// frontierIdx is that store's slot. A load may access memory exactly
+	// when its sequence number is below the frontier, which makes the
+	// disambiguation check O(1) instead of a scan over all earlier entries.
+	frontierSeq uint64
+	frontierIdx int
 
 	forwards uint64
 	issued   uint64
@@ -41,7 +52,7 @@ func New(capacity int) *Queue {
 	if capacity <= 0 {
 		panic("lsq: non-positive capacity")
 	}
-	return &Queue{entries: make([]entry, capacity), capacity: capacity}
+	return &Queue{entries: make([]entry, capacity), capacity: capacity, frontierSeq: frontierNone}
 }
 
 // Full reports whether no slot is free.
@@ -71,38 +82,53 @@ func (q *Queue) Insert(seq uint64, kind Kind) int {
 	}
 	q.entries[idx] = entry{seq: seq, kind: kind, valid: true}
 	q.count++
+	if kind == KindStore && q.frontierSeq == frontierNone {
+		// Inserts are youngest, so a new unknown-address store becomes the
+		// frontier only when no older one exists.
+		q.frontierSeq, q.frontierIdx = seq, idx
+	}
 	return idx
 }
 
 // SetAddress records the effective address of ticket t (computed in the
-// execute stage).
+// execute stage). When t is the frontier store, the frontier advances to
+// the next store with an unknown address.
 func (q *Queue) SetAddress(t int, addr uint64) {
 	e := &q.entries[t]
 	if !e.valid {
 		panic("lsq: SetAddress on invalid ticket")
 	}
+	known := e.addrKnown
 	e.addr = addr
 	e.addrKnown = true
+	if e.kind == KindStore && !known && e.seq == q.frontierSeq {
+		q.advanceFrontier()
+	}
+}
+
+// advanceFrontier moves the unknown-store frontier past entries whose
+// addresses are now known. The walk resumes where the previous frontier
+// stood, so the total work over a run is linear in the entries inserted.
+func (q *Queue) advanceFrontier() {
+	n := (q.frontierIdx - q.head + q.capacity) % q.capacity
+	for n++; n < q.count; n++ {
+		i := (q.head + n) % q.capacity
+		e := &q.entries[i]
+		if e.valid && e.kind == KindStore && !e.addrKnown {
+			q.frontierSeq, q.frontierIdx = e.seq, i
+			return
+		}
+	}
+	q.frontierSeq = frontierNone
 }
 
 // CanIssueLoad reports whether the load at ticket t may access memory:
 // every earlier store must have a known address (conservative disambiguation,
 // per the paper: "loads may execute when prior store addresses are known").
+// The frontier makes this a single comparison.
 func (q *Queue) CanIssueLoad(t int) bool {
 	e := &q.entries[t]
-	if !e.valid || e.kind != KindLoad || !e.addrKnown {
-		return false
-	}
-	for i, n := q.head, 0; n < q.count; i, n = (i+1)%q.capacity, n+1 {
-		s := &q.entries[i]
-		if s.seq >= e.seq {
-			break
-		}
-		if s.kind == KindStore && !s.addrKnown {
-			return false
-		}
-	}
-	return true
+	return e.valid && e.kind == KindLoad && e.addrKnown && e.seq < q.frontierSeq
 }
 
 // Result describes a completed load lookup.
@@ -191,6 +217,7 @@ func (q *Queue) Flush() {
 		q.entries[i] = entry{}
 	}
 	q.head, q.count = 0, 0
+	q.frontierSeq, q.frontierIdx = frontierNone, 0
 }
 
 // Forwards returns the number of store-to-load forwards.

@@ -278,3 +278,116 @@ func TestQuickForwardImpliesMatch(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// canIssueLoadReference is the pre-frontier O(n) disambiguation check: a
+// scan over every earlier entry looking for a store with an unknown
+// address.
+func canIssueLoadReference(q *Queue, t int) bool {
+	e := &q.entries[t]
+	if !e.valid || e.kind != KindLoad || !e.addrKnown {
+		return false
+	}
+	for i, n := q.head, 0; n < q.count; i, n = (i+1)%q.capacity, n+1 {
+		s := &q.entries[i]
+		if s.seq >= e.seq {
+			break
+		}
+		if s.kind == KindStore && !s.addrKnown {
+			return false
+		}
+	}
+	return true
+}
+
+// checkFrontier asserts CanIssueLoad agrees with the reference scan for
+// every live entry.
+func checkFrontier(t *testing.T, q *Queue) {
+	t.Helper()
+	for i, n := q.head, 0; n < q.count; i, n = (i+1)%q.capacity, n+1 {
+		if !q.entries[i].valid {
+			continue
+		}
+		got, want := q.CanIssueLoad(i), canIssueLoadReference(q, i)
+		if got != want {
+			t.Fatalf("ticket %d (seq %d): CanIssueLoad=%v, reference scan=%v (frontier %d)",
+				i, q.entries[i].seq, got, want, q.frontierSeq)
+		}
+	}
+}
+
+// TestFrontierMatchesScan drives a deterministic pseudo-random mix of
+// inserts, out-of-order store address resolutions, and in-order commits
+// through the queue, checking the O(1) frontier check against the
+// reference scan after every operation (including across ring wraparound).
+func TestFrontierMatchesScan(t *testing.T) {
+	q := New(8)
+	rnd := uint64(0x9E3779B97F4A7C15)
+	next := func(n uint64) uint64 { // xorshift; deterministic
+		rnd ^= rnd << 13
+		rnd ^= rnd >> 7
+		rnd ^= rnd << 17
+		return rnd % n
+	}
+	seq := uint64(0)
+	var unresolved []int // store tickets with unknown addresses
+	for op := 0; op < 5000; op++ {
+		switch {
+		case !q.Full() && next(3) != 0:
+			seq++
+			if next(2) == 0 {
+				tk := q.Insert(seq, KindLoad)
+				q.SetAddress(tk, next(1<<16))
+			} else {
+				tk := q.Insert(seq, KindStore)
+				if next(4) == 0 { // some stores resolve immediately
+					q.SetAddress(tk, next(1<<16))
+				} else {
+					unresolved = append(unresolved, tk)
+				}
+			}
+		case len(unresolved) > 0:
+			// Resolve a random pending store — models out-of-order
+			// completion, including multiple same-cycle resolutions.
+			i := int(next(uint64(len(unresolved))))
+			q.SetAddress(unresolved[i], next(1<<16))
+			unresolved[i] = unresolved[len(unresolved)-1]
+			unresolved = unresolved[:len(unresolved)-1]
+		case q.count > 0:
+			// Commit the head once it is executable.
+			h := q.head
+			e := &q.entries[h]
+			if e.kind == KindLoad {
+				if !q.CanIssueLoad(h) {
+					continue
+				}
+				q.IssueLoad(h, nil, uint64(op))
+			} else if !e.addrKnown {
+				continue
+			}
+			q.Commit(e.seq, nil, uint64(op))
+		}
+		checkFrontier(t, q)
+	}
+}
+
+// TestFrontierAdvancesPastKnownStores pins the basic frontier movement: a
+// load behind two unknown stores becomes issuable only when both resolve,
+// regardless of resolution order.
+func TestFrontierAdvancesPastKnownStores(t *testing.T) {
+	q := New(8)
+	s1 := q.Insert(1, KindStore)
+	s2 := q.Insert(2, KindStore)
+	ld := q.Insert(3, KindLoad)
+	q.SetAddress(ld, 0x100)
+	if q.CanIssueLoad(ld) {
+		t.Fatal("load issuable behind two unknown stores")
+	}
+	q.SetAddress(s2, 0x200) // younger store first: frontier must not move
+	if q.CanIssueLoad(ld) {
+		t.Fatal("load issuable while the older store address is unknown")
+	}
+	q.SetAddress(s1, 0x300)
+	if !q.CanIssueLoad(ld) {
+		t.Fatal("load not issuable after all prior store addresses resolved")
+	}
+}

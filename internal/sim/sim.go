@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/bpred"
 	"repro/internal/cache"
@@ -27,6 +28,22 @@ const deadlockLimit = 100000
 type srcOp struct {
 	phys core.PhysReg
 	fp   bool
+}
+
+// consumerNode links one source operand of an in-flight uop into the
+// consumer list of the physical register it reads. The nodes are embedded
+// in the uop itself (no allocation) and the lists are doubly linked so an
+// issuing instruction unlinks in O(1). One list per physical register
+// replaces the per-cycle window scans: it is the wakeup list (producer
+// issue decrements waiters' pending counts), the prefetch-first-pair
+// candidate list, and the ready-caching consumer census.
+type consumerNode struct {
+	owner      *uop
+	prev, next *consumerNode
+	k          int8 // index of this source in owner.src
+	// gating marks sources that gate issue and whose producer had not yet
+	// issued at dispatch: the producer's issue decrements owner.pending.
+	gating bool
 }
 
 // uop is one in-flight instruction.
@@ -63,6 +80,16 @@ type uop struct {
 
 	mispredicted bool
 	bypassCaught bool
+
+	// Scheduler state. robIdx is the uop's own slot in the ROB ring (its
+	// bit position in the ready mask); pending counts issue-gating sources
+	// whose producer has not yet issued; srcNode embeds the consumer-list
+	// nodes; nextComp/nextWB chain the uop into the per-cycle completion
+	// and write-back event lists.
+	robIdx           int32
+	pending          int8
+	srcNode          [2]consumerNode
+	nextComp, nextWB *uop
 }
 
 // Simulator runs one workload on one processor configuration.
@@ -83,15 +110,30 @@ type Simulator struct {
 	robHead  int
 	robCount int
 
+	// readyMask holds one bit per ROB slot: set while the uop is live,
+	// unissued, and all of its issue-gating producers have issued. Issue
+	// selection scans set bits in ring order from robHead (oldest first)
+	// instead of walking every live uop.
+	readyMask []uint64
+
+	// Per-physical-register consumer lists (see consumerNode), indexed by
+	// file then register.
+	consHead, consTail [2][]*consumerNode
+
+	// Fetch queue ring buffer.
 	fetchQ []fetchEntry
+	fqHead int
+	fqLen  int
 
 	// Per-file result-bus cycle and producer tables, indexed by physical
 	// register; index 0 = int file, 1 = FP file.
 	regBus      [2][]uint64
 	regProducer [2][]*uop
 
-	completionAt [eventHorizon][]*uop
-	wbAt         [eventHorizon][]*uop
+	// Per-cycle completion and write-back event lists, chained through the
+	// uops themselves (nextComp/nextWB) in FIFO order — no slice churn.
+	compHead, compTail [eventHorizon]*uop
+	wbHead, wbTail     [eventHorizon]*uop
 
 	fu fuPools
 
@@ -101,11 +143,16 @@ type Simulator struct {
 
 	fetchResumeAt uint64
 	blockedBranch bool
-	pendingInstr  *isa.Instr
+	pendingInstr  isa.Instr
+	pendingValid  bool
 
-	// scratch buffers
-	opsInt, opsFP     []core.Operand
-	opsIntIx, opsFPIx []int
+	// Operand scratch buffers: at most two sources per instruction, so
+	// fixed arrays (no heap growth).
+	opsInt, opsFP   [2]core.Operand
+	nOpsInt, nOpsFP int
+
+	// Value-stats scratch bitmaps (Figure 3 instrumentation only).
+	vsVal, vsReady [2][]uint64
 
 	// instrumentation
 	mispredicts    uint64
@@ -144,39 +191,68 @@ type fetchEntry struct {
 	mispredicted bool
 }
 
-// fuPools tracks functional unit occupancy: each unit accepts one
+// fuPool tracks one functional-unit class: each unit accepts one
 // instruction per cycle (pipelined); divides occupy their unit for the full
-// latency.
+// latency. earliestFree caches min(busyUntil) so the common "all units
+// busy" case is a single comparison instead of a pool scan.
+type fuPool struct {
+	busyUntil    []uint64
+	earliestFree uint64
+}
+
+// take acquires a unit at cycle t, occupying it for occupy cycles, and
+// reports whether one was free.
+func (p *fuPool) take(t, occupy uint64) bool {
+	if p.earliestFree > t {
+		return false // all busy: O(1) fast path
+	}
+	for i, busy := range p.busyUntil {
+		if busy <= t {
+			p.busyUntil[i] = t + occupy
+			m := p.busyUntil[0]
+			for _, b := range p.busyUntil[1:] {
+				if b < m {
+					m = b
+				}
+			}
+			p.earliestFree = m
+			return true
+		}
+	}
+	panic("sim: fuPool earliestFree out of sync with pool state")
+}
+
+// fuPools holds the functional unit pools of Table 1.
 type fuPools struct {
-	simpleInt []uint64
-	intMulDiv []uint64
-	simpleFP  []uint64
-	fpDiv     []uint64
-	mem       []uint64
+	simpleInt fuPool
+	intMulDiv fuPool
+	simpleFP  fuPool
+	fpDiv     fuPool
+	mem       fuPool
 }
 
 func newFUPools(c *Config) fuPools {
 	return fuPools{
-		simpleInt: make([]uint64, c.SimpleInt),
-		intMulDiv: make([]uint64, c.IntMulDiv),
-		simpleFP:  make([]uint64, c.SimpleFP),
-		fpDiv:     make([]uint64, c.FPDiv),
-		mem:       make([]uint64, c.MemPorts),
+		simpleInt: fuPool{busyUntil: make([]uint64, c.SimpleInt)},
+		intMulDiv: fuPool{busyUntil: make([]uint64, c.IntMulDiv)},
+		simpleFP:  fuPool{busyUntil: make([]uint64, c.SimpleFP)},
+		fpDiv:     fuPool{busyUntil: make([]uint64, c.FPDiv)},
+		mem:       fuPool{busyUntil: make([]uint64, c.MemPorts)},
 	}
 }
 
-func (f *fuPools) poolFor(c isa.Class) []uint64 {
+func (f *fuPools) poolFor(c isa.Class) *fuPool {
 	switch c {
 	case isa.IntALU, isa.Branch:
-		return f.simpleInt
+		return &f.simpleInt
 	case isa.IntMul, isa.IntDiv:
-		return f.intMulDiv
+		return &f.intMulDiv
 	case isa.FPALU:
-		return f.simpleFP
+		return &f.simpleFP
 	case isa.FPDiv:
-		return f.fpDiv
+		return &f.fpDiv
 	case isa.Load, isa.Store:
-		return f.mem
+		return &f.mem
 	}
 	panic(fmt.Sprintf("sim: no functional unit pool for %v", c))
 }
@@ -185,18 +261,11 @@ func (f *fuPools) poolFor(c isa.Class) []uint64 {
 // false if all units are busy. Divides block their unit for the full
 // latency; other classes are fully pipelined.
 func (f *fuPools) take(c isa.Class, t uint64) bool {
-	pool := f.poolFor(c)
-	for i, busy := range pool {
-		if busy <= t {
-			occupy := uint64(1)
-			if c == isa.IntDiv || c == isa.FPDiv {
-				occupy = uint64(isa.Latency(c))
-			}
-			pool[i] = t + occupy
-			return true
-		}
+	occupy := uint64(1)
+	if c == isa.IntDiv || c == isa.FPDiv {
+		occupy = uint64(isa.Latency(c))
 	}
-	return false
+	return f.poolFor(c).take(t, occupy)
 }
 
 // New builds a simulator for the given configuration and instruction
@@ -207,17 +276,19 @@ func New(cfg Config, stream isa.Stream) *Simulator {
 		panic(err)
 	}
 	s := &Simulator{
-		cfg:     cfg,
-		stream:  stream,
-		intFile: cfg.buildFile(),
-		fpFile:  cfg.buildFile(),
-		rmap:    rename.NewMap(cfg.PhysRegs, cfg.PhysRegs),
-		pred:    bpred.NewGshareHist(cfg.PredictorBits, cfg.HistoryBits),
-		icache:  cache.New(cfg.ICache),
-		dcache:  cache.New(cfg.DCache),
-		ldst:    lsq.New(cfg.LSQSize),
-		rob:     make([]uop, cfg.WindowSize),
-		fu:      newFUPools(&cfg),
+		cfg:       cfg,
+		stream:    stream,
+		intFile:   cfg.buildFile(),
+		fpFile:    cfg.buildFile(),
+		rmap:      rename.NewMap(cfg.PhysRegs, cfg.PhysRegs),
+		pred:      bpred.NewGshareHist(cfg.PredictorBits, cfg.HistoryBits),
+		icache:    cache.New(cfg.ICache),
+		dcache:    cache.New(cfg.DCache),
+		ldst:      lsq.New(cfg.LSQSize),
+		rob:       make([]uop, cfg.WindowSize),
+		readyMask: make([]uint64, (cfg.WindowSize+63)/64),
+		fetchQ:    make([]fetchEntry, cfg.FetchQueue),
+		fu:        newFUPools(&cfg),
 	}
 	if cfg.RF.Kind == RFOneLevel {
 		s.oneLevel[0] = s.intFile.(*core.OneLevel)
@@ -230,10 +301,19 @@ func New(cfg Config, stream isa.Stream) *Simulator {
 	for f := 0; f < 2; f++ {
 		s.regBus[f] = make([]uint64, cfg.PhysRegs)
 		s.regProducer[f] = make([]*uop, cfg.PhysRegs)
+		s.consHead[f] = make([]*consumerNode, cfg.PhysRegs)
+		s.consTail[f] = make([]*consumerNode, cfg.PhysRegs)
 		// Architectural registers hold committed values from the start;
 		// free-list registers get a bus cycle when renamed.
 		for p := range s.regBus[f] {
 			s.regBus[f][p] = 0
+		}
+	}
+	if cfg.ValueStats {
+		words := (cfg.PhysRegs + 63) / 64
+		for f := 0; f < 2; f++ {
+			s.vsVal[f] = make([]uint64, words)
+			s.vsReady[f] = make([]uint64, words)
 		}
 	}
 	return s
@@ -253,43 +333,58 @@ func fileIdx(fp bool) int {
 	return 0
 }
 
+// setReady marks u selectable for issue.
+func (s *Simulator) setReady(u *uop) {
+	s.readyMask[u.robIdx>>6] |= 1 << uint(u.robIdx&63)
+}
+
+// clearReady removes u from the issue candidates.
+func (s *Simulator) clearReady(u *uop) {
+	s.readyMask[u.robIdx>>6] &^= 1 << uint(u.robIdx&63)
+}
+
 // Run simulates until MaxInstructions commit and returns the results.
 func (s *Simulator) Run() Result {
 	for s.committed < s.cfg.MaxInstructions {
-		t := s.cycle
-		s.intFile.BeginCycle(t)
-		s.fpFile.BeginCycle(t)
-		s.processCompletions(t)
-		s.processWritebacks(t)
-		s.commit(t)
-		s.issue(t)
-		s.dispatch(t)
-		s.fetch(t)
-		if s.cfg.ValueStats && s.warmed {
-			s.recordValueStats(t)
-		}
-		if !s.warmed && s.committed >= s.cfg.WarmupInstructions {
-			s.warmed = true
-			s.base = snapshot{
-				cycles: s.cycle + 1, committed: s.committed,
-				branches: s.branches, mispredicts: s.mispredicts,
-				icacheAcc: s.icache.Accesses(), icacheMiss: s.icache.Misses(),
-				dcacheAcc: s.dcache.Accesses(), dcacheMiss: s.dcache.Misses(),
-				forwards:       s.ldst.Forwards(),
-				dispatchStalls: s.dispatchStall,
-				fuConflicts:    s.fuConflicts,
-				branchStallCyc: s.branchStallCyc,
-				icacheStallCyc: s.icacheStallCyc,
-				intStats:       s.intFile.Stats(), fpStats: s.fpFile.Stats(),
-			}
-		}
-		s.cycle++
-		if t-s.lastCommitAt > deadlockLimit {
-			panic(fmt.Sprintf("sim: no commit for %d cycles at cycle %d (%s)\n%s",
-				deadlockLimit, t, s.cfg.RF.Name, s.describeHead(t)))
-		}
+		s.step()
 	}
 	return s.result()
+}
+
+// step advances the simulation by one cycle.
+func (s *Simulator) step() {
+	t := s.cycle
+	s.intFile.BeginCycle(t)
+	s.fpFile.BeginCycle(t)
+	s.processCompletions(t)
+	s.processWritebacks(t)
+	s.commit(t)
+	s.issue(t)
+	s.dispatch(t)
+	s.fetch(t)
+	if s.cfg.ValueStats && s.warmed {
+		s.recordValueStats(t)
+	}
+	if !s.warmed && s.committed >= s.cfg.WarmupInstructions {
+		s.warmed = true
+		s.base = snapshot{
+			cycles: s.cycle + 1, committed: s.committed,
+			branches: s.branches, mispredicts: s.mispredicts,
+			icacheAcc: s.icache.Accesses(), icacheMiss: s.icache.Misses(),
+			dcacheAcc: s.dcache.Accesses(), dcacheMiss: s.dcache.Misses(),
+			forwards:       s.ldst.Forwards(),
+			dispatchStalls: s.dispatchStall,
+			fuConflicts:    s.fuConflicts,
+			branchStallCyc: s.branchStallCyc,
+			icacheStallCyc: s.icacheStallCyc,
+			intStats:       s.intFile.Stats(), fpStats: s.fpFile.Stats(),
+		}
+	}
+	s.cycle++
+	if t-s.lastCommitAt > deadlockLimit {
+		panic(fmt.Sprintf("sim: no commit for %d cycles at cycle %d (%s)\n%s",
+			deadlockLimit, t, s.cfg.RF.Name, s.describeHead(t)))
+	}
 }
 
 // describeHead reports why the window head cannot retire — the forensic
@@ -297,11 +392,11 @@ func (s *Simulator) Run() Result {
 func (s *Simulator) describeHead(t uint64) string {
 	if s.robCount == 0 {
 		return fmt.Sprintf("empty window; fetchResumeAt=%d blockedBranch=%v fetchQ=%d",
-			s.fetchResumeAt, s.blockedBranch, len(s.fetchQ))
+			s.fetchResumeAt, s.blockedBranch, s.fqLen)
 	}
 	u := &s.rob[s.robHead]
-	desc := fmt.Sprintf("head seq=%d %v issued=%v completed=%v wb=%d complete=%d",
-		u.seq, u.in.Class, u.issued, u.completed, u.wbCycle, u.completeCycle)
+	desc := fmt.Sprintf("head seq=%d %v issued=%v completed=%v wb=%d complete=%d pending=%d",
+		u.seq, u.in.Class, u.issued, u.completed, u.wbCycle, u.completeCycle, u.pending)
 	for k := 0; k < u.nsrc; k++ {
 		fi := fileIdx(u.src[k].fp)
 		w := s.regBus[fi][u.src[k].phys]
@@ -319,11 +414,15 @@ func (s *Simulator) describeHead(t uint64) string {
 // processCompletions handles instructions finishing execution at cycle t:
 // branch resolution (fetch redirect) and store address availability.
 func (s *Simulator) processCompletions(t uint64) {
-	slot := &s.completionAt[t%eventHorizon]
-	for _, u := range *slot {
+	slot := t % eventHorizon
+	for u := s.compHead[slot]; u != nil; {
+		next := u.nextComp
+		u.nextComp = nil
 		u.completed = true
 		u.completeCycle = t
-		s.trace(t, "complete", "%s", traceUop(u))
+		if s.tracer != nil {
+			s.trace(t, "complete", "%s", traceUop(u))
+		}
 		switch u.in.Class {
 		case isa.Branch:
 			if u.mispredicted {
@@ -336,37 +435,41 @@ func (s *Simulator) processCompletions(t uint64) {
 			s.ldst.SetAddress(u.lsqTicket, u.in.Addr)
 			s.ldst.IssueStore(u.lsqTicket)
 		}
+		u = next
 	}
-	*slot = (*slot)[:0]
+	s.compHead[slot], s.compTail[slot] = nil, nil
 }
 
 // processWritebacks delivers results to the register files at their
 // reserved write-back cycles, computing the caching-policy hints.
 func (s *Simulator) processWritebacks(t uint64) {
-	slot := &s.wbAt[t%eventHorizon]
-	for _, u := range *slot {
+	slot := t % eventHorizon
+	for u := s.wbHead[slot]; u != nil; {
+		next := u.nextWB
+		u.nextWB = nil
 		file := s.fileFor(u.destFP)
-		s.trace(t, "writeback", "%s bypassCaught=%v", traceUop(u), u.bypassCaught)
+		if s.tracer != nil {
+			s.trace(t, "writeback", "%s bypassCaught=%v", traceUop(u), u.bypassCaught)
+		}
 		hints := core.WBHints{BypassCaught: u.bypassCaught}
 		if s.cfg.RF.Kind == RFCache {
 			hints.ReadyConsumer = s.hasReadyConsumer(u, t)
 		}
 		file.Writeback(t, u.dest, hints)
+		u = next
 	}
-	*slot = (*slot)[:0]
+	s.wbHead[slot], s.wbTail[slot] = nil, nil
 }
 
 // hasReadyConsumer reports whether some not-yet-issued window instruction
 // sources u's result and has all of its operands produced by cycle t (the
-// "ready caching" predicate).
+// "ready caching" predicate). The consumer list of u.dest holds exactly
+// the unissued window instructions that source it (issued consumers are
+// unlinked), so only actual consumers are inspected.
 func (s *Simulator) hasReadyConsumer(u *uop, t uint64) bool {
 	fi := fileIdx(u.destFP)
-	for i, n := s.robHead, 0; n < s.robCount; i, n = (i+1)%len(s.rob), n+1 {
-		c := &s.rob[i]
-		if !c.live || c.issued || c.seq <= u.seq {
-			continue
-		}
-		uses := false
+	for n := s.consHead[fi][u.dest]; n != nil; n = n.next {
+		c := n.owner
 		allReady := true
 		for k := 0; k < c.nsrc; k++ {
 			w := s.regBus[fileIdx(c.src[k].fp)][c.src[k].phys]
@@ -374,11 +477,8 @@ func (s *Simulator) hasReadyConsumer(u *uop, t uint64) bool {
 				allReady = false
 				break
 			}
-			if fileIdx(c.src[k].fp) == fi && c.src[k].phys == u.dest {
-				uses = true
-			}
 		}
-		if uses && allReady {
+		if allReady {
 			return true
 		}
 	}
@@ -386,7 +486,8 @@ func (s *Simulator) hasReadyConsumer(u *uop, t uint64) bool {
 }
 
 // commit retires completed instructions in order, releasing the previous
-// physical registers of their logical destinations.
+// physical registers of their logical destinations. Only the window head
+// is ever inspected: retirement needs no scan of the live window.
 func (s *Simulator) commit(t uint64) {
 	for n := 0; n < s.cfg.CommitWidth && s.robCount > 0; n++ {
 		u := &s.rob[s.robHead]
@@ -407,7 +508,9 @@ func (s *Simulator) commit(t uint64) {
 			s.rmap.Release(u.destL, u.prev)
 			s.fileFor(u.destFP).Release(core.PhysReg(u.prev))
 		}
-		s.trace(t, "commit", "%s", traceUop(u))
+		if s.tracer != nil {
+			s.trace(t, "commit", "%s", traceUop(u))
+		}
 		u.live = false
 		s.robHead = (s.robHead + 1) % len(s.rob)
 		s.robCount--
@@ -418,24 +521,43 @@ func (s *Simulator) commit(t uint64) {
 
 // issue selects up to IssueWidth ready instructions, oldest first, subject
 // to functional unit, load disambiguation, and register file constraints.
+// Candidates come from the ready mask; instructions woken by a producer
+// issuing earlier in the same pass occupy later ring positions and are
+// picked up by the same scan, preserving the oldest-first single-pass
+// semantics of a full window walk.
 func (s *Simulator) issue(t uint64) {
-	issued := 0
-	for i, n := s.robHead, 0; n < s.robCount && issued < s.cfg.IssueWidth; i, n = (i+1)%len(s.rob), n+1 {
+	if s.robCount == 0 {
+		return
+	}
+	left := s.cfg.IssueWidth
+	end := s.robHead + s.robCount
+	if n := len(s.rob); end <= n {
+		s.issueScan(t, s.robHead, end, &left)
+	} else {
+		if s.issueScan(t, s.robHead, n, &left) {
+			return
+		}
+		s.issueScan(t, 0, end-n, &left)
+	}
+}
+
+// issueScan attempts to issue ready instructions with ROB indices in
+// [lo, hi), in index order; it returns true once the issue width is
+// exhausted. The mask word is re-read on every step so wakeups performed
+// by instructions issued earlier in the scan are visible.
+func (s *Simulator) issueScan(t uint64, lo, hi int, left *int) bool {
+	for i := lo; i < hi; {
+		w := s.readyMask[i>>6] >> uint(i&63)
+		if w == 0 {
+			i = (i | 63) + 1
+			continue
+		}
+		i += bits.TrailingZeros64(w)
+		if i >= hi {
+			return false
+		}
 		u := &s.rob[i]
-		if !u.live || u.issued {
-			continue
-		}
-		// All issue-gating producers must have scheduled their results.
-		scheduled := true
-		for k := 0; k < u.issueSrcs; k++ {
-			if s.regBus[fileIdx(u.src[k].fp)][u.src[k].phys] == notScheduled {
-				scheduled = false
-				break
-			}
-		}
-		if !scheduled {
-			continue
-		}
+		i++
 		if u.in.Class == isa.Load && !s.ldst.CanIssueLoad(u.lsqTicket) {
 			continue
 		}
@@ -447,8 +569,12 @@ func (s *Simulator) issue(t uint64) {
 			continue
 		}
 		s.doIssue(u, t)
-		issued++
+		(*left)--
+		if *left == 0 {
+			return true
+		}
 	}
+	return false
 }
 
 // tryReadOperands secures register file access for u's sources, split
@@ -456,46 +582,45 @@ func (s *Simulator) issue(t uint64) {
 // part fails, the consumed integer ports stay consumed this cycle — the
 // hardware analogue is a speculative read that is discarded.
 func (s *Simulator) tryReadOperands(u *uop, t uint64) bool {
-	s.opsInt = s.opsInt[:0]
-	s.opsFP = s.opsFP[:0]
-	s.opsIntIx = s.opsIntIx[:0]
-	s.opsFPIx = s.opsFPIx[:0]
+	s.nOpsInt, s.nOpsFP = 0, 0
 	for k := 0; k < u.issueSrcs; k++ {
 		op := core.Operand{Reg: u.src[k].phys, Bus: s.regBus[fileIdx(u.src[k].fp)][u.src[k].phys]}
 		if u.src[k].fp {
-			s.opsFP = append(s.opsFP, op)
-			s.opsFPIx = append(s.opsFPIx, k)
+			s.opsFP[s.nOpsFP] = op
+			s.nOpsFP++
 		} else {
-			s.opsInt = append(s.opsInt, op)
-			s.opsIntIx = append(s.opsIntIx, k)
+			s.opsInt[s.nOpsInt] = op
+			s.nOpsInt++
 		}
 	}
+	opsInt := s.opsInt[:s.nOpsInt]
+	opsFP := s.opsFP[:s.nOpsFP]
 	if s.replicated[0] != nil {
-		if len(s.opsInt) > 0 && !s.replicated[0].TryReadCluster(t, s.opsInt, int(u.cluster)) {
+		if len(opsInt) > 0 && !s.replicated[0].TryReadCluster(t, opsInt, int(u.cluster)) {
 			return false
 		}
-		if len(s.opsFP) > 0 && !s.replicated[1].TryReadCluster(t, s.opsFP, int(u.cluster)) {
+		if len(opsFP) > 0 && !s.replicated[1].TryReadCluster(t, opsFP, int(u.cluster)) {
 			return false
 		}
 	} else {
-		if len(s.opsInt) > 0 && !s.intFile.TryRead(t, s.opsInt, true) {
+		if len(opsInt) > 0 && !s.intFile.TryRead(t, opsInt, true) {
 			return false
 		}
-		if len(s.opsFP) > 0 && !s.fpFile.TryRead(t, s.opsFP, true) {
+		if len(opsFP) > 0 && !s.fpFile.TryRead(t, opsFP, true) {
 			return false
 		}
 	}
 	// Mark producers whose results were captured from the bypass network.
-	for j := range s.opsInt {
-		if s.opsInt[j].ViaBypass {
-			if p := s.regProducer[0][s.opsInt[j].Reg]; p != nil && p.live {
+	for j := range opsInt {
+		if opsInt[j].ViaBypass {
+			if p := s.regProducer[0][opsInt[j].Reg]; p != nil && p.live {
 				p.bypassCaught = true
 			}
 		}
 	}
-	for j := range s.opsFP {
-		if s.opsFP[j].ViaBypass {
-			if p := s.regProducer[1][s.opsFP[j].Reg]; p != nil && p.live {
+	for j := range opsFP {
+		if opsFP[j].ViaBypass {
+			if p := s.regProducer[1][opsFP[j].Reg]; p != nil && p.live {
 				p.bypassCaught = true
 			}
 		}
@@ -517,11 +642,50 @@ func (s *Simulator) readLatency(u *uop) uint64 {
 	return uint64(l)
 }
 
+// unlinkConsumers removes u's source nodes from their consumer lists; the
+// lists then hold only unissued consumers.
+func (s *Simulator) unlinkConsumers(u *uop) {
+	for k := 0; k < u.nsrc; k++ {
+		n := &u.srcNode[k]
+		fi := fileIdx(u.src[k].fp)
+		p := u.src[k].phys
+		if n.prev != nil {
+			n.prev.next = n.next
+		} else {
+			s.consHead[fi][p] = n.next
+		}
+		if n.next != nil {
+			n.next.prev = n.prev
+		} else {
+			s.consTail[fi][p] = n.prev
+		}
+		n.prev, n.next = nil, nil
+	}
+}
+
+// wakeConsumers notifies the waiters of physical register p (file fi) that
+// its producer has issued and scheduled a result-bus cycle. Waiters whose
+// last gating producer this was become issue candidates.
+func (s *Simulator) wakeConsumers(fi int, p core.PhysReg) {
+	for n := s.consHead[fi][p]; n != nil; n = n.next {
+		if !n.gating {
+			continue
+		}
+		n.gating = false
+		c := n.owner
+		if c.pending--; c.pending == 0 {
+			s.setReady(c)
+		}
+	}
+}
+
 // doIssue finalizes the issue of u at cycle t: schedules completion and
-// write-back, and triggers prefetch-first-pair.
+// write-back, wakes dependents, and triggers prefetch-first-pair.
 func (s *Simulator) doIssue(u *uop, t uint64) {
 	u.issued = true
 	u.issueCycle = t
+	s.clearReady(u)
+	s.unlinkConsumers(u)
 	l := s.readLatency(u)
 	var c uint64
 	switch u.in.Class {
@@ -534,11 +698,20 @@ func (s *Simulator) doIssue(u *uop, t uint64) {
 		c = t + l + uint64(isa.Latency(u.in.Class))
 	}
 	u.completeCycle = c
-	s.trace(t, "issue", "%s L=%d complete@%d", traceUop(u), l, c)
+	if s.tracer != nil {
+		s.trace(t, "issue", "%s L=%d complete@%d", traceUop(u), l, c)
+	}
 	if c-t >= eventHorizon {
 		panic("sim: completion beyond event horizon")
 	}
-	s.completionAt[c%eventHorizon] = append(s.completionAt[c%eventHorizon], u)
+	cs := c % eventHorizon
+	u.nextComp = nil
+	if s.compTail[cs] != nil {
+		s.compTail[cs].nextComp = u
+	} else {
+		s.compHead[cs] = u
+	}
+	s.compTail[cs] = u
 
 	if u.dest >= 0 {
 		var w uint64
@@ -551,11 +724,20 @@ func (s *Simulator) doIssue(u *uop, t uint64) {
 			w = s.fileFor(u.destFP).ReserveWriteback(c + 1)
 		}
 		u.wbCycle = w
-		s.regBus[fileIdx(u.destFP)][u.dest] = w
+		fi := fileIdx(u.destFP)
+		s.regBus[fi][u.dest] = w
+		s.wakeConsumers(fi, u.dest)
 		if w-t >= eventHorizon {
 			panic("sim: write-back beyond event horizon")
 		}
-		s.wbAt[w%eventHorizon] = append(s.wbAt[w%eventHorizon], u)
+		ws := w % eventHorizon
+		u.nextWB = nil
+		if s.wbTail[ws] != nil {
+			s.wbTail[ws].nextWB = u
+		} else {
+			s.wbHead[ws] = u
+		}
+		s.wbTail[ws] = u
 		if s.cfg.RF.Kind == RFCache {
 			s.prefetchFirstPair(u, t)
 		}
@@ -564,43 +746,36 @@ func (s *Simulator) doIssue(u *uop, t uint64) {
 
 // prefetchFirstPair implements the paper's prefetching scheme: when u
 // issues, find the first in-window instruction that consumes u's result and
-// prefetch its *other* source operand into the upper bank.
+// prefetch its *other* source operand into the upper bank. The head of
+// u.dest's consumer list is that first consumer — the list is kept in
+// dispatch (sequence) order and issued consumers are unlinked.
 func (s *Simulator) prefetchFirstPair(u *uop, t uint64) {
 	fi := fileIdx(u.destFP)
-	for i, n := s.robHead, 0; n < s.robCount; i, n = (i+1)%len(s.rob), n+1 {
-		c := &s.rob[i]
-		if !c.live || c.issued || c.seq <= u.seq {
+	n := s.consHead[fi][u.dest]
+	if n == nil {
+		return
+	}
+	c := n.owner
+	uses := int(n.k)
+	// Prefetch the other operand, if any.
+	for k := 0; k < c.nsrc; k++ {
+		if k == uses {
 			continue
 		}
-		uses := -1
-		for k := 0; k < c.nsrc; k++ {
-			if fileIdx(c.src[k].fp) == fi && c.src[k].phys == u.dest {
-				uses = k
-				break
-			}
+		ofi := fileIdx(c.src[k].fp)
+		w := s.regBus[ofi][c.src[k].phys]
+		if w != notScheduled {
+			s.fileFor(c.src[k].fp).NotePrefetch(t, c.src[k].phys, w)
 		}
-		if uses < 0 {
-			continue
-		}
-		// Prefetch the other operand, if any.
-		for k := 0; k < c.nsrc; k++ {
-			if k == uses {
-				continue
-			}
-			ofi := fileIdx(c.src[k].fp)
-			w := s.regBus[ofi][c.src[k].phys]
-			if w != notScheduled {
-				s.fileFor(c.src[k].fp).NotePrefetch(t, c.src[k].phys, w)
-			}
-		}
-		return // only the first consumer
 	}
 }
 
-// dispatch renames and inserts fetched instructions into the window.
+// dispatch renames and inserts fetched instructions into the window,
+// registering each source on its physical register's consumer list and
+// counting the issue-gating producers still outstanding.
 func (s *Simulator) dispatch(t uint64) {
-	for n := 0; n < s.cfg.FetchWidth && len(s.fetchQ) > 0; n++ {
-		fe := &s.fetchQ[0]
+	for n := 0; n < s.cfg.FetchWidth && s.fqLen > 0; n++ {
+		fe := &s.fetchQ[s.fqHead]
 		if s.robCount == len(s.rob) {
 			s.dispatchStall++
 			return
@@ -618,7 +793,8 @@ func (s *Simulator) dispatch(t uint64) {
 		s.seq++
 		idx := (s.robHead + s.robCount) % len(s.rob)
 		u := &s.rob[idx]
-		*u = uop{in: *in, seq: s.seq, live: true, dest: -1, lsqTicket: -1, mispredicted: fe.mispredicted}
+		*u = uop{in: *in, seq: s.seq, live: true, dest: -1, lsqTicket: -1,
+			mispredicted: fe.mispredicted, robIdx: int32(idx)}
 		if s.replicated[0] != nil {
 			u.cluster = int8(s.seq % uint64(s.replicated[0].Clusters()))
 		}
@@ -660,9 +836,36 @@ func (s *Simulator) dispatch(t uint64) {
 				s.ldst.SetAddress(u.lsqTicket, in.Addr)
 			}
 		}
+		// Consumer-list registration and wakeup accounting. Appending at
+		// dispatch keeps every list in sequence order.
+		for k := 0; k < u.nsrc; k++ {
+			fi := fileIdx(u.src[k].fp)
+			p := u.src[k].phys
+			node := &u.srcNode[k]
+			node.owner = u
+			node.k = int8(k)
+			node.gating = k < u.issueSrcs && s.regBus[fi][p] == notScheduled
+			if node.gating {
+				u.pending++
+			}
+			node.next = nil
+			node.prev = s.consTail[fi][p]
+			if node.prev != nil {
+				node.prev.next = node
+			} else {
+				s.consHead[fi][p] = node
+			}
+			s.consTail[fi][p] = node
+		}
+		if u.pending == 0 {
+			s.setReady(u)
+		}
 		s.robCount++
-		s.fetchQ = s.fetchQ[1:]
-		s.trace(t, "dispatch", "%s", traceUop(u))
+		s.fqHead = (s.fqHead + 1) % len(s.fetchQ)
+		s.fqLen--
+		if s.tracer != nil {
+			s.trace(t, "dispatch", "%s", traceUop(u))
+		}
 	}
 }
 
@@ -685,12 +888,12 @@ func (s *Simulator) fetch(t uint64) {
 		s.icacheStallCyc++
 		return
 	}
-	for n := 0; n < s.cfg.FetchWidth && len(s.fetchQ) < s.cfg.FetchQueue; n++ {
-		if s.pendingInstr == nil {
-			in := *s.stream.Next()
-			s.pendingInstr = &in
+	for n := 0; n < s.cfg.FetchWidth && s.fqLen < len(s.fetchQ); n++ {
+		if !s.pendingValid {
+			s.pendingInstr = *s.stream.Next()
+			s.pendingValid = true
 		}
-		in := s.pendingInstr
+		in := &s.pendingInstr
 		if n == 0 {
 			res := s.icache.Access(in.PC, false, t)
 			if !res.Hit {
@@ -699,7 +902,7 @@ func (s *Simulator) fetch(t uint64) {
 			}
 		}
 		fe := fetchEntry{in: *in}
-		s.pendingInstr = nil
+		s.pendingValid = false
 		if in.Class == isa.Branch {
 			s.branches++
 			correct := s.pred.Update(in.PC, in.Taken)
@@ -707,29 +910,37 @@ func (s *Simulator) fetch(t uint64) {
 				s.mispredicts++
 				fe.mispredicted = true
 				s.blockedBranch = true
-				s.fetchQ = append(s.fetchQ, fe)
+				s.pushFetch(fe)
 				return
 			}
-			s.fetchQ = append(s.fetchQ, fe)
+			s.pushFetch(fe)
 			if in.Taken {
 				return // at most one taken branch per fetch cycle
 			}
 			continue
 		}
-		s.fetchQ = append(s.fetchQ, fe)
+		s.pushFetch(fe)
 	}
+}
+
+// pushFetch appends fe to the fetch queue ring (capacity checked by the
+// caller's loop condition).
+func (s *Simulator) pushFetch(fe fetchEntry) {
+	s.fetchQ[(s.fqHead+s.fqLen)%len(s.fetchQ)] = fe
+	s.fqLen++
 }
 
 // recordValueStats implements the Figure 3 instrumentation: per cycle,
 // count distinct physical registers that hold a produced value and are
 // source operands of (a) any unissued window instruction, and (b) an
-// unissued instruction whose operands are all produced.
+// unissued instruction whose operands are all produced. The distinct-set
+// bookkeeping uses preallocated bitmaps.
 func (s *Simulator) recordValueStats(t uint64) {
-	var seenVal, seenReady [2]map[core.PhysReg]bool
 	for f := 0; f < 2; f++ {
-		seenVal[f] = make(map[core.PhysReg]bool, 16)
-		seenReady[f] = make(map[core.PhysReg]bool, 8)
+		clear(s.vsVal[f])
+		clear(s.vsReady[f])
 	}
+	nVal, nReady := 0, 0
 	for i, n := s.robHead, 0; n < s.robCount; i, n = (i+1)%len(s.rob), n+1 {
 		u := &s.rob[i]
 		if !u.live || u.issued {
@@ -748,12 +959,18 @@ func (s *Simulator) recordValueStats(t uint64) {
 			if w == notScheduled || w > t {
 				continue // no value yet
 			}
-			seenVal[fi][u.src[k].phys] = true
-			if allReady {
-				seenReady[fi][u.src[k].phys] = true
+			p := u.src[k].phys
+			bit := uint64(1) << uint(p&63)
+			if s.vsVal[fi][p>>6]&bit == 0 {
+				s.vsVal[fi][p>>6] |= bit
+				nVal++
+			}
+			if allReady && s.vsReady[fi][p>>6]&bit == 0 {
+				s.vsReady[fi][p>>6] |= bit
+				nReady++
 			}
 		}
 	}
-	s.valueHist.Add(len(seenVal[0]) + len(seenVal[1]))
-	s.readyHist.Add(len(seenReady[0]) + len(seenReady[1]))
+	s.valueHist.Add(nVal)
+	s.readyHist.Add(nReady)
 }
