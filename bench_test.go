@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 	"repro/internal/trace"
 )
 
@@ -29,15 +30,19 @@ const benchInstructions = 30000
 // snapshot with cmd/benchgate (see the README's Performance section);
 // refresh the committed baseline with:
 //
-//	go test -bench 'BenchmarkSim$' -benchtime 10x -run '^$' -benchjson BENCH_sim.json .
+//	go test -bench 'BenchmarkSim$|BenchmarkSweepRunner$' -benchtime 10x -run '^$' -benchjson BENCH_sim.json .
 var benchJSON = flag.String("benchjson", "", "write a JSON snapshot of BenchmarkSim results to this path")
 
-// benchSnapshot is the BENCH_sim.json schema.
+// benchSnapshot is the BENCH_sim.json schema. Cache, when present,
+// carries the sweep-cache hit/miss counts recorded by
+// BenchmarkSweepRunner; cmd/benchgate passes them through into its
+// verdict JSON.
 type benchSnapshot struct {
 	Schema     int                    `json:"schema"`
 	Go         string                 `json:"go"`
 	Instrs     uint64                 `json:"instructions_per_run"`
 	Benchmarks map[string]benchRecord `json:"benchmarks"`
+	Cache      *sweep.CacheStats      `json:"cache,omitempty"`
 }
 
 // benchRecord is one benchmark's measurement.
@@ -49,12 +54,19 @@ type benchRecord struct {
 var (
 	benchMu      sync.Mutex
 	benchRecords = map[string]benchRecord{}
+	benchCache   *sweep.CacheStats
 )
 
 func recordBench(name string, instrsPerSec, secPerOp float64) {
 	benchMu.Lock()
 	defer benchMu.Unlock()
 	benchRecords[name] = benchRecord{InstrsPerSec: instrsPerSec, SecPerOp: secPerOp}
+}
+
+func recordCache(stats sweep.CacheStats) {
+	benchMu.Lock()
+	defer benchMu.Unlock()
+	benchCache = &stats
 }
 
 // TestMain writes the benchmark snapshot once the run completes.
@@ -64,6 +76,7 @@ func TestMain(m *testing.M) {
 		snap := benchSnapshot{
 			Schema: 1, Go: runtime.Version(),
 			Instrs: benchInstructions, Benchmarks: benchRecords,
+			Cache: benchCache,
 		}
 		data, err := json.MarshalIndent(snap, "", "  ")
 		if err == nil {
@@ -112,6 +125,44 @@ func BenchmarkSim(b *testing.B) {
 			recordBench("Sim/"+c.name, ips, sec/float64(b.N))
 		})
 	}
+}
+
+// BenchmarkSweepRunner measures the sweep engine end to end: each
+// iteration runs the same small batch twice through one runner — a cold
+// pass that simulates and a warm pass served entirely from the cache —
+// so the number tracks both scheduler overhead and cache lookup cost.
+// The final iteration's hit/miss counts land in the BENCH_sim.json
+// snapshot's "cache" section (2 hits per cold+warm job pair wanted:
+// the warm pass must be all hits).
+func BenchmarkSweepRunner(b *testing.B) {
+	u := core.Unlimited
+	var jobs []sweep.Job
+	for _, bench := range []string{"compress", "swim"} {
+		prof, ok := trace.ByName(bench)
+		if !ok {
+			b.Fatalf("unknown benchmark %s", bench)
+		}
+		for _, spec := range []sim.RFSpec{sim.Mono1Cycle(u, u), sim.PaperCache()} {
+			jobs = append(jobs, sweep.Job{Profile: prof, Config: sim.DefaultConfig(spec, benchInstructions)})
+		}
+	}
+	b.ReportAllocs()
+	var stats sweep.CacheStats
+	for i := 0; i < b.N; i++ {
+		r := sweep.NewRunner(sweep.RunnerConfig{})
+		r.RunOutcomes(jobs, 0)
+		r.RunOutcomes(jobs, 0)
+		stats = r.CacheStats()
+	}
+	if stats.Hits != uint64(len(jobs)) || stats.Misses != uint64(len(jobs)) {
+		b.Fatalf("cache stats = %+v, want %d hits / %d misses", stats, len(jobs), len(jobs))
+	}
+	recordCache(stats)
+	sec := b.Elapsed().Seconds()
+	simulated := float64(benchInstructions) * float64(len(jobs)) * float64(b.N)
+	ips := simulated / sec
+	b.ReportMetric(ips, "instrs/s")
+	recordBench("SweepRunner", ips, sec/float64(b.N))
 }
 
 func benchOpts() experiments.Options {

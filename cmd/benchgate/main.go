@@ -1,13 +1,21 @@
 // Command benchgate compares a freshly measured benchmark snapshot (the
-// BENCH_sim.json emitted by `go test -bench BenchmarkSim -benchjson ...`)
-// against a committed baseline and fails when any benchmark's simulation
+// BENCH_sim.json emitted by `go test -bench ... -benchjson ...`) against
+// a committed baseline and fails when any benchmark's simulation
 // throughput regresses beyond a tolerance. CI runs it on every pull
 // request; see the README's Performance section for the workflow and for
 // refreshing the baseline.
 //
 // Usage:
 //
-//	benchgate -baseline BENCH_sim.json -current ci/BENCH_sim.json [-tolerance 0.20]
+//	benchgate -baseline BENCH_sim.json -current ci/BENCH_sim.json
+//	          [-tolerance 0.20] [-json verdict.json]
+//
+// When the baseline file does not exist — the merge-base predates the
+// benchmark harness — benchgate prints a skip message and exits 0, so CI
+// can invoke it unconditionally. With -json it also emits a
+// machine-readable verdict: per-benchmark ratios, the overall status
+// (ok, fail or skip), and the sweep-cache hit/miss counts carried in each
+// snapshot's "cache" section.
 //
 // The tolerance is generous by design: CI runners vary, and the gate is
 // meant to catch algorithmic regressions (a scan reintroduced in the cycle
@@ -22,16 +30,50 @@ import (
 	"sort"
 )
 
+// cacheCounts mirrors the optional sweep-cache section of a snapshot
+// (sweep.CacheStats as written by the -benchjson harness).
+type cacheCounts struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+}
+
 type snapshot struct {
 	Schema     int               `json:"schema"`
 	Go         string            `json:"go"`
 	Instrs     uint64            `json:"instructions_per_run"`
 	Benchmarks map[string]record `json:"benchmarks"`
+	Cache      *cacheCounts      `json:"cache,omitempty"`
 }
 
 type record struct {
 	InstrsPerSec float64 `json:"instrs_per_sec"`
 	SecPerOp     float64 `json:"sec_per_op"`
+}
+
+// verdict is the machine-readable gate result written by -json.
+type verdict struct {
+	Schema int `json:"schema"`
+	// Status is ok, fail or skip.
+	Status    string  `json:"status"`
+	Reason    string  `json:"reason,omitempty"`
+	Baseline  string  `json:"baseline"`
+	Current   string  `json:"current"`
+	Tolerance float64 `json:"tolerance"`
+	// Benchmarks maps each baseline benchmark to its comparison.
+	Benchmarks map[string]comparison `json:"benchmarks,omitempty"`
+	// Cache carries the sweep-cache hit/miss counts of each snapshot,
+	// when the harness recorded them.
+	Cache struct {
+		Baseline *cacheCounts `json:"baseline,omitempty"`
+		Current  *cacheCounts `json:"current,omitempty"`
+	} `json:"cache"`
+}
+
+type comparison struct {
+	BaselineInstrsPerSec float64 `json:"baseline_instrs_per_sec"`
+	CurrentInstrsPerSec  float64 `json:"current_instrs_per_sec"`
+	Ratio                float64 `json:"ratio"`
+	OK                   bool    `json:"ok"`
 }
 
 func load(path string) (snapshot, error) {
@@ -49,15 +91,45 @@ func load(path string) (snapshot, error) {
 	return s, nil
 }
 
+// emit writes the verdict JSON, if requested.
+func emit(path string, v verdict) {
+	if path == "" {
+		return
+	}
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err == nil {
+		err = os.WriteFile(path, append(data, '\n'), 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: writing %s: %v\n", path, err)
+		os.Exit(2)
+	}
+}
+
 func main() {
 	baseline := flag.String("baseline", "BENCH_sim.json", "committed baseline snapshot")
 	current := flag.String("current", "", "freshly measured snapshot to check")
 	tolerance := flag.Float64("tolerance", 0.20, "maximum allowed fractional throughput regression")
+	jsonOut := flag.String("json", "", "write a machine-readable verdict to this path")
 	flag.Parse()
 	if *current == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -current is required")
 		os.Exit(2)
 	}
+	v := verdict{
+		Schema: 1, Baseline: *baseline, Current: *current, Tolerance: *tolerance,
+	}
+
+	// A missing baseline is a skip, not a failure: the merge-base
+	// predates the benchmark harness, so there is nothing to gate against.
+	if _, err := os.Stat(*baseline); os.IsNotExist(err) {
+		fmt.Printf("benchgate: skip: no baseline snapshot at %s (merge-base predates the benchmark harness)\n", *baseline)
+		v.Status = "skip"
+		v.Reason = fmt.Sprintf("baseline %s does not exist", *baseline)
+		emit(*jsonOut, v)
+		return
+	}
+
 	base, err := load(*baseline)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchgate: baseline: %v\n", err)
@@ -68,6 +140,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchgate: current: %v\n", err)
 		os.Exit(2)
 	}
+	v.Cache.Baseline = base.Cache
+	v.Cache.Current = cur.Cache
+	v.Benchmarks = make(map[string]comparison)
 
 	names := make([]string, 0, len(base.Benchmarks))
 	for name := range base.Benchmarks {
@@ -81,12 +156,20 @@ func main() {
 		c, ok := cur.Benchmarks[name]
 		if !ok {
 			fmt.Printf("FAIL %-18s missing from the current snapshot\n", name)
+			v.Benchmarks[name] = comparison{BaselineInstrsPerSec: b.InstrsPerSec}
 			failed = true
 			continue
 		}
 		ratio := c.InstrsPerSec / b.InstrsPerSec
+		ok = ratio >= 1-*tolerance
+		v.Benchmarks[name] = comparison{
+			BaselineInstrsPerSec: b.InstrsPerSec,
+			CurrentInstrsPerSec:  c.InstrsPerSec,
+			Ratio:                ratio,
+			OK:                   ok,
+		}
 		status := "ok  "
-		if ratio < 1-*tolerance {
+		if !ok {
 			status = "FAIL"
 			failed = true
 		}
@@ -98,10 +181,19 @@ func main() {
 			fmt.Printf("note %-18s new benchmark (not in baseline); refresh the baseline to track it\n", name)
 		}
 	}
+	if cc := cur.Cache; cc != nil {
+		fmt.Printf("cache               %d hits / %d misses in the current snapshot's sweep benchmark\n", cc.Hits, cc.Misses)
+	}
+
+	v.Status = "ok"
+	if failed {
+		v.Status = "fail"
+	}
+	emit(*jsonOut, v)
 	if failed {
 		fmt.Printf("\nbenchgate: throughput regressed more than %.0f%% vs %s\n", 100**tolerance, *baseline)
 		fmt.Println("If the regression is intended, refresh the baseline:")
-		fmt.Println("  go test -bench 'BenchmarkSim$' -benchtime 10x -run '^$' -benchjson BENCH_sim.json .")
+		fmt.Println("  go test -bench 'BenchmarkSim$|BenchmarkSweepRunner$' -benchtime 10x -run '^$' -benchjson BENCH_sim.json .")
 		os.Exit(1)
 	}
 }

@@ -4,13 +4,21 @@
 //
 // Usage:
 //
-//	rfbatch -spec sweep.json [-n instructions] [-p parallelism] [-csv] [-v]
+//	rfbatch -spec sweep.json [-n instructions] [-p parallelism]
+//	        [-csv | -ndjson] [-store dir [-store-max-mb n]] [-v]
 //	rfbatch -example
 //
 // The report (one row per run, plus cache hit/miss totals) is written to
-// stdout as JSON, or as CSV with -csv. Repeated configurations — across
-// architectures, or across repeated rfbatch-style sweeps in one process —
-// are simulated once and reported with "cached": true.
+// stdout as JSON, as CSV with -csv, or as NDJSON (one row per line, the
+// exact format the rfserved service streams) with -ndjson. Repeated
+// configurations — across architectures, or across repeated sweeps in one
+// process — are simulated once and reported with "cached": true.
+//
+// With -store, results are additionally persisted in a disk-backed
+// content-addressed store (internal/store), so repeating a batch — or
+// re-running it after a crash, or sharing the store directory with an
+// rfserved instance — resumes from previous results instead of
+// recomputing them.
 //
 // An example specification (print it with -example):
 //
@@ -35,6 +43,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/store"
 	"repro/internal/sweep"
 )
 
@@ -52,12 +61,15 @@ const exampleSpec = `{
 
 func main() {
 	var (
-		specPath = flag.String("spec", "", "JSON sweep specification (required; see -example)")
-		n        = flag.Uint64("n", 0, "override the spec's per-run instruction budget")
-		par      = flag.Int("p", 0, "override the spec's parallelism bound")
-		asCSV    = flag.Bool("csv", false, "emit CSV instead of JSON")
-		verbose  = flag.Bool("v", false, "print per-run progress to stderr")
-		example  = flag.Bool("example", false, "print an example spec and exit")
+		specPath   = flag.String("spec", "", "JSON sweep specification (required; see -example)")
+		n          = flag.Uint64("n", 0, "override the spec's per-run instruction budget")
+		par        = flag.Int("p", 0, "override the spec's parallelism bound")
+		asCSV      = flag.Bool("csv", false, "emit CSV instead of JSON")
+		asNDJSON   = flag.Bool("ndjson", false, "emit NDJSON rows (the rfserved stream format) instead of JSON")
+		storeDir   = flag.String("store", "", "persist results in this disk-backed store directory; repeated runs resume instead of recomputing")
+		storeMaxMB = flag.Int64("store-max-mb", 0, "store size cap in MiB before LRU eviction (0: unlimited)")
+		verbose    = flag.Bool("v", false, "print per-run progress to stderr")
+		example    = flag.Bool("example", false, "print an example spec and exit")
 	)
 	flag.Parse()
 
@@ -67,6 +79,10 @@ func main() {
 	}
 	if *specPath == "" {
 		fmt.Fprintln(os.Stderr, "rfbatch: -spec is required (see -example)")
+		os.Exit(2)
+	}
+	if *asCSV && *asNDJSON {
+		fmt.Fprintln(os.Stderr, "rfbatch: -csv and -ndjson are mutually exclusive")
 		os.Exit(2)
 	}
 
@@ -92,6 +108,14 @@ func main() {
 	}
 
 	cfg := sweep.RunnerConfig{Parallelism: spec.Parallelism}
+	var st *store.Store
+	if *storeDir != "" {
+		st, err = store.Open(*storeDir, store.Options{MaxBytes: *storeMaxMB << 20})
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Cache = sweep.Tiered(sweep.NewMemCache(), st)
+	}
 	if *verbose {
 		cfg.OnProgress = func(p sweep.Progress) {
 			tag := ""
@@ -106,17 +130,28 @@ func main() {
 	outs := runner.RunOutcomes(jobs, 0)
 	rep := sweep.NewReport(spec.Name, jobs, outs, runner.CacheStats())
 
-	if *asCSV {
+	switch {
+	case *asCSV:
 		err = rep.WriteCSV(os.Stdout)
-	} else {
+	case *asNDJSON:
+		err = rep.WriteNDJSON(os.Stdout)
+	default:
 		err = rep.WriteJSON(os.Stdout)
 	}
 	if err != nil {
 		fatal(err)
 	}
-	st := rep.Cache
+	stc := rep.Cache
 	fmt.Fprintf(os.Stderr, "rfbatch: %d runs (%d simulated, %d cache hits)\n",
-		len(rep.Rows), st.Misses, st.Hits)
+		len(rep.Rows), stc.Misses, stc.Hits)
+	if st != nil {
+		entries, bytes := st.Len(), st.SizeBytes()
+		if err := st.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "rfbatch: store %s holds %d results (%.1f MiB)\n",
+			*storeDir, entries, float64(bytes)/(1<<20))
+	}
 }
 
 func fatal(err error) {

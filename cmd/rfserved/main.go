@@ -1,0 +1,120 @@
+// Command rfserved serves the sweep engine over HTTP: clients POST JSON
+// sweep specifications (the cmd/rfbatch schema), poll status, and stream
+// per-job results as NDJSON while jobs complete. Results are memoized in
+// a disk-backed content-addressed store, so identical configurations are
+// simulated once per store — across sweeps, clients and restarts.
+//
+// Usage:
+//
+//	rfserved [-addr host:port] [-addr-file path] [-store dir]
+//	         [-store-max-mb n] [-workers n] [-sweep-workers n] [-max-jobs n]
+//
+// Quickstart:
+//
+//	rfserved -addr 127.0.0.1:8090 -store /var/tmp/rfstore &
+//	rfbatch -example > spec.json
+//	curl -s -X POST --data-binary @spec.json localhost:8090/v1/sweeps
+//	curl -s localhost:8090/v1/sweeps/s000001/results   # NDJSON stream
+//	curl -s localhost:8090/v1/sweeps/s000001           # status
+//	curl -s localhost:8090/metrics                     # throughput, cache, queue
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: it stops accepting
+// sweeps, cancels running ones, flushes the store index, and exits. See
+// the README's "rfserved service" section for the full API.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/store"
+	"repro/internal/sweep"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8090", "listen address (use :0 for an ephemeral port)")
+		addrFile   = flag.String("addr-file", "", "write the bound address to this file once listening (for scripts)")
+		storeDir   = flag.String("store", "", "disk-backed result store directory (empty: in-memory only)")
+		storeMaxMB = flag.Int64("store-max-mb", 0, "store size cap in MiB before LRU eviction (0: unlimited)")
+		workers    = flag.Int("workers", 0, "global concurrent-simulation bound (0: GOMAXPROCS)")
+		sweepWork  = flag.Int("sweep-workers", 0, "per-sweep worker budget cap (0: same as -workers)")
+		maxJobs    = flag.Int("max-jobs", 0, "reject specs expanding to more jobs than this (0: 100000)")
+	)
+	flag.Parse()
+
+	cfg := server.Config{
+		MaxWorkers:      *workers,
+		MaxSweepWorkers: *sweepWork,
+		MaxJobs:         *maxJobs,
+	}
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(*storeDir, store.Options{MaxBytes: *storeMaxMB << 20})
+		if err != nil {
+			fatal(err)
+		}
+		// A small in-memory front keeps hot keys off the disk path.
+		cfg.Cache = sweep.Tiered(sweep.NewMemCache(), st)
+		fmt.Fprintf(os.Stderr, "rfserved: store %s (%d entries, %.1f MiB)\n",
+			*storeDir, st.Len(), float64(st.SizeBytes())/(1<<20))
+	}
+
+	srv := server.New(cfg)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "rfserved: listening on %s\n", bound)
+
+	httpSrv := &http.Server{Handler: srv}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "rfserved: shutting down")
+	case err := <-errc:
+		fatal(err)
+	}
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	// Scheduler first: canceling the sweeps is what unblocks any
+	// connected NDJSON streamers (their sweeps reach a terminal state),
+	// so the HTTP drain that follows can actually finish.
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "rfserved: scheduler shutdown: %v\n", err)
+	}
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "rfserved: http shutdown: %v\n", err)
+	}
+	if st != nil {
+		if err := st.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "rfserved: store close: %v\n", err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "rfserved: %v\n", err)
+	os.Exit(1)
+}

@@ -10,7 +10,12 @@
 //   - internal/sim — the cycle-level 8-way out-of-order processor
 //     (Table 1 of the paper) that evaluates them;
 //   - internal/sweep — the experiment orchestration engine: bounded
-//     worker pool, content-addressed result cache, sweep-matrix specs;
+//     worker pool, pluggable content-addressed result cache, sweep-matrix
+//     specs;
+//   - internal/store — the disk-backed result store behind rfbatch
+//     -store and rfserved (atomic writes, LRU eviction, corruption
+//     tolerance);
+//   - internal/server — the rfserved HTTP sweep service;
 //   - internal/trace — synthetic SPEC95-proxy workloads;
 //   - internal/area — the area/access-time cost model calibrated against
 //     the paper's Table 2;
@@ -18,8 +23,9 @@
 //
 // Executables: cmd/rfexp regenerates every figure/table; cmd/rfsim runs a
 // single benchmark × architecture simulation; cmd/rfbatch runs
-// user-defined sweep matrices from a JSON spec. See README.md and the
-// runnable programs under examples/.
+// user-defined sweep matrices from a JSON spec; cmd/rfserved serves
+// sweeps over HTTP with durable results. See README.md and the runnable
+// programs under examples/.
 //
 // The benchmarks in bench_test.go regenerate each experiment at a reduced
 // instruction budget and report the headline metrics via b.ReportMetric.

@@ -1,0 +1,522 @@
+// Package server implements rfserved, the HTTP sweep service: clients
+// submit JSON sweep specifications (the same schema cmd/rfbatch reads),
+// poll sweep status, and stream per-job result rows as NDJSON while the
+// sweep runs. All sweeps share one cached sweep.Runner — usually backed
+// by the disk store in internal/store — so a configuration simulated for
+// any client is never simulated again for another.
+//
+// API (see the README for schemas):
+//
+//	POST   /v1/sweeps               submit a sweep spec → 202 + {id, ...}
+//	GET    /v1/sweeps               list sweeps
+//	GET    /v1/sweeps/{id}          sweep status
+//	GET    /v1/sweeps/{id}/results  NDJSON row stream (live)
+//	DELETE /v1/sweeps/{id}          cancel a running sweep
+//	GET    /metrics                 Prometheus-style text metrics
+//	GET    /healthz                 liveness probe
+//
+// Scheduling is doubly bounded: each sweep runs through the runner's
+// per-sweep worker budget, and every simulation additionally acquires a
+// global slot, so many concurrent sweeps cannot oversubscribe the host.
+// Rows stream in job order — the order cmd/rfbatch emits — so a sweep's
+// streamed NDJSON is byte-identical to an rfbatch -ndjson run of the
+// same spec.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/sweep"
+)
+
+// Config configures a Server. The zero value is usable: GOMAXPROCS
+// global workers, an in-memory cache, real simulations.
+type Config struct {
+	// Cache backs the shared runner: an in-memory MemCache, the disk
+	// store in internal/store, or a Tiered combination. Nil uses a fresh
+	// MemCache (results die with the process).
+	Cache sweep.Cache
+	// Simulate overrides the simulation function (tests); nil runs the
+	// real simulator.
+	Simulate func(sweep.Job) sim.Result
+	// MaxWorkers bounds concurrent simulations across all sweeps;
+	// 0 uses GOMAXPROCS.
+	MaxWorkers int
+	// MaxSweepWorkers caps any single sweep's worker budget (a spec may
+	// request less via its parallelism field, never more); 0 uses
+	// MaxWorkers.
+	MaxSweepWorkers int
+	// MaxJobs rejects specs that expand to more jobs than this;
+	// 0 means 100000.
+	MaxJobs int
+	// MaxBodyBytes bounds the request body of a submission; 0 means 1 MiB.
+	MaxBodyBytes int64
+}
+
+// sweepState is the lifecycle of one submitted sweep.
+type sweepState string
+
+const (
+	stateRunning  sweepState = "running"
+	stateDone     sweepState = "done"
+	stateCanceled sweepState = "canceled"
+)
+
+// sweepRun holds one submitted sweep and its incrementally filled rows.
+type sweepRun struct {
+	id     string
+	name   string
+	jobs   []sweep.Job
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	rows      []sweep.Row
+	done      []bool
+	completed int
+	cached    int
+	state     sweepState
+	submitted time.Time
+	finished  time.Time
+	// notify is closed and replaced whenever rows or state change;
+	// streamers wait on it instead of polling.
+	notify chan struct{}
+}
+
+// Server is the rfserved HTTP handler plus its sweep scheduler.
+type Server struct {
+	cfg    Config
+	runner *sweep.Runner
+	sem    chan struct{} // global simulation slots
+	mux    *http.ServeMux
+
+	ctx    context.Context // canceled by Shutdown; parents every sweep
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu     sync.Mutex
+	sweeps map[string]*sweepRun
+	order  []string
+	nextID uint64
+	closed bool
+
+	start          time.Time
+	jobsCompleted  atomic.Uint64
+	jobsFromCache  atomic.Uint64
+	simsStarted    atomic.Uint64
+	instrsSim      atomic.Uint64
+	simNanos       atomic.Int64
+	queueDepth     atomic.Int64
+	sweepsCanceled atomic.Uint64
+}
+
+// New returns a ready-to-serve Server.
+func New(cfg Config) *Server {
+	if cfg.MaxWorkers <= 0 {
+		cfg.MaxWorkers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxSweepWorkers <= 0 || cfg.MaxSweepWorkers > cfg.MaxWorkers {
+		cfg.MaxSweepWorkers = cfg.MaxWorkers
+	}
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = 100000
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	s := &Server{
+		cfg:    cfg,
+		sem:    make(chan struct{}, cfg.MaxWorkers),
+		sweeps: make(map[string]*sweepRun),
+		start:  time.Now(),
+	}
+	s.ctx, s.cancel = context.WithCancel(context.Background())
+
+	simulate := cfg.Simulate
+	if simulate == nil {
+		simulate = sweep.Simulate
+	}
+	s.runner = sweep.NewRunner(sweep.RunnerConfig{
+		Cache: cfg.Cache,
+		Simulate: func(j sweep.Job) sim.Result {
+			// The per-sweep pool admitted this job; the global semaphore
+			// keeps the sum over all sweeps bounded too.
+			s.sem <- struct{}{}
+			defer func() { <-s.sem }()
+			s.simsStarted.Add(1)
+			t0 := time.Now()
+			res := simulate(j)
+			s.simNanos.Add(time.Since(t0).Nanoseconds())
+			s.instrsSim.Add(res.Instructions)
+			return res
+		},
+	})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
+	mux.HandleFunc("GET /v1/sweeps", s.handleList)
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/sweeps/{id}/results", s.handleResults)
+	mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleCancel)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	})
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP dispatches to the API routes.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Shutdown stops accepting sweeps, cancels the ones still running, and
+// waits for their goroutines (bounded by ctx).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.cancel()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// CacheStats exposes the shared runner's lifetime hit/miss counts.
+func (s *Server) CacheStats() sweep.CacheStats {
+	return s.runner.CacheStats()
+}
+
+// errorJSON is the error response body.
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorJSON{Error: fmt.Sprintf(format, args...)})
+}
+
+// submitResponse acknowledges a submission.
+type submitResponse struct {
+	ID         string `json:"id"`
+	Name       string `json:"name,omitempty"`
+	Jobs       int    `json:"jobs"`
+	StatusURL  string `json:"status_url"`
+	ResultsURL string `json:"results_url"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	spec, err := sweep.ParseSpec(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	jobs, err := spec.Jobs()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(jobs) == 0 {
+		writeError(w, http.StatusBadRequest, "sweep: spec expands to zero jobs")
+		return
+	}
+	if len(jobs) > s.cfg.MaxJobs {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"sweep: spec expands to %d jobs, limit is %d", len(jobs), s.cfg.MaxJobs)
+		return
+	}
+	parallelism := spec.Parallelism
+	if parallelism <= 0 || parallelism > s.cfg.MaxSweepWorkers {
+		parallelism = s.cfg.MaxSweepWorkers
+	}
+
+	ctx, cancel := context.WithCancel(s.ctx)
+	run := &sweepRun{
+		name:      spec.Name,
+		jobs:      jobs,
+		cancel:    cancel,
+		rows:      make([]sweep.Row, len(jobs)),
+		done:      make([]bool, len(jobs)),
+		state:     stateRunning,
+		submitted: time.Now(),
+		notify:    make(chan struct{}),
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		cancel()
+		writeError(w, http.StatusServiceUnavailable, "rfserved: shutting down")
+		return
+	}
+	s.nextID++
+	run.id = fmt.Sprintf("s%06d", s.nextID)
+	s.sweeps[run.id] = run
+	s.order = append(s.order, run.id)
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	s.queueDepth.Add(int64(len(jobs)))
+	go s.execute(ctx, run, parallelism)
+
+	writeJSON(w, http.StatusAccepted, submitResponse{
+		ID: run.id, Name: run.name, Jobs: len(jobs),
+		StatusURL:  "/v1/sweeps/" + run.id,
+		ResultsURL: "/v1/sweeps/" + run.id + "/results",
+	})
+}
+
+// execute runs one sweep to completion (or cancellation) on the shared
+// runner, publishing rows as jobs resolve.
+func (s *Server) execute(ctx context.Context, run *sweepRun, parallelism int) {
+	defer s.wg.Done()
+	_, err := s.runner.RunOutcomesContext(ctx, run.jobs, parallelism, func(p sweep.Progress) {
+		row := sweep.RowOf(p.Job, sweep.Outcome{Result: p.Result, Key: p.Key, Cached: p.Cached})
+		run.mu.Lock()
+		run.rows[p.Index] = row
+		run.done[p.Index] = true
+		run.completed++
+		if p.Cached {
+			run.cached++
+		}
+		run.wakeLocked()
+		run.mu.Unlock()
+		s.jobsCompleted.Add(1)
+		if p.Cached {
+			s.jobsFromCache.Add(1)
+		}
+		s.queueDepth.Add(-1)
+	})
+
+	run.mu.Lock()
+	if err == nil {
+		run.state = stateDone
+	} else {
+		run.state = stateCanceled
+		s.sweepsCanceled.Add(1)
+	}
+	run.finished = time.Now()
+	skipped := len(run.jobs) - run.completed
+	run.wakeLocked()
+	run.mu.Unlock()
+	s.queueDepth.Add(-int64(skipped))
+	run.cancel() // release the context regardless of how the sweep ended
+}
+
+// wakeLocked signals streamers; run.mu must be held.
+func (r *sweepRun) wakeLocked() {
+	close(r.notify)
+	r.notify = make(chan struct{})
+}
+
+// statusJSON is the status document of one sweep.
+type statusJSON struct {
+	ID   string `json:"id"`
+	Name string `json:"name,omitempty"`
+	// State is running, done or canceled.
+	State string `json:"state"`
+	// Total, Completed, Cached and Simulated count jobs; Simulated is
+	// Completed minus Cached. A canceled sweep's skipped jobs are
+	// Total - Completed.
+	Total     int `json:"total"`
+	Completed int `json:"completed"`
+	Cached    int `json:"cached"`
+	Simulated int `json:"simulated"`
+	// Submitted and Finished are RFC 3339 timestamps; Finished is empty
+	// while the sweep runs.
+	Submitted  string `json:"submitted"`
+	Finished   string `json:"finished,omitempty"`
+	ResultsURL string `json:"results_url"`
+}
+
+func (r *sweepRun) status() statusJSON {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := statusJSON{
+		ID: r.id, Name: r.name, State: string(r.state),
+		Total: len(r.jobs), Completed: r.completed, Cached: r.cached,
+		Simulated:  r.completed - r.cached,
+		Submitted:  r.submitted.UTC().Format(time.RFC3339Nano),
+		ResultsURL: "/v1/sweeps/" + r.id + "/results",
+	}
+	if !r.finished.IsZero() {
+		st.Finished = r.finished.UTC().Format(time.RFC3339Nano)
+	}
+	return st
+}
+
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *sweepRun {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	run := s.sweeps[id]
+	s.mu.Unlock()
+	if run == nil {
+		writeError(w, http.StatusNotFound, "rfserved: no sweep %q", id)
+	}
+	return run
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	run := s.lookup(w, r)
+	if run == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, run.status())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	runs := make([]*sweepRun, 0, len(s.order))
+	for _, id := range s.order {
+		runs = append(runs, s.sweeps[id])
+	}
+	s.mu.Unlock()
+	out := struct {
+		Sweeps []statusJSON `json:"sweeps"`
+	}{Sweeps: []statusJSON{}}
+	for _, run := range runs {
+		out.Sweeps = append(out.Sweeps, run.status())
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	run := s.lookup(w, r)
+	if run == nil {
+		return
+	}
+	run.cancel()
+	writeJSON(w, http.StatusAccepted, run.status())
+}
+
+// handleResults streams the sweep's rows as NDJSON in job order,
+// emitting each row as soon as it (and every row before it) resolves.
+// The stream ends when the sweep finishes or is canceled, or when the
+// client disconnects (the request context governs the stream, not the
+// sweep: disconnecting a streamer never cancels the simulations).
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	run := s.lookup(w, r)
+	if run == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+
+	next := 0
+	var batch []sweep.Row
+	for {
+		run.mu.Lock()
+		batch = batch[:0]
+		for next < len(run.jobs) && run.done[next] {
+			batch = append(batch, run.rows[next])
+			next++
+		}
+		state := run.state
+		notify := run.notify
+		run.mu.Unlock()
+
+		// A terminal sweep delivers everything it has: a cancellation can
+		// leave gaps (skipped jobs between completed ones), and rows past
+		// a gap must still reach the client. While running, emission stays
+		// strictly in-order so a completed sweep's stream is byte-identical
+		// to rfbatch output.
+		if state != stateRunning {
+			run.mu.Lock()
+			for i := next; i < len(run.jobs); i++ {
+				if run.done[i] {
+					batch = append(batch, run.rows[i])
+				}
+			}
+			next = len(run.jobs)
+			run.mu.Unlock()
+		}
+		for _, row := range batch {
+			if err := sweep.WriteRow(w, row); err != nil {
+				return
+			}
+		}
+		if len(batch) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		if next >= len(run.jobs) || state != stateRunning {
+			return
+		}
+		select {
+		case <-notify:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleMetrics renders Prometheus-style text exposition: throughput
+// (jobs, simulated instructions, wall-clock simulation seconds), cache
+// effectiveness, and scheduler queue depth.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	total := len(s.sweeps)
+	active := 0
+	for _, run := range s.sweeps {
+		run.mu.Lock()
+		if run.state == stateRunning {
+			active++
+		}
+		run.mu.Unlock()
+	}
+	s.mu.Unlock()
+
+	cache := s.runner.CacheStats()
+	hitRate := 0.0
+	if n := cache.Hits + cache.Misses; n > 0 {
+		hitRate = float64(cache.Hits) / float64(n)
+	}
+	simSecs := float64(s.simNanos.Load()) / 1e9
+	throughput := 0.0
+	if simSecs > 0 {
+		throughput = float64(s.instrsSim.Load()) / simSecs
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	m := func(name string, value any, help string) {
+		fmt.Fprintf(w, "# HELP %s %s\n%s %v\n", name, help, name, value)
+	}
+	m("rfserved_uptime_seconds", fmt.Sprintf("%.3f", time.Since(s.start).Seconds()),
+		"seconds since the server started")
+	m("rfserved_sweeps_total", total, "sweeps submitted since start")
+	m("rfserved_sweeps_active", active, "sweeps currently running")
+	m("rfserved_sweeps_canceled_total", s.sweepsCanceled.Load(), "sweeps canceled before completion")
+	m("rfserved_jobs_completed_total", s.jobsCompleted.Load(), "jobs resolved (simulated or cached)")
+	m("rfserved_jobs_cached_total", s.jobsFromCache.Load(), "jobs served without simulating")
+	m("rfserved_simulations_started_total", s.simsStarted.Load(), "simulations actually executed")
+	m("rfserved_queue_depth", s.queueDepth.Load(), "jobs submitted but not yet resolved")
+	m("rfserved_cache_hits_total", cache.Hits, "runner cache hits since start")
+	m("rfserved_cache_misses_total", cache.Misses, "runner cache misses since start")
+	m("rfserved_cache_hit_rate", fmt.Sprintf("%.6f", hitRate), "hits / (hits + misses)")
+	m("rfserved_instructions_simulated_total", s.instrsSim.Load(), "dynamic instructions simulated")
+	m("rfserved_simulation_seconds_total", fmt.Sprintf("%.3f", simSecs), "cumulative wall-clock seconds inside the simulator")
+	m("rfserved_instructions_per_second", fmt.Sprintf("%.0f", throughput), "simulation throughput (instructions / simulation second)")
+}

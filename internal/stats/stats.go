@@ -4,6 +4,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -97,6 +98,30 @@ func (h *Histogram) AddN(v int, n uint64) {
 
 // Total returns the number of recorded observations.
 func (h *Histogram) Total() uint64 { return h.total }
+
+// MarshalJSON encodes the histogram as its counts array; the total is
+// recomputed on decode. An empty histogram encodes as null, so the zero
+// value round-trips. This keeps types embedding a Histogram (sim.Result)
+// losslessly JSON-serializable, which the disk-backed result store in
+// internal/store relies on.
+func (h Histogram) MarshalJSON() ([]byte, error) {
+	if h.total == 0 {
+		return []byte("null"), nil
+	}
+	return json.Marshal(h.counts)
+}
+
+// UnmarshalJSON decodes a counts array produced by MarshalJSON.
+func (h *Histogram) UnmarshalJSON(data []byte) error {
+	h.counts, h.total = nil, 0
+	if err := json.Unmarshal(data, &h.counts); err != nil {
+		return err
+	}
+	for _, c := range h.counts {
+		h.total += c
+	}
+	return nil
+}
 
 // Count returns the number of observations with value v.
 func (h *Histogram) Count(v int) uint64 {

@@ -1,0 +1,413 @@
+// Package store persists sweep results on disk, content-addressed by the
+// same SHA-256 job key as the in-memory sweep cache (workload profile +
+// processor configuration + instruction budget + seed override). It is
+// the durability layer under cmd/rfbatch --store and the rfserved sweep
+// service: identical configurations are simulated once per store, not
+// once per process.
+//
+// Layout under the store directory:
+//
+//	index.json          LRU order and sizes (most recent first)
+//	objects/<key>.json  one result per entry, written atomically
+//
+// Entry files are written to a temporary file and renamed into place, so
+// a crash mid-write leaves only a stray tmp- file (removed on the next
+// Open), never a half-visible entry. Loading tolerates corruption: a
+// missing or unparsable index is rebuilt from the object files, and a
+// truncated or otherwise undecodable entry is dropped — skipped at open
+// when unindexed, or turned into a miss (and deleted) on first Get.
+//
+// The store is size-capped: when the object bytes exceed Options.MaxBytes
+// the least-recently-used entries are evicted. A Store satisfies
+// sweep.Cache, so it plugs directly into sweep.Runner, usually behind a
+// sweep.Tiered front of in-memory MemCache.
+package store
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/sim"
+	"repro/internal/sweep"
+)
+
+// Options configures a Store.
+type Options struct {
+	// MaxBytes caps the total size of entry files; 0 means unlimited.
+	// When a Put pushes the store over the cap, least-recently-used
+	// entries are evicted (never the entry just written, so a single
+	// oversized result is retained until a later Put displaces it).
+	MaxBytes int64
+}
+
+// Stats counts store activity since Open.
+type Stats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Puts      uint64 `json:"puts"`
+	Evictions uint64 `json:"evictions"`
+	// Corrupt counts entries dropped because their file was missing,
+	// truncated, or undecodable.
+	Corrupt uint64 `json:"corrupt"`
+	// IOErrors counts writes that failed; the store degrades to a smaller
+	// cache rather than failing the sweep.
+	IOErrors uint64 `json:"io_errors"`
+}
+
+// entry is one resident result.
+type entry struct {
+	key  sweep.Key
+	size int64
+}
+
+// Store is a disk-backed, LRU-evicting, content-addressed result store.
+// It is safe for concurrent use.
+type Store struct {
+	dir     string
+	objects string
+	opts    Options
+
+	mu      sync.Mutex
+	entries map[sweep.Key]*list.Element
+	lru     *list.List // front = most recently used
+	total   int64
+	stats   Stats
+	dirty   bool // index order changed since last persist
+}
+
+// indexFile is the on-disk schema of index.json.
+type indexFile struct {
+	Schema  int          `json:"schema"`
+	Entries []indexEntry `json:"entries"` // most recently used first
+}
+
+type indexEntry struct {
+	Key  string `json:"key"`
+	Size int64  `json:"size"`
+}
+
+// entryFile is the on-disk schema of one objects/<key>.json file. The
+// embedded key lets Get verify the file belongs to its name, so a partial
+// or foreign file never serves a wrong result.
+type entryFile struct {
+	Key    string     `json:"key"`
+	Result sim.Result `json:"result"`
+}
+
+// Open loads (or initializes) the store rooted at dir.
+func Open(dir string, opts Options) (*Store, error) {
+	s := &Store{
+		dir:     dir,
+		objects: filepath.Join(dir, "objects"),
+		opts:    opts,
+		entries: make(map[sweep.Key]*list.Element),
+		lru:     list.New(),
+	}
+	if err := os.MkdirAll(s.objects, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if err := s.load(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.evictLocked("")
+	s.mu.Unlock()
+	return s, nil
+}
+
+// load populates the in-memory index from index.json and the objects
+// directory, tolerating corruption in both.
+func (s *Store) load() error {
+	names, err := os.ReadDir(s.objects)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	onDisk := make(map[sweep.Key]int64, len(names))
+	for _, de := range names {
+		name := de.Name()
+		// A crash between CreateTemp and rename leaves a tmp- file;
+		// sweep it now.
+		if strings.HasPrefix(name, "tmp-") {
+			os.Remove(filepath.Join(s.objects, name))
+			continue
+		}
+		key, ok := keyOfFilename(name)
+		if !ok {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		onDisk[key] = info.Size()
+	}
+
+	// Adopt the index order where it is intact; entries whose file
+	// vanished are dropped, sizes are re-stated from disk.
+	var idx indexFile
+	if data, err := os.ReadFile(filepath.Join(s.dir, "index.json")); err == nil {
+		if json.Unmarshal(data, &idx) != nil || idx.Schema != 1 {
+			idx.Entries = nil // corrupt index: rebuild from files below
+		}
+	}
+	for _, ie := range idx.Entries {
+		key := sweep.Key(ie.Key)
+		size, ok := onDisk[key]
+		if !ok {
+			continue
+		}
+		if _, dup := s.entries[key]; dup {
+			continue
+		}
+		s.entries[key] = s.lru.PushBack(&entry{key: key, size: size})
+		s.total += size
+		delete(onDisk, key)
+	}
+
+	// Files the index does not know about (crash before the index write,
+	// or a rebuilt index) are adopted after probing that they decode;
+	// truncated leftovers are deleted, not fatal. Adopted entries rank
+	// behind indexed ones, newest first among themselves.
+	orphans := make([]sweep.Key, 0, len(onDisk))
+	for key := range onDisk {
+		orphans = append(orphans, key)
+	}
+	sort.Slice(orphans, func(i, j int) bool {
+		mi, _ := os.Stat(s.path(orphans[i]))
+		mj, _ := os.Stat(s.path(orphans[j]))
+		if mi == nil || mj == nil {
+			return orphans[i] < orphans[j]
+		}
+		if !mi.ModTime().Equal(mj.ModTime()) {
+			return mi.ModTime().After(mj.ModTime())
+		}
+		return orphans[i] < orphans[j]
+	})
+	for _, key := range orphans {
+		if _, err := s.read(key); err != nil {
+			s.drop(key)
+			s.stats.Corrupt++
+			continue
+		}
+		s.entries[key] = s.lru.PushBack(&entry{key: key, size: onDisk[key]})
+		s.total += onDisk[key]
+		s.dirty = true
+	}
+	return nil
+}
+
+// keyOfFilename maps an object filename back to its key, rejecting
+// anything that is not a lowercase-hex SHA-256 name.
+func keyOfFilename(name string) (sweep.Key, bool) {
+	base, ok := strings.CutSuffix(name, ".json")
+	if !ok {
+		return "", false
+	}
+	return sweep.Key(base), validKey(sweep.Key(base))
+}
+
+// validKey reports whether k is a lowercase hex SHA-256 — the only keys
+// the store will turn into filenames.
+func validKey(k sweep.Key) bool {
+	if len(k) != 64 {
+		return false
+	}
+	for i := 0; i < len(k); i++ {
+		c := k[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Store) path(k sweep.Key) string {
+	return filepath.Join(s.objects, string(k)+".json")
+}
+
+// read loads and verifies one entry file.
+func (s *Store) read(k sweep.Key) (sim.Result, error) {
+	data, err := os.ReadFile(s.path(k))
+	if err != nil {
+		return sim.Result{}, err
+	}
+	var ef entryFile
+	if err := json.Unmarshal(data, &ef); err != nil {
+		return sim.Result{}, err
+	}
+	if ef.Key != string(k) {
+		return sim.Result{}, fmt.Errorf("store: entry %s holds key %s", k, ef.Key)
+	}
+	return ef.Result, nil
+}
+
+// drop removes an entry's file and index state, if present.
+func (s *Store) drop(k sweep.Key) {
+	os.Remove(s.path(k))
+	if el, ok := s.entries[k]; ok {
+		s.total -= el.Value.(*entry).size
+		s.lru.Remove(el)
+		delete(s.entries, k)
+		s.dirty = true
+	}
+}
+
+// Get returns the stored result for a key. A corrupt entry counts as a
+// miss and is deleted.
+func (s *Store) Get(k sweep.Key) (sim.Result, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[k]
+	if !ok {
+		s.stats.Misses++
+		return sim.Result{}, false
+	}
+	res, err := s.read(k)
+	if err != nil {
+		s.drop(k)
+		s.stats.Corrupt++
+		s.stats.Misses++
+		return sim.Result{}, false
+	}
+	s.lru.MoveToFront(el)
+	s.dirty = true
+	s.stats.Hits++
+	return res, true
+}
+
+// Put stores a result under its key, atomically (write to a temporary
+// file, then rename), evicting least-recently-used entries if the store
+// exceeds its size cap. Results are deterministic per key, so an existing
+// entry is only touched, never rewritten. Write failures degrade to a
+// cache miss later rather than failing the caller.
+func (s *Store) Put(k sweep.Key, res sim.Result) {
+	if !validKey(k) {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[k]; ok {
+		s.lru.MoveToFront(el)
+		s.dirty = true
+		return
+	}
+	data, err := json.Marshal(entryFile{Key: string(k), Result: res})
+	if err != nil {
+		s.stats.IOErrors++
+		return
+	}
+	data = append(data, '\n')
+	if err := s.writeAtomic(s.path(k), data); err != nil {
+		s.stats.IOErrors++
+		return
+	}
+	s.entries[k] = s.lru.PushFront(&entry{key: k, size: int64(len(data))})
+	s.total += int64(len(data))
+	s.stats.Puts++
+	s.evictLocked(k)
+	s.persistLocked()
+}
+
+// writeAtomic writes data to path via a tmp- file in the objects
+// directory plus rename, so readers never observe a partial entry.
+func (s *Store) writeAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(s.objects, "tmp-*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr != nil {
+			return werr
+		}
+		return cerr
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// evictLocked removes least-recently-used entries until the store fits
+// its cap, never evicting keep (the entry just written).
+func (s *Store) evictLocked(keep sweep.Key) {
+	if s.opts.MaxBytes <= 0 {
+		return
+	}
+	for s.total > s.opts.MaxBytes {
+		el := s.lru.Back()
+		if el == nil {
+			return
+		}
+		e := el.Value.(*entry)
+		if e.key == keep {
+			return // a single oversized entry stays resident
+		}
+		s.drop(e.key)
+		s.stats.Evictions++
+	}
+}
+
+// persistLocked writes index.json atomically; failures are counted, not
+// fatal (the index rebuilds from object files on the next Open).
+func (s *Store) persistLocked() {
+	idx := indexFile{Schema: 1}
+	for el := s.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		idx.Entries = append(idx.Entries, indexEntry{Key: string(e.key), Size: e.size})
+	}
+	data, err := json.MarshalIndent(idx, "", " ")
+	if err != nil {
+		s.stats.IOErrors++
+		return
+	}
+	if err := s.writeAtomic(filepath.Join(s.dir, "index.json"), append(data, '\n')); err != nil {
+		s.stats.IOErrors++
+		return
+	}
+	s.dirty = false
+}
+
+// Close persists the index (Get-side LRU touches are buffered in memory
+// between Puts). The store must not be used after Close.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dirty {
+		s.persistLocked()
+	}
+	if s.stats.IOErrors > 0 {
+		return fmt.Errorf("store: %d write errors (see Stats)", s.stats.IOErrors)
+	}
+	return nil
+}
+
+// Len returns the number of resident entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// SizeBytes returns the total size of resident entry files.
+func (s *Store) SizeBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// Stats returns activity counters since Open.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}

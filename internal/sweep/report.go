@@ -29,27 +29,50 @@ type Report struct {
 	Cache CacheStats `json:"cache"`
 }
 
+// RowOf flattens one job outcome into a report row. It is the single
+// construction point for rows, so cmd/rfbatch reports and the rfserved
+// NDJSON stream render byte-identical lines for the same outcome.
+func RowOf(j Job, o Outcome) Row {
+	return Row{
+		Benchmark:    j.Profile.Name,
+		Arch:         j.Config.RF.Name,
+		Seed:         j.Seed,
+		Instructions: o.Result.Instructions,
+		Cycles:       o.Result.Cycles,
+		IPC:          o.Result.IPC,
+		MispredRate:  o.Result.MispredictRate(),
+		ICacheMiss:   o.Result.ICacheMissRate,
+		DCacheMiss:   o.Result.DCacheMissRate,
+		Key:          string(o.Key),
+		Cached:       o.Cached,
+	}
+}
+
 // NewReport flattens job outcomes into a report. The jobs and outcomes
 // slices must be parallel, as produced by Runner.RunOutcomes.
 func NewReport(name string, jobs []Job, outs []Outcome, stats CacheStats) *Report {
 	rep := &Report{Name: name, Cache: stats}
 	for i, o := range outs {
-		j := jobs[i]
-		rep.Rows = append(rep.Rows, Row{
-			Benchmark:    j.Profile.Name,
-			Arch:         j.Config.RF.Name,
-			Seed:         j.Seed,
-			Instructions: o.Result.Instructions,
-			Cycles:       o.Result.Cycles,
-			IPC:          o.Result.IPC,
-			MispredRate:  o.Result.MispredictRate(),
-			ICacheMiss:   o.Result.ICacheMissRate,
-			DCacheMiss:   o.Result.DCacheMissRate,
-			Key:          string(o.Key),
-			Cached:       o.Cached,
-		})
+		rep.Rows = append(rep.Rows, RowOf(jobs[i], o))
 	}
 	return rep
+}
+
+// WriteRow emits one row as a single compact JSON line — the NDJSON
+// format streamed by rfserved and written by rfbatch -ndjson.
+func WriteRow(w io.Writer, row Row) error {
+	return json.NewEncoder(w).Encode(row)
+}
+
+// WriteNDJSON emits the report's rows as NDJSON, one row per line, with
+// no surrounding report object.
+func (r *Report) WriteNDJSON(w io.Writer) error {
+	for _, row := range r.Rows {
+		if err := WriteRow(w, row); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // WriteJSON emits the report as indented JSON.

@@ -1,14 +1,14 @@
 package sweep
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
 	"repro/internal/sim"
 )
 
-// Progress reports one finished job to the RunnerConfig.OnProgress
-// callback.
+// Progress reports one finished job to a progress callback.
 type Progress struct {
 	// Done and Total count jobs of the current batch.
 	Done, Total int
@@ -16,6 +16,11 @@ type Progress struct {
 	Index int
 	// Job is the finished job.
 	Job Job
+	// Key is the job's content address.
+	Key Key
+	// Result holds the job's measurements; it is valid by the time the
+	// callback runs, whether simulated or served from the cache.
+	Result sim.Result
 	// Cached marks a result served from the cache (or deduplicated
 	// against an identical job earlier in the same batch).
 	Cached bool
@@ -23,44 +28,55 @@ type Progress struct {
 
 // CacheStats counts cache effectiveness across a Runner's lifetime. A job
 // counts as a hit when its result was not simulated for it: it was found
-// in the cache, or it duplicated another job of the same batch.
+// in the cache, or it duplicated another job of the same batch. Jobs of a
+// canceled batch keep the classification they got when the batch was
+// scheduled, even if cancellation then skipped their simulation.
 type CacheStats struct {
 	Hits   uint64 `json:"hits"`
 	Misses uint64 `json:"misses"`
 }
 
 // RunnerConfig configures a Runner. The zero value is usable: GOMAXPROCS
-// workers, caching enabled, no progress callback.
+// workers, in-memory caching, no progress callback.
 type RunnerConfig struct {
 	// Parallelism bounds concurrent simulations; 0 uses GOMAXPROCS.
 	Parallelism int
 	// OnProgress, when non-nil, is called after each job of a batch
-	// resolves. Calls are serialized.
+	// resolves. Calls are serialized per batch.
 	OnProgress func(Progress)
 	// Simulate overrides the simulation function (tests); nil runs the
 	// real simulator.
 	Simulate func(Job) sim.Result
+	// Cache supplies the result cache: an in-memory MemCache, the
+	// disk-backed store in internal/store, or a Tiered combination. Nil
+	// uses a fresh MemCache.
+	Cache Cache
 	// DisableCache turns the result cache off; every job simulates.
 	DisableCache bool
 }
 
 // Runner executes job batches through a bounded worker pool, memoizing
-// results by job content. It is safe for concurrent use, and its cache
-// persists across Run calls.
+// results by job content in a pluggable Cache. It is safe for concurrent
+// use, and its cache persists across Run calls (and, with a disk-backed
+// cache, across processes).
 type Runner struct {
-	cfg RunnerConfig
+	cfg   RunnerConfig
+	cache Cache
 
 	mu    sync.Mutex
-	cache map[Key]sim.Result
 	stats CacheStats
 }
 
 // NewRunner returns a Runner with the given configuration.
 func NewRunner(cfg RunnerConfig) *Runner {
 	if cfg.Simulate == nil {
-		cfg.Simulate = simulate
+		cfg.Simulate = Simulate
 	}
-	return &Runner{cfg: cfg, cache: make(map[Key]sim.Result)}
+	cache := cfg.Cache
+	if cache == nil {
+		cache = NewMemCache()
+	}
+	return &Runner{cfg: cfg, cache: cache}
 }
 
 // Outcome is one job's result plus its cache provenance.
@@ -79,18 +95,34 @@ type Outcome struct {
 // for this batch; 0 defers to RunnerConfig.Parallelism, then GOMAXPROCS.
 // Results are identical at every parallelism level.
 func (r *Runner) RunOutcomes(jobs []Job, parallelism int) []Outcome {
+	outs, _ := r.RunOutcomesContext(context.Background(), jobs, parallelism, nil)
+	return outs
+}
+
+// RunOutcomesContext is RunOutcomes with cancellation and a per-batch
+// progress callback (nil falls back to RunnerConfig.OnProgress). When ctx
+// is canceled, jobs that have not started simulating are skipped: their
+// Outcome keeps a zero Result, no progress event fires for them, and the
+// returned error is ctx.Err(). Jobs already simulating run to completion,
+// so every emitted progress event carries a valid result.
+func (r *Runner) RunOutcomesContext(ctx context.Context, jobs []Job, parallelism int, onProgress func(Progress)) ([]Outcome, error) {
 	if parallelism <= 0 {
 		parallelism = r.cfg.Parallelism
 	}
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
+	if onProgress == nil {
+		onProgress = r.cfg.OnProgress
+	}
 	outs := make([]Outcome, len(jobs))
 
 	// Resolve each job against the cache, and group the rest by key so
-	// within-batch duplicates simulate once. firstOf holds, per unique
-	// key, the index of the job that will simulate it; later indices with
-	// the same key are hits.
+	// within-batch duplicates simulate once. waiters holds, per unique
+	// in-flight key, the later indices that share it; they are hits served
+	// when the first index finishes. The map is fully built before any
+	// worker starts and each key's list is read only by the worker that
+	// owns that key, so it needs no locking.
 	var unique []int
 	waiters := make(map[Key][]int)
 	fromCache := make([]bool, len(jobs))
@@ -100,34 +132,40 @@ func (r *Runner) RunOutcomes(jobs []Job, parallelism int) []Outcome {
 		progressMu.Lock()
 		defer progressMu.Unlock()
 		done++
-		if r.cfg.OnProgress != nil {
-			r.cfg.OnProgress(Progress{Done: done, Total: len(jobs), Index: i, Job: jobs[i], Cached: cached})
+		if onProgress != nil {
+			onProgress(Progress{
+				Done: done, Total: len(jobs), Index: i, Job: jobs[i],
+				Key: outs[i].Key, Result: outs[i].Result, Cached: cached,
+			})
 		}
 	}
 
-	r.mu.Lock()
+	var scanned CacheStats
 	for i := range jobs {
 		k := jobs[i].Key()
 		outs[i].Key = k
 		if !r.cfg.DisableCache {
-			if res, ok := r.cache[k]; ok {
+			if res, ok := r.cache.Get(k); ok {
 				outs[i].Result = res
 				outs[i].Cached = true
 				fromCache[i] = true
-				r.stats.Hits++
+				scanned.Hits++
 				continue
 			}
 			if _, dup := waiters[k]; dup {
 				waiters[k] = append(waiters[k], i)
 				outs[i].Cached = true
-				r.stats.Hits++
+				scanned.Hits++
 				continue
 			}
 			waiters[k] = []int{}
 		}
 		unique = append(unique, i)
-		r.stats.Misses++
+		scanned.Misses++
 	}
+	r.mu.Lock()
+	r.stats.Hits += scanned.Hits
+	r.stats.Misses += scanned.Misses
 	r.mu.Unlock()
 
 	// Report jobs resolved from the cache before any simulation starts;
@@ -141,24 +179,32 @@ func (r *Runner) RunOutcomes(jobs []Job, parallelism int) []Outcome {
 	sem := make(chan struct{}, parallelism)
 	var wg sync.WaitGroup
 	for _, i := range unique {
+		if ctx.Err() != nil {
+			break
+		}
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			sem <- struct{}{}
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				return
+			}
 			defer func() { <-sem }()
+			if ctx.Err() != nil {
+				return
+			}
 			res := r.cfg.Simulate(jobs[i])
 			outs[i].Result = res
 			k := outs[i].Key
 			var dups []int
-			r.mu.Lock()
 			if !r.cfg.DisableCache {
-				r.cache[k] = res
+				r.cache.Put(k, res)
 				dups = waiters[k]
 				for _, w := range dups {
 					outs[w].Result = res
 				}
 			}
-			r.mu.Unlock()
 			emit(i, false)
 			for _, w := range dups {
 				emit(w, true)
@@ -166,7 +212,7 @@ func (r *Runner) RunOutcomes(jobs []Job, parallelism int) []Outcome {
 		}(i)
 	}
 	wg.Wait()
-	return outs
+	return outs, ctx.Err()
 }
 
 // CacheStats returns the lifetime hit/miss counts.
@@ -176,17 +222,22 @@ func (r *Runner) CacheStats() CacheStats {
 	return r.stats
 }
 
-// CacheLen returns the number of distinct results held.
+// CacheLen returns the number of distinct results held, or -1 when the
+// configured Cache does not report a length.
 func (r *Runner) CacheLen() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return len(r.cache)
+	if c, ok := r.cache.(interface{ Len() int }); ok {
+		return c.Len()
+	}
+	return -1
 }
 
-// ResetCache drops every cached result and zeroes the statistics.
+// ResetCache zeroes the statistics and, when the configured Cache
+// supports it (MemCache does), drops every cached result.
 func (r *Runner) ResetCache() {
+	if c, ok := r.cache.(interface{ Reset() }); ok {
+		c.Reset()
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.cache = make(map[Key]sim.Result)
 	r.stats = CacheStats{}
 }

@@ -78,8 +78,9 @@ func (j Job) profile() trace.Profile {
 	return p
 }
 
-// simulate runs the job to completion. It is the Runner's default
-// Simulate hook.
-func simulate(j Job) sim.Result {
+// Simulate runs the job to completion. It is the Runner's default
+// Simulate hook, exported so servers can wrap it (e.g. with a global
+// concurrency budget) while keeping the same simulation path.
+func Simulate(j Job) sim.Result {
 	return sim.New(j.Config, trace.New(j.profile())).Run()
 }

@@ -1,0 +1,121 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the rfserved sweep service. CI runs this on
+# every PR; it also runs locally (bash scripts/smoke_e2e.sh).
+#
+# It proves the three service-level guarantees:
+#   1. The NDJSON stream of a submitted sweep is byte-identical to an
+#      `rfbatch -ndjson` run of the same spec.
+#   2. Resubmitting the spec to the same server performs zero simulations
+#      (100% cache hits).
+#   3. The disk store survives a server restart: a fresh process over the
+#      same store directory still serves the sweep entirely from cache.
+#
+# Requires: go, curl, jq.
+set -euo pipefail
+
+work="$(mktemp -d)"
+bin="$work/bin"
+storedir="$work/store"
+mkdir -p "$bin"
+server_pid=""
+
+cleanup() {
+  if [ -n "$server_pid" ] && kill -0 "$server_pid" 2>/dev/null; then
+    kill "$server_pid" 2>/dev/null || true
+    wait "$server_pid" 2>/dev/null || true
+  fi
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+die() { echo "smoke: FAIL: $*" >&2; exit 1; }
+
+echo "smoke: building rfbatch and rfserved"
+go build -o "$bin/rfbatch" ./cmd/rfbatch
+go build -o "$bin/rfserved" ./cmd/rfserved
+
+cat > "$work/spec.json" <<'EOF'
+{
+  "name": "smoke",
+  "instructions": 5000,
+  "benchmarks": ["compress", "swim"],
+  "architectures": [
+    {"kind": "1cycle"},
+    {"kind": "rfcache", "caching": ["nonbypass", "ready"]}
+  ]
+}
+EOF
+
+start_server() {
+  rm -f "$work/addr"
+  "$bin/rfserved" -addr 127.0.0.1:0 -addr-file "$work/addr" -store "$storedir" \
+    2>> "$work/rfserved.log" &
+  server_pid=$!
+  for _ in $(seq 1 100); do
+    [ -s "$work/addr" ] && break
+    kill -0 "$server_pid" 2>/dev/null || { cat "$work/rfserved.log" >&2; die "rfserved died at startup"; }
+    sleep 0.1
+  done
+  [ -s "$work/addr" ] || die "rfserved never wrote its address file"
+  base="http://$(cat "$work/addr")"
+}
+
+stop_server() {
+  kill "$server_pid"
+  wait "$server_pid" 2>/dev/null || true
+  server_pid=""
+}
+
+# submit <outfile-prefix>: POST the spec, stream results, fetch status.
+submit() {
+  local prefix="$1"
+  local ack
+  ack="$(curl -sfS -X POST --data-binary @"$work/spec.json" "$base/v1/sweeps")"
+  local id results
+  id="$(echo "$ack" | jq -r .id)"
+  results="$(echo "$ack" | jq -r .results_url)"
+  [ -n "$id" ] && [ "$id" != null ] || die "submission not acknowledged: $ack"
+  # The stream blocks until the sweep finishes, then holds every row.
+  curl -sfS "$base$results" > "$work/$prefix.ndjson"
+  curl -sfS "$base/v1/sweeps/$id" > "$work/$prefix.status"
+}
+
+echo "smoke: starting rfserved (fresh store)"
+start_server
+
+echo "smoke: 1/3 streamed rows must be byte-identical to rfbatch"
+submit cold
+"$bin/rfbatch" -spec "$work/spec.json" -ndjson > "$work/rfbatch.ndjson" 2> "$work/rfbatch.log"
+if ! cmp -s "$work/cold.ndjson" "$work/rfbatch.ndjson"; then
+  diff -u "$work/rfbatch.ndjson" "$work/cold.ndjson" >&2 || true
+  die "rfserved stream differs from rfbatch output"
+fi
+rows="$(wc -l < "$work/cold.ndjson")"
+[ "$rows" -eq 6 ] || die "expected 6 result rows, got $rows"
+echo "smoke:     $rows rows identical"
+
+echo "smoke: 2/3 resubmission must be 100% cache hits"
+submit warm
+jq -e '.state == "done" and .cached == .total and .simulated == 0' \
+  "$work/warm.status" > /dev/null \
+  || die "resubmission was not fully cached: $(cat "$work/warm.status")"
+echo "smoke:     $(jq -r .cached "$work/warm.status")/$(jq -r .total "$work/warm.status") rows from cache"
+
+echo "smoke: 3/3 store must survive a server restart"
+stop_server
+start_server
+submit restart
+jq -e '.state == "done" and .cached == .total and .simulated == 0' \
+  "$work/restart.status" > /dev/null \
+  || die "restarted server re-simulated: $(cat "$work/restart.status")"
+# Rows after restart match the cold run except for cache provenance.
+if ! cmp -s <(jq -c 'del(.cached)' "$work/cold.ndjson") \
+            <(jq -c 'del(.cached)' "$work/restart.ndjson"); then
+  die "rows changed across server restart"
+fi
+echo "smoke:     restarted server served $(jq -r .cached "$work/restart.status") rows from the disk store"
+
+curl -sfS "$base/metrics" | grep -q '^rfserved_cache_hits_total' \
+  || die "metrics endpoint missing cache counters"
+
+echo "smoke: PASS"
