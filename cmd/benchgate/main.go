@@ -15,7 +15,10 @@
 // can invoke it unconditionally. With -json it also emits a
 // machine-readable verdict: per-benchmark ratios, the overall status
 // (ok, fail or skip), and the sweep-cache hit/miss counts carried in each
-// snapshot's "cache" section.
+// snapshot's "cache" section. `-json -` writes the verdict to stdout; all
+// human-readable report lines then move to stderr, so stdout is always a
+// single valid JSON document — including on the missing-baseline skip
+// path, which used to interleave a log line with the verdict stream.
 //
 // The tolerance is generous by design: CI runners vary, and the gate is
 // meant to catch algorithmic regressions (a scan reintroduced in the cycle
@@ -24,8 +27,10 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 )
@@ -91,30 +96,57 @@ func load(path string) (snapshot, error) {
 	return s, nil
 }
 
-// emit writes the verdict JSON, if requested.
-func emit(path string, v verdict) {
+// emit writes the verdict JSON, if requested: to stdout for "-", to the
+// named file otherwise. It reports (rather than exits on) failure so run
+// stays testable.
+func emit(path string, v verdict, stdout, stderr io.Writer) bool {
 	if path == "" {
-		return
+		return true
 	}
 	data, err := json.MarshalIndent(v, "", "  ")
 	if err == nil {
-		err = os.WriteFile(path, append(data, '\n'), 0o644)
+		data = append(data, '\n')
+		if path == "-" {
+			_, err = stdout.Write(data)
+		} else {
+			err = os.WriteFile(path, data, 0o644)
+		}
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchgate: writing %s: %v\n", path, err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "benchgate: writing %s: %v\n", path, err)
+		return false
 	}
+	return true
 }
 
 func main() {
-	baseline := flag.String("baseline", "BENCH_sim.json", "committed baseline snapshot")
-	current := flag.String("current", "", "freshly measured snapshot to check")
-	tolerance := flag.Float64("tolerance", 0.20, "maximum allowed fractional throughput regression")
-	jsonOut := flag.String("json", "", "write a machine-readable verdict to this path")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole gate; main only binds it to the process. The exit
+// code is 0 for ok/skip, 1 for a regression, 2 for usage or I/O errors.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	baseline := fs.String("baseline", "BENCH_sim.json", "committed baseline snapshot")
+	current := fs.String("current", "", "freshly measured snapshot to check")
+	tolerance := fs.Float64("tolerance", 0.20, "maximum allowed fractional throughput regression")
+	jsonOut := fs.String("json", "", "write a machine-readable verdict to this path (- for stdout)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0 // -h prints usage; matches the pre-refactor ExitOnError behavior
+		}
+		return 2
+	}
 	if *current == "" {
-		fmt.Fprintln(os.Stderr, "benchgate: -current is required")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "benchgate: -current is required")
+		return 2
+	}
+	// With the verdict going to stdout, the human-readable report moves
+	// to stderr so stdout stays one valid JSON document.
+	human := stdout
+	if *jsonOut == "-" {
+		human = stderr
 	}
 	v := verdict{
 		Schema: 1, Baseline: *baseline, Current: *current, Tolerance: *tolerance,
@@ -123,22 +155,24 @@ func main() {
 	// A missing baseline is a skip, not a failure: the merge-base
 	// predates the benchmark harness, so there is nothing to gate against.
 	if _, err := os.Stat(*baseline); os.IsNotExist(err) {
-		fmt.Printf("benchgate: skip: no baseline snapshot at %s (merge-base predates the benchmark harness)\n", *baseline)
+		fmt.Fprintf(human, "benchgate: skip: no baseline snapshot at %s (merge-base predates the benchmark harness)\n", *baseline)
 		v.Status = "skip"
 		v.Reason = fmt.Sprintf("baseline %s does not exist", *baseline)
-		emit(*jsonOut, v)
-		return
+		if !emit(*jsonOut, v, stdout, stderr) {
+			return 2
+		}
+		return 0
 	}
 
 	base, err := load(*baseline)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchgate: baseline: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "benchgate: baseline: %v\n", err)
+		return 2
 	}
 	cur, err := load(*current)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchgate: current: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "benchgate: current: %v\n", err)
+		return 2
 	}
 	v.Cache.Baseline = base.Cache
 	v.Cache.Current = cur.Cache
@@ -155,7 +189,7 @@ func main() {
 		b := base.Benchmarks[name]
 		c, ok := cur.Benchmarks[name]
 		if !ok {
-			fmt.Printf("FAIL %-18s missing from the current snapshot\n", name)
+			fmt.Fprintf(human, "FAIL %-18s missing from the current snapshot\n", name)
 			v.Benchmarks[name] = comparison{BaselineInstrsPerSec: b.InstrsPerSec}
 			failed = true
 			continue
@@ -173,27 +207,30 @@ func main() {
 			status = "FAIL"
 			failed = true
 		}
-		fmt.Printf("%s %-18s %12.0f -> %12.0f instrs/s (%+.1f%%)\n",
+		fmt.Fprintf(human, "%s %-18s %12.0f -> %12.0f instrs/s (%+.1f%%)\n",
 			status, name, b.InstrsPerSec, c.InstrsPerSec, 100*(ratio-1))
 	}
 	for name := range cur.Benchmarks {
 		if _, ok := base.Benchmarks[name]; !ok {
-			fmt.Printf("note %-18s new benchmark (not in baseline); refresh the baseline to track it\n", name)
+			fmt.Fprintf(human, "note %-18s new benchmark (not in baseline); refresh the baseline to track it\n", name)
 		}
 	}
 	if cc := cur.Cache; cc != nil {
-		fmt.Printf("cache               %d hits / %d misses in the current snapshot's sweep benchmark\n", cc.Hits, cc.Misses)
+		fmt.Fprintf(human, "cache               %d hits / %d misses in the current snapshot's sweep benchmark\n", cc.Hits, cc.Misses)
 	}
 
 	v.Status = "ok"
 	if failed {
 		v.Status = "fail"
 	}
-	emit(*jsonOut, v)
-	if failed {
-		fmt.Printf("\nbenchgate: throughput regressed more than %.0f%% vs %s\n", 100**tolerance, *baseline)
-		fmt.Println("If the regression is intended, refresh the baseline:")
-		fmt.Println("  go test -bench 'BenchmarkSim$|BenchmarkSweepRunner$' -benchtime 10x -run '^$' -benchjson BENCH_sim.json .")
-		os.Exit(1)
+	if !emit(*jsonOut, v, stdout, stderr) {
+		return 2
 	}
+	if failed {
+		fmt.Fprintf(human, "\nbenchgate: throughput regressed more than %.0f%% vs %s\n", 100**tolerance, *baseline)
+		fmt.Fprintln(human, "If the regression is intended, refresh the baseline:")
+		fmt.Fprintln(human, "  go test -bench 'BenchmarkSim$|BenchmarkSweepRunner$' -benchtime 10x -run '^$' -benchjson BENCH_sim.json .")
+		return 1
+	}
+	return 0
 }

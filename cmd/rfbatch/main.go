@@ -6,7 +6,14 @@
 //
 //	rfbatch -spec sweep.json [-n instructions] [-p parallelism]
 //	        [-csv | -ndjson] [-store dir [-store-max-mb n]] [-v]
+//	rfbatch -spec sweep.json -remote http://coordinator:8090 [-csv | -ndjson]
 //	rfbatch -example
+//
+// With -remote, the sweep runs on an rfserved instance (typically a
+// -dispatch coordinator fronting a worker fleet) instead of this
+// machine: the spec is submitted to /v1/sweeps and the result stream is
+// reassembled into the same JSON/CSV/NDJSON report a local run emits.
+// Results the coordinator's store already holds cost zero simulations.
 //
 // The report (one row per run, plus cache hit/miss totals) is written to
 // stdout as JSON, as CSV with -csv, or as NDJSON (one row per line, the
@@ -39,9 +46,14 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"strings"
 
 	"repro/internal/store"
 	"repro/internal/sweep"
@@ -68,6 +80,7 @@ func main() {
 		asNDJSON   = flag.Bool("ndjson", false, "emit NDJSON rows (the rfserved stream format) instead of JSON")
 		storeDir   = flag.String("store", "", "persist results in this disk-backed store directory; repeated runs resume instead of recomputing")
 		storeMaxMB = flag.Int64("store-max-mb", 0, "store size cap in MiB before LRU eviction (0: unlimited)")
+		remote     = flag.String("remote", "", "submit the sweep to this rfserved URL instead of simulating locally")
 		verbose    = flag.Bool("v", false, "print per-run progress to stderr")
 		example    = flag.Bool("example", false, "print an example spec and exit")
 	)
@@ -85,6 +98,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rfbatch: -csv and -ndjson are mutually exclusive")
 		os.Exit(2)
 	}
+	if *remote != "" && *storeDir != "" {
+		fmt.Fprintln(os.Stderr, "rfbatch: -store does not apply to -remote runs (the service owns the store)")
+		os.Exit(2)
+	}
 
 	f, err := os.Open(*specPath)
 	if err != nil {
@@ -100,6 +117,13 @@ func main() {
 	}
 	if *par > 0 {
 		spec.Parallelism = *par
+	}
+
+	if *remote != "" {
+		if err := runRemote(*remote, spec, *asCSV, *asNDJSON); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	jobs, err := spec.Jobs()
@@ -152,6 +176,109 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rfbatch: store %s holds %d results (%.1f MiB)\n",
 			*storeDir, entries, float64(bytes)/(1<<20))
 	}
+}
+
+// runRemote submits the spec to an rfserved instance, streams the result
+// rows, and emits the same report a local run would. The NDJSON form is
+// a verbatim copy of the service stream (byte-identical to a local
+// -ndjson run of the same spec); JSON and CSV are reassembled from it
+// via sweep.ReadRows.
+func runRemote(base string, spec *sweep.Spec, asCSV, asNDJSON bool) error {
+	base = strings.TrimSuffix(base, "/")
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(base+"/v1/sweeps", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	ack := struct {
+		ID         string `json:"id"`
+		Jobs       int    `json:"jobs"`
+		StatusURL  string `json:"status_url"`
+		ResultsURL string `json:"results_url"`
+	}{}
+	if resp.StatusCode != http.StatusAccepted {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		resp.Body.Close()
+		return fmt.Errorf("%s rejected the sweep: %d: %s", base, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	err = json.NewDecoder(resp.Body).Decode(&ack)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "rfbatch: sweep %s (%d jobs) running on %s\n", ack.ID, ack.Jobs, base)
+
+	stream, err := http.Get(base + ack.ResultsURL)
+	if err != nil {
+		return err
+	}
+	defer stream.Body.Close()
+	if stream.StatusCode != http.StatusOK {
+		return fmt.Errorf("results stream returned %d", stream.StatusCode)
+	}
+
+	var rep *sweep.Report
+	switch {
+	case asNDJSON:
+		if _, err := io.Copy(os.Stdout, stream.Body); err != nil {
+			return err
+		}
+	default:
+		rows, err := sweep.ReadRows(stream.Body)
+		if err != nil {
+			return err
+		}
+		rep = &sweep.Report{Name: spec.Name, Rows: rows}
+	}
+
+	// The status document carries the completion counts for the summary
+	// (and, for reassembled reports, the cache section). A sweep that did
+	// not verifiably end in "done" — including a status fetch that fails
+	// outright — must fail the run: a truncated stream is otherwise
+	// indistinguishable from success.
+	st := struct {
+		State     string `json:"state"`
+		Total     int    `json:"total"`
+		Completed int    `json:"completed"`
+		Cached    int    `json:"cached"`
+		Simulated int    `json:"simulated"`
+	}{}
+	sresp, err := http.Get(base + ack.StatusURL)
+	if err != nil {
+		return fmt.Errorf("fetching status of sweep %s: %w", ack.ID, err)
+	}
+	if sresp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(sresp.Body, 1024))
+		sresp.Body.Close()
+		return fmt.Errorf("status of sweep %s: HTTP %d: %s", ack.ID, sresp.StatusCode, bytes.TrimSpace(msg))
+	}
+	err = json.NewDecoder(sresp.Body).Decode(&st)
+	sresp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("decoding status of sweep %s: %w", ack.ID, err)
+	}
+	if st.State != "done" {
+		return fmt.Errorf("sweep %s ended %q (%d/%d jobs completed)",
+			ack.ID, st.State, st.Completed, st.Total)
+	}
+
+	if rep != nil {
+		rep.Cache = sweep.CacheStats{Hits: uint64(st.Cached), Misses: uint64(st.Simulated)}
+		if asCSV {
+			err = rep.WriteCSV(os.Stdout)
+		} else {
+			err = rep.WriteJSON(os.Stdout)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "rfbatch: %d runs (%d simulated, %d cache hits) on %s\n",
+		st.Completed, st.Simulated, st.Cached, base)
+	return nil
 }
 
 func fatal(err error) {

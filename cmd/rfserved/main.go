@@ -8,6 +8,8 @@
 //
 //	rfserved [-addr host:port] [-addr-file path] [-store dir]
 //	         [-store-max-mb n] [-workers n] [-sweep-workers n] [-max-jobs n]
+//	         [-dispatch [-lease-ms n] [-max-capacity n] [-job-timeout d]]
+//	         [-join url [-capacity n] [-worker-name s]]
 //
 // Quickstart:
 //
@@ -17,6 +19,20 @@
 //	curl -s localhost:8090/v1/sweeps/s000001/results   # NDJSON stream
 //	curl -s localhost:8090/v1/sweeps/s000001           # status
 //	curl -s localhost:8090/metrics                     # throughput, cache, queue
+//
+// Fleet mode distributes sweeps across machines: one coordinator accepts
+// the sweeps, any number of workers execute them.
+//
+//	rfserved -dispatch -addr :8090 -store /var/tmp/rfstore   # coordinator
+//	rfserved -join http://coordinator:8090 -addr :0          # worker (×N)
+//
+// A coordinator shards each sweep's jobs across registered workers
+// (lease-based pull protocol, see internal/dispatch), merges rows back
+// in job order, and falls back to simulating locally when a job exhausts
+// its remote retries — the NDJSON stream stays byte-identical to a
+// single-node run either way. Workers are plain rfserved processes: they
+// run leased jobs through their own cached runner (and store, with
+// -store) while still serving their own /v1/sweeps API.
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: it stops accepting
 // sweeps, cancels running ones, flushes the store index, and exits. See
@@ -35,6 +51,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/dispatch"
 	"repro/internal/server"
 	"repro/internal/store"
 	"repro/internal/sweep"
@@ -46,16 +63,33 @@ func main() {
 		addrFile   = flag.String("addr-file", "", "write the bound address to this file once listening (for scripts)")
 		storeDir   = flag.String("store", "", "disk-backed result store directory (empty: in-memory only)")
 		storeMaxMB = flag.Int64("store-max-mb", 0, "store size cap in MiB before LRU eviction (0: unlimited)")
-		workers    = flag.Int("workers", 0, "global concurrent-simulation bound (0: GOMAXPROCS)")
+		workers    = flag.Int("workers", 0, "global concurrent-simulation bound (0: GOMAXPROCS; coordinator mode: 256)")
 		sweepWork  = flag.Int("sweep-workers", 0, "per-sweep worker budget cap (0: same as -workers)")
 		maxJobs    = flag.Int("max-jobs", 0, "reject specs expanding to more jobs than this (0: 100000)")
+		dispatchF  = flag.Bool("dispatch", false, "coordinator mode: execute sweeps on registered remote workers (/v1/workers API)")
+		leaseMS    = flag.Int64("lease-ms", 10000, "coordinator mode: worker lease TTL in milliseconds")
+		maxCap     = flag.Int("max-capacity", 0, "coordinator mode: cap on any single worker's in-flight budget (0: 64)")
+		jobTimeout = flag.Duration("job-timeout", 0, "coordinator mode: requeue a leased job after this long even if its worker keeps heartbeating (0: never; set only if you know the workload's ceiling)")
+		join       = flag.String("join", "", "worker mode: pull and execute jobs from this coordinator URL")
+		capacity   = flag.Int("capacity", 0, "worker mode: concurrent leased-job budget (0: GOMAXPROCS)")
+		workerName = flag.String("worker-name", "", "worker mode: label reported to the coordinator (default: hostname)")
 	)
 	flag.Parse()
+	if *dispatchF && *join != "" {
+		fatal(errors.New("-dispatch and -join are mutually exclusive (a worker cannot also coordinate)"))
+	}
 
 	cfg := server.Config{
 		MaxWorkers:      *workers,
 		MaxSweepWorkers: *sweepWork,
 		MaxJobs:         *maxJobs,
+	}
+	if *dispatchF {
+		cfg.Dispatcher = dispatch.NewCoordinator(dispatch.Config{
+			LeaseTTL:    time.Duration(*leaseMS) * time.Millisecond,
+			MaxCapacity: *maxCap,
+			JobTimeout:  *jobTimeout,
+		})
 	}
 	var st *store.Store
 	if *storeDir != "" {
@@ -89,9 +123,39 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+
+	// Worker mode: pull jobs from the coordinator alongside the normal
+	// API. Jobs run through this process's cached runner, so the local
+	// store (and -workers budget) covers leased work too.
+	workerDone := make(chan error, 1)
+	if *join != "" {
+		name := *workerName
+		if name == "" {
+			name, _ = os.Hostname()
+		}
+		fmt.Fprintf(os.Stderr, "rfserved: joining fleet at %s\n", *join)
+		go func() {
+			workerDone <- dispatch.RunWorker(ctx, dispatch.WorkerConfig{
+				Coordinator: *join,
+				Name:        name,
+				Capacity:    *capacity,
+				Simulate:    srv.RunJob,
+				Logf: func(format string, args ...any) {
+					fmt.Fprintf(os.Stderr, "rfserved: "+format+"\n", args...)
+				},
+			})
+		}()
+	}
+
 	select {
 	case <-ctx.Done():
 		fmt.Fprintln(os.Stderr, "rfserved: shutting down")
+	case err := <-workerDone:
+		// The worker loop only returns early on a permanent registration
+		// failure; without a fleet connection this process is useless.
+		if err != nil && !errors.Is(err, context.Canceled) {
+			fatal(err)
+		}
 	case err := <-errc:
 		fatal(err)
 	}

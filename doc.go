@@ -16,6 +16,9 @@
 //     -store and rfserved (atomic writes, LRU eviction, corruption
 //     tolerance);
 //   - internal/server — the rfserved HTTP sweep service;
+//   - internal/dispatch — coordinator/worker distribution of sweep jobs
+//     across an rfserved fleet (lease-based pull protocol, failover
+//     requeue, fleet-wide dedup by content address);
 //   - internal/trace — synthetic SPEC95-proxy workloads;
 //   - internal/area — the area/access-time cost model calibrated against
 //     the paper's Table 2;
@@ -23,9 +26,11 @@
 //
 // Executables: cmd/rfexp regenerates every figure/table; cmd/rfsim runs a
 // single benchmark × architecture simulation; cmd/rfbatch runs
-// user-defined sweep matrices from a JSON spec; cmd/rfserved serves
-// sweeps over HTTP with durable results. See README.md and the runnable
-// programs under examples/.
+// user-defined sweep matrices from a JSON spec (locally or, with
+// -remote, on an rfserved fleet); cmd/rfserved serves sweeps over HTTP
+// with durable results and scales out via -dispatch (coordinator) and
+// -join (worker). See README.md and the runnable programs under
+// examples/.
 //
 // The benchmarks in bench_test.go regenerate each experiment at a reduced
 // instruction budget and report the headline metrics via b.ReportMetric.

@@ -1,0 +1,669 @@
+// Package dispatch distributes sweep jobs across a fleet of worker
+// processes. A Coordinator is an execution backend for the rfserved
+// scheduler: its Simulate method enqueues the job and blocks until a
+// registered worker returns the result — so the coordinator's existing
+// runner machinery (content-addressed cache, within-batch dedup, in-order
+// row streaming) is reused unchanged, and the NDJSON stream of a
+// distributed sweep is byte-identical to a single-node run.
+//
+// Workers pull work over HTTP:
+//
+//	POST /v1/workers/register         → {id, lease_ms, poll_ms}
+//	POST /v1/workers/{id}/poll        report results, lease new jobs
+//	GET  /v1/workers                  fleet status
+//
+// Every poll renews the worker's lease. A worker that stops polling for
+// a full lease TTL is expired: it is deregistered and its leased jobs
+// are requeued at the front of the queue. A job handed out MaxAttempts
+// times without a result stops being retried remotely and is simulated
+// locally by the coordinator (the Fallback hook); likewise, when no
+// worker has been registered for a full lease TTL the janitor drains
+// the pending queue into local simulation — so a sweep always completes
+// even with zero live workers. Results are keyed by the job's
+// content address; identical jobs submitted concurrently (across sweeps)
+// share one task, so the fleet simulates each configuration at most once.
+package dispatch
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/sweep"
+)
+
+// Config configures a Coordinator. The zero value is usable: 10 s leases,
+// 3 remote attempts, local fallback through sweep.Simulate.
+type Config struct {
+	// LeaseTTL is how long a worker may go without polling before it is
+	// expired and its jobs are requeued; 0 means 10 s.
+	LeaseTTL time.Duration
+	// PollWait bounds how long an idle poll is held open waiting for work
+	// (long poll); 0 means LeaseTTL/4. It is clamped to LeaseTTL/2 so a
+	// held poll can never outlive the lease it renews.
+	PollWait time.Duration
+	// MaxAttempts is how many times a job is handed to a worker before
+	// the coordinator gives up on the fleet and simulates it locally;
+	// 0 means 3.
+	MaxAttempts int
+	// MaxCapacity caps the in-flight budget any single worker may request
+	// at registration; 0 means 64.
+	MaxCapacity int
+	// JobTimeout bounds how long one assignment may stay leased before it
+	// is requeued even though its worker keeps heartbeating — the defense
+	// against a wedged simulation inside a live process. 0 disables it
+	// (the default: legitimate jobs can run for minutes, so only an
+	// operator who knows the workload's ceiling should set it).
+	JobTimeout time.Duration
+	// Fallback simulates a job locally when its remote attempts are
+	// exhausted (or the coordinator is closed with callers still
+	// blocked); nil uses sweep.Simulate.
+	Fallback func(sweep.Job) sim.Result
+	// LocalParallelism bounds concurrent Fallback runs; 0 uses
+	// GOMAXPROCS.
+	LocalParallelism int
+}
+
+// taskState is the lifecycle of one distributed job.
+type taskState uint8
+
+const (
+	taskPending  taskState = iota // in the queue, waiting for a worker
+	taskAssigned                  // leased to a worker
+	taskLocal                     // abandoned remotely; a waiter runs the fallback
+	taskDone                      // result delivered
+)
+
+// task is one job flowing through the fleet. Concurrent Simulate calls
+// for the same key share a task.
+type task struct {
+	id         uint64
+	key        sweep.Key
+	job        sweep.Job
+	state      taskState
+	worker     string    // assigned worker id while taskAssigned
+	assignedAt time.Time // lease start while taskAssigned (JobTimeout)
+	attempts   int       // times handed to a worker
+
+	// done is closed once result is valid; localc is closed when the
+	// task falls back to local simulation (a waiter runs it, guarded by
+	// fallback).
+	done     chan struct{}
+	localc   chan struct{}
+	result   sim.Result
+	fallback sync.Once
+}
+
+// worker is one registered fleet member.
+type worker struct {
+	id         string
+	name       string
+	capacity   int
+	registered time.Time
+	expires    time.Time
+	inflight   map[uint64]*task
+	completed  uint64
+}
+
+// Stats is a point-in-time snapshot of fleet activity.
+type Stats struct {
+	// Workers is the number of currently registered workers.
+	Workers int `json:"workers"`
+	// Pending and Inflight count live tasks queued / leased right now.
+	Pending  int `json:"pending"`
+	Inflight int `json:"inflight"`
+	// Enqueued counts tasks ever created (deduplicated Simulate calls
+	// share a task and count once).
+	Enqueued uint64 `json:"enqueued"`
+	// Dispatched counts job leases handed out, including retries.
+	Dispatched uint64 `json:"dispatched"`
+	// Completed counts results accepted from workers.
+	Completed uint64 `json:"completed"`
+	// Requeued counts leases that expired and went back in the queue.
+	Requeued uint64 `json:"requeued"`
+	// Fallbacks counts tasks the coordinator simulated locally.
+	Fallbacks uint64 `json:"fallbacks"`
+	// Late counts results that arrived for unknown or finished tasks.
+	Late uint64 `json:"late"`
+	// Expired counts workers deregistered for missing their lease.
+	Expired uint64 `json:"expired"`
+}
+
+// Coordinator shards jobs across registered workers. Create one with
+// NewCoordinator, hand its Simulate to the sweep runner, mount its
+// handlers, and Close it on shutdown.
+type Coordinator struct {
+	cfg      Config
+	localSem chan struct{}
+	stop     chan struct{}
+
+	mu      sync.Mutex
+	closed  bool
+	workers map[string]*worker
+	tasks   map[uint64]*task    // live tasks by id (pending/assigned/local)
+	byKey   map[sweep.Key]*task // live tasks by content address
+	// queue is the pending FIFO; requeued holds leases that came back
+	// (expiry, reconciliation, timeout) and is always served first —
+	// those jobs have waited longest. Either may hold entries whose
+	// state moved on; assignment skips them.
+	queue      []*task
+	requeued   []*task
+	nextTask   uint64
+	nextWorker uint64
+	wake       chan struct{} // closed+replaced when the queue gains work
+	// lastWorker is the last instant at least one worker was registered
+	// (coordinator start counts); a drought longer than LeaseTTL drains
+	// pending tasks to local fallback.
+	lastWorker time.Time
+	stats      Stats
+}
+
+// NewCoordinator returns a running Coordinator (its lease janitor is
+// started); Close it when done.
+func NewCoordinator(cfg Config) *Coordinator {
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 10 * time.Second
+	}
+	if cfg.PollWait <= 0 {
+		cfg.PollWait = cfg.LeaseTTL / 4
+	}
+	if cfg.PollWait > cfg.LeaseTTL/2 {
+		cfg.PollWait = cfg.LeaseTTL / 2
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.MaxCapacity <= 0 {
+		cfg.MaxCapacity = 64
+	}
+	if cfg.Fallback == nil {
+		cfg.Fallback = sweep.Simulate
+	}
+	if cfg.LocalParallelism <= 0 {
+		cfg.LocalParallelism = runtime.GOMAXPROCS(0)
+	}
+	c := &Coordinator{
+		cfg:        cfg,
+		localSem:   make(chan struct{}, cfg.LocalParallelism),
+		stop:       make(chan struct{}),
+		workers:    make(map[string]*worker),
+		tasks:      make(map[uint64]*task),
+		byKey:      make(map[sweep.Key]*task),
+		wake:       make(chan struct{}),
+		lastWorker: time.Now(),
+	}
+	go c.janitor()
+	return c
+}
+
+// janitor expires workers that stopped polling, so leased jobs are
+// requeued even when no HTTP traffic arrives to observe the expiry.
+func (c *Coordinator) janitor() {
+	tick := time.NewTicker(c.cfg.LeaseTTL / 4)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case now := <-tick.C:
+			c.expire(now)
+		}
+	}
+}
+
+// expire deregisters every worker whose lease lapsed before now and
+// requeues its in-flight tasks; with JobTimeout set it also requeues
+// individual leases held too long by workers that are otherwise alive
+// (a wedged simulation keeps heartbeating). With the fleet empty for a
+// full lease TTL it drains the pending queue into local fallback, so
+// queued sweeps are not parked forever waiting for a worker that never
+// comes.
+func (c *Coordinator) expire(now time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for id, w := range c.workers {
+		if !w.expires.After(now) {
+			delete(c.workers, id)
+			c.stats.Expired++
+			for _, t := range w.inflight {
+				c.requeueLocked(t)
+			}
+			continue
+		}
+		if c.cfg.JobTimeout > 0 {
+			for id, t := range w.inflight {
+				if now.Sub(t.assignedAt) > c.cfg.JobTimeout {
+					delete(w.inflight, id)
+					c.requeueLocked(t)
+				}
+			}
+		}
+	}
+	if len(c.workers) > 0 {
+		c.lastWorker = now
+		return
+	}
+	if now.Sub(c.lastWorker) < c.cfg.LeaseTTL {
+		return
+	}
+	for _, t := range append(c.requeued, c.queue...) {
+		if t.state == taskPending {
+			t.state = taskLocal
+			c.stats.Pending--
+			close(t.localc)
+		}
+	}
+	c.queue, c.requeued = c.queue[:0], c.requeued[:0]
+}
+
+// requeueLocked returns an assigned task to the queue, or flips it to
+// local fallback once its remote attempts are exhausted. c.mu held.
+func (c *Coordinator) requeueLocked(t *task) {
+	if t.state != taskAssigned {
+		return
+	}
+	t.worker = ""
+	c.stats.Inflight--
+	if t.attempts >= c.cfg.MaxAttempts {
+		t.state = taskLocal
+		close(t.localc)
+		return
+	}
+	t.state = taskPending
+	c.stats.Pending++
+	c.stats.Requeued++
+	c.requeued = append(c.requeued, t)
+	c.wakeLocked()
+}
+
+// wakeLocked signals long-polling workers that the queue has work.
+func (c *Coordinator) wakeLocked() {
+	close(c.wake)
+	c.wake = make(chan struct{})
+}
+
+// Simulate is the execution backend: it enqueues the job for the fleet
+// and blocks until a worker delivers the result (or the retry cap moves
+// the job to local simulation). It is safe for concurrent use; identical
+// concurrent jobs share one in-flight task.
+func (c *Coordinator) Simulate(j sweep.Job) sim.Result {
+	k := j.Key()
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return c.runLocal(j)
+	}
+	t := c.byKey[k]
+	if t == nil {
+		c.nextTask++
+		t = &task{
+			id: c.nextTask, key: k, job: j, state: taskPending,
+			done: make(chan struct{}), localc: make(chan struct{}),
+		}
+		c.tasks[t.id] = t
+		c.byKey[k] = t
+		c.queue = append(c.queue, t)
+		c.stats.Enqueued++
+		c.stats.Pending++
+		c.wakeLocked()
+	}
+	c.mu.Unlock()
+	return c.wait(t)
+}
+
+// wait blocks until the task resolves, running the local fallback if the
+// task is flipped to taskLocal (exactly one waiter runs it).
+func (c *Coordinator) wait(t *task) sim.Result {
+	select {
+	case <-t.done:
+		return t.result
+	case <-t.localc:
+		t.fallback.Do(func() {
+			res := c.runLocal(t.job)
+			c.mu.Lock()
+			t.result = res
+			t.state = taskDone
+			delete(c.tasks, t.id)
+			delete(c.byKey, t.key)
+			c.stats.Fallbacks++
+			c.mu.Unlock()
+			close(t.done)
+		})
+		<-t.done
+		return t.result
+	}
+}
+
+// runLocal runs the fallback under the local parallelism bound.
+func (c *Coordinator) runLocal(j sweep.Job) sim.Result {
+	c.localSem <- struct{}{}
+	defer func() { <-c.localSem }()
+	return c.cfg.Fallback(j)
+}
+
+// Close expires the fleet and flips every live task to local fallback so
+// blocked Simulate callers terminate. Subsequent Simulate calls run
+// locally. Close is idempotent.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	close(c.stop)
+	for _, t := range c.tasks {
+		if t.state == taskPending || t.state == taskAssigned {
+			t.state = taskLocal
+			close(t.localc)
+		}
+	}
+	c.stats.Pending, c.stats.Inflight = 0, 0
+	c.workers = make(map[string]*worker)
+	c.queue, c.requeued = nil, nil
+	c.wakeLocked()
+	c.mu.Unlock()
+}
+
+// Stats returns a snapshot of fleet activity.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stats
+	st.Workers = len(c.workers)
+	return st
+}
+
+// ---- HTTP protocol ----
+
+// registerRequest is the body of POST /v1/workers/register.
+type registerRequest struct {
+	// Name labels the worker in listings (defaults to its id).
+	Name string `json:"name,omitempty"`
+	// Capacity is the worker's in-flight budget: the most jobs it may
+	// hold leases on at once. Clamped to [1, Config.MaxCapacity].
+	Capacity int `json:"capacity"`
+}
+
+// registerResponse acknowledges a registration.
+type registerResponse struct {
+	ID string `json:"id"`
+	// Capacity is the granted in-flight budget — the request's capacity
+	// clamped to the coordinator's MaxCapacity. The worker must budget
+	// against this value, not the one it asked for.
+	Capacity int `json:"capacity"`
+	// LeaseMS is the lease TTL: poll at least this often.
+	LeaseMS int64 `json:"lease_ms"`
+	// PollMS is how long an idle poll may be held open server-side.
+	PollMS int64 `json:"poll_ms"`
+}
+
+// taskResult reports one finished job inside a poll request.
+type taskResult struct {
+	Task   uint64     `json:"task"`
+	Key    string     `json:"key"`
+	Result sim.Result `json:"result"`
+}
+
+// assignment hands one job to a worker inside a poll response.
+type assignment struct {
+	Task uint64    `json:"task"`
+	Key  string    `json:"key"`
+	Job  sweep.Job `json:"job"`
+}
+
+// pollRequest is the body of POST /v1/workers/{id}/poll: completed
+// results to report plus how many new jobs the worker wants.
+type pollRequest struct {
+	Results []taskResult `json:"results,omitempty"`
+	// Holding inventories every task id the worker believes it holds —
+	// in-flight simulations plus finished-but-unreported results
+	// (Results included). The coordinator requeues any lease absent from
+	// it: that assignment traveled in a poll response the worker never
+	// received, and would otherwise stay a ghost forever, since the
+	// worker's continued polling keeps renewing the lease.
+	Holding []uint64 `json:"holding,omitempty"`
+	Want    int      `json:"want"`
+}
+
+// pollResponse carries new leases back to the worker.
+type pollResponse struct {
+	Jobs    []assignment `json:"jobs"`
+	LeaseMS int64        `json:"lease_ms"`
+}
+
+// workerJSON is one row of GET /v1/workers.
+type workerJSON struct {
+	ID         string `json:"id"`
+	Name       string `json:"name"`
+	Capacity   int    `json:"capacity"`
+	Inflight   int    `json:"inflight"`
+	Completed  uint64 `json:"completed"`
+	Registered string `json:"registered"`
+	// LeaseExpires is when the worker is deregistered unless it polls.
+	LeaseExpires string `json:"lease_expires"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// HandleRegister serves POST /v1/workers/register.
+func (c *Coordinator) HandleRegister(w http.ResponseWriter, r *http.Request) {
+	var req registerRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "dispatch: bad registration: %v", err)
+		return
+	}
+	if req.Capacity < 1 {
+		req.Capacity = 1
+	}
+	if req.Capacity > c.cfg.MaxCapacity {
+		req.Capacity = c.cfg.MaxCapacity
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "dispatch: coordinator is shutting down")
+		return
+	}
+	c.nextWorker++
+	now := time.Now()
+	wk := &worker{
+		id:         fmt.Sprintf("w%06d", c.nextWorker),
+		name:       req.Name,
+		capacity:   req.Capacity,
+		registered: now,
+		expires:    now.Add(c.cfg.LeaseTTL),
+		inflight:   make(map[uint64]*task),
+	}
+	if wk.name == "" {
+		wk.name = wk.id
+	}
+	c.workers[wk.id] = wk
+	c.mu.Unlock()
+	writeJSON(w, http.StatusOK, registerResponse{
+		ID:       wk.id,
+		Capacity: wk.capacity,
+		LeaseMS:  c.cfg.LeaseTTL.Milliseconds(),
+		PollMS:   c.cfg.PollWait.Milliseconds(),
+	})
+}
+
+// HandlePoll serves POST /v1/workers/{id}/poll: it renews the worker's
+// lease, accepts completed results, and hands out new leases. When the
+// worker wants jobs and none are pending, the request is held open up to
+// PollWait (long poll) so idle workers pick up new sweeps immediately.
+// An unknown worker id (an expired lease) gets 404: the worker must
+// re-register and re-report, and its task ids stay valid.
+func (c *Coordinator) HandlePoll(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var req pollRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "dispatch: bad poll: %v", err)
+		return
+	}
+
+	c.mu.Lock()
+	wk := c.workers[id]
+	if wk == nil {
+		c.mu.Unlock()
+		writeError(w, http.StatusNotFound, "dispatch: no worker %q (lease expired? re-register)", id)
+		return
+	}
+	wk.expires = time.Now().Add(c.cfg.LeaseTTL)
+	for _, res := range req.Results {
+		c.deliverLocked(wk, res)
+	}
+	// Reconcile before assigning: a lease the worker does not report
+	// holding was lost in a dropped poll response — requeue it now,
+	// because this worker will never simulate it and its polling keeps
+	// the lease alive.
+	if len(wk.inflight) > 0 {
+		holding := make(map[uint64]bool, len(req.Holding))
+		for _, id := range req.Holding {
+			holding[id] = true
+		}
+		for id, t := range wk.inflight {
+			if !holding[id] {
+				delete(wk.inflight, id)
+				c.requeueLocked(t)
+			}
+		}
+	}
+
+	deadline := time.Now().Add(c.cfg.PollWait)
+	for {
+		jobs := c.assignLocked(wk, req.Want)
+		if len(jobs) > 0 || req.Want <= 0 || c.closed || !time.Now().Before(deadline) {
+			wk.expires = time.Now().Add(c.cfg.LeaseTTL)
+			c.mu.Unlock()
+			writeJSON(w, http.StatusOK, pollResponse{
+				Jobs: jobs, LeaseMS: c.cfg.LeaseTTL.Milliseconds(),
+			})
+			return
+		}
+		wakec := c.wake
+		c.mu.Unlock()
+		wait := time.NewTimer(time.Until(deadline))
+		select {
+		case <-wakec:
+		case <-wait.C:
+		case <-c.stop:
+		case <-r.Context().Done():
+			wait.Stop()
+			return
+		}
+		wait.Stop()
+		c.mu.Lock()
+		if c.workers[id] != wk {
+			// Expired while the poll was held open (clock skew or a tiny
+			// TTL); the worker must re-register.
+			c.mu.Unlock()
+			writeError(w, http.StatusNotFound, "dispatch: worker %q expired", id)
+			return
+		}
+		wk.expires = time.Now().Add(c.cfg.LeaseTTL)
+	}
+}
+
+// deliverLocked accepts one reported result. Results are matched by task
+// id against all live tasks, not just the reporting worker's leases: a
+// worker that was expired and re-registered may legitimately deliver a
+// task now leased elsewhere (results are deterministic per key, so
+// whichever copy lands first wins). c.mu held.
+func (c *Coordinator) deliverLocked(wk *worker, res taskResult) {
+	t := c.tasks[res.Task]
+	if t == nil || t.state == taskLocal || t.state == taskDone || string(t.key) != res.Key {
+		c.stats.Late++
+		return
+	}
+	switch t.state {
+	case taskAssigned:
+		if holder := c.workers[t.worker]; holder != nil {
+			delete(holder.inflight, t.id)
+		}
+		c.stats.Inflight--
+	case taskPending:
+		// Still queued for a retry; the queue entry is skipped once its
+		// state leaves taskPending.
+		c.stats.Pending--
+	}
+	t.state = taskDone
+	t.result = res.Result
+	delete(c.tasks, t.id)
+	delete(c.byKey, t.key)
+	wk.completed++
+	c.stats.Completed++
+	close(t.done)
+}
+
+// assignLocked leases up to want pending tasks to the worker, bounded by
+// its remaining in-flight budget. Requeued tasks go first. c.mu held.
+func (c *Coordinator) assignLocked(wk *worker, want int) []assignment {
+	if budget := wk.capacity - len(wk.inflight); want > budget {
+		want = budget
+	}
+	var out []assignment
+	for want > len(out) {
+		var t *task
+		switch {
+		case len(c.requeued) > 0:
+			t = c.requeued[0]
+			c.requeued = c.requeued[1:]
+		case len(c.queue) > 0:
+			t = c.queue[0]
+			c.queue = c.queue[1:]
+		default:
+			return out
+		}
+		if t.state != taskPending {
+			continue // completed or went local while queued
+		}
+		t.state = taskAssigned
+		t.worker = wk.id
+		t.assignedAt = time.Now()
+		t.attempts++
+		wk.inflight[t.id] = t
+		c.stats.Pending--
+		c.stats.Inflight++
+		c.stats.Dispatched++
+		out = append(out, assignment{Task: t.id, Key: string(t.key), Job: t.job})
+	}
+	return out
+}
+
+// HandleWorkers serves GET /v1/workers: the registered fleet plus queue
+// counters.
+func (c *Coordinator) HandleWorkers(w http.ResponseWriter, _ *http.Request) {
+	c.mu.Lock()
+	out := struct {
+		Workers []workerJSON `json:"workers"`
+		Stats   Stats        `json:"stats"`
+	}{Workers: []workerJSON{}, Stats: c.stats}
+	out.Stats.Workers = len(c.workers)
+	for _, wk := range c.workers {
+		out.Workers = append(out.Workers, workerJSON{
+			ID: wk.id, Name: wk.name, Capacity: wk.capacity,
+			Inflight: len(wk.inflight), Completed: wk.completed,
+			Registered:   wk.registered.UTC().Format(time.RFC3339Nano),
+			LeaseExpires: wk.expires.UTC().Format(time.RFC3339Nano),
+		})
+	}
+	c.mu.Unlock()
+	sort.Slice(out.Workers, func(i, j int) bool { return out.Workers[i].ID < out.Workers[j].ID })
+	writeJSON(w, http.StatusOK, out)
+}

@@ -1,0 +1,275 @@
+package dispatch
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/sweep"
+)
+
+// WorkerConfig configures RunWorker.
+type WorkerConfig struct {
+	// Coordinator is the coordinator's base URL, e.g. http://host:8090.
+	Coordinator string
+	// Name labels the worker in the coordinator's fleet listing.
+	Name string
+	// Capacity is the in-flight budget to request: how many jobs the
+	// worker simulates concurrently; 0 uses GOMAXPROCS.
+	Capacity int
+	// Simulate executes one job; nil uses sweep.Simulate. rfserved worker
+	// mode routes this through its own cached runner, so a worker's local
+	// store also deduplicates.
+	Simulate func(sweep.Job) sim.Result
+	// Client issues the HTTP requests; nil uses a default client. Polls
+	// are long-held by design, so no fixed Client.Timeout is set —
+	// instead every exchange carries a per-request deadline derived from
+	// the lease (so a black-holed connection fails in about a lease
+	// rather than hanging until TCP gives up).
+	Client *http.Client
+	// Logf, when non-nil, receives connection lifecycle messages
+	// (registrations, retried errors).
+	Logf func(format string, args ...any)
+}
+
+// statusError is an HTTP-level protocol failure.
+type statusError struct {
+	code int
+	body string
+}
+
+func (e *statusError) Error() string {
+	return fmt.Sprintf("status %d: %s", e.code, e.body)
+}
+
+// RunWorker registers with the coordinator and executes its jobs until
+// ctx is canceled (returning ctx.Err()). Finished results are reported on
+// the next poll; polls double as lease heartbeats. Transient errors are
+// retried with backoff, and an expired lease (404) triggers
+// re-registration — completed-but-unreported results are retained across
+// both, so they are never lost to a network blip. Jobs in flight when ctx
+// is canceled are abandoned; the coordinator's lease expiry requeues
+// them elsewhere.
+func RunWorker(ctx context.Context, cfg WorkerConfig) error {
+	// A trailing slash would 301 the POST into a GET (ServeMux
+	// path-cleaning) and read as an eternal 405; normalize like
+	// rfbatch -remote does.
+	cfg.Coordinator = strings.TrimSuffix(cfg.Coordinator, "/")
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Simulate == nil {
+		cfg.Simulate = sweep.Simulate
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{}
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	w := &workerClient{cfg: cfg}
+	if err := w.register(ctx); err != nil {
+		return err
+	}
+
+	// The coordinator may clamp the requested capacity; budget against
+	// the granted value (refreshed on re-registration). The channel is
+	// sized for the request, which the grant never exceeds.
+	capacity := w.capacity
+	finished := make(chan taskResult, cfg.Capacity)
+	inflight := 0
+	var backlog []taskResult // finished, not yet accepted by the coordinator
+	// held inventories every lease this worker owns (simulating or in
+	// backlog); polls carry it so the coordinator can requeue leases
+	// that were lost in a dropped poll response.
+	held := make(map[uint64]struct{})
+	backoff := time.Duration(0)
+	// The first poll happens immediately; afterwards the timer paces
+	// heartbeats when the worker sits at capacity.
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case res := <-finished:
+			inflight--
+			backlog = append(backlog, res)
+		case <-timer.C:
+		}
+		// Batch everything else already finished into the same report.
+		for {
+			select {
+			case res := <-finished:
+				inflight--
+				backlog = append(backlog, res)
+				continue
+			default:
+			}
+			break
+		}
+
+		holding := make([]uint64, 0, len(held))
+		for id := range held {
+			holding = append(holding, id)
+		}
+		resp, err := w.poll(ctx, backlog, holding, capacity-inflight)
+		switch {
+		case ctx.Err() != nil:
+			return ctx.Err()
+		case err != nil:
+			var se *statusError
+			if errors.As(err, &se) && se.code == http.StatusNotFound {
+				// Lease expired: re-register and re-report the backlog
+				// under the new identity (task ids stay valid).
+				cfg.Logf("dispatch: lease expired, re-registering: %v", err)
+				if err := w.register(ctx); err != nil {
+					return err
+				}
+				capacity = w.capacity
+				timer.Reset(0)
+				continue
+			}
+			backoff = min(max(backoff*2, 100*time.Millisecond), w.heartbeat())
+			cfg.Logf("dispatch: poll failed (retrying in %v): %v", backoff, err)
+			timer.Reset(backoff)
+			continue
+		}
+		backoff = 0
+		for _, res := range backlog {
+			delete(held, res.Task)
+		}
+		backlog = nil
+		for _, a := range resp.Jobs {
+			inflight++
+			held[a.Task] = struct{}{}
+			go func(a assignment) {
+				res := cfg.Simulate(a.Job)
+				select {
+				case finished <- taskResult{Task: a.Task, Key: a.Key, Result: res}:
+				case <-ctx.Done():
+				}
+			}(a)
+		}
+		if inflight < capacity {
+			// Capacity to spare: poll again immediately. The coordinator
+			// long-polls when it has nothing, so this does not spin.
+			timer.Reset(0)
+		} else {
+			timer.Reset(w.heartbeat())
+		}
+	}
+}
+
+// workerClient is the HTTP side of one worker.
+type workerClient struct {
+	cfg      WorkerConfig
+	id       string
+	capacity int // granted by the coordinator; ≤ cfg.Capacity
+	leaseMS  int64
+	pollMS   int64
+}
+
+// requestBound is the per-request deadline: a healthy exchange finishes
+// within one long-poll hold, so a full lease plus two holds means the
+// connection is dead — fail it and let the retry/re-register machinery
+// take over instead of waiting for TCP to notice.
+func (w *workerClient) requestBound() time.Duration {
+	d := time.Duration(w.leaseMS+2*w.pollMS) * time.Millisecond
+	if d <= 0 {
+		d = 30 * time.Second // pre-registration default
+	}
+	return d
+}
+
+// heartbeat is how often a busy worker polls to keep its lease: a third
+// of the TTL, so two consecutive failures still fit inside a lease.
+func (w *workerClient) heartbeat() time.Duration {
+	d := time.Duration(w.leaseMS) * time.Millisecond / 3
+	if d <= 0 {
+		d = time.Second
+	}
+	return d
+}
+
+// register acquires a worker id, retrying transient failures with
+// backoff until ctx is canceled.
+func (w *workerClient) register(ctx context.Context) error {
+	backoff := 100 * time.Millisecond
+	for {
+		var resp registerResponse
+		err := w.post(ctx, "/v1/workers/register",
+			registerRequest{Name: w.cfg.Name, Capacity: w.cfg.Capacity}, &resp)
+		if err == nil {
+			w.id = resp.ID
+			w.leaseMS = resp.LeaseMS
+			w.pollMS = resp.PollMS
+			w.capacity = resp.Capacity
+			if w.capacity <= 0 || w.capacity > w.cfg.Capacity {
+				w.capacity = w.cfg.Capacity
+			}
+			w.cfg.Logf("dispatch: registered as %s (capacity %d, lease %dms)",
+				resp.ID, w.capacity, resp.LeaseMS)
+			return nil
+		}
+		var se *statusError
+		if errors.As(err, &se) && se.code == http.StatusServiceUnavailable {
+			return fmt.Errorf("dispatch: coordinator rejected registration: %w", err)
+		}
+		w.cfg.Logf("dispatch: register failed (retrying in %v): %v", backoff, err)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(backoff):
+		}
+		backoff = min(backoff*2, 5*time.Second)
+	}
+}
+
+// poll reports finished results (and the full held-lease inventory) and
+// asks for up to want new jobs.
+func (w *workerClient) poll(ctx context.Context, results []taskResult, holding []uint64, want int) (*pollResponse, error) {
+	var resp pollResponse
+	err := w.post(ctx, "/v1/workers/"+w.id+"/poll",
+		pollRequest{Results: results, Holding: holding, Want: want}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// post issues one JSON request/response exchange, bounded by
+// requestBound on top of the caller's context.
+func (w *workerClient) post(ctx context.Context, path string, body, out any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(ctx, w.requestBound())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		w.cfg.Coordinator+path, bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return &statusError{code: resp.StatusCode, body: string(bytes.TrimSpace(msg))}
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

@@ -33,6 +33,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/dispatch"
 	"repro/internal/sim"
 	"repro/internal/sweep"
 )
@@ -47,8 +48,17 @@ type Config struct {
 	// Simulate overrides the simulation function (tests); nil runs the
 	// real simulator.
 	Simulate func(sweep.Job) sim.Result
-	// MaxWorkers bounds concurrent simulations across all sweeps;
-	// 0 uses GOMAXPROCS.
+	// Dispatcher, when non-nil, turns the server into a fleet
+	// coordinator: jobs execute on registered remote workers (see
+	// internal/dispatch) instead of locally, the /v1/workers endpoints
+	// are mounted, and the dispatcher is closed by Shutdown. Simulate is
+	// then only used as documentation — the dispatcher's own Fallback
+	// covers local execution.
+	Dispatcher *dispatch.Coordinator
+	// MaxWorkers bounds concurrent simulations across all sweeps; 0 uses
+	// GOMAXPROCS — except in coordinator mode, where a "simulation" is a
+	// blocked wait on the fleet and the default is max(256, GOMAXPROCS)
+	// so the fan-out is not throttled to local core count.
 	MaxWorkers int
 	// MaxSweepWorkers caps any single sweep's worker budget (a spec may
 	// request less via its parallelism field, never more); 0 uses
@@ -121,6 +131,9 @@ type Server struct {
 func New(cfg Config) *Server {
 	if cfg.MaxWorkers <= 0 {
 		cfg.MaxWorkers = runtime.GOMAXPROCS(0)
+		if cfg.Dispatcher != nil && cfg.MaxWorkers < 256 {
+			cfg.MaxWorkers = 256
+		}
 	}
 	if cfg.MaxSweepWorkers <= 0 || cfg.MaxSweepWorkers > cfg.MaxWorkers {
 		cfg.MaxSweepWorkers = cfg.MaxWorkers
@@ -143,6 +156,9 @@ func New(cfg Config) *Server {
 	if simulate == nil {
 		simulate = sweep.Simulate
 	}
+	if cfg.Dispatcher != nil {
+		simulate = cfg.Dispatcher.Simulate
+	}
 	s.runner = sweep.NewRunner(sweep.RunnerConfig{
 		Cache: cfg.Cache,
 		Simulate: func(j sweep.Job) sim.Result {
@@ -151,6 +167,14 @@ func New(cfg Config) *Server {
 			s.sem <- struct{}{}
 			defer func() { <-s.sem }()
 			s.simsStarted.Add(1)
+			if cfg.Dispatcher != nil {
+				// The call blocks on the fleet; its wall time is queueing
+				// and network, not simulation, so it must not feed the
+				// simulation-seconds/throughput metrics.
+				res := simulate(j)
+				s.instrsSim.Add(res.Instructions)
+				return res
+			}
 			t0 := time.Now()
 			res := simulate(j)
 			s.simNanos.Add(time.Since(t0).Nanoseconds())
@@ -169,6 +193,11 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
 	})
+	if d := cfg.Dispatcher; d != nil {
+		mux.HandleFunc("POST /v1/workers/register", d.HandleRegister)
+		mux.HandleFunc("POST /v1/workers/{id}/poll", d.HandlePoll)
+		mux.HandleFunc("GET /v1/workers", d.HandleWorkers)
+	}
 	s.mux = mux
 	return s
 }
@@ -179,12 +208,17 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 // Shutdown stops accepting sweeps, cancels the ones still running, and
-// waits for their goroutines (bounded by ctx).
+// waits for their goroutines (bounded by ctx). In coordinator mode it
+// also closes the dispatcher, so jobs blocked on the fleet resolve
+// through the local fallback instead of waiting on workers forever.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.closed = true
 	s.mu.Unlock()
 	s.cancel()
+	if s.cfg.Dispatcher != nil {
+		s.cfg.Dispatcher.Close()
+	}
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
@@ -201,6 +235,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // CacheStats exposes the shared runner's lifetime hit/miss counts.
 func (s *Server) CacheStats() sweep.CacheStats {
 	return s.runner.CacheStats()
+}
+
+// RunJob executes one job through the server's shared cached runner —
+// the execution hook for rfserved worker mode, so jobs leased from a
+// coordinator share this process's cache, store, scheduler budget and
+// metrics with locally submitted sweeps.
+func (s *Server) RunJob(j sweep.Job) sim.Result {
+	return s.runner.RunOutcomes([]sweep.Job{j}, 1)[0].Result
 }
 
 // errorJSON is the error response body.
@@ -235,18 +277,33 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	jobs, err := spec.Jobs()
+	// Count before expanding, so an absurd cross product is rejected
+	// without materializing it.
+	count, err := spec.JobCount()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if len(jobs) == 0 {
+	if count == 0 {
 		writeError(w, http.StatusBadRequest, "sweep: spec expands to zero jobs")
 		return
 	}
-	if len(jobs) > s.cfg.MaxJobs {
+	// A saturated count is rejected no matter how generous MaxJobs is:
+	// past the saturation point the true expansion is unknown and
+	// materializing it is exactly the DoS the pre-count exists to stop.
+	if count >= sweep.MaxJobCount {
 		writeError(w, http.StatusRequestEntityTooLarge,
-			"sweep: spec expands to %d jobs, limit is %d", len(jobs), s.cfg.MaxJobs)
+			"sweep: spec expands to at least %d jobs", sweep.MaxJobCount)
+		return
+	}
+	if count > s.cfg.MaxJobs {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"sweep: spec expands to %d jobs, limit is %d", count, s.cfg.MaxJobs)
+		return
+	}
+	jobs, err := spec.Jobs()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	parallelism := spec.Parallelism
@@ -462,7 +519,11 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 		if len(batch) > 0 && flusher != nil {
 			flusher.Flush()
 		}
-		if next >= len(run.jobs) || state != stateRunning {
+		// Close only on a terminal state, never merely because every row
+		// has been delivered: the state flips moments after the last
+		// progress event, and a client that checks status the instant the
+		// stream ends must never observe "running" on a finished sweep.
+		if state != stateRunning {
 			return
 		}
 		select {
@@ -519,4 +580,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	m("rfserved_instructions_simulated_total", s.instrsSim.Load(), "dynamic instructions simulated")
 	m("rfserved_simulation_seconds_total", fmt.Sprintf("%.3f", simSecs), "cumulative wall-clock seconds inside the simulator")
 	m("rfserved_instructions_per_second", fmt.Sprintf("%.0f", throughput), "simulation throughput (instructions / simulation second)")
+
+	if d := s.cfg.Dispatcher; d != nil {
+		ds := d.Stats()
+		m("rfserved_dispatch_workers", ds.Workers, "workers currently registered")
+		m("rfserved_dispatch_tasks_pending", ds.Pending, "tasks queued for the fleet")
+		m("rfserved_dispatch_tasks_inflight", ds.Inflight, "tasks leased to workers")
+		m("rfserved_dispatch_leases_total", ds.Dispatched, "job leases handed out (including retries)")
+		m("rfserved_dispatch_results_total", ds.Completed, "results accepted from workers")
+		m("rfserved_dispatch_requeues_total", ds.Requeued, "leases expired and requeued")
+		m("rfserved_dispatch_fallbacks_total", ds.Fallbacks, "tasks simulated locally after exhausting remote attempts")
+		m("rfserved_dispatch_workers_expired_total", ds.Expired, "workers deregistered for missing their lease")
+	}
 }

@@ -1,0 +1,10 @@
+package store
+
+// SetRenameHook replaces the rename step that commits a temp file into
+// place, letting crash-consistency tests simulate a writer killed
+// mid-commit. Tests only.
+func (s *Store) SetRenameHook(f func(oldpath, newpath string) error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rename = f
+}

@@ -72,6 +72,9 @@ type Store struct {
 	dir     string
 	objects string
 	opts    Options
+	// rename commits a finished temp file; os.Rename outside tests. The
+	// crash-consistency tests swap it to cut writers down mid-commit.
+	rename func(oldpath, newpath string) error
 
 	mu      sync.Mutex
 	entries map[sweep.Key]*list.Element
@@ -106,6 +109,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		dir:     dir,
 		objects: filepath.Join(dir, "objects"),
 		opts:    opts,
+		rename:  os.Rename,
 		entries: make(map[sweep.Key]*list.Element),
 		lru:     list.New(),
 	}
@@ -330,7 +334,7 @@ func (s *Store) writeAtomic(path string, data []byte) error {
 		}
 		return cerr
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
+	if err := s.rename(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())
 		return err
 	}

@@ -1,0 +1,111 @@
+package sweep
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzParseSpec throws arbitrary bytes at the spec parser and checks the
+// invariants every accepted spec must satisfy: Jobs never panics, its
+// length matches JobCount, and every job has a well-defined content
+// address. Seed corpus files live under testdata/fuzz/FuzzParseSpec.
+func FuzzParseSpec(f *testing.F) {
+	f.Add([]byte(`{"architectures": [{"kind": "1cycle"}]}`))
+	f.Add([]byte(`{"name": "x", "instructions": 5000, "benchmarks": ["compress", "swim"],
+		"seeds": [1, 2], "parallelism": 3,
+		"architectures": [
+			{"kind": "rfcache", "read_ports": [2, 4], "write_ports": [0], "buses": [1],
+			 "upper_sizes": [8, 16], "caching": ["nonbypass", "ready"], "prefetch": ["demand"]},
+			{"kind": "onelevel", "banks": [2, 4]},
+			{"kind": "replicated", "clusters": [2], "phys_regs": [96, 128]}
+		]}`))
+	f.Add([]byte(`{"architectures": [{"kind": "2cycle1b", "read_ports": [-1, 0, 99]}]}`))
+	f.Add([]byte(`{"architectures":[{"kind":"nope"}]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`[]`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := ParseSpec(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input: the only requirement is "no panic"
+		}
+		count, err := spec.JobCount()
+		if err != nil {
+			t.Fatalf("ParseSpec accepted a spec JobCount rejects: %v", err)
+		}
+		if count > 20000 {
+			return // valid but huge; don't materialize it in the fuzzer
+		}
+		jobs, err := spec.Jobs()
+		if err != nil {
+			t.Fatalf("ParseSpec accepted a spec Jobs rejects: %v", err)
+		}
+		if len(jobs) != count {
+			t.Fatalf("JobCount = %d but Jobs expanded to %d", count, len(jobs))
+		}
+		for i := range jobs {
+			if k := jobs[i].Key(); len(k) != 64 {
+				t.Fatalf("job %d: malformed key %q", i, k)
+			}
+		}
+	})
+}
+
+// FuzzRowRoundTrip checks that any row WriteRow emits is decoded back
+// bit-identically by ReadRows — the contract that lets rfbatch -remote
+// reassemble a coordinator's NDJSON stream into the same report a local
+// run produces. Seed corpus files live under testdata/fuzz/FuzzRowRoundTrip.
+func FuzzRowRoundTrip(f *testing.F) {
+	f.Add("compress", "1-cycle R∞W∞", uint64(0), uint64(120000), uint64(60000),
+		2.0, 0.0311, 0.001, 0.047, strings.Repeat("ab", 32), false)
+	f.Add("swim\n", `arch "quoted"`, uint64(1<<63), uint64(0), uint64(math.MaxUint64),
+		math.SmallestNonzeroFloat64, -0.0, 1e308, math.MaxFloat64, "", true)
+
+	f.Fuzz(func(t *testing.T, benchmark, arch string, seed, instrs, cycles uint64,
+		ipc, mispred, icache, dcache float64, key string, cached bool) {
+		if !utf8.ValidString(benchmark) || !utf8.ValidString(arch) || !utf8.ValidString(key) {
+			// encoding/json replaces invalid UTF-8 with U+FFFD; real rows
+			// only carry profile names, constructed arch labels and hex
+			// keys, all valid UTF-8.
+			return
+		}
+		row := Row{
+			Benchmark: benchmark, Arch: arch, Seed: seed,
+			Instructions: instrs, Cycles: cycles, IPC: ipc,
+			MispredRate: mispred, ICacheMiss: icache, DCacheMiss: dcache,
+			Key: key, Cached: cached,
+		}
+		var buf bytes.Buffer
+		if err := WriteRow(&buf, row); err != nil {
+			// encoding/json rejects NaN and ±Inf; nothing to round-trip.
+			// Real rows cannot carry them (rates are finite by
+			// construction), so an error for any other reason is a bug.
+			if hasNonFinite(ipc, mispred, icache, dcache) {
+				return
+			}
+			t.Fatalf("WriteRow failed on finite row: %v", err)
+		}
+		rows, err := ReadRows(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("ReadRows rejected WriteRow output %q: %v", buf.String(), err)
+		}
+		if len(rows) != 1 {
+			t.Fatalf("round trip returned %d rows, want 1", len(rows))
+		}
+		if rows[0] != row {
+			t.Fatalf("row changed across NDJSON round trip:\nin:  %+v\nout: %+v", row, rows[0])
+		}
+	})
+}
+
+func hasNonFinite(vs ...float64) bool {
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+	}
+	return false
+}

@@ -64,6 +64,27 @@ func WriteRow(w io.Writer, row Row) error {
 	return json.NewEncoder(w).Encode(row)
 }
 
+// ReadRows decodes an NDJSON row stream — the inverse of WriteRow. It is
+// the reassembly seam for consumers of a remote stream: cmd/rfbatch
+// -remote uses it to rebuild a Report from a coordinator's results
+// endpoint. Unknown fields are rejected, so a drifted producer fails
+// loudly instead of silently dropping columns.
+func ReadRows(r io.Reader) ([]Row, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var rows []Row
+	for {
+		var row Row
+		if err := dec.Decode(&row); err != nil {
+			if err == io.EOF {
+				return rows, nil
+			}
+			return rows, fmt.Errorf("sweep: row %d: %w", len(rows), err)
+		}
+		rows = append(rows, row)
+	}
+}
+
 // WriteNDJSON emits the report's rows as NDJSON, one row per line, with
 // no surrounding report object.
 func (r *Report) WriteNDJSON(w io.Writer) error {

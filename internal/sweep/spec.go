@@ -75,7 +75,9 @@ func ParseSpec(r io.Reader) (*Spec, error) {
 	return &s, nil
 }
 
-// Validate reports a specification error, or nil.
+// Validate reports a specification error, or nil. It never expands the
+// sweep matrix, so it stays cheap on specs whose cross product is huge;
+// use JobCount to bound the expansion before calling Jobs.
 func (s *Spec) Validate() error {
 	if len(s.Architectures) == 0 {
 		return fmt.Errorf("sweep: spec needs at least one architecture")
@@ -85,12 +87,105 @@ func (s *Spec) Validate() error {
 			return fmt.Errorf("sweep: unknown benchmark %q", b)
 		}
 	}
-	for i, a := range s.Architectures {
-		if _, err := a.expand(); err != nil {
+	for i := range s.Architectures {
+		if err := s.Architectures[i].validate(); err != nil {
 			return fmt.Errorf("sweep: architectures[%d]: %w", i, err)
 		}
 	}
 	return nil
+}
+
+// validate checks the matrix without expanding it: the kind must be
+// known, and the policy lists of an rf-cache matrix must parse. (Policy
+// lists on other kinds are ignored by expand, so they are ignored here
+// too.)
+func (a *ArchMatrix) validate() error {
+	switch strings.ToLower(a.Kind) {
+	case "1cycle", "2cycle", "2cycle1b", "onelevel", "replicated":
+		return nil
+	case "rfcache":
+		for _, cs := range a.Caching {
+			if _, err := ParseCachingPolicy(cs); err != nil {
+				return err
+			}
+		}
+		for _, ps := range a.Prefetch {
+			if _, err := ParsePrefetchPolicy(ps); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "":
+		return fmt.Errorf("architecture kind missing")
+	default:
+		return fmt.Errorf("unknown architecture kind %q", a.Kind)
+	}
+}
+
+// MaxJobCount is the saturation bound of JobCount: any spec expanding to
+// at least this many jobs reports exactly MaxJobCount. It fits a 32-bit
+// int so the package builds on every GOARCH, and it dwarfs any job limit
+// a server would actually accept.
+const MaxJobCount = 1 << 30
+
+// mulSat multiplies saturating at MaxJobCount; both factors must be
+// in [1, MaxJobCount].
+func mulSat(a, b int) int {
+	if a > MaxJobCount/b {
+		return MaxJobCount
+	}
+	return a * b
+}
+
+// countOr is the length a dimension list contributes to the cross
+// product: its own length, or 1 when empty (the default applies).
+func countOr(n int) int {
+	if n == 0 {
+		return 1
+	}
+	return n
+}
+
+// pointCount returns how many architecture points the matrix expands to
+// (saturating at MaxJobCount), without building them. It mirrors the
+// dimension lists expand consumes per kind.
+func (a *ArchMatrix) pointCount() int {
+	n := mulSat(mulSat(countOr(len(a.ReadPorts)), countOr(len(a.WritePorts))), countOr(len(a.PhysRegs)))
+	switch strings.ToLower(a.Kind) {
+	case "rfcache":
+		n = mulSat(n, countOr(len(a.Buses)))
+		n = mulSat(n, countOr(len(a.UpperSizes)))
+		n = mulSat(n, countOr(len(a.Caching)))
+		n = mulSat(n, countOr(len(a.Prefetch)))
+	case "onelevel":
+		n = mulSat(n, countOr(len(a.Banks)))
+	case "replicated":
+		n = mulSat(n, countOr(len(a.Clusters)))
+	}
+	return n
+}
+
+// JobCount returns the number of jobs the spec expands to, without
+// allocating the expansion; counts saturate at MaxJobCount. It lets
+// callers reject oversized specs before Jobs materializes them.
+func (s *Spec) JobCount() (int, error) {
+	if err := s.Validate(); err != nil {
+		return 0, err
+	}
+	benchmarks := len(s.Benchmarks)
+	if benchmarks == 0 {
+		benchmarks = len(trace.All())
+	}
+	perPoint := mulSat(benchmarks, countOr(len(s.Seeds)))
+	total := 0
+	for i := range s.Architectures {
+		n := mulSat(s.Architectures[i].pointCount(), perPoint)
+		if total > MaxJobCount-n {
+			return MaxJobCount, nil
+		}
+		total += n
+	}
+	return total, nil
 }
 
 // instructions returns the budget with its default applied.

@@ -328,6 +328,56 @@ func TestSpecValidation(t *testing.T) {
 	}
 }
 
+func TestJobCountMatchesJobs(t *testing.T) {
+	specs := []string{
+		`{"architectures":[{"kind":"1cycle"}]}`,
+		`{"benchmarks":["compress"],"architectures":[{"kind":"rfcache"}]}`,
+		`{"benchmarks":["compress","swim"],"seeds":[1,2,3],"architectures":[
+			{"kind":"1cycle","read_ports":[2,4],"write_ports":[2]},
+			{"kind":"rfcache","caching":["nonbypass","ready"],"prefetch":["demand","firstpair"],"upper_sizes":[8,16]},
+			{"kind":"onelevel","banks":[2,4]},
+			{"kind":"replicated","clusters":[2,4],"phys_regs":[96,128]}]}`,
+	}
+	for _, blob := range specs {
+		s, err := ParseSpec(strings.NewReader(blob))
+		if err != nil {
+			t.Fatal(err)
+		}
+		count, err := s.JobCount()
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs, err := s.Jobs()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if count != len(jobs) {
+			t.Errorf("%s: JobCount = %d, Jobs expanded to %d", blob, count, len(jobs))
+		}
+	}
+}
+
+func TestJobCountSaturates(t *testing.T) {
+	// 8 dimensions of 100k values each would overflow any naive product;
+	// JobCount must saturate instead of wrapping (and must not allocate
+	// the expansion).
+	big := make([]int, 100000)
+	for i := range big {
+		big[i] = i + 1
+	}
+	s := &Spec{Architectures: []ArchMatrix{{
+		Kind: "rfcache", ReadPorts: big, WritePorts: big, Buses: big,
+		UpperSizes: big, PhysRegs: big,
+	}}}
+	count, err := s.JobCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != MaxJobCount {
+		t.Errorf("JobCount = %d, want saturation at %d", count, MaxJobCount)
+	}
+}
+
 func TestSeedOverride(t *testing.T) {
 	j := fakeJob(0)
 	j.Seed = 7777

@@ -2,13 +2,16 @@
 # End-to-end smoke test for the rfserved sweep service. CI runs this on
 # every PR; it also runs locally (bash scripts/smoke_e2e.sh).
 #
-# It proves the three service-level guarantees:
+# It proves the four service-level guarantees:
 #   1. The NDJSON stream of a submitted sweep is byte-identical to an
 #      `rfbatch -ndjson` run of the same spec.
 #   2. Resubmitting the spec to the same server performs zero simulations
 #      (100% cache hits).
 #   3. The disk store survives a server restart: a fresh process over the
 #      same store directory still serves the sweep entirely from cache.
+#   4. A 1-coordinator/2-worker fleet over a fresh store streams the
+#      same bytes as single-node rfserved (every job executed remotely),
+#      and resubmitting to the coordinator is 100% warm cache hits.
 #
 # Requires: go, curl, jq.
 set -euo pipefail
@@ -18,12 +21,15 @@ bin="$work/bin"
 storedir="$work/store"
 mkdir -p "$bin"
 server_pid=""
+fleet_pids=""
 
 cleanup() {
-  if [ -n "$server_pid" ] && kill -0 "$server_pid" 2>/dev/null; then
-    kill "$server_pid" 2>/dev/null || true
-    wait "$server_pid" 2>/dev/null || true
-  fi
+  for pid in $fleet_pids $server_pid; do
+    if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
+      kill "$pid" 2>/dev/null || true
+      wait "$pid" 2>/dev/null || true
+    fi
+  done
   rm -rf "$work"
 }
 trap cleanup EXIT
@@ -83,7 +89,7 @@ submit() {
 echo "smoke: starting rfserved (fresh store)"
 start_server
 
-echo "smoke: 1/3 streamed rows must be byte-identical to rfbatch"
+echo "smoke: 1/4 streamed rows must be byte-identical to rfbatch"
 submit cold
 "$bin/rfbatch" -spec "$work/spec.json" -ndjson > "$work/rfbatch.ndjson" 2> "$work/rfbatch.log"
 if ! cmp -s "$work/cold.ndjson" "$work/rfbatch.ndjson"; then
@@ -94,14 +100,14 @@ rows="$(wc -l < "$work/cold.ndjson")"
 [ "$rows" -eq 6 ] || die "expected 6 result rows, got $rows"
 echo "smoke:     $rows rows identical"
 
-echo "smoke: 2/3 resubmission must be 100% cache hits"
+echo "smoke: 2/4 resubmission must be 100% cache hits"
 submit warm
 jq -e '.state == "done" and .cached == .total and .simulated == 0' \
   "$work/warm.status" > /dev/null \
   || die "resubmission was not fully cached: $(cat "$work/warm.status")"
 echo "smoke:     $(jq -r .cached "$work/warm.status")/$(jq -r .total "$work/warm.status") rows from cache"
 
-echo "smoke: 3/3 store must survive a server restart"
+echo "smoke: 3/4 store must survive a server restart"
 stop_server
 start_server
 submit restart
@@ -117,5 +123,58 @@ echo "smoke:     restarted server served $(jq -r .cached "$work/restart.status")
 
 curl -sfS "$base/metrics" | grep -q '^rfserved_cache_hits_total' \
   || die "metrics endpoint missing cache counters"
+stop_server
+
+echo "smoke: 4/4 coordinator + 2 workers must match single-node byte-for-byte"
+# A fresh store: every job must travel through the fleet, nothing is
+# pre-warmed.
+fleetstore="$work/fleetstore"
+rm -f "$work/coord-addr"
+"$bin/rfserved" -dispatch -lease-ms 3000 -addr 127.0.0.1:0 \
+  -addr-file "$work/coord-addr" -store "$fleetstore" \
+  2>> "$work/coordinator.log" &
+fleet_pids="$fleet_pids $!"
+for _ in $(seq 1 100); do
+  [ -s "$work/coord-addr" ] && break
+  sleep 0.1
+done
+[ -s "$work/coord-addr" ] || { cat "$work/coordinator.log" >&2; die "coordinator never wrote its address file"; }
+coord="http://$(cat "$work/coord-addr")"
+
+for i in 1 2; do
+  "$bin/rfserved" -join "$coord" -worker-name "worker$i" -addr 127.0.0.1:0 \
+    2>> "$work/worker$i.log" &
+  fleet_pids="$fleet_pids $!"
+done
+for _ in $(seq 1 100); do
+  n="$(curl -sfS "$coord/v1/workers" | jq '.workers | length')" || n=0
+  [ "$n" = 2 ] && break
+  sleep 0.1
+done
+[ "$n" = 2 ] || die "expected 2 registered workers, got $n"
+echo "smoke:     2 workers registered"
+
+# Drive the fleet through rfbatch -remote: submit, stream, reassemble.
+"$bin/rfbatch" -spec "$work/spec.json" -remote "$coord" -ndjson \
+  > "$work/fleet.ndjson" 2>> "$work/rfbatch-remote.log" \
+  || { cat "$work/rfbatch-remote.log" >&2; die "rfbatch -remote failed"; }
+if ! cmp -s "$work/fleet.ndjson" "$work/rfbatch.ndjson"; then
+  diff -u "$work/rfbatch.ndjson" "$work/fleet.ndjson" >&2 || true
+  die "fleet stream differs from single-node rfbatch output"
+fi
+echo "smoke:     $(wc -l < "$work/fleet.ndjson") rows identical to single-node"
+
+metrics="$(curl -sfS "$coord/metrics")"
+echo "$metrics" | grep -q '^rfserved_dispatch_fallbacks_total 0$' \
+  || die "coordinator fell back to local simulation: $(echo "$metrics" | grep dispatch)"
+echo "$metrics" | grep -q '^rfserved_dispatch_results_total 6$' \
+  || die "fleet did not execute all 6 jobs remotely: $(echo "$metrics" | grep dispatch)"
+
+base="$coord"
+submit fleetwarm
+jq -e '.state == "done" and .cached == .total and .simulated == 0' \
+  "$work/fleetwarm.status" > /dev/null \
+  || die "fleet resubmission was not fully cached: $(cat "$work/fleetwarm.status")"
+echo "smoke:     resubmission served $(jq -r .cached "$work/fleetwarm.status")/$(jq -r .total "$work/fleetwarm.status") rows from the fleet-wide cache"
 
 echo "smoke: PASS"
