@@ -1,6 +1,6 @@
 // Command rfbatch runs a user-defined sweep matrix — benchmark ×
 // architecture × ports × policy — from a JSON specification, through the
-// cached parallel sweep engine (internal/sweep).
+// cached parallel sweep engine (the public rf package).
 //
 // Usage:
 //
@@ -8,12 +8,14 @@
 //	        [-csv | -ndjson] [-store dir [-store-max-mb n]] [-v]
 //	rfbatch -spec sweep.json -remote http://coordinator:8090 [-csv | -ndjson]
 //	rfbatch -example
+//	rfbatch -version
 //
 // With -remote, the sweep runs on an rfserved instance (typically a
 // -dispatch coordinator fronting a worker fleet) instead of this
-// machine: the spec is submitted to /v1/sweeps and the result stream is
-// reassembled into the same JSON/CSV/NDJSON report a local run emits.
-// Results the coordinator's store already holds cost zero simulations.
+// machine: the spec is submitted through the rf/client SDK and the
+// result stream is reassembled into the same JSON/CSV/NDJSON report a
+// local run emits. Results the coordinator's store already holds cost
+// zero simulations.
 //
 // The report (one row per run, plus cache hit/miss totals) is written to
 // stdout as JSON, as CSV with -csv, or as NDJSON (one row per line, the
@@ -30,6 +32,7 @@
 // An example specification (print it with -example):
 //
 //	{
+//	  "schema": 1,
 //	  "name": "ports-x-policy",
 //	  "instructions": 60000,
 //	  "benchmarks": ["compress", "swim"],
@@ -42,24 +45,25 @@
 //
 // Every architecture entry expands to the cross product of its dimension
 // lists; empty lists default to a single family-appropriate value (0 ports
-// meaning unlimited). Empty "benchmarks" runs all 18 SPEC95 proxies.
+// meaning unlimited). Empty "benchmarks" runs all 18 SPEC95 proxies. The
+// "schema" stamp is optional and defaults to the current version;
+// architecture kinds resolve through the rf family registry.
 package main
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
 	"io"
-	"net/http"
 	"os"
-	"strings"
 
 	"repro/internal/store"
-	"repro/internal/sweep"
+	"repro/rf"
+	"repro/rf/client"
 )
 
 const exampleSpec = `{
+  "schema": 1,
   "name": "ports-x-policy",
   "instructions": 60000,
   "benchmarks": ["compress", "swim"],
@@ -83,9 +87,14 @@ func main() {
 		remote     = flag.String("remote", "", "submit the sweep to this rfserved URL instead of simulating locally")
 		verbose    = flag.Bool("v", false, "print per-run progress to stderr")
 		example    = flag.Bool("example", false, "print an example spec and exit")
+		version    = flag.Bool("version", false, "print the module version and API schema version, then exit")
 	)
 	flag.Parse()
 
+	if *version {
+		fmt.Printf("rfbatch %s (schema %d)\n", rf.ModuleVersion(), rf.SchemaVersion)
+		return
+	}
 	if *example {
 		fmt.Print(exampleSpec)
 		return
@@ -107,7 +116,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	spec, err := sweep.ParseSpec(f)
+	spec, err := rf.ParseSpec(f)
 	f.Close()
 	if err != nil {
 		fatal(err)
@@ -131,17 +140,17 @@ func main() {
 		fatal(err)
 	}
 
-	cfg := sweep.RunnerConfig{Parallelism: spec.Parallelism}
+	cfg := rf.RunnerConfig{Parallelism: spec.Parallelism}
 	var st *store.Store
 	if *storeDir != "" {
 		st, err = store.Open(*storeDir, store.Options{MaxBytes: *storeMaxMB << 20})
 		if err != nil {
 			fatal(err)
 		}
-		cfg.Cache = sweep.Tiered(sweep.NewMemCache(), st)
+		cfg.Cache = rf.Tiered(rf.NewMemCache(), st)
 	}
 	if *verbose {
-		cfg.OnProgress = func(p sweep.Progress) {
+		cfg.OnProgress = func(p rf.Progress) {
 			tag := ""
 			if p.Cached {
 				tag = " (cached)"
@@ -150,9 +159,9 @@ func main() {
 				p.Done, p.Total, p.Job.Profile.Name, p.Job.Config.RF.Name, tag)
 		}
 	}
-	runner := sweep.NewRunner(cfg)
+	runner := rf.NewRunner(cfg)
 	outs := runner.RunOutcomes(jobs, 0)
-	rep := sweep.NewReport(spec.Name, jobs, outs, runner.CacheStats())
+	rep := rf.NewReport(spec.Name, jobs, outs, runner.CacheStats())
 
 	switch {
 	case *asCSV:
@@ -178,60 +187,44 @@ func main() {
 	}
 }
 
-// runRemote submits the spec to an rfserved instance, streams the result
-// rows, and emits the same report a local run would. The NDJSON form is
-// a verbatim copy of the service stream (byte-identical to a local
-// -ndjson run of the same spec); JSON and CSV are reassembled from it
-// via sweep.ReadRows.
-func runRemote(base string, spec *sweep.Spec, asCSV, asNDJSON bool) error {
-	base = strings.TrimSuffix(base, "/")
-	body, err := json.Marshal(spec)
+// runRemote submits the spec to an rfserved instance through rf/client,
+// streams the result rows, and emits the same report a local run would.
+// The NDJSON form is a verbatim copy of the service stream
+// (byte-identical to a local -ndjson run of the same spec); JSON and CSV
+// are reassembled from it via rf.ReadRows. The client survives a
+// mid-stream disconnect by falling back to status polling and resuming
+// the stream.
+func runRemote(base string, spec *rf.Spec, asCSV, asNDJSON bool) error {
+	ctx := context.Background()
+	cl := client.New(base, client.WithLogf(func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "rfbatch: "+format+"\n", args...)
+	}))
+	ack, err := cl.Submit(ctx, spec)
 	if err != nil {
-		return err
+		return fmt.Errorf("%s rejected the sweep: %w", cl.BaseURL(), err)
 	}
-	resp, err := http.Post(base+"/v1/sweeps", "application/json", bytes.NewReader(body))
-	if err != nil {
-		return err
-	}
-	ack := struct {
-		ID         string `json:"id"`
-		Jobs       int    `json:"jobs"`
-		StatusURL  string `json:"status_url"`
-		ResultsURL string `json:"results_url"`
-	}{}
-	if resp.StatusCode != http.StatusAccepted {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
-		resp.Body.Close()
-		return fmt.Errorf("%s rejected the sweep: %d: %s", base, resp.StatusCode, bytes.TrimSpace(msg))
-	}
-	err = json.NewDecoder(resp.Body).Decode(&ack)
-	resp.Body.Close()
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(os.Stderr, "rfbatch: sweep %s (%d jobs) running on %s\n", ack.ID, ack.Jobs, base)
+	fmt.Fprintf(os.Stderr, "rfbatch: sweep %s (%d jobs) running on %s\n", ack.ID, ack.Jobs, cl.BaseURL())
 
-	stream, err := http.Get(base + ack.ResultsURL)
-	if err != nil {
-		return err
-	}
-	defer stream.Body.Close()
-	if stream.StatusCode != http.StatusOK {
-		return fmt.Errorf("results stream returned %d", stream.StatusCode)
-	}
-
-	var rep *sweep.Report
+	var rep *rf.Report
 	switch {
 	case asNDJSON:
-		if _, err := io.Copy(os.Stdout, stream.Body); err != nil {
+		if err := cl.StreamResults(ctx, ack.ID, os.Stdout); err != nil {
 			return err
 		}
 	default:
-		rows, err := sweep.ReadRows(stream.Body)
+		// Decode rows as they stream instead of buffering the raw NDJSON:
+		// the pipe's write end carries the stream (with the client's
+		// mid-stream resume intact), the read end feeds the decoder.
+		pr, pw := io.Pipe()
+		go func() {
+			pw.CloseWithError(cl.StreamResults(ctx, ack.ID, pw))
+		}()
+		rows, err := rf.ReadRows(pr)
+		pr.Close()
 		if err != nil {
 			return err
 		}
-		rep = &sweep.Report{Name: spec.Name, Rows: rows}
+		rep = &rf.Report{Name: spec.Name, Rows: rows}
 	}
 
 	// The status document carries the completion counts for the summary
@@ -239,26 +232,9 @@ func runRemote(base string, spec *sweep.Spec, asCSV, asNDJSON bool) error {
 	// not verifiably end in "done" — including a status fetch that fails
 	// outright — must fail the run: a truncated stream is otherwise
 	// indistinguishable from success.
-	st := struct {
-		State     string `json:"state"`
-		Total     int    `json:"total"`
-		Completed int    `json:"completed"`
-		Cached    int    `json:"cached"`
-		Simulated int    `json:"simulated"`
-	}{}
-	sresp, err := http.Get(base + ack.StatusURL)
+	st, err := cl.Status(ctx, ack.ID)
 	if err != nil {
 		return fmt.Errorf("fetching status of sweep %s: %w", ack.ID, err)
-	}
-	if sresp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(sresp.Body, 1024))
-		sresp.Body.Close()
-		return fmt.Errorf("status of sweep %s: HTTP %d: %s", ack.ID, sresp.StatusCode, bytes.TrimSpace(msg))
-	}
-	err = json.NewDecoder(sresp.Body).Decode(&st)
-	sresp.Body.Close()
-	if err != nil {
-		return fmt.Errorf("decoding status of sweep %s: %w", ack.ID, err)
 	}
 	if st.State != "done" {
 		return fmt.Errorf("sweep %s ended %q (%d/%d jobs completed)",
@@ -266,7 +242,7 @@ func runRemote(base string, spec *sweep.Spec, asCSV, asNDJSON bool) error {
 	}
 
 	if rep != nil {
-		rep.Cache = sweep.CacheStats{Hits: uint64(st.Cached), Misses: uint64(st.Simulated)}
+		rep.Cache = rf.CacheStats{Hits: uint64(st.Cached), Misses: uint64(st.Simulated)}
 		if asCSV {
 			err = rep.WriteCSV(os.Stdout)
 		} else {
@@ -277,7 +253,7 @@ func runRemote(base string, spec *sweep.Spec, asCSV, asNDJSON bool) error {
 		}
 	}
 	fmt.Fprintf(os.Stderr, "rfbatch: %d runs (%d simulated, %d cache hits) on %s\n",
-		st.Completed, st.Simulated, st.Cached, base)
+		st.Completed, st.Simulated, st.Cached, cl.BaseURL())
 	return nil
 }
 

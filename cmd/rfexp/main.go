@@ -19,17 +19,23 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/sweep"
+	"repro/rf"
 )
 
 func main() {
 	var (
-		n      = flag.Uint64("n", 120000, "dynamic instructions per benchmark")
-		figs   = flag.String("fig", "", "comma-separated figure numbers (1,2,3,5,6,7,8,9)")
-		tables = flag.String("table", "", "comma-separated table numbers (1,2)")
-		all    = flag.Bool("all", false, "run every table and figure")
-		ablate = flag.Bool("ablate", false, "also run the extension/ablation studies")
+		n       = flag.Uint64("n", 120000, "dynamic instructions per benchmark")
+		figs    = flag.String("fig", "", "comma-separated figure numbers (1,2,3,5,6,7,8,9)")
+		tables  = flag.String("table", "", "comma-separated table numbers (1,2)")
+		all     = flag.Bool("all", false, "run every table and figure")
+		ablate  = flag.Bool("ablate", false, "also run the extension/ablation studies")
+		version = flag.Bool("version", false, "print the module version and API schema version, then exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Printf("rfexp %s (schema %d)\n", rf.ModuleVersion(), rf.SchemaVersion)
+		return
+	}
 
 	// One runner for the whole invocation: configurations shared between
 	// figures (the 1-cycle baseline recurs in Figures 2, 6 and 8, the

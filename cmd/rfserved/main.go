@@ -55,6 +55,7 @@ import (
 	"repro/internal/server"
 	"repro/internal/store"
 	"repro/internal/sweep"
+	"repro/rf"
 )
 
 func main() {
@@ -73,8 +74,13 @@ func main() {
 		join       = flag.String("join", "", "worker mode: pull and execute jobs from this coordinator URL")
 		capacity   = flag.Int("capacity", 0, "worker mode: concurrent leased-job budget (0: GOMAXPROCS)")
 		workerName = flag.String("worker-name", "", "worker mode: label reported to the coordinator (default: hostname)")
+		version    = flag.Bool("version", false, "print the module version and API schema version, then exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Printf("rfserved %s (schema %d)\n", rf.ModuleVersion(), rf.SchemaVersion)
+		return
+	}
 	if *dispatchF && *join != "" {
 		fatal(errors.New("-dispatch and -join are mutually exclusive (a worker cannot also coordinate)"))
 	}

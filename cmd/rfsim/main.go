@@ -1,18 +1,21 @@
 // Command rfsim runs one benchmark on one register file architecture and
-// prints the simulation statistics.
+// prints the simulation statistics. Architectures resolve by name
+// through the rf family registry — the same names a sweep spec uses.
 //
 // Usage:
 //
 //	rfsim -bench gcc -rf rfcache [-n 200000] [-rports 4] [-wports 3] [-buses 2]
 //	rfsim -list
+//	rfsim -version
 //
-// Register file architectures (-rf):
+// Register file architectures (-rf; see -list for the registry):
 //
-//	1cycle    one-cycle single-banked file (full bypass)
-//	2cycle    two-cycle single-banked file, two bypass levels
-//	2cycle1b  two-cycle single-banked file, one bypass level
-//	rfcache   two-level register file cache (the paper's proposal)
-//	onelevel  one-level multi-banked organization (extension)
+//	1cycle     one-cycle single-banked file (full bypass)
+//	2cycle     two-cycle single-banked file, two bypass levels
+//	2cycle1b   two-cycle single-banked file, one bypass level
+//	rfcache    two-level register file cache (the paper's proposal)
+//	onelevel   one-level multi-banked organization (extension)
+//	replicated fully-replicated clustered file (extension)
 package main
 
 import (
@@ -20,91 +23,83 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/core"
-	"repro/internal/sim"
-	"repro/internal/sweep"
-	"repro/internal/trace"
+	"repro/rf"
 )
 
 func main() {
 	var (
-		bench   = flag.String("bench", "compress", "benchmark name (see -list)")
-		rf      = flag.String("rf", "rfcache", "register file architecture")
-		n       = flag.Uint64("n", 200000, "dynamic instructions to commit")
-		rports  = flag.Int("rports", 0, "read ports (0 = unlimited)")
-		wports  = flag.Int("wports", 0, "write ports (0 = unlimited)")
-		buses   = flag.Int("buses", 0, "rf-cache buses (0 = unlimited)")
-		upper   = flag.Int("upper", 16, "rf-cache upper bank size")
-		caching = flag.String("caching", "nonbypass", "rf-cache caching policy: nonbypass|ready|all|none")
-		pf      = flag.Bool("prefetch", true, "rf-cache prefetch-first-pair")
-		banks   = flag.Int("banks", 2, "one-level bank count")
-		list    = flag.Bool("list", false, "list benchmarks and exit")
+		bench    = flag.String("bench", "compress", "benchmark name (see -list)")
+		rfKind   = flag.String("rf", "rfcache", "register file architecture family (see -list)")
+		n        = flag.Uint64("n", 200000, "dynamic instructions to commit")
+		rports   = flag.Int("rports", 0, "read ports (0 = unlimited)")
+		wports   = flag.Int("wports", 0, "write ports (0 = unlimited)")
+		buses    = flag.Int("buses", 0, "rf-cache buses (0 = unlimited)")
+		upper    = flag.Int("upper", 16, "rf-cache upper bank size")
+		caching  = flag.String("caching", "nonbypass", "rf-cache caching policy: nonbypass|ready|all|none")
+		pf       = flag.Bool("prefetch", true, "rf-cache prefetch-first-pair")
+		banks    = flag.Int("banks", 2, "one-level bank count")
+		clusters = flag.Int("clusters", 2, "replicated cluster count")
+		list     = flag.Bool("list", false, "list benchmarks and architecture families, then exit")
+		version  = flag.Bool("version", false, "print the module version and API schema version, then exit")
 	)
 	flag.Parse()
 
+	if *version {
+		fmt.Printf("rfsim %s (schema %d)\n", rf.ModuleVersion(), rf.SchemaVersion)
+		return
+	}
 	if *list {
 		fmt.Println("SpecInt95 proxies:")
-		for _, p := range trace.SpecInt95() {
+		for _, p := range rf.SpecInt95() {
 			fmt.Printf("  %s\n", p.Name)
 		}
 		fmt.Println("SpecFP95 proxies:")
-		for _, p := range trace.SpecFP95() {
+		for _, p := range rf.SpecFP95() {
 			fmt.Printf("  %s\n", p.Name)
+		}
+		fmt.Println("Architecture families:")
+		for _, f := range rf.Families() {
+			fmt.Printf("  %-10s %s\n", f.Name, f.Doc)
 		}
 		return
 	}
 
-	prof, ok := trace.ByName(*bench)
+	prof, ok := rf.Benchmark(*bench)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "rfsim: unknown benchmark %q (use -list)\n", *bench)
 		os.Exit(1)
 	}
 
-	ports := func(v int) int {
-		if v <= 0 {
-			return core.Unlimited
-		}
-		return v
+	// One point of the family's parameter space: single-value dimension
+	// lists, resolved through the same registry path a sweep spec takes.
+	prefetch := "firstpair"
+	if !*pf {
+		prefetch = "demand"
 	}
-
-	var spec sim.RFSpec
-	switch *rf {
-	case "1cycle":
-		spec = sim.Mono1Cycle(ports(*rports), ports(*wports))
-	case "2cycle":
-		spec = sim.Mono2CycleFull(ports(*rports), ports(*wports))
-	case "2cycle1b":
-		spec = sim.Mono2CycleSingle(ports(*rports), ports(*wports))
-	case "rfcache":
-		cfg := core.PaperCacheConfig()
-		cfg.ReadPorts = ports(*rports)
-		cfg.UpperWritePorts = ports(*wports)
-		cfg.LowerWritePorts = ports(*wports)
-		cfg.Buses = ports(*buses)
-		cfg.UpperSize = *upper
-		pol, err := sweep.ParseCachingPolicy(*caching)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "rfsim: %v\n", err)
-			os.Exit(1)
-		}
-		cfg.Caching = pol
-		if !*pf {
-			cfg.Prefetch = core.FetchOnDemand
-		}
-		spec = sim.CacheSpec(cfg)
-	case "onelevel":
-		spec = sim.OneLevelSpec(core.OneLevelConfig{
-			Banks:             *banks,
-			ReadPortsPerBank:  ports(*rports),
-			WritePortsPerBank: ports(*wports),
-		})
-	default:
-		fmt.Fprintf(os.Stderr, "rfsim: unknown register file %q\n", *rf)
+	m := rf.ArchMatrix{
+		Kind:       *rfKind,
+		ReadPorts:  []int{*rports},
+		WritePorts: []int{*wports},
+		Buses:      []int{*buses},
+		UpperSizes: []int{*upper},
+		Caching:    []string{*caching},
+		Prefetch:   []string{prefetch},
+		Banks:      []int{*banks},
+		Clusters:   []int{*clusters},
+	}
+	if err := m.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "rfsim: %v (use -list)\n", err)
 		os.Exit(1)
 	}
+	points, err := m.Expand()
+	if err != nil || len(points) == 0 {
+		fmt.Fprintf(os.Stderr, "rfsim: %v\n", err)
+		os.Exit(1)
+	}
+	spec := points[0].RF
 
-	cfg := sim.DefaultConfig(spec, *n)
-	r := sim.New(cfg, trace.New(prof)).Run()
+	cfg := rf.NewConfig(spec, rf.MaxInstructions(*n))
+	r := rf.Run(cfg, prof)
 
 	fmt.Printf("benchmark:        %s\n", prof.Name)
 	fmt.Printf("register file:    %s\n", spec.Name)
@@ -118,11 +113,11 @@ func main() {
 	fmt.Printf("dispatch stalls:  %d cycles\n", r.DispatchStalls)
 	for _, f := range []struct {
 		name string
-		st   core.FileStats
+		st   rf.FileStats
 	}{{"int", r.IntFile}, {"fp", r.FPFile}} {
 		fmt.Printf("%s file:          reads %d, bypass %d, port-conflicts %d\n",
 			f.name, f.st.Reads, f.st.BypassReads, f.st.ReadPortConflicts)
-		if *rf == "rfcache" {
+		if spec.Kind == rf.RFCache {
 			fmt.Printf("                  upper hits %d, demand fetches %d, prefetches %d, caching writes %d (skipped %d), evictions %d\n",
 				f.st.UpperHits, f.st.DemandFetches, f.st.Prefetches,
 				f.st.CachingWrites, f.st.CachingSkipped, f.st.Evictions)

@@ -1,5 +1,6 @@
 // Areasweep: explore the area / cycle-time / IPC trade-off that motivates
-// the register file cache (the paper's Figures 8 and 9 in miniature).
+// the register file cache (the paper's Figures 8 and 9 in miniature),
+// through the public rf SDK and its cost-model subpackage rf/area.
 //
 // For a few matched-area port configurations, this example prints the
 // modeled silicon cost and clock period of each architecture next to its
@@ -14,44 +15,41 @@ package main
 import (
 	"fmt"
 
-	"repro/internal/area"
-	"repro/internal/core"
-	"repro/internal/sim"
-	"repro/internal/stats"
-	"repro/internal/trace"
+	"repro/rf"
+	"repro/rf/area"
 )
 
 func main() {
 	const bench = "vortex"
 	const instructions = 80000
-	prof, ok := trace.ByName(bench)
+	prof, ok := rf.Benchmark(bench)
 	if !ok {
 		panic("unknown benchmark")
 	}
 
 	fmt.Printf("Benchmark: %s — throughput = IPC / cycle time, relative to 1-cycle @ C1\n\n", bench)
-	tab := stats.NewTable("config", "architecture", "area(10^4λ^2)", "cycle(ns)", "IPC", "throughput(rel)")
+	tab := rf.NewTable("config", "architecture", "area(10^4λ^2)", "cycle(ns)", "IPC", "throughput(rel)")
 
 	var baseTP float64
 	for _, c := range area.Table2() {
 		type row struct {
 			arch  string
-			spec  sim.RFSpec
+			spec  rf.RFSpec
 			areaV float64
 			ns    float64
 		}
-		rfcCfg := core.PaperCacheConfig()
+		rfcCfg := rf.PaperCacheConfig()
 		rfcCfg.ReadPorts = c.RFC.Read
 		rfcCfg.UpperWritePorts = c.RFC.UpperWrite
 		rfcCfg.LowerWritePorts = c.RFC.LowerWrite
 		rfcCfg.Buses = c.RFC.Buses
 		rows := []row{
-			{"1-cycle single bank", sim.Mono1Cycle(c.SB.Read, c.SB.Write), c.SB.Area(), c.SB.CycleTime(1)},
-			{"2-cycle, 1 bypass", sim.Mono2CycleSingle(c.SB.Read, c.SB.Write), c.SB.Area(), c.SB.CycleTime(2)},
-			{"register file cache", sim.CacheSpec(rfcCfg), c.RFC.Area(), c.RFC.CycleTime()},
+			{"1-cycle single bank", rf.Mono1Cycle(c.SB.Read, c.SB.Write), c.SB.Area(), c.SB.CycleTime(1)},
+			{"2-cycle, 1 bypass", rf.Mono2CycleSingle(c.SB.Read, c.SB.Write), c.SB.Area(), c.SB.CycleTime(2)},
+			{"register file cache", rf.CacheSpec(rfcCfg), c.RFC.Area(), c.RFC.CycleTime()},
 		}
 		for _, r := range rows {
-			res := sim.New(sim.DefaultConfig(r.spec, instructions), trace.New(prof)).Run()
+			res := rf.Run(rf.NewConfig(r.spec, rf.MaxInstructions(instructions)), prof)
 			tp := res.IPC / r.ns
 			if baseTP == 0 {
 				baseTP = tp

@@ -1,7 +1,8 @@
 // Policies: compare the register file cache's caching policies (non-bypass
 // vs ready vs cache-all vs cache-none) and fetch mechanisms (fetch-on-
 // demand vs prefetch-first-pair) under realistic, limited bandwidth —
-// the design space of the paper's Section 3 and Figure 5.
+// the design space of the paper's Section 3 and Figure 5 — through the
+// public rf SDK.
 //
 // Run with:
 //
@@ -11,10 +12,7 @@ package main
 import (
 	"fmt"
 
-	"repro/internal/core"
-	"repro/internal/sim"
-	"repro/internal/stats"
-	"repro/internal/trace"
+	"repro/rf"
 )
 
 func main() {
@@ -23,34 +21,34 @@ func main() {
 
 	type variant struct {
 		name    string
-		caching core.CachingPolicy
-		pf      core.PrefetchPolicy
+		caching rf.CachingPolicy
+		pf      rf.PrefetchPolicy
 	}
 	variants := []variant{
-		{"ready + fetch-on-demand", core.CacheReady, core.FetchOnDemand},
-		{"non-bypass + fetch-on-demand", core.CacheNonBypass, core.FetchOnDemand},
-		{"ready + prefetch-first-pair", core.CacheReady, core.PrefetchFirstPair},
-		{"non-bypass + prefetch-first-pair", core.CacheNonBypass, core.PrefetchFirstPair},
-		{"cache-all (ablation)", core.CacheAll, core.PrefetchFirstPair},
-		{"cache-none (ablation)", core.CacheNone, core.PrefetchFirstPair},
+		{"ready + fetch-on-demand", rf.CacheReady, rf.FetchOnDemand},
+		{"non-bypass + fetch-on-demand", rf.CacheNonBypass, rf.FetchOnDemand},
+		{"ready + prefetch-first-pair", rf.CacheReady, rf.PrefetchFirstPair},
+		{"non-bypass + prefetch-first-pair", rf.CacheNonBypass, rf.PrefetchFirstPair},
+		{"cache-all (ablation)", rf.CacheAll, rf.PrefetchFirstPair},
+		{"cache-none (ablation)", rf.CacheNone, rf.PrefetchFirstPair},
 	}
 
 	cols := append([]string{"policy"}, benchmarks...)
-	tab := stats.NewTable(cols...)
+	tab := rf.NewTable(cols...)
 	for _, v := range variants {
 		cells := []string{v.name}
 		for _, b := range benchmarks {
-			prof, ok := trace.ByName(b)
+			prof, ok := rf.Benchmark(b)
 			if !ok {
 				panic("unknown benchmark " + b)
 			}
-			cfg := core.PaperCacheConfig()
+			cfg := rf.PaperCacheConfig()
 			cfg.Caching = v.caching
 			cfg.Prefetch = v.pf
 			// The paper's C2-like bandwidth: this is where policies
 			// actually differ — with unlimited ports everything looks alike.
 			cfg.ReadPorts, cfg.UpperWritePorts, cfg.LowerWritePorts, cfg.Buses = 4, 3, 3, 2
-			r := sim.New(sim.DefaultConfig(sim.CacheSpec(cfg), instructions), trace.New(prof)).Run()
+			r := rf.Run(rf.NewConfig(rf.CacheSpec(cfg), rf.MaxInstructions(instructions)), prof)
 			cells = append(cells, fmt.Sprintf("%.3f", r.IPC))
 		}
 		tab.AddRow(cells...)

@@ -1,5 +1,6 @@
 // Quickstart: simulate one benchmark on the paper's register file cache
-// and on the one-cycle baseline, and compare.
+// and on the one-cycle baseline, and compare — using only the public rf
+// SDK.
 //
 // Run with:
 //
@@ -10,14 +11,12 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/sim"
-	"repro/internal/trace"
+	"repro/rf"
 )
 
 func main() {
 	// Pick a workload: the SPEC95 proxies ship with the library.
-	prof, ok := trace.ByName("gcc")
+	prof, ok := rf.Benchmark("gcc")
 	if !ok {
 		log.Fatal("benchmark not found")
 	}
@@ -26,14 +25,15 @@ func main() {
 
 	// Baseline: a one-cycle single-banked register file with unlimited
 	// bandwidth (the paper's reference point).
-	baseline := sim.DefaultConfig(sim.Mono1Cycle(core.Unlimited, core.Unlimited), instructions)
-	base := sim.New(baseline, trace.New(prof)).Run()
+	baseline := rf.NewConfig(rf.Mono1Cycle(rf.Unlimited, rf.Unlimited),
+		rf.MaxInstructions(instructions))
+	base := rf.Run(baseline, prof)
 
 	// The paper's proposal: a two-level register file cache — a 16-entry
 	// one-cycle upper bank over a 128-register lower bank, non-bypass
 	// caching, prefetch-first-pair.
-	rfc := sim.DefaultConfig(sim.PaperCache(), instructions)
-	cacheRes := sim.New(rfc, trace.New(prof)).Run()
+	rfc := rf.NewConfig(rf.PaperCache(), rf.MaxInstructions(instructions))
+	cacheRes := rf.Run(rfc, prof)
 
 	fmt.Printf("benchmark: %s (%d instructions)\n\n", prof.Name, instructions)
 	fmt.Printf("1-cycle single bank:  %s\n", base.String())

@@ -1,10 +1,10 @@
 // Tracegen: define a custom synthetic workload profile and study how its
 // character (branchiness, ILP, memory behaviour) moves the register file
-// architecture trade-off.
+// architecture trade-off — entirely through the public rf SDK.
 //
 // This is the extension hook for users who want workloads beyond the
-// bundled SPEC95 proxies: a Profile is an ordinary value — build one,
-// hand it to trace.New, and simulate.
+// bundled SPEC95 proxies: an rf.Profile is an ordinary value — build
+// one, Validate it, and simulate.
 //
 // Run with:
 //
@@ -14,17 +14,14 @@ package main
 import (
 	"fmt"
 
-	"repro/internal/core"
-	"repro/internal/sim"
-	"repro/internal/stats"
-	"repro/internal/trace"
+	"repro/rf"
 )
 
 // customProfile builds a pointer-chasing, branchy workload — roughly "an
 // interpreter dispatching over a cold heap" — the worst case for deep
 // register file pipelines.
-func customProfile() trace.Profile {
-	p := trace.Profile{
+func customProfile() rf.Profile {
+	p := rf.Profile{
 		Name:         "interp",
 		StaticInstrs: 9000,
 		MaxLoopDepth: 2,
@@ -57,18 +54,18 @@ func main() {
 	}
 	const instructions = 80000
 
-	specs := []sim.RFSpec{
-		sim.Mono1Cycle(core.Unlimited, core.Unlimited),
-		sim.Mono2CycleFull(core.Unlimited, core.Unlimited),
-		sim.Mono2CycleSingle(core.Unlimited, core.Unlimited),
-		sim.PaperCache(),
+	specs := []rf.RFSpec{
+		rf.Mono1Cycle(rf.Unlimited, rf.Unlimited),
+		rf.Mono2CycleFull(rf.Unlimited, rf.Unlimited),
+		rf.Mono2CycleSingle(rf.Unlimited, rf.Unlimited),
+		rf.PaperCache(),
 	}
 
-	fmt.Printf("custom workload %q: %d static instructions\n\n", prof.Name, trace.New(prof).StaticSize())
-	tab := stats.NewTable("register file", "IPC", "mispredict", "D$ miss", "vs 1-cycle")
+	fmt.Printf("custom workload %q: %d static instructions\n\n", prof.Name, rf.NewTrace(prof).StaticSize())
+	tab := rf.NewTable("register file", "IPC", "mispredict", "D$ miss", "vs 1-cycle")
 	var base float64
 	for _, spec := range specs {
-		r := sim.New(sim.DefaultConfig(spec, instructions), trace.New(prof)).Run()
+		r := rf.Run(rf.NewConfig(spec, rf.MaxInstructions(instructions)), prof)
 		if base == 0 {
 			base = r.IPC
 		}

@@ -1,0 +1,462 @@
+// Package arch is the architecture-family registry: the single place
+// where register file families — the paper's four (monolithic in three
+// port/bypass variants, the register file cache, the one-level
+// multi-banked file, the replicated clustered file) and any user-defined
+// ones — register a name, a parameter schema, a validator and an RFSpec
+// builder.
+//
+// Everything that resolves a family by name goes through this registry:
+// sweep-matrix expansion (internal/sweep), server-side job validation
+// (internal/server, via the sweep spec), and the CLIs. A family is
+// described by an ordered list of dimensions (Dim); expansion is the
+// generic cross product of the matrix's dimension lists, with the
+// family's Build called once per point. The phys_regs dimension is
+// common to every family and handled by the registry itself, innermost
+// in the cross product, suffixing " P<n>" to the spec name for non-128
+// values.
+//
+// The public surface of this package is re-exported by the top-level rf
+// package; new families should be registered through rf.RegisterFamily.
+package arch
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Matrix describes one register file family plus per-dimension value
+// lists. Every empty list defaults to a single family-appropriate value,
+// and the expansion is the cross product of all lists. It is the JSON
+// "architectures" element of a sweep spec (sweep.ArchMatrix is an alias
+// of this type).
+type Matrix struct {
+	// Kind is the family name: 1cycle, 2cycle, 2cycle1b, rfcache,
+	// onelevel, replicated, or any registered user-defined family.
+	Kind string `json:"kind"`
+	// ReadPorts and WritePorts list port counts; 0 means unlimited. For
+	// onelevel and replicated they are per-bank counts.
+	ReadPorts  []int `json:"read_ports,omitempty"`
+	WritePorts []int `json:"write_ports,omitempty"`
+	// Buses lists rf-cache transfer bus counts; 0 means unlimited.
+	Buses []int `json:"buses,omitempty"`
+	// UpperSizes lists rf-cache upper bank capacities (default 16).
+	UpperSizes []int `json:"upper_sizes,omitempty"`
+	// Caching lists rf-cache caching policies: nonbypass, ready, all,
+	// none (default nonbypass).
+	Caching []string `json:"caching,omitempty"`
+	// Prefetch lists rf-cache prefetch policies: demand, firstpair
+	// (default firstpair).
+	Prefetch []string `json:"prefetch,omitempty"`
+	// Banks lists bank counts for onelevel (default 2).
+	Banks []int `json:"banks,omitempty"`
+	// Clusters lists cluster counts for replicated (default 2).
+	Clusters []int `json:"clusters,omitempty"`
+	// PhysRegs lists per-file physical register counts (default 128).
+	PhysRegs []int `json:"phys_regs,omitempty"`
+}
+
+// Dim is one dimension of a family's parameter schema: which matrix list
+// it consumes, the default when that list is empty, and (for string
+// dimensions) a value check applied at validation time.
+type Dim struct {
+	// Name is the matrix dimension: read_ports, write_ports, buses,
+	// upper_sizes, caching, prefetch, banks or clusters.
+	Name string
+	// IsString selects between the int and string value spaces.
+	IsString bool
+	// IntDefault / StrDefault apply when the matrix list is empty.
+	IntDefault int
+	StrDefault string
+	// Check, for string dimensions, validates one listed value without
+	// expanding the matrix (policy enumerations).
+	Check func(string) error
+}
+
+// IntDim declares an integer dimension with a default.
+func IntDim(name string, def int) Dim { return Dim{Name: name, IntDefault: def} }
+
+// StrDim declares a string dimension with a default and a value check.
+func StrDim(name, def string, check func(string) error) Dim {
+	return Dim{Name: name, IsString: true, StrDefault: def, Check: check}
+}
+
+// Values holds one chosen value per dimension for a single expansion
+// point, keyed by dimension name.
+type Values struct {
+	ints map[string]int
+	strs map[string]string
+}
+
+// Int returns the chosen value of an integer dimension.
+func (v Values) Int(name string) int {
+	n, ok := v.ints[name]
+	if !ok {
+		panic(fmt.Sprintf("arch: family read undeclared int dimension %q", name))
+	}
+	return n
+}
+
+// Str returns the chosen value of a string dimension.
+func (v Values) Str(name string) string {
+	s, ok := v.strs[name]
+	if !ok {
+		panic(fmt.Sprintf("arch: family read undeclared string dimension %q", name))
+	}
+	return s
+}
+
+// Family is one registered register file family.
+type Family struct {
+	// Name is the canonical kind string used in sweep specs
+	// (case-insensitive on lookup, stored lowercase).
+	Name string
+	// Doc is a one-line description for listings.
+	Doc string
+	// Dims is the parameter schema: the matrix dimensions the family's
+	// cross product consumes, outermost first. The phys_regs dimension is
+	// implicit and always innermost.
+	Dims []Dim
+	// Validate, when non-nil, performs extra whole-matrix validation
+	// beyond the per-dimension Check hooks. It must not expand the
+	// matrix.
+	Validate func(m *Matrix) error
+	// Build constructs the register file spec for one expansion point.
+	// The spec's Name must fully describe the point (it labels report
+	// rows); the registry appends the phys-regs suffix itself.
+	Build func(v Values) (sim.RFSpec, error)
+}
+
+var (
+	regMu    sync.RWMutex
+	families = map[string]Family{}
+)
+
+// intDims and strDims are the dimension names a Matrix can carry, by
+// value space; Register rejects families declaring anything else, so a
+// bad schema fails at registration instead of panicking on the first
+// spec that names the family.
+var (
+	intDims = map[string]bool{
+		"read_ports": true, "write_ports": true, "buses": true,
+		"upper_sizes": true, "banks": true, "clusters": true,
+	}
+	strDims = map[string]bool{"caching": true, "prefetch": true}
+)
+
+// Register adds a family to the registry. It fails on an empty or
+// duplicate name, a nil Build, and a Dim naming a dimension the sweep
+// matrix does not carry (or carrying it in the wrong value space).
+func Register(f Family) error {
+	name := strings.ToLower(strings.TrimSpace(f.Name))
+	if name == "" {
+		return fmt.Errorf("arch: family name missing")
+	}
+	if f.Build == nil {
+		return fmt.Errorf("arch: family %q has no Build", name)
+	}
+	seen := map[string]bool{}
+	for _, d := range f.Dims {
+		known := intDims
+		if d.IsString {
+			known = strDims
+		}
+		if !known[d.Name] {
+			return fmt.Errorf("arch: family %q declares unknown %s dimension %q (matrix dimensions: read_ports, write_ports, buses, upper_sizes, banks, clusters; string: caching, prefetch)",
+				name, dimSpace(d), d.Name)
+		}
+		if seen[d.Name] {
+			return fmt.Errorf("arch: family %q declares dimension %q twice", name, d.Name)
+		}
+		seen[d.Name] = true
+	}
+	f.Name = name
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := families[name]; dup {
+		return fmt.Errorf("arch: family %q already registered", name)
+	}
+	families[name] = f
+	return nil
+}
+
+// dimSpace names a Dim's value space for error messages.
+func dimSpace(d Dim) string {
+	if d.IsString {
+		return "string"
+	}
+	return "int"
+}
+
+// MustRegister is Register, panicking on error (init-time use).
+func MustRegister(f Family) {
+	if err := Register(f); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup resolves a family by kind name, case-insensitively.
+func Lookup(kind string) (Family, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	f, ok := families[strings.ToLower(kind)]
+	return f, ok
+}
+
+// Families returns every registered family, sorted by name.
+func Families() []Family {
+	regMu.RLock()
+	out := make([]Family, 0, len(families))
+	for _, f := range families {
+		out = append(out, f)
+	}
+	regMu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// family resolves the matrix's family, with the spec-facing error
+// wording.
+func (m *Matrix) family() (Family, error) {
+	if m.Kind == "" {
+		return Family{}, fmt.Errorf("architecture kind missing")
+	}
+	f, ok := Lookup(m.Kind)
+	if !ok {
+		return Family{}, fmt.Errorf("unknown architecture kind %q", m.Kind)
+	}
+	return f, nil
+}
+
+// Validate checks the matrix without expanding it: the kind must be
+// registered, every listed value of a checked string dimension must
+// parse, and the family's own Validate hook (if any) must accept it.
+func (m *Matrix) Validate() error {
+	f, err := m.family()
+	if err != nil {
+		return err
+	}
+	for _, d := range f.Dims {
+		if !d.IsString || d.Check == nil {
+			continue
+		}
+		for _, v := range m.strList(d.Name) {
+			if err := d.Check(v); err != nil {
+				return err
+			}
+		}
+	}
+	if f.Validate != nil {
+		return f.Validate(m)
+	}
+	return nil
+}
+
+// MaxCount is the saturation bound of point and job counting: any matrix
+// or spec expanding to at least this many points reports exactly
+// MaxCount. It fits a 32-bit int so the package builds on every GOARCH,
+// and it dwarfs any job limit a server would actually accept.
+const MaxCount = 1 << 30
+
+// MulSat multiplies saturating at MaxCount; both factors must be in
+// [1, MaxCount].
+func MulSat(a, b int) int {
+	if a > MaxCount/b {
+		return MaxCount
+	}
+	return a * b
+}
+
+// CountOr is the length a dimension list contributes to a cross product:
+// its own length, or 1 when empty (the default applies).
+func CountOr(n int) int {
+	if n == 0 {
+		return 1
+	}
+	return n
+}
+
+// PointCount returns how many architecture points the matrix expands to
+// (saturating at MaxCount), without building them. An unregistered kind
+// contributes only the dimensions common to every family; Validate is
+// the call that rejects it.
+func (m *Matrix) PointCount() int {
+	n := CountOr(len(m.PhysRegs))
+	f, err := m.family()
+	if err != nil {
+		// Match the dimensions Validate-passing callers would see for the
+		// common lists; the kind error surfaces via Validate.
+		return MulSat(MulSat(CountOr(len(m.ReadPorts)), CountOr(len(m.WritePorts))), n)
+	}
+	for _, d := range f.Dims {
+		if d.IsString {
+			n = MulSat(n, CountOr(len(m.strList(d.Name))))
+		} else {
+			n = MulSat(n, CountOr(len(m.intList(d.Name))))
+		}
+	}
+	return n
+}
+
+// Point is one expanded architecture configuration.
+type Point struct {
+	// RF is the built register file spec, fully named.
+	RF sim.RFSpec
+	// PhysRegs is the per-file physical register count for the point.
+	PhysRegs int
+}
+
+// Expand returns the cross product of the matrix dimensions as named
+// register file specs: the family's declared dimensions outermost-first,
+// phys_regs innermost, exactly the order the dimension lists appear.
+func (m *Matrix) Expand() ([]Point, error) {
+	f, err := m.family()
+	if err != nil {
+		return nil, err
+	}
+	type axis struct {
+		d    Dim
+		ints []int
+		strs []string
+		n    int
+	}
+	axes := make([]axis, len(f.Dims))
+	for i, d := range f.Dims {
+		a := axis{d: d}
+		if d.IsString {
+			a.strs = m.strList(d.Name)
+			if len(a.strs) == 0 {
+				a.strs = []string{d.StrDefault}
+			}
+			a.n = len(a.strs)
+		} else {
+			a.ints = m.intList(d.Name)
+			if len(a.ints) == 0 {
+				a.ints = []int{d.IntDefault}
+			}
+			a.n = len(a.ints)
+		}
+		axes[i] = a
+	}
+	regs := m.PhysRegs
+	if len(regs) == 0 {
+		regs = []int{128}
+	}
+
+	idx := make([]int, len(axes))
+	var out []Point
+	for {
+		v := Values{ints: map[string]int{}, strs: map[string]string{}}
+		for i, a := range axes {
+			if a.d.IsString {
+				v.strs[a.d.Name] = a.strs[idx[i]]
+			} else {
+				v.ints[a.d.Name] = a.ints[idx[i]]
+			}
+		}
+		rf, err := f.Build(v)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range regs {
+			p := Point{RF: rf, PhysRegs: r}
+			if r != 128 {
+				p.RF.Name = fmt.Sprintf("%s P%d", rf.Name, r)
+			}
+			out = append(out, p)
+		}
+		// Odometer: the last declared dimension varies fastest (phys_regs,
+		// handled above, is faster still).
+		k := len(idx) - 1
+		for ; k >= 0; k-- {
+			idx[k]++
+			if idx[k] < axes[k].n {
+				break
+			}
+			idx[k] = 0
+		}
+		if k < 0 {
+			return out, nil
+		}
+	}
+}
+
+// intList maps a dimension name onto the matrix's integer list.
+func (m *Matrix) intList(name string) []int {
+	switch name {
+	case "read_ports":
+		return m.ReadPorts
+	case "write_ports":
+		return m.WritePorts
+	case "buses":
+		return m.Buses
+	case "upper_sizes":
+		return m.UpperSizes
+	case "banks":
+		return m.Banks
+	case "clusters":
+		return m.Clusters
+	}
+	panic(fmt.Sprintf("arch: unknown int dimension %q", name))
+}
+
+// strList maps a dimension name onto the matrix's string list.
+func (m *Matrix) strList(name string) []string {
+	switch name {
+	case "caching":
+		return m.Caching
+	case "prefetch":
+		return m.Prefetch
+	}
+	panic(fmt.Sprintf("arch: unknown string dimension %q", name))
+}
+
+// Ports maps the spec convention (0 or negative = unlimited) onto
+// core.Unlimited.
+func Ports(v int) int {
+	if v <= 0 {
+		return core.Unlimited
+	}
+	return v
+}
+
+// PortLabel renders a port count for spec names.
+func PortLabel(v int) string {
+	if v == core.Unlimited {
+		return "∞"
+	}
+	return fmt.Sprint(v)
+}
+
+// ParseCachingPolicy parses a caching policy name: nonbypass, ready, all
+// or none (case-insensitive). It is the one enumeration of policy names,
+// shared by sweep specs and the CLIs.
+func ParseCachingPolicy(s string) (core.CachingPolicy, error) {
+	switch strings.ToLower(s) {
+	case "nonbypass":
+		return core.CacheNonBypass, nil
+	case "ready":
+		return core.CacheReady, nil
+	case "all":
+		return core.CacheAll, nil
+	case "none":
+		return core.CacheNone, nil
+	}
+	return 0, fmt.Errorf("unknown caching policy %q", s)
+}
+
+// ParsePrefetchPolicy parses a prefetch policy name: demand/on-demand or
+// firstpair/first-pair (case-insensitive).
+func ParsePrefetchPolicy(s string) (core.PrefetchPolicy, error) {
+	switch strings.ToLower(s) {
+	case "demand", "on-demand":
+		return core.FetchOnDemand, nil
+	case "firstpair", "first-pair":
+		return core.PrefetchFirstPair, nil
+	}
+	return 0, fmt.Errorf("unknown prefetch policy %q", s)
+}

@@ -1,0 +1,124 @@
+package arch
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// checkCaching / checkPrefetch adapt the policy parsers to Dim.Check.
+func checkCaching(s string) error {
+	_, err := ParseCachingPolicy(s)
+	return err
+}
+
+func checkPrefetch(s string) error {
+	_, err := ParsePrefetchPolicy(s)
+	return err
+}
+
+// monoFamily builds the three single-banked variants: they share the
+// dimension schema and differ only in the sim constructor.
+func monoFamily(name, doc string, mk func(readPorts, writePorts int) sim.RFSpec) Family {
+	return Family{
+		Name: name,
+		Doc:  doc,
+		Dims: []Dim{IntDim("read_ports", 0), IntDim("write_ports", 0)},
+		Build: func(v Values) (sim.RFSpec, error) {
+			r, w := Ports(v.Int("read_ports")), Ports(v.Int("write_ports"))
+			rf := mk(r, w)
+			rf.Name = fmt.Sprintf("%s R%sW%s", rf.Name, PortLabel(r), PortLabel(w))
+			return rf, nil
+		},
+	}
+}
+
+func init() {
+	MustRegister(monoFamily("1cycle",
+		"one-cycle single-banked file, full bypass (the paper's baseline)",
+		sim.Mono1Cycle))
+	MustRegister(monoFamily("2cycle",
+		"two-cycle single-banked file, two bypass levels",
+		sim.Mono2CycleFull))
+	MustRegister(monoFamily("2cycle1b",
+		"two-cycle single-banked file, one bypass level",
+		sim.Mono2CycleSingle))
+
+	MustRegister(Family{
+		Name: "rfcache",
+		Doc:  "two-level register file cache (the paper's proposal)",
+		Dims: []Dim{
+			IntDim("read_ports", 0), IntDim("write_ports", 0),
+			IntDim("buses", 0), IntDim("upper_sizes", 16),
+			StrDim("caching", "nonbypass", checkCaching),
+			StrDim("prefetch", "firstpair", checkPrefetch),
+		},
+		Build: func(v Values) (sim.RFSpec, error) {
+			cs, ps := v.Str("caching"), v.Str("prefetch")
+			caching, err := ParseCachingPolicy(cs)
+			if err != nil {
+				return sim.RFSpec{}, err
+			}
+			prefetch, err := ParsePrefetchPolicy(ps)
+			if err != nil {
+				return sim.RFSpec{}, err
+			}
+			w := Ports(v.Int("write_ports"))
+			cfg := core.PaperCacheConfig()
+			cfg.ReadPorts = Ports(v.Int("read_ports"))
+			cfg.UpperWritePorts = w
+			cfg.LowerWritePorts = w
+			cfg.Buses = Ports(v.Int("buses"))
+			cfg.UpperSize = v.Int("upper_sizes")
+			cfg.Caching = caching
+			cfg.Prefetch = prefetch
+			rf := sim.CacheSpec(cfg)
+			rf.Name = fmt.Sprintf("rf-cache R%sW%sB%s U%d %s+%s",
+				PortLabel(cfg.ReadPorts), PortLabel(cfg.UpperWritePorts),
+				PortLabel(cfg.Buses), cfg.UpperSize, cs, ps)
+			return rf, nil
+		},
+	})
+
+	MustRegister(Family{
+		Name: "onelevel",
+		Doc:  "one-level multi-banked organization (extension)",
+		Dims: []Dim{
+			IntDim("banks", 2),
+			IntDim("read_ports", 0), IntDim("write_ports", 0),
+		},
+		Build: func(v Values) (sim.RFSpec, error) {
+			banks := v.Int("banks")
+			r, w := Ports(v.Int("read_ports")), Ports(v.Int("write_ports"))
+			rf := sim.OneLevelSpec(core.OneLevelConfig{
+				Banks:             banks,
+				ReadPortsPerBank:  r,
+				WritePortsPerBank: w,
+			})
+			rf.Name = fmt.Sprintf("one-level %db R%sW%s", banks, PortLabel(r), PortLabel(w))
+			return rf, nil
+		},
+	})
+
+	MustRegister(Family{
+		Name: "replicated",
+		Doc:  "fully-replicated clustered file (21264-style; extension)",
+		Dims: []Dim{
+			IntDim("clusters", 2),
+			IntDim("read_ports", 0), IntDim("write_ports", 0),
+		},
+		Build: func(v Values) (sim.RFSpec, error) {
+			clusters := v.Int("clusters")
+			r, w := Ports(v.Int("read_ports")), Ports(v.Int("write_ports"))
+			rf := sim.ReplicatedSpec(core.ReplicatedConfig{
+				Clusters:          clusters,
+				ReadPortsPerBank:  r,
+				WritePortsPerBank: w,
+				RemoteDelay:       1,
+			})
+			rf.Name = fmt.Sprintf("replicated %dc R%sW%s", clusters, PortLabel(r), PortLabel(w))
+			return rf, nil
+		},
+	})
+}

@@ -35,6 +35,7 @@ import (
 
 	"repro/internal/sim"
 	"repro/internal/sweep"
+	"repro/rf/api"
 )
 
 // Config configures a Coordinator. The zero value is usable: 10 s leases,
@@ -110,29 +111,9 @@ type worker struct {
 	completed  uint64
 }
 
-// Stats is a point-in-time snapshot of fleet activity.
-type Stats struct {
-	// Workers is the number of currently registered workers.
-	Workers int `json:"workers"`
-	// Pending and Inflight count live tasks queued / leased right now.
-	Pending  int `json:"pending"`
-	Inflight int `json:"inflight"`
-	// Enqueued counts tasks ever created (deduplicated Simulate calls
-	// share a task and count once).
-	Enqueued uint64 `json:"enqueued"`
-	// Dispatched counts job leases handed out, including retries.
-	Dispatched uint64 `json:"dispatched"`
-	// Completed counts results accepted from workers.
-	Completed uint64 `json:"completed"`
-	// Requeued counts leases that expired and went back in the queue.
-	Requeued uint64 `json:"requeued"`
-	// Fallbacks counts tasks the coordinator simulated locally.
-	Fallbacks uint64 `json:"fallbacks"`
-	// Late counts results that arrived for unknown or finished tasks.
-	Late uint64 `json:"late"`
-	// Expired counts workers deregistered for missing their lease.
-	Expired uint64 `json:"expired"`
-}
+// Stats is a point-in-time snapshot of fleet activity; it is the wire
+// FleetStats document of the public API.
+type Stats = api.FleetStats
 
 // Coordinator shards jobs across registered workers. Create one with
 // NewCoordinator, hand its Simulate to the sweep runner, mount its
@@ -381,73 +362,8 @@ func (c *Coordinator) Stats() Stats {
 
 // ---- HTTP protocol ----
 
-// registerRequest is the body of POST /v1/workers/register.
-type registerRequest struct {
-	// Name labels the worker in listings (defaults to its id).
-	Name string `json:"name,omitempty"`
-	// Capacity is the worker's in-flight budget: the most jobs it may
-	// hold leases on at once. Clamped to [1, Config.MaxCapacity].
-	Capacity int `json:"capacity"`
-}
-
-// registerResponse acknowledges a registration.
-type registerResponse struct {
-	ID string `json:"id"`
-	// Capacity is the granted in-flight budget — the request's capacity
-	// clamped to the coordinator's MaxCapacity. The worker must budget
-	// against this value, not the one it asked for.
-	Capacity int `json:"capacity"`
-	// LeaseMS is the lease TTL: poll at least this often.
-	LeaseMS int64 `json:"lease_ms"`
-	// PollMS is how long an idle poll may be held open server-side.
-	PollMS int64 `json:"poll_ms"`
-}
-
-// taskResult reports one finished job inside a poll request.
-type taskResult struct {
-	Task   uint64     `json:"task"`
-	Key    string     `json:"key"`
-	Result sim.Result `json:"result"`
-}
-
-// assignment hands one job to a worker inside a poll response.
-type assignment struct {
-	Task uint64    `json:"task"`
-	Key  string    `json:"key"`
-	Job  sweep.Job `json:"job"`
-}
-
-// pollRequest is the body of POST /v1/workers/{id}/poll: completed
-// results to report plus how many new jobs the worker wants.
-type pollRequest struct {
-	Results []taskResult `json:"results,omitempty"`
-	// Holding inventories every task id the worker believes it holds —
-	// in-flight simulations plus finished-but-unreported results
-	// (Results included). The coordinator requeues any lease absent from
-	// it: that assignment traveled in a poll response the worker never
-	// received, and would otherwise stay a ghost forever, since the
-	// worker's continued polling keeps renewing the lease.
-	Holding []uint64 `json:"holding,omitempty"`
-	Want    int      `json:"want"`
-}
-
-// pollResponse carries new leases back to the worker.
-type pollResponse struct {
-	Jobs    []assignment `json:"jobs"`
-	LeaseMS int64        `json:"lease_ms"`
-}
-
-// workerJSON is one row of GET /v1/workers.
-type workerJSON struct {
-	ID         string `json:"id"`
-	Name       string `json:"name"`
-	Capacity   int    `json:"capacity"`
-	Inflight   int    `json:"inflight"`
-	Completed  uint64 `json:"completed"`
-	Registered string `json:"registered"`
-	// LeaseExpires is when the worker is deregistered unless it polls.
-	LeaseExpires string `json:"lease_expires"`
-}
+// The wire documents of the protocol live in rf/api, shared with
+// rf/client so the two sides cannot drift.
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -463,7 +379,7 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 
 // HandleRegister serves POST /v1/workers/register.
 func (c *Coordinator) HandleRegister(w http.ResponseWriter, r *http.Request) {
-	var req registerRequest
+	var req api.RegisterRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "dispatch: bad registration: %v", err)
 		return
@@ -495,7 +411,7 @@ func (c *Coordinator) HandleRegister(w http.ResponseWriter, r *http.Request) {
 	}
 	c.workers[wk.id] = wk
 	c.mu.Unlock()
-	writeJSON(w, http.StatusOK, registerResponse{
+	writeJSON(w, http.StatusOK, api.RegisterResponse{
 		ID:       wk.id,
 		Capacity: wk.capacity,
 		LeaseMS:  c.cfg.LeaseTTL.Milliseconds(),
@@ -511,7 +427,7 @@ func (c *Coordinator) HandleRegister(w http.ResponseWriter, r *http.Request) {
 // re-register and re-report, and its task ids stay valid.
 func (c *Coordinator) HandlePoll(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	var req pollRequest
+	var req api.PollRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20)).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "dispatch: bad poll: %v", err)
 		return
@@ -551,7 +467,7 @@ func (c *Coordinator) HandlePoll(w http.ResponseWriter, r *http.Request) {
 		if len(jobs) > 0 || req.Want <= 0 || c.closed || !time.Now().Before(deadline) {
 			wk.expires = time.Now().Add(c.cfg.LeaseTTL)
 			c.mu.Unlock()
-			writeJSON(w, http.StatusOK, pollResponse{
+			writeJSON(w, http.StatusOK, api.PollResponse{
 				Jobs: jobs, LeaseMS: c.cfg.LeaseTTL.Milliseconds(),
 			})
 			return
@@ -585,7 +501,7 @@ func (c *Coordinator) HandlePoll(w http.ResponseWriter, r *http.Request) {
 // worker that was expired and re-registered may legitimately deliver a
 // task now leased elsewhere (results are deterministic per key, so
 // whichever copy lands first wins). c.mu held.
-func (c *Coordinator) deliverLocked(wk *worker, res taskResult) {
+func (c *Coordinator) deliverLocked(wk *worker, res api.TaskResult) {
 	t := c.tasks[res.Task]
 	if t == nil || t.state == taskLocal || t.state == taskDone || string(t.key) != res.Key {
 		c.stats.Late++
@@ -613,11 +529,11 @@ func (c *Coordinator) deliverLocked(wk *worker, res taskResult) {
 
 // assignLocked leases up to want pending tasks to the worker, bounded by
 // its remaining in-flight budget. Requeued tasks go first. c.mu held.
-func (c *Coordinator) assignLocked(wk *worker, want int) []assignment {
+func (c *Coordinator) assignLocked(wk *worker, want int) []api.Assignment {
 	if budget := wk.capacity - len(wk.inflight); want > budget {
 		want = budget
 	}
-	var out []assignment
+	var out []api.Assignment
 	for want > len(out) {
 		var t *task
 		switch {
@@ -641,7 +557,7 @@ func (c *Coordinator) assignLocked(wk *worker, want int) []assignment {
 		c.stats.Pending--
 		c.stats.Inflight++
 		c.stats.Dispatched++
-		out = append(out, assignment{Task: t.id, Key: string(t.key), Job: t.job})
+		out = append(out, api.Assignment{Task: t.id, Key: string(t.key), Job: t.job})
 	}
 	return out
 }
@@ -650,13 +566,10 @@ func (c *Coordinator) assignLocked(wk *worker, want int) []assignment {
 // counters.
 func (c *Coordinator) HandleWorkers(w http.ResponseWriter, _ *http.Request) {
 	c.mu.Lock()
-	out := struct {
-		Workers []workerJSON `json:"workers"`
-		Stats   Stats        `json:"stats"`
-	}{Workers: []workerJSON{}, Stats: c.stats}
+	out := api.WorkerList{Workers: []api.WorkerInfo{}, Stats: c.stats}
 	out.Stats.Workers = len(c.workers)
 	for _, wk := range c.workers {
-		out.Workers = append(out.Workers, workerJSON{
+		out.Workers = append(out.Workers, api.WorkerInfo{
 			ID: wk.id, Name: wk.name, Capacity: wk.capacity,
 			Inflight: len(wk.inflight), Completed: wk.completed,
 			Registered:   wk.registered.UTC().Format(time.RFC3339Nano),

@@ -1,19 +1,17 @@
 package dispatch
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net/http"
 	"runtime"
-	"strings"
 	"time"
 
 	"repro/internal/sim"
 	"repro/internal/sweep"
+	"repro/rf/api"
+	"repro/rf/client"
 )
 
 // WorkerConfig configures RunWorker.
@@ -40,16 +38,6 @@ type WorkerConfig struct {
 	Logf func(format string, args ...any)
 }
 
-// statusError is an HTTP-level protocol failure.
-type statusError struct {
-	code int
-	body string
-}
-
-func (e *statusError) Error() string {
-	return fmt.Sprintf("status %d: %s", e.code, e.body)
-}
-
 // RunWorker registers with the coordinator and executes its jobs until
 // ctx is canceled (returning ctx.Err()). Finished results are reported on
 // the next poll; polls double as lease heartbeats. Transient errors are
@@ -58,24 +46,24 @@ func (e *statusError) Error() string {
 // both, so they are never lost to a network blip. Jobs in flight when ctx
 // is canceled are abandoned; the coordinator's lease expiry requeues
 // them elsewhere.
+//
+// All HTTP exchanges go through rf/client — the same wire implementation
+// rfbatch -remote and external consumers use.
 func RunWorker(ctx context.Context, cfg WorkerConfig) error {
-	// A trailing slash would 301 the POST into a GET (ServeMux
-	// path-cleaning) and read as an eternal 405; normalize like
-	// rfbatch -remote does.
-	cfg.Coordinator = strings.TrimSuffix(cfg.Coordinator, "/")
 	if cfg.Capacity <= 0 {
 		cfg.Capacity = runtime.GOMAXPROCS(0)
 	}
 	if cfg.Simulate == nil {
 		cfg.Simulate = sweep.Simulate
 	}
-	if cfg.Client == nil {
-		cfg.Client = &http.Client{}
-	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
-	w := &workerClient{cfg: cfg}
+	opts := []client.Option{client.WithLogf(cfg.Logf)}
+	if cfg.Client != nil {
+		opts = append(opts, client.WithHTTPClient(cfg.Client))
+	}
+	w := &workerState{cfg: cfg, cl: client.New(cfg.Coordinator, opts...)}
 	if err := w.register(ctx); err != nil {
 		return err
 	}
@@ -84,9 +72,9 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 	// the granted value (refreshed on re-registration). The channel is
 	// sized for the request, which the grant never exceeds.
 	capacity := w.capacity
-	finished := make(chan taskResult, cfg.Capacity)
+	finished := make(chan api.TaskResult, cfg.Capacity)
 	inflight := 0
-	var backlog []taskResult // finished, not yet accepted by the coordinator
+	var backlog []api.TaskResult // finished, not yet accepted by the coordinator
 	// held inventories every lease this worker owns (simulating or in
 	// backlog); polls carry it so the coordinator can requeue leases
 	// that were lost in a dropped poll response.
@@ -127,8 +115,8 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 		case ctx.Err() != nil:
 			return ctx.Err()
 		case err != nil:
-			var se *statusError
-			if errors.As(err, &se) && se.code == http.StatusNotFound {
+			var ae *client.APIError
+			if errors.As(err, &ae) && ae.StatusCode == http.StatusNotFound {
 				// Lease expired: re-register and re-report the backlog
 				// under the new identity (task ids stay valid).
 				cfg.Logf("dispatch: lease expired, re-registering: %v", err)
@@ -152,10 +140,10 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 		for _, a := range resp.Jobs {
 			inflight++
 			held[a.Task] = struct{}{}
-			go func(a assignment) {
+			go func(a api.Assignment) {
 				res := cfg.Simulate(a.Job)
 				select {
-				case finished <- taskResult{Task: a.Task, Key: a.Key, Result: res}:
+				case finished <- api.TaskResult{Task: a.Task, Key: a.Key, Result: res}:
 				case <-ctx.Done():
 				}
 			}(a)
@@ -170,9 +158,10 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 	}
 }
 
-// workerClient is the HTTP side of one worker.
-type workerClient struct {
+// workerState is one worker's registration state over the shared client.
+type workerState struct {
 	cfg      WorkerConfig
+	cl       *client.Client
 	id       string
 	capacity int // granted by the coordinator; ≤ cfg.Capacity
 	leaseMS  int64
@@ -183,7 +172,7 @@ type workerClient struct {
 // within one long-poll hold, so a full lease plus two holds means the
 // connection is dead — fail it and let the retry/re-register machinery
 // take over instead of waiting for TCP to notice.
-func (w *workerClient) requestBound() time.Duration {
+func (w *workerState) requestBound() time.Duration {
 	d := time.Duration(w.leaseMS+2*w.pollMS) * time.Millisecond
 	if d <= 0 {
 		d = 30 * time.Second // pre-registration default
@@ -193,7 +182,7 @@ func (w *workerClient) requestBound() time.Duration {
 
 // heartbeat is how often a busy worker polls to keep its lease: a third
 // of the TTL, so two consecutive failures still fit inside a lease.
-func (w *workerClient) heartbeat() time.Duration {
+func (w *workerState) heartbeat() time.Duration {
 	d := time.Duration(w.leaseMS) * time.Millisecond / 3
 	if d <= 0 {
 		d = time.Second
@@ -203,12 +192,13 @@ func (w *workerClient) heartbeat() time.Duration {
 
 // register acquires a worker id, retrying transient failures with
 // backoff until ctx is canceled.
-func (w *workerClient) register(ctx context.Context) error {
+func (w *workerState) register(ctx context.Context) error {
 	backoff := 100 * time.Millisecond
 	for {
-		var resp registerResponse
-		err := w.post(ctx, "/v1/workers/register",
-			registerRequest{Name: w.cfg.Name, Capacity: w.cfg.Capacity}, &resp)
+		rctx, cancel := context.WithTimeout(ctx, w.requestBound())
+		resp, err := w.cl.RegisterWorker(rctx,
+			api.RegisterRequest{Name: w.cfg.Name, Capacity: w.cfg.Capacity})
+		cancel()
 		if err == nil {
 			w.id = resp.ID
 			w.leaseMS = resp.LeaseMS
@@ -221,8 +211,8 @@ func (w *workerClient) register(ctx context.Context) error {
 				resp.ID, w.capacity, resp.LeaseMS)
 			return nil
 		}
-		var se *statusError
-		if errors.As(err, &se) && se.code == http.StatusServiceUnavailable {
+		var ae *client.APIError
+		if errors.As(err, &ae) && ae.StatusCode == http.StatusServiceUnavailable {
 			return fmt.Errorf("dispatch: coordinator rejected registration: %w", err)
 		}
 		w.cfg.Logf("dispatch: register failed (retrying in %v): %v", backoff, err)
@@ -236,40 +226,11 @@ func (w *workerClient) register(ctx context.Context) error {
 }
 
 // poll reports finished results (and the full held-lease inventory) and
-// asks for up to want new jobs.
-func (w *workerClient) poll(ctx context.Context, results []taskResult, holding []uint64, want int) (*pollResponse, error) {
-	var resp pollResponse
-	err := w.post(ctx, "/v1/workers/"+w.id+"/poll",
-		pollRequest{Results: results, Holding: holding, Want: want}, &resp)
-	if err != nil {
-		return nil, err
-	}
-	return &resp, nil
-}
-
-// post issues one JSON request/response exchange, bounded by
-// requestBound on top of the caller's context.
-func (w *workerClient) post(ctx context.Context, path string, body, out any) error {
-	data, err := json.Marshal(body)
-	if err != nil {
-		return err
-	}
-	ctx, cancel := context.WithTimeout(ctx, w.requestBound())
+// asks for up to want new jobs, bounded by requestBound on top of the
+// caller's context.
+func (w *workerState) poll(ctx context.Context, results []api.TaskResult, holding []uint64, want int) (*api.PollResponse, error) {
+	rctx, cancel := context.WithTimeout(ctx, w.requestBound())
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		w.cfg.Coordinator+path, bytes.NewReader(data))
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := w.cfg.Client.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
-		return &statusError{code: resp.StatusCode, body: string(bytes.TrimSpace(msg))}
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	return w.cl.PollWorker(rctx, w.id,
+		api.PollRequest{Results: results, Holding: holding, Want: want})
 }

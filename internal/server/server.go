@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -36,6 +37,8 @@ import (
 	"repro/internal/dispatch"
 	"repro/internal/sim"
 	"repro/internal/sweep"
+	"repro/rf"
+	"repro/rf/api"
 )
 
 // Config configures a Server. The zero value is usable: GOMAXPROCS
@@ -184,6 +187,7 @@ func New(cfg Config) *Server {
 	})
 
 	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/version", handleVersion)
 	mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
 	mux.HandleFunc("GET /v1/sweeps", s.handleList)
 	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleStatus)
@@ -202,9 +206,27 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// ServeHTTP dispatches to the API routes.
+// ServeHTTP dispatches to the API routes. Every response carries the
+// X-RF-API-Version header, and a request stamped with a different
+// schema version is rejected up front — version negotiation happens
+// before any handler runs.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set(api.VersionHeader, strconv.Itoa(api.Version))
+	if h := r.Header.Get(api.VersionHeader); h != "" {
+		if v, err := strconv.Atoi(h); err != nil || v != api.Version {
+			writeError(w, http.StatusBadRequest,
+				"rfserved: API schema version %q not supported (this server speaks %d)",
+				h, api.Version)
+			return
+		}
+	}
 	s.mux.ServeHTTP(w, r)
+}
+
+// handleVersion serves GET /v1/version: the build and schema versions,
+// so clients and scripts can assert compatibility before submitting.
+func handleVersion(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, api.VersionInfo{Schema: api.Version, Module: rf.ModuleVersion()})
 }
 
 // Shutdown stops accepting sweeps, cancels the ones still running, and
@@ -245,11 +267,6 @@ func (s *Server) RunJob(j sweep.Job) sim.Result {
 	return s.runner.RunOutcomes([]sweep.Job{j}, 1)[0].Result
 }
 
-// errorJSON is the error response body.
-type errorJSON struct {
-	Error string `json:"error"`
-}
-
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -259,16 +276,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, errorJSON{Error: fmt.Sprintf(format, args...)})
-}
-
-// submitResponse acknowledges a submission.
-type submitResponse struct {
-	ID         string `json:"id"`
-	Name       string `json:"name,omitempty"`
-	Jobs       int    `json:"jobs"`
-	StatusURL  string `json:"status_url"`
-	ResultsURL string `json:"results_url"`
+	writeJSON(w, status, api.Error{Error: fmt.Sprintf(format, args...)})
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -340,8 +348,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.queueDepth.Add(int64(len(jobs)))
 	go s.execute(ctx, run, parallelism)
 
-	writeJSON(w, http.StatusAccepted, submitResponse{
-		ID: run.id, Name: run.name, Jobs: len(jobs),
+	writeJSON(w, http.StatusAccepted, api.SubmitResponse{
+		Schema: api.Version,
+		ID:     run.id, Name: run.name, Jobs: len(jobs),
 		StatusURL:  "/v1/sweeps/" + run.id,
 		ResultsURL: "/v1/sweeps/" + run.id + "/results",
 	})
@@ -390,31 +399,12 @@ func (r *sweepRun) wakeLocked() {
 	r.notify = make(chan struct{})
 }
 
-// statusJSON is the status document of one sweep.
-type statusJSON struct {
-	ID   string `json:"id"`
-	Name string `json:"name,omitempty"`
-	// State is running, done or canceled.
-	State string `json:"state"`
-	// Total, Completed, Cached and Simulated count jobs; Simulated is
-	// Completed minus Cached. A canceled sweep's skipped jobs are
-	// Total - Completed.
-	Total     int `json:"total"`
-	Completed int `json:"completed"`
-	Cached    int `json:"cached"`
-	Simulated int `json:"simulated"`
-	// Submitted and Finished are RFC 3339 timestamps; Finished is empty
-	// while the sweep runs.
-	Submitted  string `json:"submitted"`
-	Finished   string `json:"finished,omitempty"`
-	ResultsURL string `json:"results_url"`
-}
-
-func (r *sweepRun) status() statusJSON {
+func (r *sweepRun) status() api.SweepStatus {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	st := statusJSON{
-		ID: r.id, Name: r.name, State: string(r.state),
+	st := api.SweepStatus{
+		Schema: api.Version,
+		ID:     r.id, Name: r.name, State: string(r.state),
 		Total: len(r.jobs), Completed: r.completed, Cached: r.cached,
 		Simulated:  r.completed - r.cached,
 		Submitted:  r.submitted.UTC().Format(time.RFC3339Nano),
@@ -452,9 +442,7 @@ func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 		runs = append(runs, s.sweeps[id])
 	}
 	s.mu.Unlock()
-	out := struct {
-		Sweeps []statusJSON `json:"sweeps"`
-	}{Sweeps: []statusJSON{}}
+	out := api.SweepList{Sweeps: []api.SweepStatus{}}
 	for _, run := range runs {
 		out.Sweeps = append(out.Sweeps, run.status())
 	}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/store"
 	"repro/internal/sweep"
+	"repro/rf/api"
 )
 
 // testSpec is a small two-benchmark, three-architecture sweep (6 jobs).
@@ -54,7 +55,7 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 }
 
 // submit POSTs a spec and decodes the acknowledgment.
-func submit(t *testing.T, base, spec string) submitResponse {
+func submit(t *testing.T, base, spec string) api.SubmitResponse {
 	t.Helper()
 	resp, err := http.Post(base+"/v1/sweeps", "application/json", strings.NewReader(spec))
 	if err != nil {
@@ -65,7 +66,7 @@ func submit(t *testing.T, base, spec string) submitResponse {
 		body, _ := io.ReadAll(resp.Body)
 		t.Fatalf("submit returned %d: %s", resp.StatusCode, body)
 	}
-	var ack submitResponse
+	var ack api.SubmitResponse
 	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
 		t.Fatal(err)
 	}
@@ -94,14 +95,14 @@ func streamAll(t *testing.T, base, resultsURL string) string {
 }
 
 // getStatus polls a sweep's status document.
-func getStatus(t *testing.T, base, statusURL string) statusJSON {
+func getStatus(t *testing.T, base, statusURL string) api.SweepStatus {
 	t.Helper()
 	resp, err := http.Get(base + statusURL)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var st statusJSON
+	var st api.SweepStatus
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
 		t.Fatal(err)
 	}
@@ -335,7 +336,7 @@ func TestSubmitValidation(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		var e errorJSON
+		var e api.Error
 		json.NewDecoder(resp.Body).Decode(&e)
 		resp.Body.Close()
 		if resp.StatusCode != c.status {
@@ -434,7 +435,7 @@ func TestMetricsAndList(t *testing.T) {
 		t.Fatal(err)
 	}
 	var list struct {
-		Sweeps []statusJSON `json:"sweeps"`
+		Sweeps []api.SweepStatus `json:"sweeps"`
 	}
 	err = json.NewDecoder(listResp.Body).Decode(&list)
 	listResp.Body.Close()

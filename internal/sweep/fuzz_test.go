@@ -26,6 +26,10 @@ func FuzzParseSpec(f *testing.F) {
 	f.Add([]byte(`{"architectures":[{"kind":"nope"}]}`))
 	f.Add([]byte(`{`))
 	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"schema":1,"architectures":[{"kind":"replicated","clusters":[2,4]}]}`))
+	f.Add([]byte(`{"schema":2,"architectures":[{"kind":"1cycle"}]}`))
+	f.Add([]byte(`{"architectures":[{"kind":"1cycle"}],"instrs":5000}`))
+	f.Add([]byte(`{"architectures":[{"kind":"1cycle","portz":[1]}]}`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		spec, err := ParseSpec(bytes.NewReader(data))

@@ -4,17 +4,26 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"strings"
 
-	"repro/internal/core"
+	"repro/internal/arch"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
+// SchemaVersion is the version of the JSON sweep-spec and wire schema.
+// Specs may carry it explicitly ("schema": 1); a missing field means
+// version 1 (the schema predates the stamp), and any other value is
+// rejected loudly. The rf package re-exports this constant, and the
+// rfserved API negotiates it via the X-RF-API-Version header.
+const SchemaVersion = 1
+
 // Spec is a user-defined sweep matrix: the cross product of benchmarks,
 // architecture configurations and seed replicates, each run for the same
-// instruction budget. It is the JSON input of cmd/rfbatch.
+// instruction budget. It is the JSON input of cmd/rfbatch and the
+// rfserved submission body.
 type Spec struct {
+	// Schema is the spec schema version; 0 (absent) means SchemaVersion.
+	Schema int `json:"schema,omitempty"`
 	// Name labels the sweep in reports.
 	Name string `json:"name,omitempty"`
 	// Instructions is the per-run dynamic instruction budget
@@ -28,40 +37,18 @@ type Spec struct {
 	// each profile's built-in seed.
 	Seeds []uint64 `json:"seeds,omitempty"`
 	// Architectures holds one matrix per register file family; each
-	// expands to the cross product of its dimension lists.
+	// expands to the cross product of its dimension lists through the
+	// family registry (internal/arch, re-exported as rf).
 	Architectures []ArchMatrix `json:"architectures"`
 }
 
-// ArchMatrix describes one register file family plus per-dimension value
-// lists. Every empty list defaults to a single family-appropriate value,
-// and the expansion is the cross product of all lists.
-type ArchMatrix struct {
-	// Kind is the family: 1cycle, 2cycle, 2cycle1b, rfcache, onelevel or
-	// replicated.
-	Kind string `json:"kind"`
-	// ReadPorts and WritePorts list port counts; 0 means unlimited. For
-	// onelevel and replicated they are per-bank counts.
-	ReadPorts  []int `json:"read_ports,omitempty"`
-	WritePorts []int `json:"write_ports,omitempty"`
-	// Buses lists rf-cache transfer bus counts; 0 means unlimited.
-	Buses []int `json:"buses,omitempty"`
-	// UpperSizes lists rf-cache upper bank capacities (default 16).
-	UpperSizes []int `json:"upper_sizes,omitempty"`
-	// Caching lists rf-cache caching policies: nonbypass, ready, all,
-	// none (default nonbypass).
-	Caching []string `json:"caching,omitempty"`
-	// Prefetch lists rf-cache prefetch policies: demand, firstpair
-	// (default firstpair).
-	Prefetch []string `json:"prefetch,omitempty"`
-	// Banks lists bank counts for onelevel (default 2).
-	Banks []int `json:"banks,omitempty"`
-	// Clusters lists cluster counts for replicated (default 2).
-	Clusters []int `json:"clusters,omitempty"`
-	// PhysRegs lists per-file physical register counts (default 128).
-	PhysRegs []int `json:"phys_regs,omitempty"`
-}
+// ArchMatrix is the registry's matrix type: one register file family
+// plus per-dimension value lists. See arch.Matrix for the field schema.
+type ArchMatrix = arch.Matrix
 
-// ParseSpec decodes and validates a JSON sweep specification.
+// ParseSpec decodes and validates a JSON sweep specification. Unknown
+// fields and unsupported schema versions are rejected, so a typo'd or
+// drifted spec fails loudly instead of being silently ignored.
 func ParseSpec(r io.Reader) (*Spec, error) {
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
@@ -79,6 +66,10 @@ func ParseSpec(r io.Reader) (*Spec, error) {
 // sweep matrix, so it stays cheap on specs whose cross product is huge;
 // use JobCount to bound the expansion before calling Jobs.
 func (s *Spec) Validate() error {
+	if s.Schema != 0 && s.Schema != SchemaVersion {
+		return fmt.Errorf("sweep: spec schema version %d not supported (this build speaks %d)",
+			s.Schema, SchemaVersion)
+	}
 	if len(s.Architectures) == 0 {
 		return fmt.Errorf("sweep: spec needs at least one architecture")
 	}
@@ -88,82 +79,17 @@ func (s *Spec) Validate() error {
 		}
 	}
 	for i := range s.Architectures {
-		if err := s.Architectures[i].validate(); err != nil {
+		if err := s.Architectures[i].Validate(); err != nil {
 			return fmt.Errorf("sweep: architectures[%d]: %w", i, err)
 		}
 	}
 	return nil
 }
 
-// validate checks the matrix without expanding it: the kind must be
-// known, and the policy lists of an rf-cache matrix must parse. (Policy
-// lists on other kinds are ignored by expand, so they are ignored here
-// too.)
-func (a *ArchMatrix) validate() error {
-	switch strings.ToLower(a.Kind) {
-	case "1cycle", "2cycle", "2cycle1b", "onelevel", "replicated":
-		return nil
-	case "rfcache":
-		for _, cs := range a.Caching {
-			if _, err := ParseCachingPolicy(cs); err != nil {
-				return err
-			}
-		}
-		for _, ps := range a.Prefetch {
-			if _, err := ParsePrefetchPolicy(ps); err != nil {
-				return err
-			}
-		}
-		return nil
-	case "":
-		return fmt.Errorf("architecture kind missing")
-	default:
-		return fmt.Errorf("unknown architecture kind %q", a.Kind)
-	}
-}
-
 // MaxJobCount is the saturation bound of JobCount: any spec expanding to
-// at least this many jobs reports exactly MaxJobCount. It fits a 32-bit
-// int so the package builds on every GOARCH, and it dwarfs any job limit
-// a server would actually accept.
-const MaxJobCount = 1 << 30
-
-// mulSat multiplies saturating at MaxJobCount; both factors must be
-// in [1, MaxJobCount].
-func mulSat(a, b int) int {
-	if a > MaxJobCount/b {
-		return MaxJobCount
-	}
-	return a * b
-}
-
-// countOr is the length a dimension list contributes to the cross
-// product: its own length, or 1 when empty (the default applies).
-func countOr(n int) int {
-	if n == 0 {
-		return 1
-	}
-	return n
-}
-
-// pointCount returns how many architecture points the matrix expands to
-// (saturating at MaxJobCount), without building them. It mirrors the
-// dimension lists expand consumes per kind.
-func (a *ArchMatrix) pointCount() int {
-	n := mulSat(mulSat(countOr(len(a.ReadPorts)), countOr(len(a.WritePorts))), countOr(len(a.PhysRegs)))
-	switch strings.ToLower(a.Kind) {
-	case "rfcache":
-		n = mulSat(n, countOr(len(a.Buses)))
-		n = mulSat(n, countOr(len(a.UpperSizes)))
-		n = mulSat(n, countOr(len(a.Caching)))
-		n = mulSat(n, countOr(len(a.Prefetch)))
-	case "onelevel":
-		n = mulSat(n, countOr(len(a.Banks)))
-	case "replicated":
-		n = mulSat(n, countOr(len(a.Clusters)))
-	}
-	return n
-}
+// at least this many jobs reports exactly MaxJobCount (see
+// arch.MaxCount).
+const MaxJobCount = arch.MaxCount
 
 // JobCount returns the number of jobs the spec expands to, without
 // allocating the expansion; counts saturate at MaxJobCount. It lets
@@ -176,10 +102,10 @@ func (s *Spec) JobCount() (int, error) {
 	if benchmarks == 0 {
 		benchmarks = len(trace.All())
 	}
-	perPoint := mulSat(benchmarks, countOr(len(s.Seeds)))
+	perPoint := arch.MulSat(benchmarks, arch.CountOr(len(s.Seeds)))
 	total := 0
 	for i := range s.Architectures {
-		n := mulSat(s.Architectures[i].pointCount(), perPoint)
+		n := arch.MulSat(s.Architectures[i].PointCount(), perPoint)
 		if total > MaxJobCount-n {
 			return MaxJobCount, nil
 		}
@@ -197,7 +123,8 @@ func (s *Spec) instructions() uint64 {
 }
 
 // Jobs expands the matrix into the full job list: for each architecture
-// point, every benchmark at every seed.
+// point (resolved through the family registry), every benchmark at every
+// seed.
 func (s *Spec) Jobs() ([]Job, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
@@ -215,17 +142,17 @@ func (s *Spec) Jobs() ([]Job, error) {
 		seeds = []uint64{0}
 	}
 	var jobs []Job
-	for _, a := range s.Architectures {
-		specs, err := a.expand()
+	for i := range s.Architectures {
+		points, err := s.Architectures[i].Expand()
 		if err != nil {
 			return nil, err
 		}
-		for _, spec := range specs {
+		for _, pt := range points {
 			for _, p := range profiles {
 				for _, seed := range seeds {
-					cfg := sim.DefaultConfig(spec.rf, s.instructions())
-					if spec.physRegs > 0 {
-						cfg.PhysRegs = spec.physRegs
+					cfg := sim.DefaultConfig(pt.RF, s.instructions())
+					if pt.PhysRegs > 0 {
+						cfg.PhysRegs = pt.PhysRegs
 					}
 					jobs = append(jobs, Job{Profile: p, Config: cfg, Seed: seed})
 				}
@@ -233,177 +160,4 @@ func (s *Spec) Jobs() ([]Job, error) {
 		}
 	}
 	return jobs, nil
-}
-
-// point is one expanded architecture configuration.
-type point struct {
-	rf       sim.RFSpec
-	physRegs int
-}
-
-// ports maps the spec convention (0 = unlimited) onto core.Unlimited.
-func ports(v int) int {
-	if v <= 0 {
-		return core.Unlimited
-	}
-	return v
-}
-
-// orInts substitutes a default for an empty dimension list.
-func orInts(vs []int, def int) []int {
-	if len(vs) == 0 {
-		return []int{def}
-	}
-	return vs
-}
-
-// orStrings substitutes a default for an empty dimension list.
-func orStrings(vs []string, def string) []string {
-	if len(vs) == 0 {
-		return []string{def}
-	}
-	return vs
-}
-
-// ParseCachingPolicy parses a caching policy name: nonbypass, ready, all
-// or none (case-insensitive). It is the one enumeration of policy names,
-// shared by sweep specs and the CLIs.
-func ParseCachingPolicy(s string) (core.CachingPolicy, error) {
-	switch strings.ToLower(s) {
-	case "nonbypass":
-		return core.CacheNonBypass, nil
-	case "ready":
-		return core.CacheReady, nil
-	case "all":
-		return core.CacheAll, nil
-	case "none":
-		return core.CacheNone, nil
-	}
-	return 0, fmt.Errorf("unknown caching policy %q", s)
-}
-
-// ParsePrefetchPolicy parses a prefetch policy name: demand/on-demand or
-// firstpair/first-pair (case-insensitive).
-func ParsePrefetchPolicy(s string) (core.PrefetchPolicy, error) {
-	switch strings.ToLower(s) {
-	case "demand", "on-demand":
-		return core.FetchOnDemand, nil
-	case "firstpair", "first-pair":
-		return core.PrefetchFirstPair, nil
-	}
-	return 0, fmt.Errorf("unknown prefetch policy %q", s)
-}
-
-// portLabel renders a port count for spec names.
-func portLabel(v int) string {
-	if v == core.Unlimited {
-		return "∞"
-	}
-	return fmt.Sprint(v)
-}
-
-// expand returns the cross product of the matrix dimensions as named
-// register file specs.
-func (a *ArchMatrix) expand() ([]point, error) {
-	var out []point
-	add := func(rf sim.RFSpec, regs int) {
-		if regs != 128 {
-			rf.Name = fmt.Sprintf("%s P%d", rf.Name, regs)
-		}
-		out = append(out, point{rf: rf, physRegs: regs})
-	}
-	switch strings.ToLower(a.Kind) {
-	case "1cycle", "2cycle", "2cycle1b":
-		for _, r := range orInts(a.ReadPorts, 0) {
-			for _, w := range orInts(a.WritePorts, 0) {
-				for _, regs := range orInts(a.PhysRegs, 128) {
-					var rf sim.RFSpec
-					switch strings.ToLower(a.Kind) {
-					case "1cycle":
-						rf = sim.Mono1Cycle(ports(r), ports(w))
-					case "2cycle":
-						rf = sim.Mono2CycleFull(ports(r), ports(w))
-					default:
-						rf = sim.Mono2CycleSingle(ports(r), ports(w))
-					}
-					rf.Name = fmt.Sprintf("%s R%sW%s", rf.Name, portLabel(ports(r)), portLabel(ports(w)))
-					add(rf, regs)
-				}
-			}
-		}
-	case "rfcache":
-		for _, r := range orInts(a.ReadPorts, 0) {
-			for _, w := range orInts(a.WritePorts, 0) {
-				for _, b := range orInts(a.Buses, 0) {
-					for _, u := range orInts(a.UpperSizes, 16) {
-						for _, cs := range orStrings(a.Caching, "nonbypass") {
-							for _, ps := range orStrings(a.Prefetch, "firstpair") {
-								for _, regs := range orInts(a.PhysRegs, 128) {
-									caching, err := ParseCachingPolicy(cs)
-									if err != nil {
-										return nil, err
-									}
-									prefetch, err := ParsePrefetchPolicy(ps)
-									if err != nil {
-										return nil, err
-									}
-									cfg := core.PaperCacheConfig()
-									cfg.ReadPorts = ports(r)
-									cfg.UpperWritePorts = ports(w)
-									cfg.LowerWritePorts = ports(w)
-									cfg.Buses = ports(b)
-									cfg.UpperSize = u
-									cfg.Caching = caching
-									cfg.Prefetch = prefetch
-									rf := sim.CacheSpec(cfg)
-									rf.Name = fmt.Sprintf("rf-cache R%sW%sB%s U%d %s+%s",
-										portLabel(cfg.ReadPorts), portLabel(cfg.UpperWritePorts),
-										portLabel(cfg.Buses), u, cs, ps)
-									add(rf, regs)
-								}
-							}
-						}
-					}
-				}
-			}
-		}
-	case "onelevel":
-		for _, banks := range orInts(a.Banks, 2) {
-			for _, r := range orInts(a.ReadPorts, 0) {
-				for _, w := range orInts(a.WritePorts, 0) {
-					for _, regs := range orInts(a.PhysRegs, 128) {
-						rf := sim.OneLevelSpec(core.OneLevelConfig{
-							Banks:             banks,
-							ReadPortsPerBank:  ports(r),
-							WritePortsPerBank: ports(w),
-						})
-						rf.Name = fmt.Sprintf("one-level %db R%sW%s", banks, portLabel(ports(r)), portLabel(ports(w)))
-						add(rf, regs)
-					}
-				}
-			}
-		}
-	case "replicated":
-		for _, clusters := range orInts(a.Clusters, 2) {
-			for _, r := range orInts(a.ReadPorts, 0) {
-				for _, w := range orInts(a.WritePorts, 0) {
-					for _, regs := range orInts(a.PhysRegs, 128) {
-						rf := sim.ReplicatedSpec(core.ReplicatedConfig{
-							Clusters:          clusters,
-							ReadPortsPerBank:  ports(r),
-							WritePortsPerBank: ports(w),
-							RemoteDelay:       1,
-						})
-						rf.Name = fmt.Sprintf("replicated %dc R%sW%s", clusters, portLabel(ports(r)), portLabel(ports(w)))
-						add(rf, regs)
-					}
-				}
-			}
-		}
-	case "":
-		return nil, fmt.Errorf("architecture kind missing")
-	default:
-		return nil, fmt.Errorf("unknown architecture kind %q", a.Kind)
-	}
-	return out, nil
 }

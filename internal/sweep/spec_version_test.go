@@ -1,0 +1,61 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseSpecSchemaVersion pins the versioned decode path: an absent
+// stamp means the current version, the current version is accepted
+// explicitly, and anything else is rejected loudly.
+func TestParseSpecSchemaVersion(t *testing.T) {
+	cases := []struct {
+		name    string
+		spec    string
+		wantErr string
+	}{
+		{"absent", `{"architectures":[{"kind":"1cycle"}]}`, ""},
+		{"current", `{"schema":1,"architectures":[{"kind":"1cycle"}]}`, ""},
+		{"future", `{"schema":2,"architectures":[{"kind":"1cycle"}]}`, "schema version 2 not supported"},
+		{"negative", `{"schema":-1,"architectures":[{"kind":"1cycle"}]}`, "schema version -1 not supported"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseSpec(strings.NewReader(tc.spec))
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("ParseSpec: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("ParseSpec error = %v, want containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestParseSpecUnknownFields pins the fail-loud contract: a typo'd key
+// at any nesting level is an error, never silently ignored.
+func TestParseSpecUnknownFields(t *testing.T) {
+	for _, spec := range []string{
+		`{"architectures":[{"kind":"1cycle"}],"instrs":5000}`,
+		`{"architectures":[{"kind":"1cycle","portz":[1]}]}`,
+		`{"benchmark":["compress"],"architectures":[{"kind":"1cycle"}]}`,
+	} {
+		if _, err := ParseSpec(strings.NewReader(spec)); err == nil {
+			t.Errorf("ParseSpec accepted a spec with an unknown field: %s", spec)
+		} else if !strings.Contains(err.Error(), "unknown field") {
+			t.Errorf("ParseSpec error %v does not name the unknown field for %s", err, spec)
+		}
+	}
+}
+
+// TestRegisterFamilyRejects pins registry error cases surfaced through
+// the spec path.
+func TestSpecUnknownKind(t *testing.T) {
+	_, err := ParseSpec(strings.NewReader(`{"architectures":[{"kind":"warp-drive"}]}`))
+	if err == nil || !strings.Contains(err.Error(), `unknown architecture kind "warp-drive"`) {
+		t.Fatalf("ParseSpec error = %v, want unknown architecture kind", err)
+	}
+}

@@ -1,0 +1,180 @@
+// Package api defines the versioned wire schema of the rfserved HTTP
+// service: the JSON documents exchanged by submissions, status polls,
+// the worker fleet protocol, and the /v1/version endpoint. rf/client,
+// internal/server and internal/dispatch all marshal these exact types,
+// so the three cannot drift apart.
+//
+// Versioning: every document that acknowledges a request carries
+// "schema" (the spec/wire schema version, Version), and every HTTP
+// exchange may negotiate it via the X-RF-API-Version request/response
+// header (VersionHeader). A server rejects a mismatched client with
+// 400 and an Error body; a client surfaces a mismatched server as a
+// typed error (rf/client.ErrVersionMismatch).
+//
+// The result rows streamed by /v1/sweeps/{id}/results are NDJSON-encoded
+// sweep.Row values (rf.Row) — deliberately unstamped, so the stream
+// stays byte-identical to local rfbatch output.
+package api
+
+import (
+	"repro/internal/sim"
+	"repro/internal/sweep"
+)
+
+// Version is the wire schema version spoken by this build.
+const Version = sweep.SchemaVersion
+
+// VersionHeader is the HTTP header carrying the schema version on
+// requests (what the client speaks) and responses (what the server
+// speaks).
+const VersionHeader = "X-RF-API-Version"
+
+// Error is the JSON body of every non-2xx response.
+type Error struct {
+	Error string `json:"error"`
+}
+
+// SubmitResponse acknowledges POST /v1/sweeps.
+type SubmitResponse struct {
+	Schema     int    `json:"schema"`
+	ID         string `json:"id"`
+	Name       string `json:"name,omitempty"`
+	Jobs       int    `json:"jobs"`
+	StatusURL  string `json:"status_url"`
+	ResultsURL string `json:"results_url"`
+}
+
+// SweepStatus is the status document of one sweep
+// (GET /v1/sweeps/{id}, and the acknowledgment of DELETE).
+type SweepStatus struct {
+	Schema int    `json:"schema"`
+	ID     string `json:"id"`
+	Name   string `json:"name,omitempty"`
+	// State is running, done or canceled.
+	State string `json:"state"`
+	// Total, Completed, Cached and Simulated count jobs; Simulated is
+	// Completed minus Cached. A canceled sweep's skipped jobs are
+	// Total - Completed.
+	Total     int `json:"total"`
+	Completed int `json:"completed"`
+	Cached    int `json:"cached"`
+	Simulated int `json:"simulated"`
+	// Submitted and Finished are RFC 3339 timestamps; Finished is empty
+	// while the sweep runs.
+	Submitted  string `json:"submitted"`
+	Finished   string `json:"finished,omitempty"`
+	ResultsURL string `json:"results_url"`
+}
+
+// SweepList is the body of GET /v1/sweeps.
+type SweepList struct {
+	Sweeps []SweepStatus `json:"sweeps"`
+}
+
+// VersionInfo is the body of GET /v1/version.
+type VersionInfo struct {
+	// Schema is the wire/spec schema version the server speaks.
+	Schema int `json:"schema"`
+	// Module is the server's module build version.
+	Module string `json:"module"`
+}
+
+// RegisterRequest is the body of POST /v1/workers/register.
+type RegisterRequest struct {
+	// Name labels the worker in listings (defaults to its id).
+	Name string `json:"name,omitempty"`
+	// Capacity is the worker's in-flight budget: the most jobs it may
+	// hold leases on at once. Clamped to [1, the coordinator's
+	// MaxCapacity].
+	Capacity int `json:"capacity"`
+}
+
+// RegisterResponse acknowledges a registration.
+type RegisterResponse struct {
+	ID string `json:"id"`
+	// Capacity is the granted in-flight budget — the request's capacity
+	// clamped to the coordinator's MaxCapacity. The worker must budget
+	// against this value, not the one it asked for.
+	Capacity int `json:"capacity"`
+	// LeaseMS is the lease TTL: poll at least this often.
+	LeaseMS int64 `json:"lease_ms"`
+	// PollMS is how long an idle poll may be held open server-side.
+	PollMS int64 `json:"poll_ms"`
+}
+
+// TaskResult reports one finished job inside a poll request.
+type TaskResult struct {
+	Task   uint64     `json:"task"`
+	Key    string     `json:"key"`
+	Result sim.Result `json:"result"`
+}
+
+// Assignment hands one job to a worker inside a poll response.
+type Assignment struct {
+	Task uint64    `json:"task"`
+	Key  string    `json:"key"`
+	Job  sweep.Job `json:"job"`
+}
+
+// PollRequest is the body of POST /v1/workers/{id}/poll: completed
+// results to report plus how many new jobs the worker wants.
+type PollRequest struct {
+	Results []TaskResult `json:"results,omitempty"`
+	// Holding inventories every task id the worker believes it holds —
+	// in-flight simulations plus finished-but-unreported results
+	// (Results included). The coordinator requeues any lease absent from
+	// it: that assignment traveled in a poll response the worker never
+	// received, and would otherwise stay a ghost forever, since the
+	// worker's continued polling keeps renewing the lease.
+	Holding []uint64 `json:"holding,omitempty"`
+	Want    int      `json:"want"`
+}
+
+// PollResponse carries new leases back to the worker.
+type PollResponse struct {
+	Jobs    []Assignment `json:"jobs"`
+	LeaseMS int64        `json:"lease_ms"`
+}
+
+// FleetStats is a point-in-time snapshot of coordinator fleet activity
+// (embedded in GET /v1/workers and the dispatch metrics).
+type FleetStats struct {
+	// Workers is the number of currently registered workers.
+	Workers int `json:"workers"`
+	// Pending and Inflight count live tasks queued / leased right now.
+	Pending  int `json:"pending"`
+	Inflight int `json:"inflight"`
+	// Enqueued counts tasks ever created (deduplicated Simulate calls
+	// share a task and count once).
+	Enqueued uint64 `json:"enqueued"`
+	// Dispatched counts job leases handed out, including retries.
+	Dispatched uint64 `json:"dispatched"`
+	// Completed counts results accepted from workers.
+	Completed uint64 `json:"completed"`
+	// Requeued counts leases that expired and went back in the queue.
+	Requeued uint64 `json:"requeued"`
+	// Fallbacks counts tasks the coordinator simulated locally.
+	Fallbacks uint64 `json:"fallbacks"`
+	// Late counts results that arrived for unknown or finished tasks.
+	Late uint64 `json:"late"`
+	// Expired counts workers deregistered for missing their lease.
+	Expired uint64 `json:"expired"`
+}
+
+// WorkerInfo is one row of GET /v1/workers.
+type WorkerInfo struct {
+	ID         string `json:"id"`
+	Name       string `json:"name"`
+	Capacity   int    `json:"capacity"`
+	Inflight   int    `json:"inflight"`
+	Completed  uint64 `json:"completed"`
+	Registered string `json:"registered"`
+	// LeaseExpires is when the worker is deregistered unless it polls.
+	LeaseExpires string `json:"lease_expires"`
+}
+
+// WorkerList is the body of GET /v1/workers.
+type WorkerList struct {
+	Workers []WorkerInfo `json:"workers"`
+	Stats   FleetStats   `json:"stats"`
+}

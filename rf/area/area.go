@@ -1,0 +1,67 @@
+// Package area re-exports the register-file area and access-time cost
+// model for SDK consumers: the analytical model calibrated against the
+// paper's Table 2, the matched-area configurations C1–C4, and the
+// candidate-search helpers behind Figure 8/9-style studies. See
+// internal/area for the model's functional forms and calibration.
+package area
+
+import "repro/internal/area"
+
+// Bits is the register width in bits.
+const Bits = area.Bits
+
+// AreaUnit is the paper's area unit: 10⁴ λ².
+const AreaUnit = area.AreaUnit
+
+// SingleBank describes a monolithic register file configuration for the
+// cost model.
+type SingleBank = area.SingleBank
+
+// TwoLevel describes a register file cache configuration for the cost
+// model.
+type TwoLevel = area.TwoLevel
+
+// PaperConfig is one row of the paper's Table 2: matched-area
+// configurations of the architectures.
+type PaperConfig = area.PaperConfig
+
+// Published holds the paper's printed Table 2 reference values.
+type Published = area.Published
+
+// BankArea returns the area in λ² of a bank with n registers, r read
+// ports and w write ports.
+func BankArea(n, r, w int) float64 { return area.BankArea(n, r, w) }
+
+// BankAccessTime returns the access time in ns of a bank with n
+// registers and p total ports.
+func BankAccessTime(n, p int) float64 { return area.BankAccessTime(n, p) }
+
+// Table2 returns the paper's four matched-area configurations C1–C4.
+func Table2() []PaperConfig { return area.Table2() }
+
+// PublishedTable2 returns the paper's printed Table 2 numbers.
+func PublishedTable2() []Published { return area.PublishedTable2() }
+
+// SingleBankCandidates enumerates single-banked configurations with
+// read ports in [2, maxRead] and write ports in [1, maxWrite].
+func SingleBankCandidates(regs, maxRead, maxWrite int) []SingleBank {
+	return area.SingleBankCandidates(regs, maxRead, maxWrite)
+}
+
+// TwoLevelCandidates enumerates register-file-cache configurations over
+// the plausible neighborhood of the paper's Table 2.
+func TwoLevelCandidates(upperRegs, lowerRegs, maxRead, maxWrite, maxBuses int) []TwoLevel {
+	return area.TwoLevelCandidates(upperRegs, lowerRegs, maxRead, maxWrite, maxBuses)
+}
+
+// FastestSingleBankUnder returns the single-banked candidate with the
+// most total ports fitting the area budget.
+func FastestSingleBankUnder(budget float64, candidates []SingleBank) (SingleBank, bool) {
+	return area.FastestSingleBankUnder(budget, candidates)
+}
+
+// FastestTwoLevelUnder returns the two-level candidate with the most
+// upper-bank bandwidth fitting the area budget.
+func FastestTwoLevelUnder(budget float64, candidates []TwoLevel) (TwoLevel, bool) {
+	return area.FastestTwoLevelUnder(budget, candidates)
+}

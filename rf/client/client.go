@@ -1,0 +1,433 @@
+// Package client is the Go client for the rfserved HTTP API: sweep
+// submission, NDJSON result streaming (with mid-stream resume), status
+// polling, cancellation, worker-fleet registration, and version
+// negotiation. cmd/rfbatch -remote and the internal/dispatch worker
+// loop are built on it, so every consumer of the service — CLI, fleet
+// or external program — shares one wire implementation.
+//
+//	cl := client.New("http://coordinator:8090")
+//	ack, err := cl.Submit(ctx, spec)
+//	...
+//	err = cl.StreamResults(ctx, ack.ID, os.Stdout)
+//	st, err := cl.Status(ctx, ack.ID)
+//
+// Every request carries the X-RF-API-Version header; a server speaking
+// a different schema version is surfaced as *ErrVersionMismatch.
+// Idempotent requests (GET, DELETE) are retried with exponential
+// backoff on network errors and 5xx responses; submissions are not
+// (the caller decides whether re-submitting is safe).
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/rf"
+	"repro/rf/api"
+)
+
+// APIError is a non-2xx response from the server, carrying the error
+// body (the message of the {"error": ...} document when the server sent
+// one, otherwise the raw body).
+type APIError struct {
+	// StatusCode is the HTTP status.
+	StatusCode int
+	// Message is the server's error text.
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("rf: server returned %d: %s", e.StatusCode, e.Message)
+}
+
+// ErrVersionMismatch reports a server speaking a different wire schema
+// version than this client.
+type ErrVersionMismatch struct {
+	// Client and Server are the two schema versions; Server is 0 when
+	// the server's header did not parse.
+	Client, Server int
+}
+
+func (e *ErrVersionMismatch) Error() string {
+	return fmt.Sprintf("rf: API schema version mismatch: client speaks %d, server speaks %d",
+		e.Client, e.Server)
+}
+
+// Client talks to one rfserved instance. It is safe for concurrent use.
+type Client struct {
+	base    string
+	hc      *http.Client
+	retries int
+	backoff time.Duration
+	logf    func(string, ...any)
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient supplies the underlying HTTP client (for custom
+// transports or timeouts). The default has no fixed timeout: result
+// streams and long polls are held open by design, so deadlines belong
+// on the per-call context.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) {
+		if hc != nil {
+			c.hc = hc
+		}
+	}
+}
+
+// WithRetries sets how many times an idempotent request is retried
+// after a transient failure (default 3; 0 disables retrying).
+func WithRetries(n int) Option {
+	return func(c *Client) { c.retries = n }
+}
+
+// WithBackoff sets the initial retry backoff, doubled per attempt
+// (default 100ms).
+func WithBackoff(d time.Duration) Option {
+	return func(c *Client) {
+		if d > 0 {
+			c.backoff = d
+		}
+	}
+}
+
+// WithLogf receives retry/resume lifecycle messages (default: silent).
+func WithLogf(f func(string, ...any)) Option {
+	return func(c *Client) {
+		if f != nil {
+			c.logf = f
+		}
+	}
+}
+
+// New returns a client for the rfserved instance at base
+// (e.g. "http://coordinator:8090"; a trailing slash is normalized
+// away so ServeMux path-cleaning cannot 301 a POST into a GET).
+func New(base string, opts ...Option) *Client {
+	c := &Client{
+		base:    strings.TrimSuffix(base, "/"),
+		hc:      &http.Client{},
+		retries: 3,
+		backoff: 100 * time.Millisecond,
+		logf:    func(string, ...any) {},
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// BaseURL returns the normalized server base URL.
+func (c *Client) BaseURL() string { return c.base }
+
+// transient reports whether an attempt's failure is worth retrying:
+// network errors and 5xx responses, never context cancellation.
+func transient(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.StatusCode >= 500
+	}
+	var vm *ErrVersionMismatch
+	return !errors.As(err, &vm)
+}
+
+// roundTrip performs one attempt: send, negotiate version, surface
+// non-2xx as *APIError. On success the caller owns resp.Body.
+func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	req.Header.Set(api.VersionHeader, strconv.Itoa(api.Version))
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if h := resp.Header.Get(api.VersionHeader); h != "" {
+		if v, err := strconv.Atoi(h); err != nil || v != api.Version {
+			drain(resp)
+			return nil, &ErrVersionMismatch{Client: api.Version, Server: v}
+		}
+	}
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		drain(resp)
+		var e api.Error
+		text := string(bytes.TrimSpace(msg))
+		if json.Unmarshal(msg, &e) == nil && e.Error != "" {
+			text = e.Error
+		}
+		return nil, &APIError{StatusCode: resp.StatusCode, Message: text}
+	}
+	return resp, nil
+}
+
+func drain(resp *http.Response) {
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+	resp.Body.Close()
+}
+
+// request is roundTrip plus retry/backoff for idempotent requests.
+func (c *Client) request(ctx context.Context, method, path string, body []byte, idempotent bool) (*http.Response, error) {
+	backoff := c.backoff
+	for attempt := 0; ; attempt++ {
+		resp, err := c.roundTrip(ctx, method, path, body)
+		if err == nil {
+			return resp, nil
+		}
+		if !idempotent || attempt >= c.retries || !transient(err) {
+			return nil, err
+		}
+		c.logf("rf/client: %s %s failed (retry %d/%d in %v): %v",
+			method, path, attempt+1, c.retries, backoff, err)
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+	}
+}
+
+// doJSON performs a request and decodes the response document into out
+// (which may be nil to discard it).
+func (c *Client) doJSON(ctx context.Context, method, path string, in, out any, idempotent bool) error {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return err
+		}
+	}
+	resp, err := c.request(ctx, method, path, body, idempotent)
+	if err != nil {
+		return err
+	}
+	defer drain(resp)
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit posts a sweep spec and returns the acknowledgment. It is not
+// retried automatically: a duplicate submission starts a duplicate
+// sweep (the server's result cache makes that cheap, but it is the
+// caller's call).
+func (c *Client) Submit(ctx context.Context, spec *rf.Spec) (*api.SubmitResponse, error) {
+	var ack api.SubmitResponse
+	if err := c.doJSON(ctx, http.MethodPost, "/v1/sweeps", spec, &ack, false); err != nil {
+		return nil, err
+	}
+	return &ack, nil
+}
+
+// Status fetches one sweep's status document.
+func (c *Client) Status(ctx context.Context, id string) (*api.SweepStatus, error) {
+	var st api.SweepStatus
+	if err := c.doJSON(ctx, http.MethodGet, "/v1/sweeps/"+id, nil, &st, true); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Sweeps lists every sweep the server knows.
+func (c *Client) Sweeps(ctx context.Context) (*api.SweepList, error) {
+	var ls api.SweepList
+	if err := c.doJSON(ctx, http.MethodGet, "/v1/sweeps", nil, &ls, true); err != nil {
+		return nil, err
+	}
+	return &ls, nil
+}
+
+// Cancel cancels a running sweep and returns its status.
+func (c *Client) Cancel(ctx context.Context, id string) (*api.SweepStatus, error) {
+	var st api.SweepStatus
+	if err := c.doJSON(ctx, http.MethodDelete, "/v1/sweeps/"+id, nil, &st, true); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Version fetches the server's module and schema version.
+func (c *Client) Version(ctx context.Context) (*api.VersionInfo, error) {
+	var v api.VersionInfo
+	if err := c.doJSON(ctx, http.MethodGet, "/v1/version", nil, &v, true); err != nil {
+		return nil, err
+	}
+	return &v, nil
+}
+
+// Results opens the sweep's live NDJSON result stream. The caller owns
+// the ReadCloser; the stream ends when the sweep reaches a terminal
+// state. Most callers want StreamResults, which survives a mid-stream
+// disconnect.
+func (c *Client) Results(ctx context.Context, id string) (io.ReadCloser, error) {
+	resp, err := c.request(ctx, http.MethodGet, "/v1/sweeps/"+id+"/results", nil, true)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Body, nil
+}
+
+// Wait polls the sweep's status until it leaves the running state (or
+// ctx ends), and returns the terminal status document.
+func (c *Client) Wait(ctx context.Context, id string) (*api.SweepStatus, error) {
+	backoff := c.backoff
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if st.State != "running" {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(backoff):
+		}
+		if backoff < time.Second {
+			backoff *= 2
+		}
+	}
+}
+
+// StreamResults copies the sweep's NDJSON rows to w, verbatim and in
+// job order, until the sweep reaches a terminal state. A mid-stream
+// disconnect does not fail the call: the client falls back to status
+// polling (Wait) until the sweep is terminal, re-opens the results
+// stream, skips the rows already delivered, and continues — only whole
+// lines are ever written, so the output is byte-identical to an
+// uninterrupted stream.
+func (c *Client) StreamResults(ctx context.Context, id string, w io.Writer) error {
+	delivered := 0
+	for attempt := 0; ; attempt++ {
+		rc, err := c.Results(ctx, id)
+		if err != nil {
+			return err
+		}
+		n, err := copyNDJSON(w, rc, delivered)
+		rc.Close()
+		delivered += n
+		if err == nil {
+			// The server closes the stream only on a terminal sweep state,
+			// so a clean end means everything has been delivered.
+			return nil
+		}
+		// A failure writing to the caller's destination is not a broken
+		// stream: re-downloading cannot fix it, so surface it at once.
+		var we *destWriteError
+		if errors.As(err, &we) {
+			return we.err
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if attempt >= c.retries {
+			return fmt.Errorf("rf: results stream of sweep %s broken after %d resumes: %w",
+				id, attempt, err)
+		}
+		c.logf("rf/client: results stream of %s broken after %d rows (resuming): %v",
+			id, delivered, err)
+		// Let the sweep finish while the connection recovers; the rows
+		// are replayable afterwards.
+		if _, err := c.Wait(ctx, id); err != nil {
+			return err
+		}
+	}
+}
+
+// destWriteError marks a failure writing to the caller's destination,
+// as opposed to a failure reading the network stream — only the latter
+// is worth a resume.
+type destWriteError struct{ err error }
+
+func (e *destWriteError) Error() string { return e.err.Error() }
+
+// copyNDJSON writes the stream's complete lines to w, skipping the
+// first skip lines, and returns how many new lines it wrote. A stream
+// ending without a final newline reports io.ErrUnexpectedEOF so the
+// caller resumes rather than emitting a truncated row; errors from w
+// come back wrapped in *destWriteError.
+func copyNDJSON(w io.Writer, r io.Reader, skip int) (int, error) {
+	br := bufio.NewReader(r)
+	written := 0
+	for {
+		line, err := br.ReadBytes('\n')
+		if len(line) > 0 && line[len(line)-1] == '\n' {
+			if skip > 0 {
+				skip--
+			} else {
+				if _, werr := w.Write(line); werr != nil {
+					return written, &destWriteError{werr}
+				}
+				written++
+			}
+		} else if len(line) > 0 {
+			if err == nil || err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return written, err
+		}
+		if err != nil {
+			if err == io.EOF {
+				return written, nil
+			}
+			return written, err
+		}
+	}
+}
+
+// RegisterWorker registers this process with a coordinator's worker
+// fleet. It is not retried automatically (a retried registration leaks
+// a ghost worker until its lease expires); internal/dispatch.RunWorker
+// wraps it in its own retry loop.
+func (c *Client) RegisterWorker(ctx context.Context, req api.RegisterRequest) (*api.RegisterResponse, error) {
+	var resp api.RegisterResponse
+	if err := c.doJSON(ctx, http.MethodPost, "/v1/workers/register", req, &resp, false); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// PollWorker reports finished results and leases new jobs — the
+// heartbeat exchange of the fleet protocol. Not retried automatically:
+// the worker loop owns pacing and must reconcile held leases itself.
+func (c *Client) PollWorker(ctx context.Context, workerID string, req api.PollRequest) (*api.PollResponse, error) {
+	var resp api.PollResponse
+	if err := c.doJSON(ctx, http.MethodPost, "/v1/workers/"+workerID+"/poll", req, &resp, false); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Workers lists the coordinator's registered fleet.
+func (c *Client) Workers(ctx context.Context) (*api.WorkerList, error) {
+	var ls api.WorkerList
+	if err := c.doJSON(ctx, http.MethodGet, "/v1/workers", nil, &ls, true); err != nil {
+		return nil, err
+	}
+	return &ls, nil
+}

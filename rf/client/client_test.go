@@ -1,0 +1,230 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/rf"
+	"repro/rf/api"
+)
+
+func testSpec(t *testing.T) *rf.Spec {
+	t.Helper()
+	spec, err := rf.ParseSpec(strings.NewReader(
+		`{"schema":1,"instructions":5000,"benchmarks":["compress"],"architectures":[{"kind":"1cycle"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+// TestSubmitSurfacesErrorBody pins the failure contract of Submit: a
+// non-2xx response yields an *APIError carrying the server's error
+// message, not a generic status-code error.
+func TestSubmitSurfacesErrorBody(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusRequestEntityTooLarge)
+		fmt.Fprintln(w, `{"error": "sweep: spec expands to 9000 jobs, limit is 100"}`)
+	}))
+	defer ts.Close()
+
+	_, err := New(ts.URL).Submit(context.Background(), testSpec(t))
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("Submit error = %v (%T), want *APIError", err, err)
+	}
+	if ae.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("StatusCode = %d, want 413", ae.StatusCode)
+	}
+	if want := "sweep: spec expands to 9000 jobs, limit is 100"; ae.Message != want {
+		t.Errorf("Message = %q, want %q", ae.Message, want)
+	}
+}
+
+// TestSubmitNonJSONErrorBody: a proxy-style plain-text error body is
+// surfaced raw.
+func TestSubmitNonJSONErrorBody(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "bad gateway", http.StatusBadGateway)
+	}))
+	defer ts.Close()
+
+	cl := New(ts.URL, WithRetries(0))
+	_, err := cl.Submit(context.Background(), testSpec(t))
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.StatusCode != http.StatusBadGateway || ae.Message != "bad gateway" {
+		t.Fatalf("Submit error = %v, want *APIError{502, bad gateway}", err)
+	}
+}
+
+// TestVersionMismatch pins the negotiation contract: a server speaking
+// a different schema version yields a typed *ErrVersionMismatch, on
+// any verb, regardless of status code.
+func TestVersionMismatch(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if got := r.Header.Get(api.VersionHeader); got != fmt.Sprint(api.Version) {
+			t.Errorf("request version header = %q, want %d", got, api.Version)
+		}
+		w.Header().Set(api.VersionHeader, "2")
+		w.WriteHeader(http.StatusBadRequest)
+		fmt.Fprintln(w, `{"error": "rfserved: API schema version \"1\" not supported (this server speaks 2)"}`)
+	}))
+	defer ts.Close()
+
+	cl := New(ts.URL)
+	_, err := cl.Submit(context.Background(), testSpec(t))
+	var vm *ErrVersionMismatch
+	if !errors.As(err, &vm) {
+		t.Fatalf("Submit error = %v (%T), want *ErrVersionMismatch", err, err)
+	}
+	if vm.Client != api.Version || vm.Server != 2 {
+		t.Errorf("mismatch = client %d / server %d, want %d / 2", vm.Client, vm.Server, api.Version)
+	}
+
+	// Even a 200 from a wrong-version server must not be trusted.
+	if _, err := cl.Status(context.Background(), "s000001"); !errors.As(err, &vm) {
+		t.Errorf("Status error = %v, want *ErrVersionMismatch", err)
+	}
+}
+
+// TestStreamResultsResumesAfterDisconnect pins the resume contract: a
+// results stream killed mid-row falls back to status polling until the
+// sweep is terminal, reopens the stream, skips what was already
+// delivered, and produces byte-identical output.
+func TestStreamResultsResumesAfterDisconnect(t *testing.T) {
+	rows := make([]string, 6)
+	for i := range rows {
+		rows[i] = fmt.Sprintf(`{"benchmark":"b%d","arch":"a","instructions":1,"cycles":1,"ipc":1,"mispredict_rate":0,"icache_miss_rate":0,"dcache_miss_rate":0,"key":"k%d","cached":false}`, i, i)
+	}
+	full := strings.Join(rows, "\n") + "\n"
+
+	var resultCalls, statusCalls atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/sweeps/s000001/results", func(w http.ResponseWriter, r *http.Request) {
+		if resultCalls.Add(1) == 1 {
+			// Two complete rows, then a truncated third row, then the
+			// connection dies.
+			partial := rows[0] + "\n" + rows[1] + "\n" + rows[2][:20]
+			w.Write([]byte(partial))
+			if f, ok := w.(http.Flusher); ok {
+				f.Flush()
+			}
+			panic(http.ErrAbortHandler)
+		}
+		w.Write([]byte(full))
+	})
+	mux.HandleFunc("GET /v1/sweeps/s000001", func(w http.ResponseWriter, r *http.Request) {
+		st := api.SweepStatus{Schema: api.Version, ID: "s000001", State: "running", Total: 6}
+		if statusCalls.Add(1) >= 3 {
+			st.State = "done"
+			st.Completed = 6
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"schema":%d,"id":%q,"state":%q,"total":%d,"completed":%d}`,
+			st.Schema, st.ID, st.State, st.Total, st.Completed)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	var out bytes.Buffer
+	cl := New(ts.URL, WithBackoff(time.Millisecond), WithLogf(t.Logf))
+	if err := cl.StreamResults(context.Background(), "s000001", &out); err != nil {
+		t.Fatalf("StreamResults: %v", err)
+	}
+	if out.String() != full {
+		t.Fatalf("resumed stream diverged:\ngot:\n%swant:\n%s", out.String(), full)
+	}
+	if n := statusCalls.Load(); n < 3 {
+		t.Errorf("expected ≥3 status polls during the disconnect, saw %d", n)
+	}
+	if n := resultCalls.Load(); n != 2 {
+		t.Errorf("expected exactly 2 stream opens, saw %d", n)
+	}
+}
+
+// TestStreamResultsGivesUp: a stream that keeps dying eventually
+// returns the underlying error instead of looping forever.
+func TestStreamResultsGivesUp(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/sweeps/s1/results", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"truncated`))
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		panic(http.ErrAbortHandler)
+	})
+	mux.HandleFunc("GET /v1/sweeps/s1", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, `{"schema":%d,"id":"s1","state":"done"}`, api.Version)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	cl := New(ts.URL, WithRetries(2), WithBackoff(time.Millisecond))
+	err := cl.StreamResults(context.Background(), "s1", &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "broken after") {
+		t.Fatalf("StreamResults error = %v, want broken-stream error", err)
+	}
+}
+
+type failingWriter struct{ n int }
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	if w.n--; w.n < 0 {
+		return 0, fmt.Errorf("broken pipe")
+	}
+	return len(p), nil
+}
+
+// TestStreamResultsWriteErrorIsFatal: a failure writing to the caller's
+// destination must surface immediately — re-downloading the stream
+// cannot fix a broken destination.
+func TestStreamResultsWriteErrorIsFatal(t *testing.T) {
+	var streamOpens atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/sweeps/s1/results", func(w http.ResponseWriter, r *http.Request) {
+		streamOpens.Add(1)
+		w.Write([]byte("{\"a\":1}\n{\"a\":2}\n{\"a\":3}\n"))
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	cl := New(ts.URL, WithBackoff(time.Millisecond))
+	err := cl.StreamResults(context.Background(), "s1", &failingWriter{n: 1})
+	if err == nil || !strings.Contains(err.Error(), "broken pipe") {
+		t.Fatalf("StreamResults error = %v, want the destination's broken pipe", err)
+	}
+	if n := streamOpens.Load(); n != 1 {
+		t.Errorf("stream opened %d times, want 1 (no resume on a destination failure)", n)
+	}
+}
+
+// TestGetRetriesTransient: idempotent requests retry 5xx with backoff
+// and succeed once the server recovers.
+func TestGetRetriesTransient(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			http.Error(w, "warming up", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintf(w, `{"schema":%d,"id":"s1","state":"done"}`, api.Version)
+	}))
+	defer ts.Close()
+
+	st, err := New(ts.URL, WithBackoff(time.Millisecond)).Status(context.Background(), "s1")
+	if err != nil {
+		t.Fatalf("Status: %v", err)
+	}
+	if st.State != "done" || calls.Load() != 3 {
+		t.Errorf("state %q after %d calls, want done after 3", st.State, calls.Load())
+	}
+}

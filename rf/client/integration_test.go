@@ -1,0 +1,83 @@
+package client_test
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/sweep"
+	"repro/rf"
+	"repro/rf/api"
+	"repro/rf/client"
+)
+
+// TestClientAgainstServer drives the real rfserved handler through the
+// public client: version negotiation, submission, streaming, status.
+// This is the compile-and-runtime guarantee that rf/client, rf/api and
+// internal/server speak the same wire schema.
+func TestClientAgainstServer(t *testing.T) {
+	srv := server.New(server.Config{
+		Simulate: func(j sweep.Job) sim.Result {
+			return sim.Result{Instructions: j.Config.MaxInstructions, Cycles: 1000, IPC: 2}
+		},
+	})
+	defer srv.Shutdown(context.Background())
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	ctx := context.Background()
+	cl := client.New(ts.URL)
+
+	v, err := cl.Version(ctx)
+	if err != nil {
+		t.Fatalf("Version: %v", err)
+	}
+	if v.Schema != rf.SchemaVersion || v.Module == "" {
+		t.Errorf("Version = %+v, want schema %d and a module string", v, rf.SchemaVersion)
+	}
+
+	spec, err := rf.ParseSpec(strings.NewReader(
+		`{"schema":1,"instructions":5000,"benchmarks":["compress","swim"],"architectures":[{"kind":"1cycle"},{"kind":"onelevel","banks":[2,4]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ack, err := cl.Submit(ctx, spec)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if ack.Schema != api.Version || ack.Jobs != 6 {
+		t.Errorf("ack = %+v, want schema %d, 6 jobs", ack, api.Version)
+	}
+
+	var out bytes.Buffer
+	if err := cl.StreamResults(ctx, ack.ID, &out); err != nil {
+		t.Fatalf("StreamResults: %v", err)
+	}
+	rows, err := rf.ReadRows(bytes.NewReader(out.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadRows on streamed NDJSON: %v", err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("streamed %d rows, want 6", len(rows))
+	}
+
+	st, err := cl.Status(ctx, ack.ID)
+	if err != nil {
+		t.Fatalf("Status: %v", err)
+	}
+	if st.Schema != api.Version || st.State != "done" || st.Completed != 6 {
+		t.Errorf("status = %+v, want schema %d, done, 6 completed", st, api.Version)
+	}
+
+	ls, err := cl.Sweeps(ctx)
+	if err != nil {
+		t.Fatalf("Sweeps: %v", err)
+	}
+	if len(ls.Sweeps) != 1 || ls.Sweeps[0].ID != ack.ID {
+		t.Errorf("list = %+v, want the one submitted sweep", ls.Sweeps)
+	}
+}

@@ -1,0 +1,88 @@
+package rf
+
+import "repro/internal/sim"
+
+// DefaultInstructions is the instruction budget NewConfig applies when
+// MaxInstructions is not given — the same default a sweep spec uses.
+const DefaultInstructions = 120000
+
+// configState threads option application so derived defaults (warmup)
+// can be recomputed after explicit overrides.
+type configState struct {
+	cfg       Config
+	warmupSet bool
+}
+
+// Option adjusts a configuration under construction; see NewConfig.
+type Option func(*configState)
+
+// NewConfig returns the paper's Table 1 processor configured for the
+// given register file architecture, with the options applied:
+//
+//	cfg := rf.NewConfig(rf.PaperCache(), rf.MaxInstructions(100000))
+//
+// Unless Warmup is given, the warmup window is a quarter of the
+// instruction budget, mirroring the paper's skip of each benchmark's
+// initialization. Validate the result with cfg.Validate().
+func NewConfig(spec RFSpec, opts ...Option) Config {
+	st := configState{cfg: sim.DefaultConfig(spec, DefaultInstructions)}
+	for _, o := range opts {
+		o(&st)
+	}
+	if !st.warmupSet {
+		st.cfg.WarmupInstructions = st.cfg.MaxInstructions / 4
+	}
+	return st.cfg
+}
+
+// MaxInstructions sets the committed-instruction budget of the run.
+func MaxInstructions(n uint64) Option {
+	return func(st *configState) { st.cfg.MaxInstructions = n }
+}
+
+// Warmup sets the number of initial commits excluded from all
+// statistics (caches, predictor and register file state keep warming
+// during them).
+func Warmup(n uint64) Option {
+	return func(st *configState) {
+		st.cfg.WarmupInstructions = n
+		st.warmupSet = true
+	}
+}
+
+// PhysRegs sets the per-file physical register count (the paper uses
+// 128 int + 128 FP).
+func PhysRegs(n int) Option {
+	return func(st *configState) { st.cfg.PhysRegs = n }
+}
+
+// WindowSize sets the instruction window / reorder buffer size.
+func WindowSize(n int) Option {
+	return func(st *configState) { st.cfg.WindowSize = n }
+}
+
+// LSQSize sets the load/store queue capacity.
+func LSQSize(n int) Option {
+	return func(st *configState) { st.cfg.LSQSize = n }
+}
+
+// Widths sets the per-cycle fetch, issue and commit limits.
+func Widths(fetch, issue, commit int) Option {
+	return func(st *configState) {
+		st.cfg.FetchWidth, st.cfg.IssueWidth, st.cfg.CommitWidth = fetch, issue, commit
+	}
+}
+
+// Predictor sizes the gshare branch predictor: table index bits and
+// global history length.
+func Predictor(tableBits, historyBits uint) Option {
+	return func(st *configState) {
+		st.cfg.PredictorBits, st.cfg.HistoryBits = tableBits, historyBits
+	}
+}
+
+// ValueStats enables the live-value instrumentation (Figure 3);
+// measurably slower.
+func ValueStats() Option {
+	return func(st *configState) { st.cfg.ValueStats = true }
+}

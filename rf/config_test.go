@@ -1,0 +1,126 @@
+package rf_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/rf"
+)
+
+// TestNewConfigMatchesDefaultConfig pins cache-key compatibility: a
+// config built through the SDK's functional options must be identical
+// to one built by the internal constructor — otherwise SDK-submitted
+// jobs and sweep-expanded jobs would hash to different content
+// addresses and the shared result cache would split.
+func TestNewConfigMatchesDefaultConfig(t *testing.T) {
+	specs := []rf.RFSpec{
+		rf.Mono1Cycle(rf.Unlimited, rf.Unlimited),
+		rf.Mono2CycleSingle(4, 3),
+		rf.PaperCache(),
+	}
+	for _, spec := range specs {
+		got := rf.NewConfig(spec, rf.MaxInstructions(60000))
+		want := sim.DefaultConfig(spec, 60000)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("NewConfig(%s) = %+v\nwant %+v", spec.Name, got, want)
+		}
+	}
+	// The SDK default budget matches the sweep spec default.
+	if got := rf.NewConfig(rf.PaperCache()); got.MaxInstructions != rf.DefaultInstructions ||
+		!reflect.DeepEqual(got, sim.DefaultConfig(rf.PaperCache(), rf.DefaultInstructions)) {
+		t.Errorf("NewConfig() default = %+v", got)
+	}
+}
+
+// TestNewConfigOptions pins the option semantics, including the derived
+// warmup default (a quarter of the budget) and its explicit override in
+// either order.
+func TestNewConfigOptions(t *testing.T) {
+	cfg := rf.NewConfig(rf.PaperCache(), rf.MaxInstructions(40000))
+	if cfg.WarmupInstructions != 10000 {
+		t.Errorf("derived warmup = %d, want 10000", cfg.WarmupInstructions)
+	}
+	for _, opts := range [][]rf.Option{
+		{rf.Warmup(5), rf.MaxInstructions(40000)},
+		{rf.MaxInstructions(40000), rf.Warmup(5)},
+	} {
+		if cfg := rf.NewConfig(rf.PaperCache(), opts...); cfg.WarmupInstructions != 5 {
+			t.Errorf("explicit warmup lost: got %d", cfg.WarmupInstructions)
+		}
+	}
+
+	cfg = rf.NewConfig(rf.Mono1Cycle(rf.Unlimited, rf.Unlimited),
+		rf.PhysRegs(96), rf.WindowSize(256), rf.LSQSize(32),
+		rf.Widths(4, 4, 4), rf.Predictor(14, 6), rf.ValueStats())
+	if cfg.PhysRegs != 96 || cfg.WindowSize != 256 || cfg.LSQSize != 32 ||
+		cfg.FetchWidth != 4 || cfg.PredictorBits != 14 || cfg.HistoryBits != 6 || !cfg.ValueStats {
+		t.Errorf("options not applied: %+v", cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("option-built config invalid: %v", err)
+	}
+}
+
+// TestRegisterFamilyUserDefined registers a new family through the
+// public API and expands it through a sweep spec by name — the
+// extensibility contract of the registry.
+func TestRegisterFamilyUserDefined(t *testing.T) {
+	err := rf.RegisterFamily(rf.Family{
+		Name: "testfam-userdef",
+		Doc:  "test-only family",
+		Dims: []rf.Dim{rf.IntDim("banks", 4), rf.IntDim("read_ports", 0)},
+		Build: func(v rf.Values) (rf.RFSpec, error) {
+			spec := rf.OneLevelSpec(rf.OneLevelConfig{
+				Banks:             v.Int("banks"),
+				ReadPortsPerBank:  rf.Ports(v.Int("read_ports")),
+				WritePortsPerBank: rf.Ports(0),
+			})
+			spec.Name = "testfam"
+			return spec, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spec, err := rf.ParseSpec(strings.NewReader(
+		`{"benchmarks":["compress"],"architectures":[{"kind":"testfam-userdef","banks":[2,8],"read_ports":[4]}]}`))
+	if err != nil {
+		t.Fatalf("spec naming a user-defined family rejected: %v", err)
+	}
+	jobs, err := spec.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2 {
+		t.Fatalf("expanded %d jobs, want 2 (banks cross product)", len(jobs))
+	}
+	if kind := jobs[0].Config.RF.Kind; kind != rf.RFOneLevel {
+		t.Errorf("job built wrong spec kind %v", kind)
+	}
+
+	// Duplicate and malformed registrations fail loudly.
+	if err := rf.RegisterFamily(rf.Family{Name: "testfam-userdef", Build: func(rf.Values) (rf.RFSpec, error) { return rf.RFSpec{}, nil }}); err == nil {
+		t.Error("duplicate family registration accepted")
+	}
+	if err := rf.RegisterFamily(rf.Family{Name: "nobuild"}); err == nil {
+		t.Error("family without Build accepted")
+	}
+	if err := rf.RegisterFamily(rf.Family{Build: func(rf.Values) (rf.RFSpec, error) { return rf.RFSpec{}, nil }}); err == nil {
+		t.Error("family without name accepted")
+	}
+	// A dimension the sweep matrix cannot carry must fail at
+	// registration, not panic on the first spec naming the family.
+	build := func(rf.Values) (rf.RFSpec, error) { return rf.RFSpec{}, nil }
+	for _, f := range []rf.Family{
+		{Name: "baddim-int", Dims: []rf.Dim{rf.IntDim("depth", 2)}, Build: build},
+		{Name: "baddim-space", Dims: []rf.Dim{rf.StrDim("banks", "x", nil)}, Build: build},
+		{Name: "baddim-dup", Dims: []rf.Dim{rf.IntDim("banks", 2), rf.IntDim("banks", 4)}, Build: build},
+	} {
+		if err := rf.RegisterFamily(f); err == nil {
+			t.Errorf("family %q with bad schema accepted", f.Name)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package rf_test
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestExamplesImportOnlyPublicAPI enforces the SDK boundary: the
+// runnable programs under examples/ are the public-surface showcase, so
+// they must compile against repro/rf (and its subpackages) only — never
+// against repro/internal/..., which external consumers cannot import.
+// A CI step additionally builds and vets ./examples/... so the surface
+// cannot silently break them.
+func TestExamplesImportOnlyPublicAPI(t *testing.T) {
+	root := filepath.Join("..", "examples")
+	fset := token.NewFileSet()
+	files := 0
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		files++
+		f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+		if err != nil {
+			return err
+		}
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				return err
+			}
+			if strings.HasPrefix(p, "repro/internal/") || p == "repro/internal" {
+				t.Errorf("%s imports %s; examples must use only the public rf SDK", path, p)
+			}
+			if strings.HasPrefix(p, "repro/") && p != "repro/rf" && !strings.HasPrefix(p, "repro/rf/") {
+				t.Errorf("%s imports %s; examples must go through repro/rf", path, p)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if files == 0 {
+		t.Fatal("no example files found; did examples/ move?")
+	}
+}
+
+// TestRfbatchUsesClientSDK pins the acceptance criterion of the SDK
+// carve-out: cmd/rfbatch must not hand-roll the wire protocol (net/http)
+// or reach into the internal wire/config packages for the surfaces the
+// SDK covers — rf/client is its only path to rfserved. (internal/store
+// stays allowed: the disk store behind -store is a server-side concern
+// the SDK deliberately does not re-export.)
+func TestRfbatchUsesClientSDK(t *testing.T) {
+	forbidden := map[string]string{
+		"net/http":                "the wire protocol belongs to rf/client",
+		"repro/internal/sweep":    "spec/report surfaces are covered by rf",
+		"repro/internal/sim":      "config surfaces are covered by rf",
+		"repro/internal/server":   "wire types are covered by rf/api",
+		"repro/internal/dispatch": "wire types are covered by rf/api",
+	}
+	fset := token.NewFileSet()
+	dir := filepath.Join("..", "cmd", "rfbatch")
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("globbing %s: %v (%d files)", dir, err, len(matches))
+	}
+	for _, path := range matches {
+		f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, imp := range f.Imports {
+			p, _ := strconv.Unquote(imp.Path.Value)
+			if why, bad := forbidden[p]; bad {
+				t.Errorf("%s imports %s: %s", path, p, why)
+			}
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package rf
+
+import "repro/internal/arch"
+
+// Family is one registered register file family: a name, a parameter
+// schema (Dims), an optional validator, and a builder turning one
+// parameter point into an RFSpec. The four paper families are built in;
+// RegisterFamily adds user-defined ones, which then resolve by name
+// everywhere a built-in does — sweep specs, the rfserved service, and
+// the CLIs.
+type Family = arch.Family
+
+// Dim is one dimension of a family's parameter schema.
+type Dim = arch.Dim
+
+// Values holds one chosen value per dimension for a single expansion
+// point.
+type Values = arch.Values
+
+// ArchMatrix is one "architectures" element of a sweep spec: a family
+// name plus per-dimension value lists, expanded to their cross product.
+type ArchMatrix = arch.Matrix
+
+// ArchPoint is one expanded architecture configuration.
+type ArchPoint = arch.Point
+
+// IntDim declares an integer dimension with a default.
+func IntDim(name string, def int) Dim { return arch.IntDim(name, def) }
+
+// StrDim declares a string dimension with a default and a per-value
+// check.
+func StrDim(name, def string, check func(string) error) Dim {
+	return arch.StrDim(name, def, check)
+}
+
+// RegisterFamily adds a family to the global registry. It fails on an
+// empty or duplicate name and on a nil Build.
+func RegisterFamily(f Family) error { return arch.Register(f) }
+
+// LookupFamily resolves a family by kind name, case-insensitively.
+func LookupFamily(kind string) (Family, bool) { return arch.Lookup(kind) }
+
+// Families returns every registered family, sorted by name.
+func Families() []Family { return arch.Families() }
+
+// Ports maps the sweep-spec port convention (0 or negative = unlimited)
+// onto Unlimited; family Build functions use it to interpret dimension
+// values.
+func Ports(v int) int { return arch.Ports(v) }
+
+// PortLabel renders a port count for spec names ("∞" for Unlimited).
+func PortLabel(v int) string { return arch.PortLabel(v) }
+
+// ParseCachingPolicy parses a caching policy name: nonbypass, ready,
+// all or none (case-insensitive).
+func ParseCachingPolicy(s string) (CachingPolicy, error) { return arch.ParseCachingPolicy(s) }
+
+// ParsePrefetchPolicy parses a prefetch policy name: demand/on-demand
+// or firstpair/first-pair (case-insensitive).
+func ParsePrefetchPolicy(s string) (PrefetchPolicy, error) { return arch.ParsePrefetchPolicy(s) }

@@ -1,0 +1,93 @@
+package rf_test
+
+import (
+	"bytes"
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/rf"
+)
+
+// fakeResult derives a deterministic result from the job's content
+// address — the same derivation that produced the committed golden with
+// the pre-refactor (switch-arm) expansion code. Any drift in family
+// naming, dimension ordering, config construction or key hashing breaks
+// byte identity.
+func fakeResult(j rf.Job) rf.Result {
+	v, _ := strconv.ParseUint(string(j.Key())[:16], 16, 64)
+	instr := j.Config.MaxInstructions
+	cycles := instr/2 + v%(instr/2)
+	branches := v % 10007
+	return rf.Result{
+		Instructions:   instr,
+		Cycles:         cycles,
+		IPC:            float64(instr) / float64(cycles),
+		Branches:       branches,
+		Mispredicts:    branches % 97,
+		ICacheMissRate: float64(v%13) / 1000,
+		DCacheMissRate: float64(v%29) / 1000,
+	}
+}
+
+// TestRegistryGoldenRoundTrip expands a spec covering every built-in
+// architecture family through the registry-backed sweep path and checks
+// the NDJSON rows are byte-identical to the golden generated before the
+// registry refactor. This pins, for each family: the kind name, the
+// dimension cross-product order, the spec display names, and the
+// content-address of every expanded configuration.
+func TestRegistryGoldenRoundTrip(t *testing.T) {
+	specRaw, err := os.ReadFile("testdata/registry_spec.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := rf.ParseSpec(bytes.NewReader(specRaw))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The spec must exercise every built-in family (other tests may
+	// register additional user-defined families in this process; those
+	// are outside the golden's scope).
+	builtins := []string{"1cycle", "2cycle", "2cycle1b", "rfcache", "onelevel", "replicated"}
+	kinds := map[string]bool{}
+	for _, m := range spec.Architectures {
+		kinds[m.Kind] = true
+	}
+	for _, name := range builtins {
+		if _, ok := rf.LookupFamily(name); !ok {
+			t.Errorf("built-in family %q not registered", name)
+		}
+		if !kinds[name] {
+			t.Errorf("spec misses built-in family %q; extend testdata/registry_spec.json (and regenerate the golden)", name)
+		}
+	}
+
+	jobs, err := spec.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for _, j := range jobs {
+		row := rf.RowOf(j, rf.Outcome{Result: fakeResult(j), Key: j.Key()})
+		if err := rf.WriteRow(&buf, row); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	golden, err := os.ReadFile("testdata/registry_golden.ndjson")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), golden) {
+		got, want := buf.Bytes(), golden
+		gl, wl := bytes.Split(got, []byte("\n")), bytes.Split(want, []byte("\n"))
+		for i := 0; i < len(gl) && i < len(wl); i++ {
+			if !bytes.Equal(gl[i], wl[i]) {
+				t.Fatalf("registry expansion diverged from pre-refactor golden at row %d:\ngot:  %s\nwant: %s",
+					i, gl[i], wl[i])
+			}
+		}
+		t.Fatalf("registry expansion row count changed: got %d rows, golden has %d", len(gl)-1, len(wl)-1)
+	}
+}

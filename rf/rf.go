@@ -1,0 +1,186 @@
+// Package rf is the public SDK of the register-file-architecture
+// simulator: typed simulation configuration, the architecture-family
+// registry, workload profiles, and the sweep engine, versioned under one
+// schema.
+//
+// It is the stable entry point for programs outside this repository; the
+// implementation lives under internal/ and is re-exported here as type
+// aliases and thin wrappers, so values flow freely between the SDK and
+// the internal packages without conversion.
+//
+// Build a configuration with functional options and simulate:
+//
+//	prof, _ := rf.Benchmark("gcc")
+//	cfg := rf.NewConfig(rf.PaperCache(), rf.MaxInstructions(100000))
+//	res := rf.Run(cfg, prof)
+//	fmt.Println(res.IPC)
+//
+// Architecture families — the paper's four plus any user-defined ones —
+// are resolved by name through one registry (RegisterFamily, Families):
+// sweep-spec expansion, server-side validation and the CLIs all share
+// it. Sweep matrices (Spec) expand benchmarks × architectures × seeds
+// into jobs and run through a cached Runner; rf/client talks to a
+// remote rfserved instance with the same schema.
+//
+// SchemaVersion stamps the JSON surfaces (sweep specs, the rfserved
+// wire types in rf/api) and is negotiated over HTTP via the
+// X-RF-API-Version header.
+package rf
+
+import (
+	"runtime/debug"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/sweep"
+	"repro/internal/trace"
+)
+
+// SchemaVersion is the version of the JSON sweep-spec and wire schema
+// spoken by this build (see rf/api for the HTTP surface). It is the
+// one sweep.SchemaVersion, re-exported, so the validator, the wire
+// header and the -version stamps cannot drift apart.
+const SchemaVersion = sweep.SchemaVersion
+
+// ModuleVersion returns the module's build version ("(devel)" for
+// source builds without version stamping).
+func ModuleVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		return bi.Main.Version
+	}
+	return "(devel)"
+}
+
+// Unlimited marks a port, bus or bandwidth count as unconstrained.
+const Unlimited = core.Unlimited
+
+// Config is the full processor configuration (the paper's Table 1
+// defaults); construct it with NewConfig.
+type Config = sim.Config
+
+// RFSpec describes the register file architecture for both the integer
+// and FP files.
+type RFSpec = sim.RFSpec
+
+// RFKind selects a register file architecture family.
+type RFKind = sim.RFKind
+
+// Register file architecture kinds.
+const (
+	RFMonolithic = sim.RFMonolithic
+	RFCache      = sim.RFCache
+	RFOneLevel   = sim.RFOneLevel
+	RFReplicated = sim.RFReplicated
+)
+
+// Result holds the measurements of one simulation run.
+type Result = sim.Result
+
+// FileStats is the per-register-file statistics block of a Result.
+type FileStats = core.FileStats
+
+// Histogram is the distribution type of a Result's value statistics.
+type Histogram = stats.Histogram
+
+// MonolithicConfig configures a single-banked register file.
+type MonolithicConfig = core.MonolithicConfig
+
+// CacheConfig configures the two-level register file cache.
+type CacheConfig = core.CacheConfig
+
+// OneLevelConfig configures the one-level multi-banked organization.
+type OneLevelConfig = core.OneLevelConfig
+
+// ReplicatedConfig configures the fully-replicated clustered file.
+type ReplicatedConfig = core.ReplicatedConfig
+
+// CachingPolicy selects what the register file cache caches.
+type CachingPolicy = core.CachingPolicy
+
+// Caching policies.
+const (
+	CacheNonBypass = core.CacheNonBypass
+	CacheReady     = core.CacheReady
+	CacheAll       = core.CacheAll
+	CacheNone      = core.CacheNone
+)
+
+// PrefetchPolicy selects how the register file cache fetches from the
+// lower bank.
+type PrefetchPolicy = core.PrefetchPolicy
+
+// Prefetch policies.
+const (
+	FetchOnDemand     = core.FetchOnDemand
+	PrefetchFirstPair = core.PrefetchFirstPair
+)
+
+// PaperCacheConfig returns the paper's best register-file-cache
+// configuration (16-entry upper bank, non-bypass caching,
+// prefetch-first-pair, unlimited bandwidth).
+func PaperCacheConfig() CacheConfig { return core.PaperCacheConfig() }
+
+// Mono1Cycle returns the paper's baseline: one-cycle single-banked file
+// with its single level of bypass.
+func Mono1Cycle(readPorts, writePorts int) RFSpec { return sim.Mono1Cycle(readPorts, writePorts) }
+
+// Mono2CycleFull returns the two-cycle file with two bypass levels.
+func Mono2CycleFull(readPorts, writePorts int) RFSpec {
+	return sim.Mono2CycleFull(readPorts, writePorts)
+}
+
+// Mono2CycleSingle returns the two-cycle file with one (the last)
+// bypass level.
+func Mono2CycleSingle(readPorts, writePorts int) RFSpec {
+	return sim.Mono2CycleSingle(readPorts, writePorts)
+}
+
+// CacheSpec returns a register file cache spec.
+func CacheSpec(cfg CacheConfig) RFSpec { return sim.CacheSpec(cfg) }
+
+// PaperCache returns the paper's best register-file-cache spec.
+func PaperCache() RFSpec { return sim.PaperCache() }
+
+// OneLevelSpec returns a one-level multi-banked spec.
+func OneLevelSpec(cfg OneLevelConfig) RFSpec { return sim.OneLevelSpec(cfg) }
+
+// ReplicatedSpec returns a fully-replicated clustered spec
+// (21264-style).
+func ReplicatedSpec(cfg ReplicatedConfig) RFSpec { return sim.ReplicatedSpec(cfg) }
+
+// Profile is one synthetic workload: the SPEC95 proxies ship built in
+// (Benchmarks), and a custom Profile is an ordinary value — fill the
+// fields, Validate, and simulate.
+type Profile = trace.Profile
+
+// Trace generates the dynamic instruction stream of a Profile.
+type Trace = trace.Generator
+
+// NewTrace returns a deterministic trace generator for the profile.
+func NewTrace(p Profile) *Trace { return trace.New(p) }
+
+// Benchmark resolves a built-in workload by name.
+func Benchmark(name string) (Profile, bool) { return trace.ByName(name) }
+
+// Benchmarks returns all 18 built-in SPEC95 proxy workloads.
+func Benchmarks() []Profile { return trace.All() }
+
+// SpecInt95 returns the integer subset of the built-in workloads.
+func SpecInt95() []Profile { return trace.SpecInt95() }
+
+// SpecFP95 returns the floating-point subset of the built-in workloads.
+func SpecFP95() []Profile { return trace.SpecFP95() }
+
+// Run simulates one workload on one configuration and returns its
+// measurements. The run is deterministic in (cfg, p).
+func Run(cfg Config, p Profile) Result {
+	return sim.New(cfg, trace.New(p)).Run()
+}
+
+// Table renders aligned text tables (a convenience for example
+// programs and reports).
+type Table = stats.Table
+
+// NewTable returns a table with the given column headers.
+func NewTable(header ...string) *Table { return stats.NewTable(header...) }

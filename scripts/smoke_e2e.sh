@@ -40,6 +40,12 @@ echo "smoke: building rfbatch and rfserved"
 go build -o "$bin/rfbatch" ./cmd/rfbatch
 go build -o "$bin/rfserved" ./cmd/rfserved
 
+echo "smoke: -version must print the API schema version"
+"$bin/rfbatch" -version | grep -q "schema 1" \
+  || die "rfbatch -version missing schema stamp: $("$bin/rfbatch" -version)"
+"$bin/rfserved" -version | grep -q "schema 1" \
+  || die "rfserved -version missing schema stamp: $("$bin/rfserved" -version)"
+
 cat > "$work/spec.json" <<'EOF'
 {
   "name": "smoke",
@@ -88,6 +94,10 @@ submit() {
 
 echo "smoke: starting rfserved (fresh store)"
 start_server
+
+echo "smoke: /v1/version must advertise schema 1"
+curl -sfS "$base/v1/version" | jq -e '.schema == 1 and (.module | length) > 0' > /dev/null \
+  || die "/v1/version wrong: $(curl -sfS "$base/v1/version")"
 
 echo "smoke: 1/4 streamed rows must be byte-identical to rfbatch"
 submit cold
