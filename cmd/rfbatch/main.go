@@ -6,7 +6,8 @@
 //
 //	rfbatch -spec sweep.json [-n instructions] [-p parallelism]
 //	        [-csv | -ndjson] [-store dir [-store-max-mb n]] [-v]
-//	rfbatch -spec sweep.json -remote http://coordinator:8090 [-csv | -ndjson]
+//	rfbatch -spec sweep.json -remote http://coordinator:8090 [-api-key k]
+//	        [-csv | -ndjson]
 //	rfbatch -example
 //	rfbatch -version
 //
@@ -15,7 +16,8 @@
 // machine: the spec is submitted through the rf/client SDK and the
 // result stream is reassembled into the same JSON/CSV/NDJSON report a
 // local run emits. Results the coordinator's store already holds cost
-// zero simulations.
+// zero simulations. Against a multi-tenant server, -api-key (or the
+// RF_API_KEY environment variable) authenticates the submission.
 //
 // The report (one row per run, plus cache hit/miss totals) is written to
 // stdout as JSON, as CSV with -csv, or as NDJSON (one row per line, the
@@ -85,6 +87,7 @@ func main() {
 		storeDir   = flag.String("store", "", "persist results in this disk-backed store directory; repeated runs resume instead of recomputing")
 		storeMaxMB = flag.Int64("store-max-mb", 0, "store size cap in MiB before LRU eviction (0: unlimited)")
 		remote     = flag.String("remote", "", "submit the sweep to this rfserved URL instead of simulating locally")
+		apiKey     = flag.String("api-key", "", "tenant API key for -remote against a multi-tenant server (also: RF_API_KEY)")
 		verbose    = flag.Bool("v", false, "print per-run progress to stderr")
 		example    = flag.Bool("example", false, "print an example spec and exit")
 		version    = flag.Bool("version", false, "print the module version and API schema version, then exit")
@@ -129,7 +132,11 @@ func main() {
 	}
 
 	if *remote != "" {
-		if err := runRemote(*remote, spec, *asCSV, *asNDJSON); err != nil {
+		key := *apiKey
+		if key == "" {
+			key = os.Getenv("RF_API_KEY")
+		}
+		if err := runRemote(*remote, key, spec, *asCSV, *asNDJSON); err != nil {
 			fatal(err)
 		}
 		return
@@ -194,11 +201,15 @@ func main() {
 // are reassembled from it via rf.ReadRows. The client survives a
 // mid-stream disconnect by falling back to status polling and resuming
 // the stream.
-func runRemote(base string, spec *rf.Spec, asCSV, asNDJSON bool) error {
+func runRemote(base, apiKey string, spec *rf.Spec, asCSV, asNDJSON bool) error {
 	ctx := context.Background()
-	cl := client.New(base, client.WithLogf(func(format string, args ...any) {
+	opts := []client.Option{client.WithLogf(func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "rfbatch: "+format+"\n", args...)
-	}))
+	})}
+	if apiKey != "" {
+		opts = append(opts, client.WithAPIKey(apiKey))
+	}
+	cl := client.New(base, opts...)
 	ack, err := cl.Submit(ctx, spec)
 	if err != nil {
 		return fmt.Errorf("%s rejected the sweep: %w", cl.BaseURL(), err)

@@ -8,6 +8,8 @@
 //
 //	rfserved [-addr host:port] [-addr-file path] [-store dir]
 //	         [-store-max-mb n] [-workers n] [-sweep-workers n] [-max-jobs n]
+//	         [-tenants file] [-default-rate r] [-default-burst n]
+//	         [-max-active-per-tenant n] [-max-queued-per-tenant n]
 //	         [-dispatch [-lease-ms n] [-max-capacity n] [-job-timeout d]]
 //	         [-join url [-capacity n] [-worker-name s]]
 //
@@ -25,6 +27,18 @@
 //
 //	rfserved -dispatch -addr :8090 -store /var/tmp/rfstore   # coordinator
 //	rfserved -join http://coordinator:8090 -addr :0          # worker (×N)
+//
+// Multi-tenant mode puts API keys and quotas in front of the service:
+//
+//	rfserved -tenants tenants.json -default-rate 5 -max-active-per-tenant 2
+//
+// The tenants file maps API keys (X-RF-API-Key header, or Authorization:
+// Bearer) to named tenants with per-tenant rate limits, capacity quotas
+// and scheduling priorities; unauthenticated callers become the
+// "anonymous" tenant. Over-limit requests get 429 with a Retry-After
+// hint, and /metrics grows per-tenant rows. Without -tenants (or any
+// -default-* flag) the server behaves exactly as before. See the
+// README's "Authentication & quotas" section for the file format.
 //
 // A coordinator shards each sweep's jobs across registered workers
 // (lease-based pull protocol, see internal/dispatch), merges rows back
@@ -55,6 +69,7 @@ import (
 	"repro/internal/server"
 	"repro/internal/store"
 	"repro/internal/sweep"
+	"repro/internal/tenant"
 	"repro/rf"
 )
 
@@ -67,6 +82,11 @@ func main() {
 		workers    = flag.Int("workers", 0, "global concurrent-simulation bound (0: GOMAXPROCS; coordinator mode: 256)")
 		sweepWork  = flag.Int("sweep-workers", 0, "per-sweep worker budget cap (0: same as -workers)")
 		maxJobs    = flag.Int("max-jobs", 0, "reject specs expanding to more jobs than this (0: 100000)")
+		tenantsF   = flag.String("tenants", "", "tenants JSON file enabling API-key auth and per-tenant quotas")
+		defRate    = flag.Float64("default-rate", 0, "default per-tenant request rate in req/s (0: unlimited)")
+		defBurst   = flag.Int("default-burst", 0, "default per-tenant request burst (0: derived from -default-rate)")
+		maxActive  = flag.Int("max-active-per-tenant", 0, "default per-tenant concurrent-sweep cap (0: unlimited)")
+		maxQueued  = flag.Int("max-queued-per-tenant", 0, "default per-tenant unresolved-job cap (0: unlimited)")
 		dispatchF  = flag.Bool("dispatch", false, "coordinator mode: execute sweeps on registered remote workers (/v1/workers API)")
 		leaseMS    = flag.Int64("lease-ms", 10000, "coordinator mode: worker lease TTL in milliseconds")
 		maxCap     = flag.Int("max-capacity", 0, "coordinator mode: cap on any single worker's in-flight budget (0: 64)")
@@ -89,6 +109,23 @@ func main() {
 		MaxWorkers:      *workers,
 		MaxSweepWorkers: *sweepWork,
 		MaxJobs:         *maxJobs,
+	}
+	defaults := tenant.Limits{
+		Rate: *defRate, Burst: *defBurst,
+		MaxActive: *maxActive, MaxQueued: *maxQueued,
+	}
+	switch {
+	case *tenantsF != "":
+		reg, err := tenant.LoadFile(*tenantsF, defaults)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Tenants = reg
+		fmt.Fprintf(os.Stderr, "rfserved: %d tenants loaded from %s\n", reg.Len(), *tenantsF)
+	case defaults != (tenant.Limits{}):
+		// Quotas without a key file: every caller is the anonymous tenant,
+		// bounded by the defaults.
+		cfg.Tenants = tenant.NewRegistry(defaults)
 	}
 	if *dispatchF {
 		cfg.Dispatcher = dispatch.NewCoordinator(dispatch.Config{

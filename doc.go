@@ -31,6 +31,9 @@
 //     -store and rfserved (atomic writes, LRU eviction, corruption
 //     tolerance);
 //   - internal/server — the rfserved HTTP sweep service;
+//   - internal/tenant — multi-tenant admission control for rfserved:
+//     API-key authentication, per-tenant rate limits and capacity
+//     quotas, and a fair-share simulation-slot queue;
 //   - internal/dispatch — coordinator/worker distribution of sweep jobs
 //     across an rfserved fleet (lease-based pull protocol, failover
 //     requeue, fleet-wide dedup by content address), built on rf/client;

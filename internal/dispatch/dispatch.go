@@ -25,6 +25,7 @@
 package dispatch
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -35,6 +36,7 @@ import (
 
 	"repro/internal/sim"
 	"repro/internal/sweep"
+	"repro/internal/tenant"
 	"repro/rf/api"
 )
 
@@ -87,6 +89,7 @@ type task struct {
 	key        sweep.Key
 	job        sweep.Job
 	state      taskState
+	priority   int       // scheduling tier; higher leaves the queue sooner
 	worker     string    // assigned worker id while taskAssigned
 	assignedAt time.Time // lease start while taskAssigned (JobTimeout)
 	attempts   int       // times handed to a worker
@@ -128,11 +131,14 @@ type Coordinator struct {
 	workers map[string]*worker
 	tasks   map[uint64]*task    // live tasks by id (pending/assigned/local)
 	byKey   map[sweep.Key]*task // live tasks by content address
-	// queue is the pending FIFO; requeued holds leases that came back
-	// (expiry, reconciliation, timeout) and is always served first —
-	// those jobs have waited longest. Either may hold entries whose
-	// state moved on; assignment skips them.
-	queue      []*task
+	// queue holds pending tasks as one FIFO bucket per priority tier,
+	// served highest tier first (prios mirrors the bucket keys, sorted
+	// descending); requeued holds leases that came back (expiry,
+	// reconciliation, timeout) and is always served before any bucket —
+	// those jobs have waited longest, whatever their tier. Either may
+	// hold entries whose state moved on; assignment skips them.
+	queue      map[int][]*task
+	prios      []int
 	requeued   []*task
 	nextTask   uint64
 	nextWorker uint64
@@ -175,6 +181,7 @@ func NewCoordinator(cfg Config) *Coordinator {
 		workers:    make(map[string]*worker),
 		tasks:      make(map[uint64]*task),
 		byKey:      make(map[sweep.Key]*task),
+		queue:      make(map[int][]*task),
 		wake:       make(chan struct{}),
 		lastWorker: time.Now(),
 	}
@@ -232,14 +239,24 @@ func (c *Coordinator) expire(now time.Time) {
 	if now.Sub(c.lastWorker) < c.cfg.LeaseTTL {
 		return
 	}
-	for _, t := range append(c.requeued, c.queue...) {
+	drain := func(t *task) {
 		if t.state == taskPending {
 			t.state = taskLocal
 			c.stats.Pending--
 			close(t.localc)
 		}
 	}
-	c.queue, c.requeued = c.queue[:0], c.requeued[:0]
+	for _, t := range c.requeued {
+		drain(t)
+	}
+	for _, bucket := range c.queue {
+		for _, t := range bucket {
+			drain(t)
+		}
+	}
+	c.requeued = c.requeued[:0]
+	c.queue = make(map[int][]*task)
+	c.prios = c.prios[:0]
 }
 
 // requeueLocked returns an assigned task to the queue, or flips it to
@@ -268,11 +285,73 @@ func (c *Coordinator) wakeLocked() {
 	c.wake = make(chan struct{})
 }
 
+// enqueueLocked appends a pending task to its priority bucket, creating
+// the bucket (and its slot in the descending prios index) on first use.
+// c.mu held.
+func (c *Coordinator) enqueueLocked(t *task) {
+	if _, ok := c.queue[t.priority]; !ok {
+		i := sort.Search(len(c.prios), func(i int) bool { return c.prios[i] < t.priority })
+		c.prios = append(c.prios, 0)
+		copy(c.prios[i+1:], c.prios[i:])
+		c.prios[i] = t.priority
+	}
+	c.queue[t.priority] = append(c.queue[t.priority], t)
+}
+
+// popPendingLocked returns the next pending task — requeued FIFO first,
+// then the highest-tier bucket FIFO — discarding stale entries (tasks
+// whose state moved on while queued) and empty buckets along the way.
+// Nil when nothing is pending. c.mu held.
+func (c *Coordinator) popPendingLocked() *task {
+	for len(c.requeued) > 0 {
+		t := c.requeued[0]
+		c.requeued = c.requeued[1:]
+		if t.state == taskPending {
+			return t
+		}
+	}
+	for len(c.prios) > 0 {
+		p := c.prios[0]
+		bucket := c.queue[p]
+		var t *task
+		for len(bucket) > 0 && t == nil {
+			if bucket[0].state == taskPending {
+				t = bucket[0]
+			}
+			bucket = bucket[1:]
+		}
+		if len(bucket) == 0 {
+			delete(c.queue, p)
+			c.prios = c.prios[1:]
+		} else {
+			c.queue[p] = bucket
+		}
+		if t != nil {
+			return t
+		}
+	}
+	return nil
+}
+
 // Simulate is the execution backend: it enqueues the job for the fleet
 // and blocks until a worker delivers the result (or the retry cap moves
 // the job to local simulation). It is safe for concurrent use; identical
 // concurrent jobs share one in-flight task.
 func (c *Coordinator) Simulate(j sweep.Job) sim.Result {
+	return c.SimulateContext(context.Background(), j)
+}
+
+// SimulateContext is Simulate with admission metadata: a priority tier
+// carried by ctx (tenant.FromContext) orders the pending queue, higher
+// tiers leased first. The context carries metadata only — cancellation
+// is not observed, matching Simulate's contract of always returning a
+// valid result. Identical concurrent jobs share one task and wait at
+// the first submitter's tier.
+func (c *Coordinator) SimulateContext(ctx context.Context, j sweep.Job) sim.Result {
+	priority := 0
+	if a, ok := tenant.FromContext(ctx); ok {
+		priority = a.Priority
+	}
 	k := j.Key()
 	c.mu.Lock()
 	if c.closed {
@@ -284,11 +363,12 @@ func (c *Coordinator) Simulate(j sweep.Job) sim.Result {
 		c.nextTask++
 		t = &task{
 			id: c.nextTask, key: k, job: j, state: taskPending,
-			done: make(chan struct{}), localc: make(chan struct{}),
+			priority: priority,
+			done:     make(chan struct{}), localc: make(chan struct{}),
 		}
 		c.tasks[t.id] = t
 		c.byKey[k] = t
-		c.queue = append(c.queue, t)
+		c.enqueueLocked(t)
 		c.stats.Enqueued++
 		c.stats.Pending++
 		c.wakeLocked()
@@ -346,7 +426,8 @@ func (c *Coordinator) Close() {
 	}
 	c.stats.Pending, c.stats.Inflight = 0, 0
 	c.workers = make(map[string]*worker)
-	c.queue, c.requeued = nil, nil
+	c.queue = make(map[int][]*task)
+	c.prios, c.requeued = nil, nil
 	c.wakeLocked()
 	c.mu.Unlock()
 }
@@ -528,26 +609,17 @@ func (c *Coordinator) deliverLocked(wk *worker, res api.TaskResult) {
 }
 
 // assignLocked leases up to want pending tasks to the worker, bounded by
-// its remaining in-flight budget. Requeued tasks go first. c.mu held.
+// its remaining in-flight budget. Requeued tasks go first, then the
+// highest priority tier. c.mu held.
 func (c *Coordinator) assignLocked(wk *worker, want int) []api.Assignment {
 	if budget := wk.capacity - len(wk.inflight); want > budget {
 		want = budget
 	}
 	var out []api.Assignment
 	for want > len(out) {
-		var t *task
-		switch {
-		case len(c.requeued) > 0:
-			t = c.requeued[0]
-			c.requeued = c.requeued[1:]
-		case len(c.queue) > 0:
-			t = c.queue[0]
-			c.queue = c.queue[1:]
-		default:
+		t := c.popPendingLocked()
+		if t == nil {
 			return out
-		}
-		if t.state != taskPending {
-			continue // completed or went local while queued
 		}
 		t.state = taskAssigned
 		t.worker = wk.id

@@ -10,6 +10,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -23,6 +24,7 @@ import (
 	"repro/internal/server"
 	"repro/internal/sim"
 	"repro/internal/sweep"
+	"repro/internal/tenant"
 )
 
 // testSpec expands to 6 unique jobs (2 benchmarks × 3 architectures).
@@ -715,4 +717,91 @@ func specJobs(t *testing.T, spec string) []sweep.Job {
 		t.Fatal(err)
 	}
 	return jobs
+}
+
+// TestPriorityOrdering: with a single-slot worker draining the queue
+// serially, queued tasks are assigned strictly by tenant priority tier
+// (higher first), regardless of enqueue order.
+func TestPriorityOrdering(t *testing.T) {
+	f := newFleet(t, dispatch.Config{})
+
+	// Nine unique jobs (distinct instruction budgets → distinct content
+	// keys) across three tiers, enqueued lowest-tier first so FIFO order
+	// alone would fail the assertion.
+	type queued struct {
+		job  sweep.Job
+		prio int
+	}
+	var qs []queued
+	tiers := []struct {
+		name string
+		prio int
+	}{{"free", 0}, {"standard", 2}, {"premium", 5}}
+	n := 0
+	for _, tier := range tiers {
+		for i := 0; i < 3; i++ {
+			n++
+			spec := fmt.Sprintf(`{"instructions": %d, "benchmarks": ["compress"],
+			  "architectures": [{"kind": "1cycle"}]}`, 1000*n)
+			qs = append(qs, queued{specJobs(t, spec)[0], tier.prio})
+		}
+	}
+	prioOf := make(map[uint64]int, len(qs))
+	for _, q := range qs {
+		prioOf[q.job.Config.MaxInstructions] = q.prio
+	}
+
+	// Park all nine in the queue before any worker exists. Enqueue order
+	// is sequential (each call confirmed queued via Stats before the
+	// next), so intra-tier FIFO is deterministic too.
+	var wg sync.WaitGroup
+	for i, q := range qs {
+		wg.Add(1)
+		go func(q queued) {
+			defer wg.Done()
+			ctx := tenant.NewContext(context.Background(),
+				tenant.Admission{Tenant: fmt.Sprintf("prio%d", q.prio), Priority: q.prio})
+			f.coord.SimulateContext(ctx, q.job)
+		}(q)
+		deadline := time.Now().Add(5 * time.Second)
+		for f.coord.Stats().Pending != i+1 {
+			if time.Now().After(deadline) {
+				t.Fatalf("task %d never queued", i)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// One worker, one slot: assignment order is pop order.
+	var mu sync.Mutex
+	var order []uint64
+	f.startWorker("serial", 1, func(j sweep.Job) sim.Result {
+		mu.Lock()
+		order = append(order, j.Config.MaxInstructions)
+		mu.Unlock()
+		return fakeSim(j)
+	})
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != len(qs) {
+		t.Fatalf("worker ran %d jobs, want %d", len(order), len(qs))
+	}
+	wantPrios := []int{5, 5, 5, 2, 2, 2, 0, 0, 0}
+	for i, instr := range order {
+		if prioOf[instr] != wantPrios[i] {
+			got := make([]int, len(order))
+			for j, in := range order {
+				got[j] = prioOf[in]
+			}
+			t.Fatalf("execution tier order = %v, want %v", got, wantPrios)
+		}
+	}
+	// Within the premium tier the three jobs ran in enqueue order.
+	for i := 1; i < 3; i++ {
+		if order[i] < order[i-1] {
+			t.Errorf("intra-tier order not FIFO: %v", order[:3])
+		}
+	}
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net/http"
 	"runtime"
 	"time"
@@ -13,6 +14,16 @@ import (
 	"repro/rf/api"
 	"repro/rf/client"
 )
+
+// jitter spreads a retry delay uniformly over (0, d] (full jitter), so a
+// fleet of workers knocked loose by the same coordinator restart does
+// not reconnect in lockstep.
+func jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	return time.Duration(1 + rand.Int64N(int64(d)))
+}
 
 // WorkerConfig configures RunWorker.
 type WorkerConfig struct {
@@ -128,8 +139,9 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 				continue
 			}
 			backoff = min(max(backoff*2, 100*time.Millisecond), w.heartbeat())
-			cfg.Logf("dispatch: poll failed (retrying in %v): %v", backoff, err)
-			timer.Reset(backoff)
+			delay := jitter(backoff)
+			cfg.Logf("dispatch: poll failed (retrying in %v): %v", delay, err)
+			timer.Reset(delay)
 			continue
 		}
 		backoff = 0
@@ -194,6 +206,14 @@ func (w *workerState) heartbeat() time.Duration {
 // backoff until ctx is canceled.
 func (w *workerState) register(ctx context.Context) error {
 	backoff := 100 * time.Millisecond
+	// One timer reused across attempts: time.After in a retry loop leaks
+	// a timer per attempt until it fires, which adds up over a long
+	// coordinator outage.
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
 	for {
 		rctx, cancel := context.WithTimeout(ctx, w.requestBound())
 		resp, err := w.cl.RegisterWorker(rctx,
@@ -215,11 +235,13 @@ func (w *workerState) register(ctx context.Context) error {
 		if errors.As(err, &ae) && ae.StatusCode == http.StatusServiceUnavailable {
 			return fmt.Errorf("dispatch: coordinator rejected registration: %w", err)
 		}
-		w.cfg.Logf("dispatch: register failed (retrying in %v): %v", backoff, err)
+		delay := jitter(backoff)
+		w.cfg.Logf("dispatch: register failed (retrying in %v): %v", delay, err)
+		timer.Reset(delay)
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case <-time.After(backoff):
+		case <-timer.C:
 		}
 		backoff = min(backoff*2, 5*time.Second)
 	}

@@ -21,15 +21,26 @@
 // Rows stream in job order — the order cmd/rfbatch emits — so a sweep's
 // streamed NDJSON is byte-identical to an rfbatch -ndjson run of the
 // same spec.
+//
+// With a tenant registry configured (Config.Tenants), the server
+// additionally authenticates API keys, enforces per-tenant rate limits
+// and capacity quotas (429 with a machine-readable code and Retry-After),
+// hands global slots out fairly by (priority tier, per-tenant deficit),
+// and reports per-tenant activity on /metrics. Without one, every caller
+// is the anonymous tenant with no limits and the wire output is
+// byte-identical to pre-tenancy builds.
 package server
 
 import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"runtime"
+	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -37,6 +48,7 @@ import (
 	"repro/internal/dispatch"
 	"repro/internal/sim"
 	"repro/internal/sweep"
+	"repro/internal/tenant"
 	"repro/rf"
 	"repro/rf/api"
 )
@@ -72,6 +84,12 @@ type Config struct {
 	MaxJobs int
 	// MaxBodyBytes bounds the request body of a submission; 0 means 1 MiB.
 	MaxBodyBytes int64
+	// Tenants, when non-nil, turns on multi-tenant admission control:
+	// API-key authentication, per-tenant rate limits and quotas, and
+	// fair-share scheduling. Nil serves every caller as the unlimited
+	// anonymous tenant — the pre-tenancy behavior, byte-identical on the
+	// wire.
+	Tenants *tenant.Registry
 }
 
 // sweepState is the lifecycle of one submitted sweep.
@@ -85,10 +103,12 @@ const (
 
 // sweepRun holds one submitted sweep and its incrementally filled rows.
 type sweepRun struct {
-	id     string
-	name   string
-	jobs   []sweep.Job
-	cancel context.CancelFunc
+	id       string
+	name     string
+	tenant   string // owning tenant's name
+	priority int    // effective scheduling tier
+	jobs     []sweep.Job
+	cancel   context.CancelFunc
 
 	mu        sync.Mutex
 	rows      []sweep.Row
@@ -103,12 +123,29 @@ type sweepRun struct {
 	notify chan struct{}
 }
 
+// tenantCounters is one tenant's admission outcome tally (under
+// Server.tmu).
+type tenantCounters struct {
+	admitted  uint64 // sweeps accepted
+	rejected  uint64 // sweeps refused by a capacity quota (429 over_quota)
+	throttled uint64 // requests refused by the rate limiter (429 rate_limited)
+}
+
 // Server is the rfserved HTTP handler plus its sweep scheduler.
 type Server struct {
 	cfg    Config
 	runner *sweep.Runner
-	sem    chan struct{} // global simulation slots
+	fair   *tenant.FairQueue // global simulation slots, tenant-fair
 	mux    *http.ServeMux
+
+	// Admission state. These run in every mode — without a registry all
+	// traffic accounts to the anonymous tenant with no limits — so the
+	// tenanted and untenanted code paths cannot drift apart.
+	limiter *tenant.Limiter  // per-tenant submit/stream-open pacing
+	active  *tenant.Reserver // per-tenant running sweeps
+	queued  *tenant.Reserver // per-tenant unresolved jobs
+	tmu     sync.Mutex
+	tstats  map[string]*tenantCounters
 
 	ctx    context.Context // canceled by Shutdown; parents every sweep
 	cancel context.CancelFunc
@@ -148,10 +185,14 @@ func New(cfg Config) *Server {
 		cfg.MaxBodyBytes = 1 << 20
 	}
 	s := &Server{
-		cfg:    cfg,
-		sem:    make(chan struct{}, cfg.MaxWorkers),
-		sweeps: make(map[string]*sweepRun),
-		start:  time.Now(),
+		cfg:     cfg,
+		fair:    tenant.NewFairQueue(cfg.MaxWorkers),
+		limiter: tenant.NewLimiter(),
+		active:  tenant.NewReserver(),
+		queued:  tenant.NewReserver(),
+		tstats:  make(map[string]*tenantCounters),
+		sweeps:  make(map[string]*sweepRun),
+		start:   time.Now(),
 	}
 	s.ctx, s.cancel = context.WithCancel(context.Background())
 
@@ -159,22 +200,29 @@ func New(cfg Config) *Server {
 	if simulate == nil {
 		simulate = sweep.Simulate
 	}
-	if cfg.Dispatcher != nil {
-		simulate = cfg.Dispatcher.Simulate
-	}
 	s.runner = sweep.NewRunner(sweep.RunnerConfig{
 		Cache: cfg.Cache,
-		Simulate: func(j sweep.Job) sim.Result {
-			// The per-sweep pool admitted this job; the global semaphore
-			// keeps the sum over all sweeps bounded too.
-			s.sem <- struct{}{}
-			defer func() { <-s.sem }()
+		SimulateContext: func(ctx context.Context, j sweep.Job) sim.Result {
+			// The per-sweep pool admitted this job; the global fair queue
+			// keeps the sum over all sweeps bounded too, handing freed
+			// slots to the waiting tenant with the highest priority tier
+			// and the fewest slots already held. ctx carries admission
+			// metadata only: the slot wait is deliberately uncancelable
+			// (like the plain semaphore it replaced), because the runner
+			// caches whatever this function returns — a canceled wait
+			// would poison the content-addressed store with a zero result.
+			adm, _ := tenant.FromContext(ctx)
+			if adm.Tenant == "" {
+				adm.Tenant = tenant.Anonymous
+			}
+			s.fair.Acquire(context.Background(), adm.Tenant, adm.Priority)
+			defer s.fair.Release(adm.Tenant)
 			s.simsStarted.Add(1)
 			if cfg.Dispatcher != nil {
 				// The call blocks on the fleet; its wall time is queueing
 				// and network, not simulation, so it must not feed the
 				// simulation-seconds/throughput metrics.
-				res := simulate(j)
+				res := cfg.Dispatcher.SimulateContext(ctx, j)
 				s.instrsSim.Add(res.Instructions)
 				return res
 			}
@@ -279,7 +327,85 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, api.Error{Error: fmt.Sprintf(format, args...)})
 }
 
+// writeErrorCode is writeError with a machine-readable code and an
+// optional retry hint: retryAfter > 0 sets the Retry-After header
+// (whole seconds, rounded up, minimum 1) and the body's retry_after_ms.
+func writeErrorCode(w http.ResponseWriter, status int, code string, retryAfter time.Duration, format string, args ...any) {
+	e := api.Error{Error: fmt.Sprintf(format, args...), Code: code}
+	if retryAfter > 0 {
+		e.RetryAfterMS = retryAfter.Milliseconds()
+		if e.RetryAfterMS <= 0 {
+			e.RetryAfterMS = 1
+		}
+		secs := int(math.Ceil(retryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	writeJSON(w, status, e)
+}
+
+// authTenant resolves the request's tenant. Without a registry every
+// caller is the unlimited anonymous tenant and credentials are ignored
+// (the pre-tenancy contract). With one, the key comes from the
+// X-RF-API-Key header or an Authorization: Bearer credential; an
+// unknown key gets a 401 here and nil back.
+func (s *Server) authTenant(w http.ResponseWriter, r *http.Request) *tenant.Tenant {
+	if s.cfg.Tenants == nil {
+		return tenant.Open()
+	}
+	key := r.Header.Get(api.KeyHeader)
+	if key == "" {
+		if auth := r.Header.Get("Authorization"); strings.HasPrefix(auth, "Bearer ") {
+			key = strings.TrimPrefix(auth, "Bearer ")
+		}
+	}
+	tn, ok := s.cfg.Tenants.Authenticate(key)
+	if !ok {
+		writeErrorCode(w, http.StatusUnauthorized, api.ErrCodeUnauthenticated, 0,
+			"rfserved: unknown API key")
+		return nil
+	}
+	return tn
+}
+
+// counters returns the tenant's tally, creating it on first use.
+// Callers hold s.tmu only inside this package's helpers; use bump.
+func (s *Server) bump(name string, f func(*tenantCounters)) {
+	s.tmu.Lock()
+	c := s.tstats[name]
+	if c == nil {
+		c = &tenantCounters{}
+		s.tstats[name] = c
+	}
+	f(c)
+	s.tmu.Unlock()
+}
+
+// rateLimit applies the tenant's request pacing; false means a 429 has
+// been written. Submissions and result-stream opens draw from the same
+// bucket: both are client-initiated requests the operator wants paced
+// with one knob.
+func (s *Server) rateLimit(w http.ResponseWriter, tn *tenant.Tenant) bool {
+	ok, wait := s.limiter.Allow(tn.Name, tn.Limits.Rate, tn.Limits.Burst)
+	if ok {
+		return true
+	}
+	s.bump(tn.Name, func(c *tenantCounters) { c.throttled++ })
+	writeErrorCode(w, http.StatusTooManyRequests, api.ErrCodeRateLimited, wait,
+		"rfserved: tenant %q over its request rate (%.3g/s)", tn.Name, tn.Limits.Rate)
+	return false
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	tn := s.authTenant(w, r)
+	if tn == nil {
+		return
+	}
+	if !s.rateLimit(w, tn) {
+		return
+	}
 	spec, err := sweep.ParseSpec(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -318,10 +444,36 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if parallelism <= 0 || parallelism > s.cfg.MaxSweepWorkers {
 		parallelism = s.cfg.MaxSweepWorkers
 	}
+	// The effective tier is the tenant's, lowered (never raised) by an
+	// explicit spec request: asking cannot outrank the plan.
+	priority := tn.Priority
+	if spec.Priority > 0 && spec.Priority < priority {
+		priority = spec.Priority
+	}
+
+	// Capacity quotas, taken in a fixed order so a failure releases
+	// exactly what was granted: one active-sweep unit, then the sweep's
+	// job count against the queued-jobs bound.
+	if err := s.active.Acquire(tn.Name, 1, tn.Limits.MaxActive); err != nil {
+		s.bump(tn.Name, func(c *tenantCounters) { c.rejected++ })
+		writeErrorCode(w, http.StatusTooManyRequests, api.ErrCodeOverQuota, time.Second,
+			"rfserved: tenant %q at its concurrent-sweep limit (%d)", tn.Name, tn.Limits.MaxActive)
+		return
+	}
+	if err := s.queued.Acquire(tn.Name, len(jobs), tn.Limits.MaxQueued); err != nil {
+		s.active.Release(tn.Name, 1)
+		s.bump(tn.Name, func(c *tenantCounters) { c.rejected++ })
+		writeErrorCode(w, http.StatusTooManyRequests, api.ErrCodeOverQuota, time.Second,
+			"rfserved: tenant %q over its queued-job quota (%d queued, %d more wanted, limit %d)",
+			tn.Name, s.queued.Held(tn.Name), len(jobs), tn.Limits.MaxQueued)
+		return
+	}
 
 	ctx, cancel := context.WithCancel(s.ctx)
 	run := &sweepRun{
 		name:      spec.Name,
+		tenant:    tn.Name,
+		priority:  priority,
 		jobs:      jobs,
 		cancel:    cancel,
 		rows:      make([]sweep.Row, len(jobs)),
@@ -335,6 +487,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.closed {
 		s.mu.Unlock()
 		cancel()
+		s.queued.Release(tn.Name, len(jobs))
+		s.active.Release(tn.Name, 1)
 		writeError(w, http.StatusServiceUnavailable, "rfserved: shutting down")
 		return
 	}
@@ -345,21 +499,33 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.wg.Add(1)
 	s.mu.Unlock()
 
+	s.bump(tn.Name, func(c *tenantCounters) { c.admitted++ })
 	s.queueDepth.Add(int64(len(jobs)))
 	go s.execute(ctx, run, parallelism)
 
-	writeJSON(w, http.StatusAccepted, api.SubmitResponse{
+	ack := api.SubmitResponse{
 		Schema: api.Version,
 		ID:     run.id, Name: run.name, Jobs: len(jobs),
 		StatusURL:  "/v1/sweeps/" + run.id,
 		ResultsURL: "/v1/sweeps/" + run.id + "/results",
-	})
+	}
+	if s.cfg.Tenants != nil {
+		// Stamped only in tenanted mode so an untenanted server's wire
+		// bytes stay exactly as before.
+		ack.Tenant = run.tenant
+		ack.Priority = run.priority
+	}
+	writeJSON(w, http.StatusAccepted, ack)
 }
 
 // execute runs one sweep to completion (or cancellation) on the shared
 // runner, publishing rows as jobs resolve.
 func (s *Server) execute(ctx context.Context, run *sweepRun, parallelism int) {
 	defer s.wg.Done()
+	// The admission metadata rides the batch context into the runner's
+	// SimulateContext hook (fair queue) and, in coordinator mode, the
+	// dispatcher's priority queue.
+	ctx = tenant.NewContext(ctx, tenant.Admission{Tenant: run.tenant, Priority: run.priority})
 	_, err := s.runner.RunOutcomesContext(ctx, run.jobs, parallelism, func(p sweep.Progress) {
 		row := sweep.RowOf(p.Job, sweep.Outcome{Result: p.Result, Key: p.Key, Cached: p.Cached})
 		run.mu.Lock()
@@ -376,6 +542,7 @@ func (s *Server) execute(ctx context.Context, run *sweepRun, parallelism int) {
 			s.jobsFromCache.Add(1)
 		}
 		s.queueDepth.Add(-1)
+		s.queued.Release(run.tenant, 1)
 	})
 
 	run.mu.Lock()
@@ -390,6 +557,8 @@ func (s *Server) execute(ctx context.Context, run *sweepRun, parallelism int) {
 	run.wakeLocked()
 	run.mu.Unlock()
 	s.queueDepth.Add(-int64(skipped))
+	s.queued.Release(run.tenant, skipped) // jobs skipped by cancellation
+	s.active.Release(run.tenant, 1)
 	run.cancel() // release the context regardless of how the sweep ended
 }
 
@@ -399,7 +568,10 @@ func (r *sweepRun) wakeLocked() {
 	r.notify = make(chan struct{})
 }
 
-func (r *sweepRun) status() api.SweepStatus {
+// status renders the wire status document; stamped adds the tenancy
+// fields (only servers with a registry stamp them, keeping untenanted
+// wire bytes unchanged).
+func (r *sweepRun) status(stamped bool) api.SweepStatus {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	st := api.SweepStatus{
@@ -412,6 +584,10 @@ func (r *sweepRun) status() api.SweepStatus {
 	}
 	if !r.finished.IsZero() {
 		st.Finished = r.finished.UTC().Format(time.RFC3339Nano)
+	}
+	if stamped {
+		st.Tenant = r.tenant
+		st.Priority = r.priority
 	}
 	return st
 }
@@ -432,7 +608,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	if run == nil {
 		return
 	}
-	writeJSON(w, http.StatusOK, run.status())
+	writeJSON(w, http.StatusOK, run.status(s.cfg.Tenants != nil))
 }
 
 func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
@@ -444,7 +620,7 @@ func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Unlock()
 	out := api.SweepList{Sweeps: []api.SweepStatus{}}
 	for _, run := range runs {
-		out.Sweeps = append(out.Sweeps, run.status())
+		out.Sweeps = append(out.Sweeps, run.status(s.cfg.Tenants != nil))
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -454,8 +630,22 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	if run == nil {
 		return
 	}
+	// Cancellation mutates another tenant's sweep, so in tenanted mode it
+	// demands ownership (status and listing stay open — they are reads
+	// operators and dashboards rely on).
+	if s.cfg.Tenants != nil {
+		tn := s.authTenant(w, r)
+		if tn == nil {
+			return
+		}
+		if run.tenant != tn.Name {
+			writeErrorCode(w, http.StatusForbidden, api.ErrCodeForbidden, 0,
+				"rfserved: sweep %s belongs to tenant %q", run.id, run.tenant)
+			return
+		}
+	}
 	run.cancel()
-	writeJSON(w, http.StatusAccepted, run.status())
+	writeJSON(w, http.StatusAccepted, run.status(s.cfg.Tenants != nil))
 }
 
 // handleResults streams the sweep's rows as NDJSON in job order,
@@ -466,6 +656,16 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	run := s.lookup(w, r)
 	if run == nil {
+		return
+	}
+	// Stream opens are paced by the same bucket as submissions: each open
+	// pins a connection and replays every row, so an unpaced reconnect
+	// loop is as costly as a submit loop.
+	tn := s.authTenant(w, r)
+	if tn == nil {
+		return
+	}
+	if !s.rateLimit(w, tn) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
@@ -580,4 +780,50 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		m("rfserved_dispatch_fallbacks_total", ds.Fallbacks, "tasks simulated locally after exhausting remote attempts")
 		m("rfserved_dispatch_workers_expired_total", ds.Expired, "workers deregistered for missing their lease")
 	}
+
+	// Per-tenant admission activity, one labeled row per tenant that has
+	// done anything since start. Untenanted deployments account all
+	// traffic to "anonymous", so these families appear there too.
+	activeSnap := s.active.Snapshot()
+	queuedSnap := s.queued.Snapshot()
+	s.tmu.Lock()
+	counters := make(map[string]tenantCounters, len(s.tstats))
+	for name, c := range s.tstats {
+		counters[name] = *c
+	}
+	s.tmu.Unlock()
+	seen := make(map[string]bool)
+	for name := range counters {
+		seen[name] = true
+	}
+	for name := range activeSnap {
+		seen[name] = true
+	}
+	for name := range queuedSnap {
+		seen[name] = true
+	}
+	if len(seen) == 0 {
+		return
+	}
+	names := make([]string, 0, len(seen))
+	for name := range seen {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	labeled := func(family, help string, value func(string) uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n", family, help)
+		for _, name := range names {
+			fmt.Fprintf(w, "%s{tenant=%q} %d\n", family, name, value(name))
+		}
+	}
+	labeled("rfserved_tenant_active_sweeps", "sweeps running right now, per tenant",
+		func(n string) uint64 { return uint64(activeSnap[n]) })
+	labeled("rfserved_tenant_queued_jobs", "jobs submitted but not yet resolved, per tenant",
+		func(n string) uint64 { return uint64(queuedSnap[n]) })
+	labeled("rfserved_tenant_admitted_total", "sweeps admitted since start, per tenant",
+		func(n string) uint64 { return counters[n].admitted })
+	labeled("rfserved_tenant_rejected_total", "sweeps refused by a capacity quota since start, per tenant",
+		func(n string) uint64 { return counters[n].rejected })
+	labeled("rfserved_tenant_throttled_total", "requests refused by the rate limiter since start, per tenant",
+		func(n string) uint64 { return counters[n].throttled })
 }

@@ -1,0 +1,336 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/sweep"
+	"repro/internal/tenant"
+	"repro/rf/api"
+)
+
+// testRegistry builds the registry used across the tenancy tests:
+// "small" is tightly quota'd, "big" is a high-tier tenant with a rotated
+// key pair.
+func testRegistry(t *testing.T) *tenant.Registry {
+	t.Helper()
+	reg, err := tenant.Load(strings.NewReader(`{
+	  "tenants": [
+	    {"name": "small", "key": "key-small", "max_queued": 3},
+	    {"name": "big", "keys": ["key-big", "key-big-rotated"], "priority": 5}
+	  ]
+	}`), tenant.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+// postSpec submits a spec with an API key and returns the raw response;
+// the caller owns the body.
+func postSpec(t *testing.T, base, key, spec string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/sweeps", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != "" {
+		req.Header.Set(api.KeyHeader, key)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// decodeError decodes and closes a non-2xx response body.
+func decodeError(t *testing.T, resp *http.Response) api.Error {
+	t.Helper()
+	defer resp.Body.Close()
+	var e api.Error
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestTenantAuthAndStamping(t *testing.T) {
+	_, ts := newTestServer(t, Config{Tenants: testRegistry(t)})
+
+	// A wrong key is a 401 with the machine-readable code.
+	resp := postSpec(t, ts.URL, "key-wrong", testSpec)
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("wrong key: status %d, want 401", resp.StatusCode)
+	}
+	if e := decodeError(t, resp); e.Code != api.ErrCodeUnauthenticated {
+		t.Errorf("wrong key: code %q, want %q", e.Code, api.ErrCodeUnauthenticated)
+	}
+
+	// The rotated (secondary) key authenticates as the same tenant, and
+	// the ack and status documents are stamped with tenant and tier.
+	resp = postSpec(t, ts.URL, "key-big-rotated", testSpec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("rotated key: status %d, want 202", resp.StatusCode)
+	}
+	var ack api.SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ack.Tenant != "big" || ack.Priority != 5 {
+		t.Errorf("ack stamped %q/%d, want big/5", ack.Tenant, ack.Priority)
+	}
+	if st := getStatus(t, ts.URL, ack.StatusURL); st.Tenant != "big" || st.Priority != 5 {
+		t.Errorf("status stamped %q/%d, want big/5", st.Tenant, st.Priority)
+	}
+
+	// A spec may lower its own tier but never raise it past the tenant's.
+	lowered := strings.Replace(testSpec, `"name": "smoke",`, `"name": "smoke", "priority": 2,`, 1)
+	resp = postSpec(t, ts.URL, "key-big", lowered)
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ack.Priority != 2 {
+		t.Errorf("lowered priority = %d, want 2", ack.Priority)
+	}
+	raised := strings.Replace(testSpec, `"name": "smoke",`, `"name": "smoke", "priority": 99,`, 1)
+	resp = postSpec(t, ts.URL, "key-small", raised)
+	var smallAck api.SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&smallAck); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if smallAck.Priority != 0 {
+		t.Errorf("raised priority = %d, want clamp to small's tier 0", smallAck.Priority)
+	}
+
+	// Anonymous (keyless) callers still work against a tenanted server.
+	resp = postSpec(t, ts.URL, "", testSpec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("anonymous: status %d, want 202", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ack.Tenant != tenant.Anonymous {
+		t.Errorf("anonymous ack stamped %q", ack.Tenant)
+	}
+}
+
+func TestTenantQueuedQuotaAndIsolation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Tenants: testRegistry(t)})
+
+	// testSpec expands to 6 jobs; small's queued-job quota is 3, so the
+	// submission is rejected deterministically — while big's identical
+	// sweep runs to completion, byte-identical to rfbatch.
+	resp := postSpec(t, ts.URL, "key-small", testSpec)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota submit: status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("over-quota submit: no Retry-After header")
+	}
+	e := decodeError(t, resp)
+	if e.Code != api.ErrCodeOverQuota {
+		t.Errorf("over-quota submit: code %q, want %q", e.Code, api.ErrCodeOverQuota)
+	}
+	if e.RetryAfterMS <= 0 {
+		t.Errorf("over-quota submit: retry_after_ms = %d, want > 0", e.RetryAfterMS)
+	}
+
+	resp = postSpec(t, ts.URL, "key-big", testSpec)
+	var ack api.SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	got := streamAll(t, ts.URL, ack.ResultsURL)
+	want := rfbatchNDJSON(t, testSpec, fakeSim)
+	if got != want {
+		t.Errorf("tenanted stream differs from rfbatch output:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+
+	// Quotas drain with the sweep: once big's sweep is done its queued
+	// count is back to zero, and small's rejection is visible in metrics.
+	metricsResp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(metricsResp.Body)
+	metricsResp.Body.Close()
+	metrics := string(body)
+	for _, want := range []string{
+		`rfserved_tenant_rejected_total{tenant="small"} 1`,
+		`rfserved_tenant_admitted_total{tenant="big"} 1`,
+		`rfserved_tenant_queued_jobs{tenant="big"} 0`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+func TestTenantActiveQuota(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 16)
+	reg, err := tenant.Load(strings.NewReader(`{
+	  "tenants": [{"name": "slow", "key": "key-slow", "max_active": 1}]
+	}`), tenant.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{
+		Tenants: reg,
+		Simulate: func(j sweep.Job) sim.Result {
+			started <- struct{}{}
+			<-release
+			return fakeSim(j)
+		},
+	})
+
+	resp := postSpec(t, ts.URL, "key-slow", testSpec)
+	var ack api.SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	<-started // the first sweep is genuinely running
+
+	// A second concurrent sweep exceeds max_active 1.
+	resp = postSpec(t, ts.URL, "key-slow", testSpec)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second sweep: status %d, want 429", resp.StatusCode)
+	}
+	if e := decodeError(t, resp); e.Code != api.ErrCodeOverQuota {
+		t.Errorf("second sweep: code %q, want %q", e.Code, api.ErrCodeOverQuota)
+	}
+
+	close(release)
+	deadline := time.Now().Add(5 * time.Second)
+	for getStatus(t, ts.URL, ack.StatusURL).State == "running" {
+		if time.Now().After(deadline) {
+			t.Fatal("first sweep never finished")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// With the slot back, the tenant may submit again.
+	resp = postSpec(t, ts.URL, "key-slow", testSpec)
+	if resp.StatusCode != http.StatusAccepted {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("post-drain sweep: status %d, want 202: %s", resp.StatusCode, body)
+	}
+	resp.Body.Close()
+}
+
+func TestTenantRateLimit(t *testing.T) {
+	reg, err := tenant.Load(strings.NewReader(`{
+	  "tenants": [{"name": "paced", "key": "key-paced", "rate": 0.001, "burst": 1}]
+	}`), tenant.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Tenants: reg})
+
+	resp := postSpec(t, ts.URL, "key-paced", testSpec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: status %d, want 202", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// The burst is spent; at 0.001 req/s the next token is ~17 min away.
+	resp = postSpec(t, ts.URL, "key-paced", testSpec)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second submit: status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("second submit: no Retry-After header")
+	}
+	if e := decodeError(t, resp); e.Code != api.ErrCodeRateLimited {
+		t.Errorf("second submit: code %q, want %q", e.Code, api.ErrCodeRateLimited)
+	}
+
+	// Other tenants (here: anonymous) are not collateral damage.
+	resp = postSpec(t, ts.URL, "", testSpec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("anonymous submit: status %d, want 202", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestTenantCancelOwnership(t *testing.T) {
+	_, ts := newTestServer(t, Config{Tenants: testRegistry(t)})
+	resp := postSpec(t, ts.URL, "key-big", testSpec)
+	var ack api.SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	cancel := func(key string) *http.Response {
+		req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/sweeps/"+ack.ID, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if key != "" {
+			req.Header.Set(api.KeyHeader, key)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	// Another tenant (and an anonymous caller) cannot cancel big's sweep.
+	resp = cancel("key-small")
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("cross-tenant cancel: status %d, want 403", resp.StatusCode)
+	}
+	if e := decodeError(t, resp); e.Code != api.ErrCodeForbidden {
+		t.Errorf("cross-tenant cancel: code %q, want %q", e.Code, api.ErrCodeForbidden)
+	}
+	resp = cancel("")
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("anonymous cancel: status %d, want 403", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// The owner can, with either of its keys.
+	resp = cancel("key-big-rotated")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("owner cancel: status %d, want 202", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+// TestUntenantedIgnoresKeys pins the compatibility contract: without a
+// registry, credentials are ignored, documents carry no tenant fields,
+// and nothing is ever admission-limited.
+func TestUntenantedIgnoresKeys(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp := postSpec(t, ts.URL, "some-random-key", testSpec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("keyed submit on untenanted server: status %d, want 202", resp.StatusCode)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if strings.Contains(string(raw), `"tenant"`) || strings.Contains(string(raw), `"priority"`) {
+		t.Errorf("untenanted ack leaks tenancy fields: %s", raw)
+	}
+	var ack api.SubmitResponse
+	if err := json.Unmarshal(raw, &ack); err != nil {
+		t.Fatal(err)
+	}
+	got := streamAll(t, ts.URL, ack.ResultsURL)
+	if want := rfbatchNDJSON(t, testSpec, fakeSim); got != want {
+		t.Errorf("untenanted stream differs from rfbatch output")
+	}
+}

@@ -47,6 +47,13 @@ type RunnerConfig struct {
 	// Simulate overrides the simulation function (tests); nil runs the
 	// real simulator.
 	Simulate func(Job) sim.Result
+	// SimulateContext, when non-nil, takes precedence over Simulate and
+	// receives the batch context. It is the seam through which rfserved
+	// threads per-request admission metadata (tenant, priority) into its
+	// scheduler; the context carries metadata only — implementations must
+	// still return a valid Result even when it is already canceled,
+	// because the runner caches whatever they return.
+	SimulateContext func(context.Context, Job) sim.Result
 	// Cache supplies the result cache: an in-memory MemCache, the
 	// disk-backed store in internal/store, or a Tiered combination. Nil
 	// uses a fresh MemCache.
@@ -194,7 +201,12 @@ func (r *Runner) RunOutcomesContext(ctx context.Context, jobs []Job, parallelism
 			if ctx.Err() != nil {
 				return
 			}
-			res := r.cfg.Simulate(jobs[i])
+			var res sim.Result
+			if r.cfg.SimulateContext != nil {
+				res = r.cfg.SimulateContext(ctx, jobs[i])
+			} else {
+				res = r.cfg.Simulate(jobs[i])
+			}
 			outs[i].Result = res
 			k := outs[i].Key
 			var dups []int

@@ -31,6 +31,12 @@ type Spec struct {
 	Instructions uint64 `json:"instructions,omitempty"`
 	// Parallelism bounds concurrent simulations (default GOMAXPROCS).
 	Parallelism int `json:"parallelism,omitempty"`
+	// Priority requests a scheduling tier for the sweep's jobs under
+	// contention; higher runs sooner. rfserved clamps it to the submitting
+	// tenant's tier, so a tenant cannot outrank its plan by asking.
+	// Ignored by local (rfbatch, library) runs, which have no queue to
+	// jump.
+	Priority int `json:"priority,omitempty"`
 	// Benchmarks names the workloads; empty runs all 18 SPEC95 proxies.
 	Benchmarks []string `json:"benchmarks,omitempty"`
 	// Seeds lists trace-seed overrides for replicated runs; empty uses

@@ -1,0 +1,151 @@
+package tenant
+
+import (
+	"context"
+	"sync"
+)
+
+// FairQueue is a pool of execution slots with tenant-aware ordering.
+// Acquire takes a slot immediately when one is free and nobody is
+// waiting; otherwise the caller queues, and each freed slot goes to the
+// waiter with the highest priority tier, ties broken by fewest slots the
+// waiter's tenant already holds (its scheduling deficit), then by
+// arrival order. A heavy tenant saturating the pool therefore cannot
+// starve a light tenant: the light tenant's first waiter outranks every
+// additional slot the heavy tenant asks for.
+//
+// With a single tenant the queue degrades to plain FIFO over a counting
+// semaphore, which is how an untenanted rfserved uses it. Safe for
+// concurrent use.
+type FairQueue struct {
+	mu      sync.Mutex
+	free    int
+	held    map[string]int // slots in use per tenant; entries deleted at zero
+	waiters []*fairWaiter
+	seq     uint64
+}
+
+type fairWaiter struct {
+	who      string
+	priority int
+	seq      uint64
+	ready    chan struct{}
+	granted  bool
+}
+
+// NewFairQueue returns a queue with the given number of slots
+// (minimum 1).
+func NewFairQueue(slots int) *FairQueue {
+	if slots < 1 {
+		slots = 1
+	}
+	return &FairQueue{free: slots, held: make(map[string]int)}
+}
+
+// Acquire takes one slot for the tenant, blocking until one is granted
+// or ctx ends. On success the caller must Release(who) with the same
+// name. On ctx expiry no slot is held (a grant racing the cancellation
+// is returned to the pool).
+func (q *FairQueue) Acquire(ctx context.Context, who string, priority int) error {
+	q.mu.Lock()
+	if q.free > 0 && len(q.waiters) == 0 {
+		q.free--
+		q.held[who]++
+		q.mu.Unlock()
+		return nil
+	}
+	w := &fairWaiter{who: who, priority: priority, seq: q.seq, ready: make(chan struct{})}
+	q.seq++
+	q.waiters = append(q.waiters, w)
+	q.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return nil
+	case <-ctx.Done():
+		q.mu.Lock()
+		if w.granted {
+			// The grant won the race; hand the slot back.
+			q.mu.Unlock()
+			q.Release(who)
+			return ctx.Err()
+		}
+		for i, other := range q.waiters {
+			if other == w {
+				q.waiters = append(q.waiters[:i], q.waiters[i+1:]...)
+				break
+			}
+		}
+		q.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// Release returns the tenant's slot and grants it to the best waiter.
+func (q *FairQueue) Release(who string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if n := q.held[who]; n > 1 {
+		q.held[who] = n - 1
+	} else {
+		delete(q.held, who) // bounded memory: no entry without a slot
+	}
+	q.free++
+	q.grantLocked()
+}
+
+// grantLocked hands free slots to waiters, best first. q.mu held.
+func (q *FairQueue) grantLocked() {
+	for q.free > 0 && len(q.waiters) > 0 {
+		best := 0
+		for i := 1; i < len(q.waiters); i++ {
+			if q.betterLocked(q.waiters[i], q.waiters[best]) {
+				best = i
+			}
+		}
+		w := q.waiters[best]
+		q.waiters = append(q.waiters[:best], q.waiters[best+1:]...)
+		q.free--
+		q.held[w.who]++
+		w.granted = true
+		close(w.ready)
+	}
+}
+
+// betterLocked reports whether waiter a should be served before b:
+// higher priority, then lower tenant deficit (fewer held slots), then
+// earlier arrival. q.mu held.
+func (q *FairQueue) betterLocked(a, b *fairWaiter) bool {
+	if a.priority != b.priority {
+		return a.priority > b.priority
+	}
+	if ha, hb := q.held[a.who], q.held[b.who]; ha != hb {
+		return ha < hb
+	}
+	return a.seq < b.seq
+}
+
+// Held reports the tenant's slots in use.
+func (q *FairQueue) Held(who string) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.held[who]
+}
+
+// InUse reports the total slots currently held.
+func (q *FairQueue) InUse() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	total := 0
+	for _, n := range q.held {
+		total += n
+	}
+	return total
+}
+
+// Tenants reports how many tenants currently hold slots.
+func (q *FairQueue) Tenants() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.held)
+}

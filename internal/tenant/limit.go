@@ -1,0 +1,85 @@
+package tenant
+
+import (
+	"sync"
+	"time"
+)
+
+// pruneEvery is how many Allow calls pass between opportunistic sweeps
+// of refilled buckets. Pruning keeps the map's size tracking tenants
+// with recent traffic rather than every tenant ever seen.
+const pruneEvery = 256
+
+// Limiter paces per-tenant request admission with one token bucket per
+// tenant. Buckets are created on first use and deleted once they refill
+// completely (a full bucket is indistinguishable from no bucket), so the
+// map stays bounded under many-tenant churn. Safe for concurrent use.
+type Limiter struct {
+	mu      sync.Mutex
+	buckets map[string]*bucket
+	ops     int
+	now     func() time.Time // test seam
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewLimiter returns an empty Limiter.
+func NewLimiter() *Limiter {
+	return &Limiter{buckets: make(map[string]*bucket), now: time.Now}
+}
+
+// Allow spends one token from the tenant's bucket, reporting whether the
+// request is admitted and, when it is not, how long until a token will
+// be available. rate <= 0 admits everything; burst is clamped to at
+// least 1.
+func (l *Limiter) Allow(name string, rate float64, burst int) (bool, time.Duration) {
+	if rate <= 0 {
+		return true, 0
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	if l.ops++; l.ops >= pruneEvery {
+		l.ops = 0
+		l.pruneLocked(now, rate, float64(burst))
+	}
+	b := l.buckets[name]
+	if b == nil {
+		b = &bucket{tokens: float64(burst), last: now}
+		l.buckets[name] = b
+	} else {
+		b.tokens = min(float64(burst), b.tokens+rate*now.Sub(b.last).Seconds())
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - b.tokens) / rate * float64(time.Second))
+}
+
+// pruneLocked deletes every bucket that has refilled to the full burst:
+// absent and full are the same state, so the entry is pure memory.
+// Buckets are conservatively judged against the caller's rate/burst;
+// with per-tenant rates the worst case is a bucket lingering until a
+// matching call prunes it.
+func (l *Limiter) pruneLocked(now time.Time, rate, burst float64) {
+	for name, b := range l.buckets {
+		if b.tokens+rate*now.Sub(b.last).Seconds() >= burst {
+			delete(l.buckets, name)
+		}
+	}
+}
+
+// Len reports how many buckets are live (for tests and metrics).
+func (l *Limiter) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buckets)
+}

@@ -1,0 +1,105 @@
+package tenant
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrOverLimit reports an Acquire that would push a tenant past its
+// bound.
+var ErrOverLimit = errors.New("tenant: reservation limit exceeded")
+
+// ErrNoReservation reports a Release without a matching Acquire — a
+// bookkeeping bug on the caller's side, surfaced instead of silently
+// corrupting the counts.
+var ErrNoReservation = errors.New("tenant: no reservation held")
+
+// Reserver counts per-tenant reservations against per-call bounds. One
+// instance tracks one resource (rfserved keeps two: running sweeps and
+// queued jobs). A tenant's map entry exists only while its count is
+// nonzero — with many tenants coming and going, the map's size tracks
+// the tenants active right now, not every tenant ever seen.
+//
+// The zero value is not usable; call NewReserver. Safe for concurrent
+// use.
+type Reserver struct {
+	mu     sync.Mutex
+	counts map[string]int
+}
+
+// NewReserver returns an empty Reserver.
+func NewReserver() *Reserver {
+	return &Reserver{counts: make(map[string]int)}
+}
+
+// Acquire reserves n units for the tenant, failing with ErrOverLimit if
+// that would exceed limit (limit <= 0 is unlimited). The acquisition is
+// atomic: on failure the tenant's count is unchanged.
+func (r *Reserver) Acquire(name string, n, limit int) error {
+	if n <= 0 {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	held := r.counts[name]
+	if limit > 0 && held+n > limit {
+		return fmt.Errorf("%w: tenant %q holds %d, wants %d more, limit %d",
+			ErrOverLimit, name, held, n, limit)
+	}
+	r.counts[name] = held + n
+	return nil
+}
+
+// Release returns n units. Releasing more than is held reports
+// ErrNoReservation and drops the count to zero rather than negative.
+func (r *Reserver) Release(name string, n int) error {
+	if n <= 0 {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	held, ok := r.counts[name]
+	switch {
+	case held > n:
+		r.counts[name] = held - n
+	default:
+		// Zero (or an over-release, clamped): delete the entry so the
+		// map stays bounded by the tenants currently holding something.
+		delete(r.counts, name)
+		if held < n {
+			if !ok {
+				return fmt.Errorf("%w: tenant %q", ErrNoReservation, name)
+			}
+			return fmt.Errorf("%w: tenant %q held %d, released %d",
+				ErrNoReservation, name, held, n)
+		}
+	}
+	return nil
+}
+
+// Held returns the tenant's current count.
+func (r *Reserver) Held(name string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counts[name]
+}
+
+// Tenants returns how many tenants currently hold reservations — the
+// map's size, which the zero-count cleanup keeps bounded.
+func (r *Reserver) Tenants() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.counts)
+}
+
+// Snapshot copies the current per-tenant counts (for metrics).
+func (r *Reserver) Snapshot() map[string]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int, len(r.counts))
+	for k, v := range r.counts {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,275 @@
+// Package tenant is the multi-tenant admission layer of rfserved:
+// API-key authentication, per-tenant reservation accounting, token-bucket
+// rate limiting and fair-share scheduling. It holds no HTTP or simulation
+// code — internal/server wires its pieces into the request path, and
+// internal/dispatch reads the admission metadata it threads through
+// contexts to order the fleet queue.
+//
+// The pieces:
+//
+//   - Registry — tenants loaded from a JSON file, each with one or more
+//     API keys (so keys rotate without a restart gap), a priority tier
+//     and resolved Limits. Lookup is constant-time over every key, so
+//     response timing does not leak how close a guess came.
+//   - Reserver — bounded per-tenant counts (concurrent sweeps, queued
+//     jobs) whose map entries are deleted when a count returns to zero,
+//     so memory stays bounded under many-tenant churn.
+//   - Limiter — per-tenant token buckets for submit/stream-open rates.
+//   - FairQueue — a slot pool that orders waiting tenants by (priority
+//     tier, fewest slots already held), so a light tenant's small sweep
+//     is never parked behind a heavy tenant's monster sweep.
+//
+// Every caller without a key is the "anonymous" tenant; a deployment
+// with no tenants file serves anonymous unlimited, which keeps existing
+// single-tenant setups working unchanged.
+package tenant
+
+import (
+	"context"
+	"crypto/subtle"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Anonymous is the name of the tenant every unauthenticated caller maps
+// to. A tenants file may include an entry with this name (and no keys)
+// to give unauthenticated traffic its own quotas.
+const Anonymous = "anonymous"
+
+// Limits bounds one tenant's traffic. A zero field is unlimited; the
+// registry resolves the file's "0 = inherit the server default,
+// -1 = explicitly unlimited" convention into this form at load time.
+type Limits struct {
+	// Rate is the sustained admission rate in requests per second,
+	// shared by sweep submissions and result-stream opens.
+	Rate float64
+	// Burst is the token-bucket depth of Rate: how many requests may
+	// land back-to-back before pacing kicks in. Ignored when Rate is
+	// unlimited; a limited Rate with no burst resolves to max(1, ⌈Rate⌉).
+	Burst int
+	// MaxActive caps the tenant's concurrently running sweeps.
+	MaxActive int
+	// MaxQueued caps the tenant's unresolved (submitted but not yet
+	// completed) jobs across all its sweeps.
+	MaxQueued int
+}
+
+// Tenant is one resolved identity: who a request belongs to and what it
+// is allowed to do. Values are immutable after Load.
+type Tenant struct {
+	// Name identifies the tenant in status documents and metrics.
+	Name string
+	// Priority is the scheduling tier; higher runs sooner under
+	// contention (paid > free). Anonymous and unlisted fields are 0.
+	Priority int
+	// Limits are the tenant's resolved quotas (0 = unlimited).
+	Limits Limits
+}
+
+// open is the tenant of deployments without a registry: anonymous,
+// unlimited, priority 0 — exactly the pre-tenancy behavior.
+var open = &Tenant{Name: Anonymous}
+
+// Open returns the unlimited anonymous tenant used when no registry is
+// configured.
+func Open() *Tenant { return open }
+
+// Registry authenticates API keys against the loaded tenant set. It is
+// immutable after Load and safe for concurrent use.
+type Registry struct {
+	anonymous *Tenant
+	keys      []registeredKey
+	count     int
+}
+
+type registeredKey struct {
+	key []byte
+	t   *Tenant
+}
+
+// tenantsFile is the JSON schema of the -tenants file:
+//
+//	{
+//	  "tenants": [
+//	    {"name": "acme", "keys": ["k1", "k2"], "priority": 10,
+//	     "rate": 5, "burst": 10, "max_active": 2, "max_queued": 10000},
+//	    {"name": "anonymous", "max_queued": 100}
+//	  ]
+//	}
+//
+// "key" and "keys" are interchangeable (multiple keys per tenant make
+// rotation a two-step file edit with no outage window). For the numeric
+// limit fields, 0 (or absence) inherits the server-wide default and -1
+// is explicitly unlimited. The "anonymous" entry must have no keys; it
+// configures unauthenticated traffic.
+type tenantsFile struct {
+	Tenants []tenantEntry `json:"tenants"`
+}
+
+type tenantEntry struct {
+	Name      string   `json:"name"`
+	Key       string   `json:"key,omitempty"`
+	Keys      []string `json:"keys,omitempty"`
+	Priority  int      `json:"priority,omitempty"`
+	Rate      float64  `json:"rate,omitempty"`
+	Burst     int      `json:"burst,omitempty"`
+	MaxActive int      `json:"max_active,omitempty"`
+	MaxQueued int      `json:"max_queued,omitempty"`
+}
+
+// NewRegistry returns a registry with no keyed tenants: every caller is
+// anonymous, bounded by defaults. It is the -tenants-less way to put
+// quotas on a single-tenant deployment.
+func NewRegistry(defaults Limits) *Registry {
+	return &Registry{
+		anonymous: &Tenant{Name: Anonymous, Limits: resolveLimits(Limits{}, defaults)},
+		count:     1,
+	}
+}
+
+// Load parses a tenants file. Unknown fields, duplicate names, duplicate
+// keys and keyless non-anonymous tenants are rejected loudly. defaults
+// fills the limit fields each entry leaves at 0.
+func Load(r io.Reader, defaults Limits) (*Registry, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var f tenantsFile
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("tenant: bad tenants file: %w", err)
+	}
+	reg := NewRegistry(defaults)
+	names := map[string]bool{Anonymous: false} // value: seen in file
+	seenKeys := map[string]string{}            // key → tenant name
+	for i, e := range f.Tenants {
+		if e.Name == "" {
+			return nil, fmt.Errorf("tenant: tenants[%d] has no name", i)
+		}
+		if seen, ok := names[e.Name]; ok && (seen || e.Name != Anonymous) {
+			return nil, fmt.Errorf("tenant: duplicate tenant %q", e.Name)
+		}
+		names[e.Name] = true
+		keys := e.Keys
+		if e.Key != "" {
+			keys = append([]string{e.Key}, keys...)
+		}
+		t := &Tenant{
+			Name:     e.Name,
+			Priority: e.Priority,
+			Limits: resolveLimits(Limits{
+				Rate: e.Rate, Burst: e.Burst,
+				MaxActive: e.MaxActive, MaxQueued: e.MaxQueued,
+			}, defaults),
+		}
+		if e.Name == Anonymous {
+			if len(keys) > 0 {
+				return nil, fmt.Errorf("tenant: the %q tenant cannot have API keys", Anonymous)
+			}
+			reg.anonymous = t
+			continue
+		}
+		if len(keys) == 0 {
+			return nil, fmt.Errorf("tenant: tenant %q has no API keys", e.Name)
+		}
+		for _, k := range keys {
+			if k == "" {
+				return nil, fmt.Errorf("tenant: tenant %q has an empty API key", e.Name)
+			}
+			if other, dup := seenKeys[k]; dup {
+				return nil, fmt.Errorf("tenant: tenants %q and %q share an API key", other, e.Name)
+			}
+			seenKeys[k] = e.Name
+			reg.keys = append(reg.keys, registeredKey{key: []byte(k), t: t})
+		}
+		reg.count++
+	}
+	return reg, nil
+}
+
+// LoadFile is Load over a file path.
+func LoadFile(path string, defaults Limits) (*Registry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("tenant: %w", err)
+	}
+	defer f.Close()
+	return Load(f, defaults)
+}
+
+// resolveLimits applies the file convention to one entry: 0 inherits
+// the default, negative is explicitly unlimited (stored as 0).
+func resolveLimits(l, def Limits) Limits {
+	resolve := func(v, d int) int {
+		if v == 0 {
+			v = d
+		}
+		return max(v, 0)
+	}
+	out := Limits{
+		Burst:     resolve(l.Burst, def.Burst),
+		MaxActive: resolve(l.MaxActive, def.MaxActive),
+		MaxQueued: resolve(l.MaxQueued, def.MaxQueued),
+	}
+	out.Rate = l.Rate
+	if out.Rate == 0 {
+		out.Rate = def.Rate
+	}
+	out.Rate = math.Max(out.Rate, 0)
+	if out.Rate > 0 && out.Burst <= 0 {
+		out.Burst = max(1, int(math.Ceil(out.Rate)))
+	}
+	return out
+}
+
+// Authenticate resolves an API key to its tenant. An empty key is the
+// anonymous tenant; an unknown key is (nil, false). Every registered key
+// is compared in constant time on every call, so the response timing
+// does not reveal whether (or how nearly) a guess matched.
+func (r *Registry) Authenticate(key string) (*Tenant, bool) {
+	if key == "" {
+		return r.anonymous, true
+	}
+	var found *Tenant
+	kb := []byte(key)
+	for i := range r.keys {
+		if subtle.ConstantTimeCompare(r.keys[i].key, kb) == 1 {
+			found = r.keys[i].t
+		}
+	}
+	if found == nil {
+		return nil, false
+	}
+	return found, true
+}
+
+// Anonymous returns the tenant unauthenticated callers resolve to.
+func (r *Registry) Anonymous() *Tenant { return r.anonymous }
+
+// Len is the number of tenants, the anonymous one included.
+func (r *Registry) Len() int { return r.count }
+
+// Admission is the per-request tenancy metadata threaded through
+// contexts into the scheduler seams (server fair queue, dispatch
+// priority queue).
+type Admission struct {
+	// Tenant is the owning tenant's name.
+	Tenant string
+	// Priority is the sweep's effective scheduling tier.
+	Priority int
+}
+
+type admissionKey struct{}
+
+// NewContext attaches admission metadata to ctx.
+func NewContext(ctx context.Context, a Admission) context.Context {
+	return context.WithValue(ctx, admissionKey{}, a)
+}
+
+// FromContext extracts the admission metadata; a context without any
+// (a direct library call, a test) reports the zero Admission and false.
+func FromContext(ctx context.Context) (Admission, bool) {
+	a, ok := ctx.Value(admissionKey{}).(Admission)
+	return a, ok
+}

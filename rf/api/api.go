@@ -29,9 +29,37 @@ const Version = sweep.SchemaVersion
 // speaks).
 const VersionHeader = "X-RF-API-Version"
 
+// KeyHeader is the HTTP header carrying the caller's API key. A server
+// without a tenant registry ignores it; a server with one also accepts
+// the key as an "Authorization: Bearer" credential.
+const KeyHeader = "X-RF-API-Key"
+
+// Machine-readable codes carried by Error.Code on admission failures.
+const (
+	// ErrCodeUnauthenticated marks a 401: the presented API key is not
+	// registered.
+	ErrCodeUnauthenticated = "unauthenticated"
+	// ErrCodeForbidden marks a 403: the key is valid but the resource
+	// belongs to another tenant.
+	ErrCodeForbidden = "forbidden"
+	// ErrCodeRateLimited marks a 429 from the per-tenant request rate
+	// limiter; retry after Error.RetryAfterMS.
+	ErrCodeRateLimited = "rate_limited"
+	// ErrCodeOverQuota marks a 429 from a per-tenant capacity bound
+	// (concurrent sweeps or queued jobs); retry once earlier work drains.
+	ErrCodeOverQuota = "over_quota"
+)
+
 // Error is the JSON body of every non-2xx response.
 type Error struct {
 	Error string `json:"error"`
+	// Code, when present, classifies the failure machine-readably (the
+	// ErrCode constants). Absent on plain validation errors.
+	Code string `json:"code,omitempty"`
+	// RetryAfterMS, on 429 responses, is how long the caller should wait
+	// before retrying. The same hint rides the Retry-After header in
+	// whole seconds; this field keeps the sub-second precision.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
 }
 
 // SubmitResponse acknowledges POST /v1/sweeps.
@@ -42,6 +70,11 @@ type SubmitResponse struct {
 	Jobs       int    `json:"jobs"`
 	StatusURL  string `json:"status_url"`
 	ResultsURL string `json:"results_url"`
+	// Tenant and Priority report who the sweep was admitted as and at
+	// which scheduling tier. Stamped only by servers with a tenant
+	// registry, so untenanted deployments keep their exact wire bytes.
+	Tenant   string `json:"tenant,omitempty"`
+	Priority int    `json:"priority,omitempty"`
 }
 
 // SweepStatus is the status document of one sweep
@@ -64,6 +97,10 @@ type SweepStatus struct {
 	Submitted  string `json:"submitted"`
 	Finished   string `json:"finished,omitempty"`
 	ResultsURL string `json:"results_url"`
+	// Tenant and Priority mirror the SubmitResponse fields; present only
+	// on servers with a tenant registry.
+	Tenant   string `json:"tenant,omitempty"`
+	Priority int    `json:"priority,omitempty"`
 }
 
 // SweepList is the body of GET /v1/sweeps.

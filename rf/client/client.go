@@ -13,9 +13,11 @@
 //
 // Every request carries the X-RF-API-Version header; a server speaking
 // a different schema version is surfaced as *ErrVersionMismatch.
-// Idempotent requests (GET, DELETE) are retried with exponential
-// backoff on network errors and 5xx responses; submissions are not
-// (the caller decides whether re-submitting is safe).
+// Idempotent requests (GET, DELETE) are retried on network errors, 5xx
+// responses and 429s, with capped, fully-jittered exponential backoff
+// that honors the server's Retry-After hint; submissions are not
+// retried (the caller decides whether re-submitting is safe).
+// WithAPIKey authenticates every request against a multi-tenant server.
 package client
 
 import (
@@ -26,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"strconv"
 	"strings"
@@ -43,6 +46,13 @@ type APIError struct {
 	StatusCode int
 	// Message is the server's error text.
 	Message string
+	// Code is the machine-readable failure class on admission errors
+	// (the api.ErrCode constants); empty otherwise.
+	Code string
+	// RetryAfter is the server's back-off hint on 429 responses (from
+	// the body's retry_after_ms, falling back to the Retry-After
+	// header); 0 when the server sent none.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
@@ -64,11 +74,13 @@ func (e *ErrVersionMismatch) Error() string {
 
 // Client talks to one rfserved instance. It is safe for concurrent use.
 type Client struct {
-	base    string
-	hc      *http.Client
-	retries int
-	backoff time.Duration
-	logf    func(string, ...any)
+	base       string
+	hc         *http.Client
+	retries    int
+	backoff    time.Duration
+	maxBackoff time.Duration
+	apiKey     string
+	logf       func(string, ...any)
 }
 
 // Option configures a Client.
@@ -92,14 +104,30 @@ func WithRetries(n int) Option {
 	return func(c *Client) { c.retries = n }
 }
 
-// WithBackoff sets the initial retry backoff, doubled per attempt
-// (default 100ms).
+// WithBackoff sets the initial retry backoff, doubled per attempt up to
+// the WithMaxBackoff cap (default 100ms).
 func WithBackoff(d time.Duration) Option {
 	return func(c *Client) {
 		if d > 0 {
 			c.backoff = d
 		}
 	}
+}
+
+// WithMaxBackoff caps the doubled retry backoff (default 5s).
+func WithMaxBackoff(d time.Duration) Option {
+	return func(c *Client) {
+		if d > 0 {
+			c.maxBackoff = d
+		}
+	}
+}
+
+// WithAPIKey authenticates every request with the tenant API key
+// (carried in the X-RF-API-Key header). Servers without a tenant
+// registry ignore it.
+func WithAPIKey(key string) Option {
+	return func(c *Client) { c.apiKey = key }
 }
 
 // WithLogf receives retry/resume lifecycle messages (default: silent).
@@ -116,11 +144,12 @@ func WithLogf(f func(string, ...any)) Option {
 // away so ServeMux path-cleaning cannot 301 a POST into a GET).
 func New(base string, opts ...Option) *Client {
 	c := &Client{
-		base:    strings.TrimSuffix(base, "/"),
-		hc:      &http.Client{},
-		retries: 3,
-		backoff: 100 * time.Millisecond,
-		logf:    func(string, ...any) {},
+		base:       strings.TrimSuffix(base, "/"),
+		hc:         &http.Client{},
+		retries:    3,
+		backoff:    100 * time.Millisecond,
+		maxBackoff: 5 * time.Second,
+		logf:       func(string, ...any) {},
 	}
 	for _, o := range opts {
 		o(c)
@@ -132,17 +161,28 @@ func New(base string, opts ...Option) *Client {
 func (c *Client) BaseURL() string { return c.base }
 
 // transient reports whether an attempt's failure is worth retrying:
-// network errors and 5xx responses, never context cancellation.
+// network errors, 5xx responses and 429 rate limits, never context
+// cancellation.
 func transient(err error) bool {
 	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		return false
 	}
 	var ae *APIError
 	if errors.As(err, &ae) {
-		return ae.StatusCode >= 500
+		return ae.StatusCode >= 500 || ae.StatusCode == http.StatusTooManyRequests
 	}
 	var vm *ErrVersionMismatch
 	return !errors.As(err, &vm)
+}
+
+// jitter spreads a delay uniformly over (0, d] (full jitter), so many
+// clients retrying the same incident spread out instead of thundering
+// back in lockstep.
+func jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	return time.Duration(1 + rand.Int64N(int64(d)))
 }
 
 // roundTrip performs one attempt: send, negotiate version, surface
@@ -160,6 +200,9 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte
 		req.Header.Set("Content-Type", "application/json")
 	}
 	req.Header.Set(api.VersionHeader, strconv.Itoa(api.Version))
+	if c.apiKey != "" {
+		req.Header.Set(api.KeyHeader, c.apiKey)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, err
@@ -172,13 +215,21 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte
 	}
 	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		drain(resp)
+		ae := &APIError{StatusCode: resp.StatusCode, Message: string(bytes.TrimSpace(msg))}
 		var e api.Error
-		text := string(bytes.TrimSpace(msg))
 		if json.Unmarshal(msg, &e) == nil && e.Error != "" {
-			text = e.Error
+			ae.Message = e.Error
+			ae.Code = e.Code
+			ae.RetryAfter = time.Duration(e.RetryAfterMS) * time.Millisecond
 		}
-		return nil, &APIError{StatusCode: resp.StatusCode, Message: text}
+		if ae.RetryAfter <= 0 {
+			// Fall back to the standard header (whole seconds).
+			if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+				ae.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		drain(resp)
+		return nil, ae
 	}
 	return resp, nil
 }
@@ -188,7 +239,10 @@ func drain(resp *http.Response) {
 	resp.Body.Close()
 }
 
-// request is roundTrip plus retry/backoff for idempotent requests.
+// request is roundTrip plus retry for idempotent requests: exponential
+// backoff doubled per attempt, capped at maxBackoff, fully jittered
+// (uniform over (0, backoff]) so concurrent retriers fan out; a 429's
+// Retry-After hint raises the delay when the server asks for longer.
 func (c *Client) request(ctx context.Context, method, path string, body []byte, idempotent bool) (*http.Response, error) {
 	backoff := c.backoff
 	for attempt := 0; ; attempt++ {
@@ -199,14 +253,19 @@ func (c *Client) request(ctx context.Context, method, path string, body []byte, 
 		if !idempotent || attempt >= c.retries || !transient(err) {
 			return nil, err
 		}
+		delay := jitter(backoff)
+		var ae *APIError
+		if errors.As(err, &ae) && ae.RetryAfter > delay {
+			delay = ae.RetryAfter
+		}
 		c.logf("rf/client: %s %s failed (retry %d/%d in %v): %v",
-			method, path, attempt+1, c.retries, backoff, err)
+			method, path, attempt+1, c.retries, delay, err)
 		select {
 		case <-ctx.Done():
 			return nil, ctx.Err()
-		case <-time.After(backoff):
+		case <-time.After(delay):
 		}
-		backoff *= 2
+		backoff = min(backoff*2, c.maxBackoff)
 	}
 }
 

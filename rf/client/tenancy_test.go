@@ -1,0 +1,118 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/rf/api"
+)
+
+// TestAPIKeySentAndTyped401 pins the auth contract: WithAPIKey stamps
+// every request with the key header, a 401 surfaces the server's
+// machine-readable code, and authentication failures are terminal (a
+// retry would just fail the same way).
+func TestAPIKeySentAndTyped401(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		if r.Header.Get(api.KeyHeader) != "key-good" {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusUnauthorized)
+			fmt.Fprintln(w, `{"error": "unknown API key", "code": "unauthenticated"}`)
+			return
+		}
+		fmt.Fprintln(w, `{"id": "s000001", "state": "done"}`)
+	}))
+	defer ts.Close()
+
+	st, err := New(ts.URL, WithAPIKey("key-good")).Status(context.Background(), "s000001")
+	if err != nil {
+		t.Fatalf("keyed Status: %v", err)
+	}
+	if st.State != "done" {
+		t.Errorf("keyed Status state = %q, want done", st.State)
+	}
+
+	calls.Store(0)
+	_, err = New(ts.URL, WithRetries(3), WithBackoff(time.Millisecond)).Status(context.Background(), "s000001")
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("keyless Status error = %v (%T), want *APIError", err, err)
+	}
+	if ae.StatusCode != http.StatusUnauthorized || ae.Code != api.ErrCodeUnauthenticated {
+		t.Errorf("keyless Status = %d/%q, want 401/%q", ae.StatusCode, ae.Code, api.ErrCodeUnauthenticated)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Errorf("401 was attempted %d times, want 1 (not transient)", n)
+	}
+}
+
+// TestStatusRetries429HonoringRetryAfter: a rate-limited idempotent
+// request is retried, and the server's retry_after_ms hint raises the
+// delay above the client's own (tiny) backoff.
+func TestStatusRetries429HonoringRetryAfter(t *testing.T) {
+	const hint = 50 * time.Millisecond
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprintf(w, `{"error": "rate limit exceeded", "code": "rate_limited", "retry_after_ms": %d}`, hint.Milliseconds())
+			return
+		}
+		fmt.Fprintln(w, `{"id": "s000001", "state": "done"}`)
+	}))
+	defer ts.Close()
+
+	cl := New(ts.URL, WithRetries(3), WithBackoff(time.Microsecond))
+	start := time.Now()
+	st, err := cl.Status(context.Background(), "s000001")
+	if err != nil {
+		t.Fatalf("Status after 429s: %v", err)
+	}
+	if st.State != "done" {
+		t.Errorf("state = %q, want done", st.State)
+	}
+	if n := calls.Load(); n != 3 {
+		t.Errorf("server saw %d calls, want 3 (2 × 429, then success)", n)
+	}
+	if elapsed := time.Since(start); elapsed < 2*hint {
+		t.Errorf("retries took %v, want >= %v (Retry-After hint ignored?)", elapsed, 2*hint)
+	}
+}
+
+// TestSubmitNotRetriedOn429: Submit is intentionally non-idempotent —
+// a 429 is surfaced once, with the Retry-After header (whole seconds)
+// parsed when the body carries no millisecond hint.
+func TestSubmitNotRetriedOn429(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "2")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprintln(w, `{"error": "tenant over quota", "code": "over_quota"}`)
+	}))
+	defer ts.Close()
+
+	_, err := New(ts.URL, WithRetries(3), WithBackoff(time.Millisecond)).Submit(context.Background(), testSpec(t))
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("Submit error = %v (%T), want *APIError", err, err)
+	}
+	if ae.Code != api.ErrCodeOverQuota {
+		t.Errorf("Code = %q, want %q", ae.Code, api.ErrCodeOverQuota)
+	}
+	if ae.RetryAfter != 2*time.Second {
+		t.Errorf("RetryAfter = %v, want 2s (from header)", ae.RetryAfter)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Errorf("Submit was attempted %d times, want 1", n)
+	}
+}

@@ -2,7 +2,7 @@
 # End-to-end smoke test for the rfserved sweep service. CI runs this on
 # every PR; it also runs locally (bash scripts/smoke_e2e.sh).
 #
-# It proves the four service-level guarantees:
+# It proves the five service-level guarantees:
 #   1. The NDJSON stream of a submitted sweep is byte-identical to an
 #      `rfbatch -ndjson` run of the same spec.
 #   2. Resubmitting the spec to the same server performs zero simulations
@@ -12,6 +12,10 @@
 #   4. A 1-coordinator/2-worker fleet over a fresh store streams the
 #      same bytes as single-node rfserved (every job executed remotely),
 #      and resubmitting to the coordinator is 100% warm cache hits.
+#   5. Multi-tenant admission: wrong keys get 401, an over-quota tenant
+#      gets 429 + Retry-After while another tenant's sweep streams the
+#      same bytes as rfbatch, anonymous callers still work, and /metrics
+#      grows per-tenant rows.
 #
 # Requires: go, curl, jq.
 set -euo pipefail
@@ -58,9 +62,10 @@ cat > "$work/spec.json" <<'EOF'
 }
 EOF
 
+# start_server [extra rfserved flags...]
 start_server() {
   rm -f "$work/addr"
-  "$bin/rfserved" -addr 127.0.0.1:0 -addr-file "$work/addr" -store "$storedir" \
+  "$bin/rfserved" -addr 127.0.0.1:0 -addr-file "$work/addr" "$@" \
     2>> "$work/rfserved.log" &
   server_pid=$!
   for _ in $(seq 1 100); do
@@ -93,13 +98,13 @@ submit() {
 }
 
 echo "smoke: starting rfserved (fresh store)"
-start_server
+start_server -store "$storedir"
 
 echo "smoke: /v1/version must advertise schema 1"
 curl -sfS "$base/v1/version" | jq -e '.schema == 1 and (.module | length) > 0' > /dev/null \
   || die "/v1/version wrong: $(curl -sfS "$base/v1/version")"
 
-echo "smoke: 1/4 streamed rows must be byte-identical to rfbatch"
+echo "smoke: 1/5 streamed rows must be byte-identical to rfbatch"
 submit cold
 "$bin/rfbatch" -spec "$work/spec.json" -ndjson > "$work/rfbatch.ndjson" 2> "$work/rfbatch.log"
 if ! cmp -s "$work/cold.ndjson" "$work/rfbatch.ndjson"; then
@@ -110,16 +115,16 @@ rows="$(wc -l < "$work/cold.ndjson")"
 [ "$rows" -eq 6 ] || die "expected 6 result rows, got $rows"
 echo "smoke:     $rows rows identical"
 
-echo "smoke: 2/4 resubmission must be 100% cache hits"
+echo "smoke: 2/5 resubmission must be 100% cache hits"
 submit warm
 jq -e '.state == "done" and .cached == .total and .simulated == 0' \
   "$work/warm.status" > /dev/null \
   || die "resubmission was not fully cached: $(cat "$work/warm.status")"
 echo "smoke:     $(jq -r .cached "$work/warm.status")/$(jq -r .total "$work/warm.status") rows from cache"
 
-echo "smoke: 3/4 store must survive a server restart"
+echo "smoke: 3/5 store must survive a server restart"
 stop_server
-start_server
+start_server -store "$storedir"
 submit restart
 jq -e '.state == "done" and .cached == .total and .simulated == 0' \
   "$work/restart.status" > /dev/null \
@@ -135,7 +140,7 @@ curl -sfS "$base/metrics" | grep -q '^rfserved_cache_hits_total' \
   || die "metrics endpoint missing cache counters"
 stop_server
 
-echo "smoke: 4/4 coordinator + 2 workers must match single-node byte-for-byte"
+echo "smoke: 4/5 coordinator + 2 workers must match single-node byte-for-byte"
 # A fresh store: every job must travel through the fleet, nothing is
 # pre-warmed.
 fleetstore="$work/fleetstore"
@@ -186,5 +191,62 @@ jq -e '.state == "done" and .cached == .total and .simulated == 0' \
   "$work/fleetwarm.status" > /dev/null \
   || die "fleet resubmission was not fully cached: $(cat "$work/fleetwarm.status")"
 echo "smoke:     resubmission served $(jq -r .cached "$work/fleetwarm.status")/$(jq -r .total "$work/fleetwarm.status") rows from the fleet-wide cache"
+
+echo "smoke: 5/5 multi-tenant admission: keys, quotas, isolation"
+# "small" can hold at most 3 unresolved jobs — the 6-job smoke spec is
+# rejected deterministically. "big" has a rotated key pair and no limits.
+cat > "$work/tenants.json" <<'EOF'
+{
+  "tenants": [
+    {"name": "small", "key": "smoke-key-small", "max_queued": 3},
+    {"name": "big", "keys": ["smoke-key-big", "smoke-key-big-rotated"]}
+  ]
+}
+EOF
+# A fresh store so big's stream is computed, not replayed from cache.
+start_server -store "$work/tenantstore" -tenants "$work/tenants.json"
+
+code="$(curl -sS -o "$work/t401.json" -w '%{http_code}' \
+  -H 'X-RF-API-Key: bogus' -X POST --data-binary @"$work/spec.json" "$base/v1/sweeps")"
+[ "$code" = 401 ] || die "wrong key got $code, want 401: $(cat "$work/t401.json")"
+jq -e '.code == "unauthenticated"' "$work/t401.json" > /dev/null \
+  || die "401 body missing code: $(cat "$work/t401.json")"
+echo "smoke:     wrong key rejected with 401 unauthenticated"
+
+code="$(curl -sS -o "$work/t429.json" -D "$work/t429.headers" -w '%{http_code}' \
+  -H 'X-RF-API-Key: smoke-key-small' -X POST --data-binary @"$work/spec.json" "$base/v1/sweeps")"
+[ "$code" = 429 ] || die "over-quota tenant got $code, want 429: $(cat "$work/t429.json")"
+jq -e '.code == "over_quota" and .retry_after_ms > 0' "$work/t429.json" > /dev/null \
+  || die "429 body wrong: $(cat "$work/t429.json")"
+grep -qi '^retry-after:' "$work/t429.headers" \
+  || die "429 response missing Retry-After header"
+echo "smoke:     over-quota tenant rejected with 429 over_quota + Retry-After"
+
+# The other tenant is unaffected: its sweep runs and streams the same
+# bytes rfbatch produces (the rotated key must authenticate too).
+ack="$(curl -sfS -H 'X-RF-API-Key: smoke-key-big-rotated' \
+  -X POST --data-binary @"$work/spec.json" "$base/v1/sweeps")"
+echo "$ack" | jq -e '.tenant == "big"' > /dev/null \
+  || die "ack not stamped with tenant: $ack"
+curl -sfS -H 'X-RF-API-Key: smoke-key-big' \
+  "$base$(echo "$ack" | jq -r .results_url)" > "$work/tenant.ndjson"
+if ! cmp -s "$work/tenant.ndjson" "$work/rfbatch.ndjson"; then
+  diff -u "$work/rfbatch.ndjson" "$work/tenant.ndjson" >&2 || true
+  die "tenanted stream differs from rfbatch output"
+fi
+echo "smoke:     big's $(wc -l < "$work/tenant.ndjson") rows identical to rfbatch"
+
+# Keyless callers still work (they are the anonymous tenant).
+curl -sfS -X POST --data-binary @"$work/spec.json" "$base/v1/sweeps" \
+  | jq -e '.tenant == "anonymous"' > /dev/null \
+  || die "anonymous submission failed against tenanted server"
+
+metrics="$(curl -sfS "$base/metrics")"
+echo "$metrics" | grep -q '^rfserved_tenant_active_sweeps{tenant="big"}' \
+  || die "metrics missing per-tenant rows: $(echo "$metrics" | grep tenant || true)"
+echo "$metrics" | grep -q '^rfserved_tenant_rejected_total{tenant="small"} 1$' \
+  || die "small's rejection not counted: $(echo "$metrics" | grep tenant || true)"
+echo "smoke:     per-tenant metrics rows present"
+stop_server
 
 echo "smoke: PASS"
