@@ -631,8 +631,12 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Cancellation mutates another tenant's sweep, so in tenanted mode it
-	// demands ownership (status and listing stay open — they are reads
-	// operators and dashboards rely on).
+	// demands ownership (status and listing stay open — they expose
+	// metadata, not result payloads, and operators' dashboards rely on
+	// them). The anonymous tenant is deliberately one shared identity:
+	// every keyless caller collectively owns every anonymous sweep, for
+	// cancellation as for result streaming, so a deployment that wants
+	// isolation between unauthenticated users must issue keys instead.
 	if s.cfg.Tenants != nil {
 		tn := s.authTenant(w, r)
 		if tn == nil {
@@ -666,6 +670,15 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !s.rateLimit(w, tn) {
+		return
+	}
+	// The stream is the sweep's payload, so in tenanted mode it demands
+	// ownership exactly as cancellation does: sweep IDs are sequential
+	// and listable, so isolation must never rest on their secrecy. (The
+	// anonymous tenant is one shared identity — see handleCancel.)
+	if s.cfg.Tenants != nil && run.tenant != tn.Name {
+		writeErrorCode(w, http.StatusForbidden, api.ErrCodeForbidden, 0,
+			"rfserved: sweep %s belongs to tenant %q", run.id, run.tenant)
 		return
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")

@@ -49,6 +49,32 @@ func postSpec(t *testing.T, base, key, spec string) *http.Response {
 	return resp
 }
 
+// streamKeyed is streamAll with an API key attached: result streams are
+// owner-only on a tenanted server.
+func streamKeyed(t *testing.T, base, resultsURL, key string) string {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, base+resultsURL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != "" {
+		req.Header.Set(api.KeyHeader, key)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("results returned %d", resp.StatusCode)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
 // decodeError decodes and closes a non-2xx response body.
 func decodeError(t *testing.T, resp *http.Response) api.Error {
 	t.Helper()
@@ -152,7 +178,7 @@ func TestTenantQueuedQuotaAndIsolation(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	got := streamAll(t, ts.URL, ack.ResultsURL)
+	got := streamKeyed(t, ts.URL, ack.ResultsURL, "key-big")
 	want := rfbatchNDJSON(t, testSpec, fakeSim)
 	if got != want {
 		t.Errorf("tenanted stream differs from rfbatch output:\ngot:\n%s\nwant:\n%s", got, want)
@@ -309,6 +335,55 @@ func TestTenantCancelOwnership(t *testing.T) {
 		t.Fatalf("owner cancel: status %d, want 202", resp.StatusCode)
 	}
 	resp.Body.Close()
+}
+
+// TestTenantResultsOwnership pins result-stream isolation: sweep IDs
+// are sequential and listable, so the payload stream must demand
+// ownership rather than rely on ID secrecy.
+func TestTenantResultsOwnership(t *testing.T) {
+	_, ts := newTestServer(t, Config{Tenants: testRegistry(t)})
+	resp := postSpec(t, ts.URL, "key-big", testSpec)
+	var ack api.SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	stream := func(key string) *http.Response {
+		req, err := http.NewRequest(http.MethodGet, ts.URL+ack.ResultsURL, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if key != "" {
+			req.Header.Set(api.KeyHeader, key)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	// Another tenant — and an anonymous caller who merely guessed the
+	// sequential ID — gets a 403, not big's rows.
+	resp = stream("key-small")
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("cross-tenant stream: status %d, want 403", resp.StatusCode)
+	}
+	if e := decodeError(t, resp); e.Code != api.ErrCodeForbidden {
+		t.Errorf("cross-tenant stream: code %q, want %q", e.Code, api.ErrCodeForbidden)
+	}
+	resp = stream("")
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("anonymous stream: status %d, want 403", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// The owner streams the full result set, with either of its keys.
+	got := streamKeyed(t, ts.URL, ack.ResultsURL, "key-big-rotated")
+	if want := rfbatchNDJSON(t, testSpec, fakeSim); got != want {
+		t.Errorf("owner stream differs from rfbatch output:\ngot:\n%s\nwant:\n%s", got, want)
+	}
 }
 
 // TestUntenantedIgnoresKeys pins the compatibility contract: without a

@@ -23,6 +23,8 @@ type Limiter struct {
 
 type bucket struct {
 	tokens float64
+	rate   float64 // the owner's admission rate (tokens/second)
+	burst  float64 // the owner's bucket depth
 	last   time.Time
 }
 
@@ -47,7 +49,7 @@ func (l *Limiter) Allow(name string, rate float64, burst int) (bool, time.Durati
 	now := l.now()
 	if l.ops++; l.ops >= pruneEvery {
 		l.ops = 0
-		l.pruneLocked(now, rate, float64(burst))
+		l.pruneLocked(now)
 	}
 	b := l.buckets[name]
 	if b == nil {
@@ -57,6 +59,10 @@ func (l *Limiter) Allow(name string, rate float64, burst int) (bool, time.Durati
 		b.tokens = min(float64(burst), b.tokens+rate*now.Sub(b.last).Seconds())
 		b.last = now
 	}
+	// The caller is the bucket's owner, so these are the owner's current
+	// limits; stamping them on every call keeps pruning honest even if a
+	// tenant's configured rate ever changes between calls.
+	b.rate, b.burst = rate, float64(burst)
 	if b.tokens >= 1 {
 		b.tokens--
 		return true, 0
@@ -64,14 +70,15 @@ func (l *Limiter) Allow(name string, rate float64, burst int) (bool, time.Durati
 	return false, time.Duration((1 - b.tokens) / rate * float64(time.Second))
 }
 
-// pruneLocked deletes every bucket that has refilled to the full burst:
-// absent and full are the same state, so the entry is pure memory.
-// Buckets are conservatively judged against the caller's rate/burst;
-// with per-tenant rates the worst case is a bucket lingering until a
-// matching call prunes it.
-func (l *Limiter) pruneLocked(now time.Time, rate, burst float64) {
+// pruneLocked deletes every bucket that has refilled to its own full
+// burst: absent and full are the same state, so the entry is pure
+// memory. Each bucket is judged against the rate and burst its owner
+// stamped on it, never the pruning caller's — judging a slow tenant's
+// drained bucket by a fast caller's rate would delete it early, and the
+// owner's next Allow would recreate it full, handing out a free burst.
+func (l *Limiter) pruneLocked(now time.Time) {
 	for name, b := range l.buckets {
-		if b.tokens+rate*now.Sub(b.last).Seconds() >= burst {
+		if b.tokens+b.rate*now.Sub(b.last).Seconds() >= b.burst {
 			delete(l.buckets, name)
 		}
 	}

@@ -9,8 +9,9 @@
 //
 //   - Registry — tenants loaded from a JSON file, each with one or more
 //     API keys (so keys rotate without a restart gap), a priority tier
-//     and resolved Limits. Lookup is constant-time over every key, so
-//     response timing does not leak how close a guess came.
+//     and resolved Limits. Lookup compares fixed-size key digests in
+//     constant time over every key, so response timing leaks neither how
+//     close a guess came nor whether its length matched a real key.
 //   - Reserver — bounded per-tenant counts (concurrent sweeps, queued
 //     jobs) whose map entries are deleted when a count returns to zero,
 //     so memory stays bounded under many-tenant churn.
@@ -26,6 +27,7 @@ package tenant
 
 import (
 	"context"
+	"crypto/sha256"
 	"crypto/subtle"
 	"encoding/json"
 	"fmt"
@@ -85,9 +87,14 @@ type Registry struct {
 	count     int
 }
 
+// registeredKey holds a key's SHA-256 digest, never the key itself:
+// digests are fixed-size, so the authentication compare is constant
+// time even across keys of different lengths (ConstantTimeCompare on
+// raw keys returns immediately on a length mismatch, which would leak
+// whether a guess's length matched a registered key).
 type registeredKey struct {
-	key []byte
-	t   *Tenant
+	digest [sha256.Size]byte
+	t      *Tenant
 }
 
 // tenantsFile is the JSON schema of the -tenants file:
@@ -181,7 +188,7 @@ func Load(r io.Reader, defaults Limits) (*Registry, error) {
 				return nil, fmt.Errorf("tenant: tenants %q and %q share an API key", other, e.Name)
 			}
 			seenKeys[k] = e.Name
-			reg.keys = append(reg.keys, registeredKey{key: []byte(k), t: t})
+			reg.keys = append(reg.keys, registeredKey{digest: sha256.Sum256([]byte(k)), t: t})
 		}
 		reg.count++
 	}
@@ -224,17 +231,19 @@ func resolveLimits(l, def Limits) Limits {
 }
 
 // Authenticate resolves an API key to its tenant. An empty key is the
-// anonymous tenant; an unknown key is (nil, false). Every registered key
-// is compared in constant time on every call, so the response timing
-// does not reveal whether (or how nearly) a guess matched.
+// anonymous tenant; an unknown key is (nil, false). The presented key is
+// hashed once and its fixed-size digest compared against every
+// registered digest on every call, so the response timing reveals
+// neither how nearly a guess matched nor whether its length matched any
+// registered key.
 func (r *Registry) Authenticate(key string) (*Tenant, bool) {
 	if key == "" {
 		return r.anonymous, true
 	}
 	var found *Tenant
-	kb := []byte(key)
+	kd := sha256.Sum256([]byte(key))
 	for i := range r.keys {
-		if subtle.ConstantTimeCompare(r.keys[i].key, kb) == 1 {
+		if subtle.ConstantTimeCompare(r.keys[i].digest[:], kd[:]) == 1 {
 			found = r.keys[i].t
 		}
 	}

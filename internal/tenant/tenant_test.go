@@ -173,6 +173,36 @@ func TestLimiterPacing(t *testing.T) {
 	}
 }
 
+// TestLimiterPruneHeterogeneousRates pins that a prune sweep triggered
+// by a high-rate tenant judges every bucket by its *own* rate and burst:
+// deleting a slow tenant's drained bucket would recreate it full on the
+// owner's next call, handing out a free burst.
+func TestLimiterPruneHeterogeneousRates(t *testing.T) {
+	l := NewLimiter()
+	now := time.Unix(1000, 0)
+	l.now = func() time.Time { return now }
+
+	// "slow" spends its whole burst: 0 tokens left, next token ~17 min out.
+	if ok, _ := l.Allow("slow", 0.001, 1); !ok {
+		t.Fatal("slow's first request denied")
+	}
+	if ok, _ := l.Allow("slow", 0.001, 1); ok {
+		t.Fatal("slow's second request admitted inside drained burst")
+	}
+
+	// One second later a fast tenant's call triggers a prune. Judged by the
+	// caller's rate (100/s), slow's bucket would look refilled and die.
+	now = now.Add(time.Second)
+	l.ops = pruneEvery - 1
+	l.Allow("fast", 100, 100)
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d after fast-rate prune, want 2 (slow's drained bucket must survive)", l.Len())
+	}
+	if ok, _ := l.Allow("slow", 0.001, 1); ok {
+		t.Fatal("slow admitted right after a fast-rate prune: bucket was deleted and recreated full")
+	}
+}
+
 func TestFairQueuePriorityAndDeficit(t *testing.T) {
 	q := NewFairQueue(3)
 	for i := 0; i < 3; i++ {

@@ -236,6 +236,13 @@ if ! cmp -s "$work/tenant.ndjson" "$work/rfbatch.ndjson"; then
 fi
 echo "smoke:     big's $(wc -l < "$work/tenant.ndjson") rows identical to rfbatch"
 
+# Result streams are owner-only: another tenant guessing the sequential
+# sweep ID must get a 403, never big's rows.
+code="$(curl -sS -o /dev/null -w '%{http_code}' -H 'X-RF-API-Key: smoke-key-small' \
+  "$base$(echo "$ack" | jq -r .results_url)")"
+[ "$code" = 403 ] || die "cross-tenant stream got $code, want 403"
+echo "smoke:     cross-tenant result stream rejected with 403"
+
 # Keyless callers still work (they are the anonymous tenant).
 curl -sfS -X POST --data-binary @"$work/spec.json" "$base/v1/sweeps" \
   | jq -e '.tenant == "anonymous"' > /dev/null \
