@@ -8,6 +8,7 @@
 //
 //	rfserved [-addr host:port] [-addr-file path] [-store dir]
 //	         [-store-max-mb n] [-workers n] [-sweep-workers n] [-max-jobs n]
+//	         [-lockstep width]
 //	         [-tenants file] [-default-rate r] [-default-burst n]
 //	         [-max-active-per-tenant n] [-max-queued-per-tenant n]
 //	         [-dispatch [-lease-ms n] [-max-capacity n] [-job-timeout d]]
@@ -82,6 +83,7 @@ func main() {
 		workers    = flag.Int("workers", 0, "global concurrent-simulation bound (0: GOMAXPROCS; coordinator mode: 256)")
 		sweepWork  = flag.Int("sweep-workers", 0, "per-sweep worker budget cap (0: same as -workers)")
 		maxJobs    = flag.Int("max-jobs", 0, "reject specs expanding to more jobs than this (0: 100000)")
+		lockstep   = flag.Int("lockstep", 0, "lockstep batch width for local simulation: 0 groups up to 16 same-workload configurations per trace pass, 1 disables grouping (results are identical either way)")
 		tenantsF   = flag.String("tenants", "", "tenants JSON file enabling API-key auth and per-tenant quotas")
 		defRate    = flag.Float64("default-rate", 0, "default per-tenant request rate in req/s (0: unlimited)")
 		defBurst   = flag.Int("default-burst", 0, "default per-tenant request burst (0: derived from -default-rate)")
@@ -109,6 +111,7 @@ func main() {
 		MaxWorkers:      *workers,
 		MaxSweepWorkers: *sweepWork,
 		MaxJobs:         *maxJobs,
+		Lockstep:        *lockstep,
 	}
 	defaults := tenant.Limits{
 		Rate: *defRate, Burst: *defBurst,
@@ -179,10 +182,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rfserved: joining fleet at %s\n", *join)
 		go func() {
 			workerDone <- dispatch.RunWorker(ctx, dispatch.WorkerConfig{
-				Coordinator: *join,
-				Name:        name,
-				Capacity:    *capacity,
-				Simulate:    srv.RunJob,
+				Coordinator:   *join,
+				Name:          name,
+				Capacity:      *capacity,
+				Simulate:      srv.RunJob,
+				SimulateBatch: srv.RunJobs,
+				Lockstep:      *lockstep,
 				Logf: func(format string, args ...any) {
 					fmt.Fprintf(os.Stderr, "rfserved: "+format+"\n", args...)
 				},

@@ -1,22 +1,3 @@
-// Package arch is the architecture-family registry: the single place
-// where register file families — the paper's four (monolithic in three
-// port/bypass variants, the register file cache, the one-level
-// multi-banked file, the replicated clustered file) and any user-defined
-// ones — register a name, a parameter schema, a validator and an RFSpec
-// builder.
-//
-// Everything that resolves a family by name goes through this registry:
-// sweep-matrix expansion (internal/sweep), server-side job validation
-// (internal/server, via the sweep spec), and the CLIs. A family is
-// described by an ordered list of dimensions (Dim); expansion is the
-// generic cross product of the matrix's dimension lists, with the
-// family's Build called once per point. The phys_regs dimension is
-// common to every family and handled by the registry itself, innermost
-// in the cross product, suffixing " P<n>" to the spec name for non-128
-// values.
-//
-// The public surface of this package is re-exported by the top-level rf
-// package; new families should be registered through rf.RegisterFamily.
 package arch
 
 import (

@@ -99,10 +99,11 @@ func (f *Replicated) Clusters() int { return f.cfg.Clusters }
 // HomeCluster returns the cluster that produces (or produced) p.
 func (f *Replicated) HomeCluster(p PhysReg) int { return int(f.home[p]) }
 
-// busCycleAt returns the cycle at which p's value reaches cluster c's
+// BusCycleAt returns the cycle at which p's value reaches cluster c's
 // bank: the local bank at the write-back cycle w, remote banks RemoteDelay
-// later.
-func (f *Replicated) busCycleAt(p PhysReg, w uint64, c int) uint64 {
+// later. The simulator's issue scheduler uses it to compute when an
+// operand first becomes catchable from cluster c.
+func (f *Replicated) BusCycleAt(p PhysReg, w uint64, c int) uint64 {
 	if int(f.home[p]) == c || w == 0 {
 		return w
 	}
@@ -115,7 +116,7 @@ func (f *Replicated) busCycleAt(p PhysReg, w uint64, c int) uint64 {
 func (f *Replicated) TryReadCluster(t uint64, ops []Operand, c int) bool {
 	need := 0
 	for i := range ops {
-		w := f.busCycleAt(ops[i].Reg, ops[i].Bus, c)
+		w := f.BusCycleAt(ops[i].Reg, ops[i].Bus, c)
 		switch {
 		case t+2 == w:
 			ops[i].ViaBypass = true

@@ -35,13 +35,27 @@ type Queue struct {
 	count    int
 	capacity int
 
+	// storeRing lists the slot indices of in-queue stores in program
+	// order (a ring over storeHead/storeCount). Load disambiguation and
+	// forwarding only ever inspect stores, so scanning this ring instead
+	// of the whole queue keeps IssueLoad proportional to the number of
+	// stores, not the queue occupancy. storeBase is the absolute ordinal
+	// of storeRing[storeHead], so a position survives commits of older
+	// stores.
+	storeRing  []int
+	storeHead  int
+	storeCount int
+	storeBase  uint64
+
 	// frontierSeq is the sequence number of the oldest store whose address
 	// is still unknown (frontierNone when every store address is known);
-	// frontierIdx is that store's slot. A load may access memory exactly
-	// when its sequence number is below the frontier, which makes the
-	// disambiguation check O(1) instead of a scan over all earlier entries.
+	// frontierIdx is that store's slot and frontierOrd its absolute store
+	// ordinal. A load may access memory exactly when its sequence number
+	// is below the frontier, which makes the disambiguation check O(1)
+	// instead of a scan over all earlier entries.
 	frontierSeq uint64
 	frontierIdx int
+	frontierOrd uint64
 
 	forwards uint64
 	issued   uint64
@@ -52,7 +66,22 @@ func New(capacity int) *Queue {
 	if capacity <= 0 {
 		panic("lsq: non-positive capacity")
 	}
-	return &Queue{entries: make([]entry, capacity), capacity: capacity, frontierSeq: frontierNone}
+	return &Queue{
+		entries:     make([]entry, capacity),
+		storeRing:   make([]int, capacity),
+		capacity:    capacity,
+		frontierSeq: frontierNone,
+	}
+}
+
+// wrap reduces a ring index in [0, 2*capacity) into [0, capacity). Ring
+// steps only ever overshoot by less than one capacity, so a compare
+// replaces the modulo (and its hardware divide) on the hot paths.
+func (q *Queue) wrap(i int) int {
+	if i >= q.capacity {
+		i -= q.capacity
+	}
+	return i
 }
 
 // Full reports whether no slot is free.
@@ -73,19 +102,24 @@ func (q *Queue) Insert(seq uint64, kind Kind) int {
 	if q.Full() {
 		panic("lsq: insert into full queue")
 	}
-	idx := (q.head + q.count) % q.capacity
+	idx := q.wrap(q.head + q.count)
 	if q.count > 0 {
-		prev := q.entries[(q.head+q.count-1)%q.capacity]
+		prev := q.entries[q.wrap(q.head+q.count-1)]
 		if prev.seq >= seq {
 			panic("lsq: out-of-order insert")
 		}
 	}
 	q.entries[idx] = entry{seq: seq, kind: kind, valid: true}
 	q.count++
-	if kind == KindStore && q.frontierSeq == frontierNone {
-		// Inserts are youngest, so a new unknown-address store becomes the
-		// frontier only when no older one exists.
-		q.frontierSeq, q.frontierIdx = seq, idx
+	if kind == KindStore {
+		ord := q.storeBase + uint64(q.storeCount)
+		q.storeRing[q.wrap(q.storeHead+q.storeCount)] = idx
+		q.storeCount++
+		if q.frontierSeq == frontierNone {
+			// Inserts are youngest, so a new unknown-address store becomes the
+			// frontier only when no older one exists.
+			q.frontierSeq, q.frontierIdx, q.frontierOrd = seq, idx, ord
+		}
 	}
 	return idx
 }
@@ -106,16 +140,16 @@ func (q *Queue) SetAddress(t int, addr uint64) {
 	}
 }
 
-// advanceFrontier moves the unknown-store frontier past entries whose
+// advanceFrontier moves the unknown-store frontier past stores whose
 // addresses are now known. The walk resumes where the previous frontier
-// stood, so the total work over a run is linear in the entries inserted.
+// stood, so the total work over a run is linear in the stores inserted.
 func (q *Queue) advanceFrontier() {
-	n := (q.frontierIdx - q.head + q.capacity) % q.capacity
-	for n++; n < q.count; n++ {
-		i := (q.head + n) % q.capacity
+	n := int(q.frontierOrd - q.storeBase)
+	for n++; n < q.storeCount; n++ {
+		i := q.storeRing[q.wrap(q.storeHead+n)]
 		e := &q.entries[i]
-		if e.valid && e.kind == KindStore && !e.addrKnown {
-			q.frontierSeq, q.frontierIdx = e.seq, i
+		if !e.addrKnown {
+			q.frontierSeq, q.frontierIdx, q.frontierOrd = e.seq, i, q.storeBase+uint64(n)
 			return
 		}
 	}
@@ -151,14 +185,16 @@ func (q *Queue) IssueLoad(t int, dc *cache.Cache, now uint64) Result {
 		panic("lsq: IssueLoad before CanIssueLoad")
 	}
 	q.issued++
-	// Search for the youngest earlier store to the same address.
+	// Search for the youngest earlier store to the same address. Only
+	// stores can match, so the walk covers the store ring rather than
+	// every queue entry.
 	var match *entry
-	for i, n := q.head, 0; n < q.count; i, n = (i+1)%q.capacity, n+1 {
-		s := &q.entries[i]
+	for i, n := q.storeHead, 0; n < q.storeCount; i, n = q.wrap(i+1), n+1 {
+		s := &q.entries[q.storeRing[i]]
 		if s.seq >= e.seq {
 			break
 		}
-		if s.kind == KindStore && s.addrKnown && sameWord(s.addr, e.addr) {
+		if s.addrKnown && sameWord(s.addr, e.addr) {
 			match = s
 		}
 	}
@@ -201,12 +237,19 @@ func (q *Queue) Commit(seq uint64, dc *cache.Cache, now uint64) int {
 		panic("lsq: commit out of order")
 	}
 	lat := 0
-	if e.kind == KindStore && dc != nil {
-		r := dc.Access(e.addr, true, now)
-		lat = r.Latency
+	if e.kind == KindStore {
+		if dc != nil {
+			r := dc.Access(e.addr, true, now)
+			lat = r.Latency
+		}
+		// The oldest entry is by construction the oldest store, so it
+		// leaves the front of the store ring.
+		q.storeHead = q.wrap(q.storeHead + 1)
+		q.storeCount--
+		q.storeBase++
 	}
 	e.valid = false
-	q.head = (q.head + 1) % q.capacity
+	q.head = q.wrap(q.head + 1)
 	q.count--
 	return lat
 }
@@ -217,7 +260,8 @@ func (q *Queue) Flush() {
 		q.entries[i] = entry{}
 	}
 	q.head, q.count = 0, 0
-	q.frontierSeq, q.frontierIdx = frontierNone, 0
+	q.storeHead, q.storeCount, q.storeBase = 0, 0, 0
+	q.frontierSeq, q.frontierIdx, q.frontierOrd = frontierNone, 0, 0
 }
 
 // Forwards returns the number of store-to-load forwards.

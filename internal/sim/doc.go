@@ -1,0 +1,16 @@
+// Package sim is the cycle-level 8-wide out-of-order processor (Table 1
+// of the paper) that evaluates the register file organizations in
+// internal/core: gshare branch prediction, split I/D caches, a 128-entry
+// ROB ring, a 64-entry load/store queue, and an event-driven
+// wakeup/select scheduler that is allocation-free in steady state.
+//
+// A Simulator consumes one isa.Stream (normally a trace.Generator) and
+// produces a Result. The lockstep engine (NewLockstep) runs several
+// configurations of the same workload simultaneously behind one shared
+// front-end pass: a Frontend materializes the instruction stream into
+// refcounted chunks and precomputes branch-predictor outcomes once per
+// predictor geometry, and each back-end consumes a feed over those
+// chunks — results are bit-identical to running each configuration
+// alone. See docs/ARCHITECTURE.md for the front-end/back-end split and
+// its correctness argument.
+package sim

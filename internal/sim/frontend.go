@@ -1,0 +1,224 @@
+package sim
+
+import (
+	"repro/internal/bpred"
+	"repro/internal/isa"
+)
+
+// This file implements the shared lockstep front-end: one pass over the
+// dynamic instruction stream feeding N simulator back-ends.
+//
+// A sequential sweep re-generates (and re-predicts) the identical trace
+// once per register file configuration. The front-end instead materializes
+// the stream once, in fixed-size chunks, and hands each back-end a cursor
+// (feed) over the shared chunks. Branch predictor outcomes are likewise
+// computed once per predictor geometry — gshare state depends only on the
+// branch sequence, which every configuration sees identically — and stored
+// as per-chunk bitmaps the cursors replay. What remains per configuration
+// is exactly the state that is timing-dependent: rename (the LIFO free
+// list makes physical register names depend on the commit/dispatch
+// interleaving), caches, LSQ, and the register file model itself.
+//
+// A Frontend and its feeds are confined to a single goroutine: the
+// lockstep driver multiplexes its back-ends itself (see Lockstep.Run), so
+// the chunk list needs no locking.
+
+// feChunkSize is the number of instructions materialized per chunk. Large
+// enough to amortize scheduling, small enough that the two or three live
+// chunks (the cursor spread is bounded by the lockstep driver) stay modest:
+// one chunk is ~feChunkSize * sizeof(isa.Instr) ≈ 256 KiB.
+const feChunkSize = 4096
+
+// feChunk is one materialized stretch of the stream. correct holds, per
+// predictor class, one bit per instruction: for branches, whether the
+// class's gshare predicted the outcome correctly (bits at non-branch
+// positions are never read). Chunks are recycled through a free list once
+// every cursor has moved past them.
+type feChunk struct {
+	instrs  [feChunkSize]isa.Instr
+	correct [][feChunkSize / 64]uint64
+	refs    int
+	next    *feChunk
+}
+
+// predClass is one distinct branch predictor geometry, with the master
+// predictor that consumes the stream exactly once on behalf of every
+// back-end sharing that geometry.
+type predClass struct {
+	bits, hist uint
+	pred       *bpred.Gshare
+}
+
+// Frontend owns the underlying stream, the live chunk window, and the
+// master predictors.
+type Frontend struct {
+	stream  isa.Stream
+	classes []predClass
+	feeds   []*feed
+	head    *feChunk // oldest live chunk
+	tail    *feChunk // newest materialized chunk
+	free    *feChunk // recycle list
+	started bool
+}
+
+// newFrontend wraps stream. Feeds are added with newFeed before start.
+func newFrontend(stream isa.Stream) *Frontend {
+	return &Frontend{stream: stream}
+}
+
+// classOf returns the index of the predictor class (bits, hist), creating
+// it on first use.
+func (fe *Frontend) classOf(bits, hist uint) int {
+	for i := range fe.classes {
+		if fe.classes[i].bits == bits && fe.classes[i].hist == hist {
+			return i
+		}
+	}
+	fe.classes = append(fe.classes, predClass{
+		bits: bits, hist: hist, pred: bpred.NewGshareHist(bits, hist),
+	})
+	return len(fe.classes) - 1
+}
+
+// newFeed returns a cursor over the shared stream for a back-end with the
+// given predictor geometry. All feeds must exist before start: the
+// per-chunk outcome bitmaps are sized by the class set.
+func (fe *Frontend) newFeed(bits, hist uint) *feed {
+	if fe.started {
+		panic("sim: front-end feed created after the stream started")
+	}
+	f := &feed{fe: fe, class: fe.classOf(bits, hist)}
+	fe.feeds = append(fe.feeds, f)
+	return f
+}
+
+// start materializes the first chunk and attaches every feed to it.
+func (fe *Frontend) start() {
+	if fe.started {
+		return
+	}
+	fe.started = true
+	first := fe.materialize()
+	for _, f := range fe.feeds {
+		f.ch = first
+		first.refs++
+	}
+}
+
+// materialize appends one chunk: it pulls feChunkSize instructions from
+// the stream and runs every master predictor over the branches, in stream
+// order — the same Update sequence a private per-simulator predictor would
+// see, so the recorded outcomes are bit-identical to the sequential path.
+func (fe *Frontend) materialize() *feChunk {
+	ch := fe.free
+	if ch != nil {
+		fe.free = ch.next
+		ch.next = nil
+		for c := range ch.correct {
+			ch.correct[c] = [feChunkSize / 64]uint64{}
+		}
+	} else {
+		ch = &feChunk{correct: make([][feChunkSize / 64]uint64, len(fe.classes))}
+	}
+	for i := range ch.instrs {
+		in := fe.stream.Next()
+		ch.instrs[i] = *in
+		if in.Class == isa.Branch {
+			for c := range fe.classes {
+				if fe.classes[c].pred.Update(in.PC, in.Taken) {
+					ch.correct[c][i>>6] |= 1 << uint(i&63)
+				}
+			}
+		}
+	}
+	if fe.tail == nil {
+		fe.head, fe.tail = ch, ch
+	} else {
+		fe.tail.next = ch
+		fe.tail = ch
+	}
+	return ch
+}
+
+// advance moves a cursor from ch to the next chunk, materializing it if
+// this cursor is the front-most, and recycles chunks no cursor holds.
+func (fe *Frontend) advance(ch *feChunk) *feChunk {
+	next := ch.next
+	if next == nil {
+		next = fe.materialize()
+	}
+	ch.refs--
+	next.refs++
+	fe.reap()
+	return next
+}
+
+// release detaches a finished back-end's cursor so its chunk can recycle.
+func (fe *Frontend) release(f *feed) {
+	if f.ch == nil {
+		return
+	}
+	f.ch.refs--
+	f.ch = nil
+	fe.reap()
+}
+
+// reap moves leading refs-free chunks onto the free list.
+func (fe *Frontend) reap() {
+	for fe.head != nil && fe.head != fe.tail && fe.head.refs == 0 {
+		ch := fe.head
+		fe.head = ch.next
+		ch.next = fe.free
+		fe.free = ch
+	}
+}
+
+// liveChunks reports the length of the live chunk window (tests).
+func (fe *Frontend) liveChunks() int {
+	n := 0
+	for ch := fe.head; ch != nil; ch = ch.next {
+		n++
+	}
+	return n
+}
+
+// feed is one back-end's cursor over the shared stream. It implements
+// isa.Stream; the simulator additionally consults Correct for branch
+// outcomes instead of updating a private predictor (see Simulator.fetch).
+type feed struct {
+	fe    *Frontend
+	ch    *feChunk
+	i     int    // index of the next instruction within ch
+	pos   uint64 // instructions consumed (global stream position)
+	class int
+}
+
+// Next implements isa.Stream. The returned pointer is valid until the
+// following Next call, like every other stream.
+func (f *feed) Next() *isa.Instr {
+	if f.i == feChunkSize {
+		f.ch = f.fe.advance(f.ch)
+		f.i = 0
+	}
+	in := &f.ch.instrs[f.i]
+	f.i++
+	f.pos++
+	return in
+}
+
+// Correct reports whether the feed's predictor class predicted the most
+// recently returned instruction — which must be a branch — correctly. It
+// must be called before the next Next (the simulator's fetch stage
+// processes each pending instruction fully before pulling another, so this
+// holds by construction).
+func (f *feed) Correct() bool {
+	i := f.i - 1
+	return f.ch.correct[f.class][i>>6]&(1<<uint(i&63)) != 0
+}
+
+// geometry returns the feed's predictor geometry for validation against
+// the simulator configuration.
+func (f *feed) geometry() (bits, hist uint) {
+	c := &f.fe.classes[f.class]
+	return c.bits, c.hist
+}

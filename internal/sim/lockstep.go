@@ -1,0 +1,79 @@
+package sim
+
+import "repro/internal/isa"
+
+// Lockstep drives N processor configurations through a single pass over
+// one instruction stream. The shared front-end (see frontend.go)
+// materializes the trace and branch predictor outcomes once; each
+// configuration keeps its own timing-dependent back-end (rename, caches,
+// LSQ, register file model, scheduler). The batch state is laid out as
+// parallel arrays over the configurations — simulators, cursors, results,
+// completion flags — advanced by a chunk-granular round-robin scheduler.
+//
+// Results are bit-identical to running each configuration alone: the
+// cursors replay the identical instruction sequence a private generator
+// would produce, and predictor outcomes are a pure function of the branch
+// sequence. The per-configuration saving is the trace generation and
+// prediction work; the cost is the live chunk window, which the scheduler
+// bounds to the cursor spread (one chunk plus a fetch overshoot).
+//
+// A Lockstep is single-goroutine, like a Simulator.
+type Lockstep struct {
+	fe    *Frontend
+	sims  []*Simulator
+	feeds []*feed
+	done  []bool
+}
+
+// NewLockstep builds one simulator per configuration, all fed by a single
+// shared pass over stream. Configurations may differ arbitrarily — those
+// with equal predictor geometry additionally share prediction work. It
+// panics on an empty batch or invalid configurations, like New.
+func NewLockstep(cfgs []Config, stream isa.Stream) *Lockstep {
+	if len(cfgs) == 0 {
+		panic("sim: empty lockstep batch")
+	}
+	l := &Lockstep{
+		fe:    newFrontend(stream),
+		sims:  make([]*Simulator, len(cfgs)),
+		feeds: make([]*feed, len(cfgs)),
+		done:  make([]bool, len(cfgs)),
+	}
+	for i := range cfgs {
+		l.feeds[i] = l.fe.newFeed(cfgs[i].PredictorBits, cfgs[i].HistoryBits)
+		l.sims[i] = New(cfgs[i], l.feeds[i])
+	}
+	return l
+}
+
+// Width returns the number of configurations in the batch.
+func (l *Lockstep) Width() int { return len(l.sims) }
+
+// Run simulates every configuration to its instruction budget and returns
+// their results in configuration order. The scheduler advances each
+// back-end until its cursor crosses the current chunk boundary, then
+// rotates to the next, so all cursors stay within about one chunk of each
+// other and chunks recycle as the slowest cursor passes them.
+func (l *Lockstep) Run() []Result {
+	l.fe.start()
+	results := make([]Result, len(l.sims))
+	running := len(l.sims)
+	for target := uint64(feChunkSize); running > 0; target += feChunkSize {
+		for i, s := range l.sims {
+			if l.done[i] {
+				continue
+			}
+			f := l.feeds[i]
+			for s.committed < s.cfg.MaxInstructions && f.pos < target {
+				s.step()
+			}
+			if s.committed >= s.cfg.MaxInstructions {
+				results[i] = s.result()
+				l.done[i] = true
+				l.fe.release(f)
+				running--
+			}
+		}
+	}
+	return results
+}

@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// lockstepSpecs is a mixed batch covering every register file kind plus a
+// monolithic latency/bypass variant — the organizations whose issue-path
+// special cases (clusters, demand fetches, catchability deltas) are most
+// likely to interact with a shared front-end.
+func lockstepSpecs() []RFSpec {
+	u := core.Unlimited
+	return []RFSpec{
+		Mono1Cycle(u, u),
+		Mono2CycleFull(u, u),
+		Mono2CycleSingle(6, 4),
+		PaperCache(),
+		OneLevelSpec(core.OneLevelConfig{Banks: 2, ReadPortsPerBank: 4, WritePortsPerBank: 2}),
+		ReplicatedSpec(core.ReplicatedConfig{Clusters: 2, ReadPortsPerBank: 4, WritePortsPerBank: 4, RemoteDelay: 1}),
+	}
+}
+
+// TestLockstepMatchesSolo pins the lockstep contract at the simulator
+// level: a batch driven by one shared front-end pass produces results
+// deep-equal to running each configuration alone on a private generator.
+func TestLockstepMatchesSolo(t *testing.T) {
+	const budget = 40000
+	specs := lockstepSpecs()
+	for _, bench := range []string{"compress", "swim"} {
+		cfgs := make([]Config, len(specs))
+		for i, spec := range specs {
+			cfgs[i] = DefaultConfig(spec, budget)
+		}
+		got := NewLockstep(cfgs, testStream(bench)).Run()
+		for i, spec := range specs {
+			want := New(cfgs[i], testStream(bench)).Run()
+			if !reflect.DeepEqual(got[i], want) {
+				t.Errorf("%s/%s: lockstep result diverges from solo run\nlockstep: %+v\nsolo:     %+v",
+					bench, spec.Name, got[i], want)
+			}
+		}
+	}
+}
+
+// TestLockstepUnevenBudgets checks that back-ends finishing at different
+// times release their cursors and the rest run to completion unchanged.
+func TestLockstepUnevenBudgets(t *testing.T) {
+	u := core.Unlimited
+	specs := []RFSpec{Mono1Cycle(u, u), PaperCache(), Mono2CycleSingle(6, 4)}
+	budgets := []uint64{12000, 45000, 90000}
+	cfgs := make([]Config, len(specs))
+	for i, spec := range specs {
+		cfgs[i] = DefaultConfig(spec, budgets[i])
+	}
+	got := NewLockstep(cfgs, testStream("gcc")).Run()
+	for i := range specs {
+		want := New(cfgs[i], testStream("gcc")).Run()
+		if !reflect.DeepEqual(got[i], want) {
+			t.Errorf("%s@%d: lockstep result diverges from solo run", specs[i].Name, budgets[i])
+		}
+	}
+}
+
+// TestLockstepChunkWindowBounded verifies that chunk recycling keeps the
+// live window small: the round-robin scheduler holds cursors within about
+// one chunk of each other, so the shared stream must never accumulate
+// proportionally to the run length.
+func TestLockstepChunkWindowBounded(t *testing.T) {
+	u := core.Unlimited
+	specs := []RFSpec{Mono1Cycle(u, u), Mono2CycleSingle(6, 4), PaperCache()}
+	cfgs := make([]Config, len(specs))
+	for i, spec := range specs {
+		cfgs[i] = DefaultConfig(spec, 200000)
+	}
+	l := NewLockstep(cfgs, testStream("compress"))
+	l.Run()
+	// head..tail counts live chunks plus the recycle list's former spread;
+	// anything beyond a handful means recycling is broken.
+	if n := l.fe.liveChunks(); n > 4 {
+		t.Errorf("live chunk window is %d chunks, want ≤ 4 (recycling broken)", n)
+	}
+}

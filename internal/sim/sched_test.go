@@ -11,8 +11,14 @@ import (
 
 // readyMaskReference recomputes the ready set the way the pre-scheduler
 // code discovered it — a full window walk checking every issue-gating
-// source against the result-bus table — and returns it as a bitmap.
+// source against the result-bus table — and returns it as a bitmap. On top
+// of the producers-issued condition it applies the catchability deferral
+// (readyHold): a uop enters the mask only once an issue attempt could get
+// past the gate file's not-yet-catchable check.
 func (s *Simulator) readyMaskReference() []uint64 {
+	// The mask is inspected after a completed step; the cycle whose
+	// processReadyEvents last ran is s.cycle-1.
+	t := s.cycle - 1
 	ref := make([]uint64, len(s.readyMask))
 	for i, n := s.robHead, 0; n < s.robCount; i, n = (i+1)%len(s.rob), n+1 {
 		u := &s.rob[i]
@@ -26,7 +32,7 @@ func (s *Simulator) readyMaskReference() []uint64 {
 				break
 			}
 		}
-		if scheduled {
+		if scheduled && s.readyHold(u) <= t {
 			ref[i>>6] |= 1 << uint(i&63)
 		}
 	}
@@ -50,25 +56,26 @@ func checkSchedulerInvariants(t *testing.T, s *Simulator) {
 	for fi := 0; fi < 2; fi++ {
 		for p := range s.consHead[fi] {
 			var lastSeq uint64
-			lastK := int8(-1)
-			for n := s.consHead[fi][p]; n != nil; n = n.next {
-				u := n.owner
+			lastK := int32(-1)
+			for id := s.consHead[fi][p]; id != nodeNone; id = s.node(id).next {
+				n := s.node(id)
+				u := s.nodeOwner(id)
 				if !u.live || u.issued {
 					t.Fatalf("cycle %d: consumer list f%d p%d holds dead or issued uop #%d",
 						s.cycle, fi, p, u.seq)
 				}
 				// A uop sourcing the same register through both operands
 				// appears twice, in operand order.
-				if u.seq < lastSeq || (u.seq == lastSeq && n.k <= lastK) {
+				if u.seq < lastSeq || (u.seq == lastSeq && id&1 <= lastK) {
 					t.Fatalf("cycle %d: consumer list f%d p%d out of order: #%d after #%d",
 						s.cycle, fi, p, u.seq, lastSeq)
 				}
-				lastSeq, lastK = u.seq, n.k
-				if k := int(n.k); u.src[k].phys != core.PhysReg(p) || fileIdx(u.src[k].fp) != fi {
+				lastSeq, lastK = u.seq, id&1
+				if k := int(id & 1); u.src[k].phys != core.PhysReg(p) || fileIdx(u.src[k].fp) != fi {
 					t.Fatalf("cycle %d: consumer node of #%d (src %d) filed under wrong register f%d p%d",
 						s.cycle, u.seq, k, fi, p)
 				}
-				if n.next != nil && n.next.prev != n {
+				if n.next != nodeNone && s.node(n.next).prev != id {
 					t.Fatalf("cycle %d: consumer list f%d p%d back-link broken", s.cycle, fi, p)
 				}
 			}

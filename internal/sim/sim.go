@@ -30,17 +30,25 @@ type srcOp struct {
 	fp   bool
 }
 
+// nodeNone marks an empty consumer-list link, event chain, or producer
+// table slot. All scheduler links are int32 indices rather than pointers:
+// a node id encodes (ROB slot, source index) as robIdx*2+k, and event
+// chains carry ROB slot indices directly. Index links keep the scheduler
+// state pointer-free, so the garbage collector neither traces the window
+// every cycle nor interposes write barriers on the hot linking paths.
+const nodeNone int32 = -1
+
 // consumerNode links one source operand of an in-flight uop into the
 // consumer list of the physical register it reads. The nodes are embedded
 // in the uop itself (no allocation) and the lists are doubly linked so an
 // issuing instruction unlinks in O(1). One list per physical register
 // replaces the per-cycle window scans: it is the wakeup list (producer
 // issue decrements waiters' pending counts), the prefetch-first-pair
-// candidate list, and the ready-caching consumer census.
+// candidate list, and the ready-caching consumer census. The owner uop and
+// source index are recovered from the node id (robIdx = id>>1, k = id&1),
+// so the node itself stores only the links.
 type consumerNode struct {
-	owner      *uop
-	prev, next *consumerNode
-	k          int8 // index of this source in owner.src
+	prev, next int32 // node ids; nodeNone terminates
 	// gating marks sources that gate issue and whose producer had not yet
 	// issued at dispatch: the producer's issue decrements owner.pending.
 	gating bool
@@ -89,7 +97,8 @@ type uop struct {
 	robIdx           int32
 	pending          int8
 	srcNode          [2]consumerNode
-	nextComp, nextWB *uop
+	nextComp, nextWB int32 // ROB slot of the next uop in the event chain
+	nextReady        int32 // ROB slot chain of the deferred-ready wheel
 }
 
 // Simulator runs one workload on one processor configuration.
@@ -105,6 +114,12 @@ type Simulator struct {
 	icache, dcache  *cache.Cache
 	ldst            *lsq.Queue
 
+	// predFeed, when non-nil, replays branch predictor outcomes computed
+	// once by a shared lockstep front-end (frontend.go); pred is nil then.
+	// The outcome sequence is identical to a private predictor's, so
+	// results do not depend on which path a simulator uses.
+	predFeed *feed
+
 	// ROB ring buffer.
 	rob      []uop
 	robHead  int
@@ -117,8 +132,8 @@ type Simulator struct {
 	readyMask []uint64
 
 	// Per-physical-register consumer lists (see consumerNode), indexed by
-	// file then register.
-	consHead, consTail [2][]*consumerNode
+	// file then register; entries are node ids (nodeNone when empty).
+	consHead, consTail [2][]int32
 
 	// Fetch queue ring buffer.
 	fetchQ []fetchEntry
@@ -126,16 +141,36 @@ type Simulator struct {
 	fqLen  int
 
 	// Per-file result-bus cycle and producer tables, indexed by physical
-	// register; index 0 = int file, 1 = FP file.
+	// register; index 0 = int file, 1 = FP file. Producers are ROB slot
+	// indices (nodeNone when never produced); like the old pointer form,
+	// an entry may refer to a recycled slot, so readers re-check live.
 	regBus      [2][]uint64
-	regProducer [2][]*uop
+	regProducer [2][]int32
 
 	// Per-cycle completion and write-back event lists, chained through the
 	// uops themselves (nextComp/nextWB) in FIFO order — no slice churn.
-	compHead, compTail [eventHorizon]*uop
-	wbHead, wbTail     [eventHorizon]*uop
+	// Entries are ROB slot indices; nodeNone means empty.
+	compHead, compTail [eventHorizon]int32
+	wbHead, wbTail     [eventHorizon]int32
+
+	// readyEv defers ready-mask entry to the cycle a uop's operands first
+	// become catchable (see scheduleReady): a consumer of a long-latency
+	// producer would otherwise sit in the mask failing tryReadOperands —
+	// side-effect-free by the register file models' early not-yet-catchable
+	// exit — every cycle until the value approaches the bypass window.
+	readyEv [eventHorizon]int32
 
 	fu fuPools
+
+	// readLat caches the files' constant operand-read latencies
+	// ([0]=int, [1]=fp), avoiding an interface call per issued uop.
+	readLat [2]uint64
+
+	// catchDelta is how many cycles before an operand's result-bus cycle
+	// an issue attempt can first succeed, per file: the not-yet-catchable
+	// threshold of the file's TryRead (minIssueDelta for monolithic files,
+	// the two-level bypass window of 2 for the banked organizations).
+	catchDelta [2]uint64
 
 	cycle     uint64
 	seq       uint64
@@ -143,13 +178,15 @@ type Simulator struct {
 
 	fetchResumeAt uint64
 	blockedBranch bool
-	pendingInstr  isa.Instr
-	pendingValid  bool
+	// pendingValid marks that the next instruction has already been pulled
+	// from the stream and sits in the fetch-queue slot the next push will
+	// occupy (it stalled on an I-cache miss or a full queue).
+	pendingValid bool
 
-	// Operand scratch buffers: at most two sources per instruction, so
-	// fixed arrays (no heap growth).
-	opsInt, opsFP   [2]core.Operand
-	nOpsInt, nOpsFP int
+	// Operand scratch buffers, indexed by file: at most two sources per
+	// instruction, so fixed arrays (no heap growth).
+	ops  [2][2]core.Operand
+	nOps [2]int
 
 	// Value-stats scratch bitmaps (Figure 3 instrumentation only).
 	vsVal, vsReady [2][]uint64
@@ -195,14 +232,35 @@ type fetchEntry struct {
 // instruction per cycle (pipelined); divides occupy their unit for the full
 // latency. earliestFree caches min(busyUntil) so the common "all units
 // busy" case is a single comparison instead of a pool scan.
+//
+// Pools whose every instruction occupies its unit for a single cycle
+// (pipelined = true) degenerate to a per-cycle grant counter: a unit taken
+// at t is free again at t+1, so availability at t depends only on how many
+// grants cycle t has already made. The counter path and the busyUntil scan
+// accept and reject identically; the counter just skips the bookkeeping.
 type fuPool struct {
 	busyUntil    []uint64
 	earliestFree uint64
+
+	pipelined bool
+	lastGrant uint64
+	granted   int
 }
 
 // take acquires a unit at cycle t, occupying it for occupy cycles, and
 // reports whether one was free.
 func (p *fuPool) take(t, occupy uint64) bool {
+	if p.pipelined {
+		if p.lastGrant != t {
+			p.lastGrant = t
+			p.granted = 0
+		}
+		if p.granted == len(p.busyUntil) {
+			return false
+		}
+		p.granted++
+		return true
+	}
 	if p.earliestFree > t {
 		return false // all busy: O(1) fast path
 	}
@@ -222,23 +280,41 @@ func (p *fuPool) take(t, occupy uint64) bool {
 	panic("sim: fuPool earliestFree out of sync with pool state")
 }
 
-// fuPools holds the functional unit pools of Table 1.
+// fuPools holds the functional unit pools of Table 1, plus a class-indexed
+// dispatch table (pool and occupancy per class) so the per-issue lookup is
+// two array loads instead of a switch.
 type fuPools struct {
 	simpleInt fuPool
 	intMulDiv fuPool
 	simpleFP  fuPool
 	fpDiv     fuPool
 	mem       fuPool
+
+	byClass [isa.NumClasses]*fuPool
+	occupy  [isa.NumClasses]uint64
 }
 
 func newFUPools(c *Config) fuPools {
-	return fuPools{
-		simpleInt: fuPool{busyUntil: make([]uint64, c.SimpleInt)},
+	f := fuPools{
+		// simpleInt, simpleFP and mem serve only occupy-1 classes, so they
+		// use the per-cycle counter path; the divide pools track real
+		// multi-cycle occupancy.
+		simpleInt: fuPool{busyUntil: make([]uint64, c.SimpleInt), pipelined: true},
 		intMulDiv: fuPool{busyUntil: make([]uint64, c.IntMulDiv)},
-		simpleFP:  fuPool{busyUntil: make([]uint64, c.SimpleFP)},
+		simpleFP:  fuPool{busyUntil: make([]uint64, c.SimpleFP), pipelined: true},
 		fpDiv:     fuPool{busyUntil: make([]uint64, c.FPDiv)},
-		mem:       fuPool{busyUntil: make([]uint64, c.MemPorts)},
+		mem:       fuPool{busyUntil: make([]uint64, c.MemPorts), pipelined: true},
 	}
+	for cls := isa.Class(0); cls < isa.NumClasses; cls++ {
+		f.byClass[cls] = f.poolFor(cls)
+		// Divides block their unit for the full latency; every other class
+		// is fully pipelined and occupies its unit for a single cycle.
+		f.occupy[cls] = 1
+		if cls == isa.IntDiv || cls == isa.FPDiv {
+			f.occupy[cls] = uint64(isa.Latency(cls))
+		}
+	}
+	return f
 }
 
 func (f *fuPools) poolFor(c isa.Class) *fuPool {
@@ -258,14 +334,9 @@ func (f *fuPools) poolFor(c isa.Class) *fuPool {
 }
 
 // take acquires a unit at cycle t for an instruction of class c, returning
-// false if all units are busy. Divides block their unit for the full
-// latency; other classes are fully pipelined.
+// false if all units are busy.
 func (f *fuPools) take(c isa.Class, t uint64) bool {
-	occupy := uint64(1)
-	if c == isa.IntDiv || c == isa.FPDiv {
-		occupy = uint64(isa.Latency(c))
-	}
-	return f.poolFor(c).take(t, occupy)
+	return f.byClass[c].take(t, f.occupy[c])
 }
 
 // New builds a simulator for the given configuration and instruction
@@ -281,7 +352,6 @@ func New(cfg Config, stream isa.Stream) *Simulator {
 		intFile:   cfg.buildFile(),
 		fpFile:    cfg.buildFile(),
 		rmap:      rename.NewMap(cfg.PhysRegs, cfg.PhysRegs),
-		pred:      bpred.NewGshareHist(cfg.PredictorBits, cfg.HistoryBits),
 		icache:    cache.New(cfg.ICache),
 		dcache:    cache.New(cfg.DCache),
 		ldst:      lsq.New(cfg.LSQSize),
@@ -289,6 +359,16 @@ func New(cfg Config, stream isa.Stream) *Simulator {
 		readyMask: make([]uint64, (cfg.WindowSize+63)/64),
 		fetchQ:    make([]fetchEntry, cfg.FetchQueue),
 		fu:        newFUPools(&cfg),
+	}
+	if f, ok := stream.(*feed); ok {
+		// A lockstep front-end cursor carries precomputed predictor
+		// outcomes; no private predictor is built.
+		if bits, hist := f.geometry(); bits != cfg.PredictorBits || hist != cfg.HistoryBits {
+			panic("sim: front-end feed predictor geometry does not match the configuration")
+		}
+		s.predFeed = f
+	} else {
+		s.pred = bpred.NewGshareHist(cfg.PredictorBits, cfg.HistoryBits)
 	}
 	if cfg.RF.Kind == RFOneLevel {
 		s.oneLevel[0] = s.intFile.(*core.OneLevel)
@@ -298,16 +378,36 @@ func New(cfg Config, stream isa.Stream) *Simulator {
 		s.replicated[0] = s.intFile.(*core.Replicated)
 		s.replicated[1] = s.fpFile.(*core.Replicated)
 	}
+	s.readLat[0] = uint64(s.intFile.ReadLatency())
+	s.readLat[1] = uint64(s.fpFile.ReadLatency())
+	for f := 0; f < 2; f++ {
+		// The not-yet-catchable threshold of each file's TryRead: issue
+		// attempts at t < bus−catchDelta fail without side effects. Both
+		// files share the RF spec, so the deltas coincide today, but they
+		// are kept per-file like readLat.
+		s.catchDelta[f] = 2
+		if cfg.RF.Kind == RFMonolithic && cfg.RF.Mono.FullBypass {
+			s.catchDelta[f] = uint64(cfg.RF.Mono.Latency) + 1
+		}
+	}
 	for f := 0; f < 2; f++ {
 		s.regBus[f] = make([]uint64, cfg.PhysRegs)
-		s.regProducer[f] = make([]*uop, cfg.PhysRegs)
-		s.consHead[f] = make([]*consumerNode, cfg.PhysRegs)
-		s.consTail[f] = make([]*consumerNode, cfg.PhysRegs)
-		// Architectural registers hold committed values from the start;
-		// free-list registers get a bus cycle when renamed.
-		for p := range s.regBus[f] {
+		s.regProducer[f] = make([]int32, cfg.PhysRegs)
+		s.consHead[f] = make([]int32, cfg.PhysRegs)
+		s.consTail[f] = make([]int32, cfg.PhysRegs)
+		for p := 0; p < cfg.PhysRegs; p++ {
+			// Architectural registers hold committed values from the start;
+			// free-list registers get a bus cycle when renamed.
 			s.regBus[f][p] = 0
+			s.regProducer[f][p] = nodeNone
+			s.consHead[f][p] = nodeNone
+			s.consTail[f][p] = nodeNone
 		}
+	}
+	for i := range s.compHead {
+		s.compHead[i], s.compTail[i] = nodeNone, nodeNone
+		s.wbHead[i], s.wbTail[i] = nodeNone, nodeNone
+		s.readyEv[i] = nodeNone
 	}
 	if cfg.ValueStats {
 		words := (cfg.PhysRegs + 63) / 64
@@ -333,6 +433,32 @@ func fileIdx(fp bool) int {
 	return 0
 }
 
+// node resolves a consumer-list node id to its embedded node.
+func (s *Simulator) node(id int32) *consumerNode {
+	return &s.rob[id>>1].srcNode[id&1]
+}
+
+// nodeOwner resolves a node id to the uop owning the source operand.
+func (s *Simulator) nodeOwner(id int32) *uop { return &s.rob[id>>1] }
+
+// robWrap reduces a ROB ring index in [0, 2*len(rob)) into range. The ring
+// steps by at most one capacity, so a compare replaces the modulo (whose
+// hardware divide otherwise shows up in every commit/dispatch step).
+func (s *Simulator) robWrap(i int) int {
+	if n := len(s.rob); i >= n {
+		i -= n
+	}
+	return i
+}
+
+// fqWrap is robWrap for the fetch queue ring.
+func (s *Simulator) fqWrap(i int) int {
+	if n := len(s.fetchQ); i >= n {
+		i -= n
+	}
+	return i
+}
+
 // setReady marks u selectable for issue.
 func (s *Simulator) setReady(u *uop) {
 	s.readyMask[u.robIdx>>6] |= 1 << uint(u.robIdx&63)
@@ -341,6 +467,73 @@ func (s *Simulator) setReady(u *uop) {
 // clearReady removes u from the issue candidates.
 func (s *Simulator) clearReady(u *uop) {
 	s.readyMask[u.robIdx>>6] &^= 1 << uint(u.robIdx&63)
+}
+
+// scheduleReady makes u an issue candidate — immediately when its operands
+// are already catchable at cycle t, otherwise at the first cycle an issue
+// attempt can get past the register file's not-yet-catchable check. Until
+// that cycle every attempt would fail in the gate file (the first file
+// TryRead consults: integer if any issue-gating source is integer, FP
+// otherwise) before consuming ports or counting conflicts, so deferring
+// the mask entry is invisible to results — it only skips attempts that do
+// nothing.
+func (s *Simulator) scheduleReady(u *uop, t uint64) {
+	hold := s.readyHold(u)
+	if hold <= t {
+		s.setReady(u)
+		return
+	}
+	if hold-t >= eventHorizon {
+		panic("sim: ready event beyond event horizon")
+	}
+	slot := hold % eventHorizon
+	u.nextReady = s.readyEv[slot]
+	s.readyEv[slot] = u.robIdx
+}
+
+// readyHold returns the first cycle at which an issue attempt for u can
+// get past the gate file's not-yet-catchable check (0 when its operands
+// are already catchable). The hold is fixed once every issue-gating
+// producer has issued: the operands' result-bus cycles no longer change.
+func (s *Simulator) readyHold(u *uop) uint64 {
+	var hold uint64
+	if u.issueSrcs == 0 {
+		return 0
+	}
+	gate := 1
+	for k := 0; k < u.issueSrcs; k++ {
+		if !u.src[k].fp {
+			gate = 0
+			break
+		}
+	}
+	d := s.catchDelta[gate]
+	for k := 0; k < u.issueSrcs; k++ {
+		if fileIdx(u.src[k].fp) != gate {
+			continue
+		}
+		w := s.regBus[gate][u.src[k].phys]
+		if s.replicated[0] != nil {
+			w = s.replicated[gate].BusCycleAt(u.src[k].phys, w, int(u.cluster))
+		}
+		if w > d && w-d > hold {
+			hold = w - d
+		}
+	}
+	return hold
+}
+
+// processReadyEvents moves uops whose operands become catchable at cycle t
+// into the ready mask, before the issue stage scans it.
+func (s *Simulator) processReadyEvents(t uint64) {
+	slot := t % eventHorizon
+	for id := s.readyEv[slot]; id != nodeNone; {
+		u := &s.rob[id]
+		id = u.nextReady
+		u.nextReady = nodeNone
+		s.setReady(u)
+	}
+	s.readyEv[slot] = nodeNone
 }
 
 // Run simulates until MaxInstructions commit and returns the results.
@@ -359,6 +552,7 @@ func (s *Simulator) step() {
 	s.processCompletions(t)
 	s.processWritebacks(t)
 	s.commit(t)
+	s.processReadyEvents(t)
 	s.issue(t)
 	s.dispatch(t)
 	s.fetch(t)
@@ -415,9 +609,10 @@ func (s *Simulator) describeHead(t uint64) string {
 // branch resolution (fetch redirect) and store address availability.
 func (s *Simulator) processCompletions(t uint64) {
 	slot := t % eventHorizon
-	for u := s.compHead[slot]; u != nil; {
-		next := u.nextComp
-		u.nextComp = nil
+	for id := s.compHead[slot]; id != nodeNone; {
+		u := &s.rob[id]
+		id = u.nextComp
+		u.nextComp = nodeNone
 		u.completed = true
 		u.completeCycle = t
 		if s.tracer != nil {
@@ -435,18 +630,18 @@ func (s *Simulator) processCompletions(t uint64) {
 			s.ldst.SetAddress(u.lsqTicket, u.in.Addr)
 			s.ldst.IssueStore(u.lsqTicket)
 		}
-		u = next
 	}
-	s.compHead[slot], s.compTail[slot] = nil, nil
+	s.compHead[slot], s.compTail[slot] = nodeNone, nodeNone
 }
 
 // processWritebacks delivers results to the register files at their
 // reserved write-back cycles, computing the caching-policy hints.
 func (s *Simulator) processWritebacks(t uint64) {
 	slot := t % eventHorizon
-	for u := s.wbHead[slot]; u != nil; {
-		next := u.nextWB
-		u.nextWB = nil
+	for id := s.wbHead[slot]; id != nodeNone; {
+		u := &s.rob[id]
+		id = u.nextWB
+		u.nextWB = nodeNone
 		file := s.fileFor(u.destFP)
 		if s.tracer != nil {
 			s.trace(t, "writeback", "%s bypassCaught=%v", traceUop(u), u.bypassCaught)
@@ -456,9 +651,8 @@ func (s *Simulator) processWritebacks(t uint64) {
 			hints.ReadyConsumer = s.hasReadyConsumer(u, t)
 		}
 		file.Writeback(t, u.dest, hints)
-		u = next
 	}
-	s.wbHead[slot], s.wbTail[slot] = nil, nil
+	s.wbHead[slot], s.wbTail[slot] = nodeNone, nodeNone
 }
 
 // hasReadyConsumer reports whether some not-yet-issued window instruction
@@ -468,8 +662,8 @@ func (s *Simulator) processWritebacks(t uint64) {
 // unlinked), so only actual consumers are inspected.
 func (s *Simulator) hasReadyConsumer(u *uop, t uint64) bool {
 	fi := fileIdx(u.destFP)
-	for n := s.consHead[fi][u.dest]; n != nil; n = n.next {
-		c := n.owner
+	for id := s.consHead[fi][u.dest]; id != nodeNone; id = s.node(id).next {
+		c := s.nodeOwner(id)
 		allReady := true
 		for k := 0; k < c.nsrc; k++ {
 			w := s.regBus[fileIdx(c.src[k].fp)][c.src[k].phys]
@@ -512,7 +706,7 @@ func (s *Simulator) commit(t uint64) {
 			s.trace(t, "commit", "%s", traceUop(u))
 		}
 		u.live = false
-		s.robHead = (s.robHead + 1) % len(s.rob)
+		s.robHead = s.robWrap(s.robHead + 1)
 		s.robCount--
 		s.committed++
 		s.lastCommitAt = t
@@ -582,19 +776,14 @@ func (s *Simulator) issueScan(t uint64, lo, hi int, left *int) bool {
 // part fails, the consumed integer ports stay consumed this cycle — the
 // hardware analogue is a speculative read that is discarded.
 func (s *Simulator) tryReadOperands(u *uop, t uint64) bool {
-	s.nOpsInt, s.nOpsFP = 0, 0
+	s.nOps[0], s.nOps[1] = 0, 0
 	for k := 0; k < u.issueSrcs; k++ {
-		op := core.Operand{Reg: u.src[k].phys, Bus: s.regBus[fileIdx(u.src[k].fp)][u.src[k].phys]}
-		if u.src[k].fp {
-			s.opsFP[s.nOpsFP] = op
-			s.nOpsFP++
-		} else {
-			s.opsInt[s.nOpsInt] = op
-			s.nOpsInt++
-		}
+		fi := fileIdx(u.src[k].fp)
+		s.ops[fi][s.nOps[fi]] = core.Operand{Reg: u.src[k].phys, Bus: s.regBus[fi][u.src[k].phys]}
+		s.nOps[fi]++
 	}
-	opsInt := s.opsInt[:s.nOpsInt]
-	opsFP := s.opsFP[:s.nOpsFP]
+	opsInt := s.ops[0][:s.nOps[0]]
+	opsFP := s.ops[1][:s.nOps[1]]
 	if s.replicated[0] != nil {
 		if len(opsInt) > 0 && !s.replicated[0].TryReadCluster(t, opsInt, int(u.cluster)) {
 			return false
@@ -613,33 +802,35 @@ func (s *Simulator) tryReadOperands(u *uop, t uint64) bool {
 	// Mark producers whose results were captured from the bypass network.
 	for j := range opsInt {
 		if opsInt[j].ViaBypass {
-			if p := s.regProducer[0][opsInt[j].Reg]; p != nil && p.live {
-				p.bypassCaught = true
+			if pi := s.regProducer[0][opsInt[j].Reg]; pi != nodeNone && s.rob[pi].live {
+				s.rob[pi].bypassCaught = true
 			}
 		}
 	}
 	for j := range opsFP {
 		if opsFP[j].ViaBypass {
-			if p := s.regProducer[1][opsFP[j].Reg]; p != nil && p.live {
-				p.bypassCaught = true
+			if pi := s.regProducer[1][opsFP[j].Reg]; pi != nodeNone && s.rob[pi].live {
+				s.rob[pi].bypassCaught = true
 			}
 		}
 	}
 	return true
 }
 
-// readLatency returns the operand-read pipeline depth for u.
+// readLatency returns the operand-read pipeline depth for u. The per-file
+// latencies are constants cached at construction (readLat), so this is
+// pure arithmetic — no interface dispatch on the issue path.
 func (s *Simulator) readLatency(u *uop) uint64 {
-	l := 0
+	var l uint64
 	for k := 0; k < u.nsrc; k++ {
-		if fl := s.fileFor(u.src[k].fp).ReadLatency(); fl > l {
+		if fl := s.readLat[fileIdx(u.src[k].fp)]; fl > l {
 			l = fl
 		}
 	}
 	if l == 0 { // no register sources: dest file's latency gates the stage
-		l = s.fileFor(u.destFP).ReadLatency()
+		l = s.readLat[fileIdx(u.destFP)]
 	}
-	return uint64(l)
+	return l
 }
 
 // unlinkConsumers removes u's source nodes from their consumer lists; the
@@ -649,32 +840,35 @@ func (s *Simulator) unlinkConsumers(u *uop) {
 		n := &u.srcNode[k]
 		fi := fileIdx(u.src[k].fp)
 		p := u.src[k].phys
-		if n.prev != nil {
-			n.prev.next = n.next
+		if n.prev != nodeNone {
+			s.node(n.prev).next = n.next
 		} else {
 			s.consHead[fi][p] = n.next
 		}
-		if n.next != nil {
-			n.next.prev = n.prev
+		if n.next != nodeNone {
+			s.node(n.next).prev = n.prev
 		} else {
 			s.consTail[fi][p] = n.prev
 		}
-		n.prev, n.next = nil, nil
+		n.prev, n.next = nodeNone, nodeNone
 	}
 }
 
 // wakeConsumers notifies the waiters of physical register p (file fi) that
 // its producer has issued and scheduled a result-bus cycle. Waiters whose
 // last gating producer this was become issue candidates.
-func (s *Simulator) wakeConsumers(fi int, p core.PhysReg) {
-	for n := s.consHead[fi][p]; n != nil; n = n.next {
+func (s *Simulator) wakeConsumers(fi int, p core.PhysReg, t uint64) {
+	for id := s.consHead[fi][p]; id != nodeNone; {
+		n := s.node(id)
+		owner := id >> 1
+		id = n.next
 		if !n.gating {
 			continue
 		}
 		n.gating = false
-		c := n.owner
+		c := &s.rob[owner]
 		if c.pending--; c.pending == 0 {
-			s.setReady(c)
+			s.scheduleReady(c, t)
 		}
 	}
 }
@@ -705,13 +899,13 @@ func (s *Simulator) doIssue(u *uop, t uint64) {
 		panic("sim: completion beyond event horizon")
 	}
 	cs := c % eventHorizon
-	u.nextComp = nil
-	if s.compTail[cs] != nil {
-		s.compTail[cs].nextComp = u
+	u.nextComp = nodeNone
+	if s.compTail[cs] != nodeNone {
+		s.rob[s.compTail[cs]].nextComp = u.robIdx
 	} else {
-		s.compHead[cs] = u
+		s.compHead[cs] = u.robIdx
 	}
-	s.compTail[cs] = u
+	s.compTail[cs] = u.robIdx
 
 	if u.dest >= 0 {
 		var w uint64
@@ -726,18 +920,18 @@ func (s *Simulator) doIssue(u *uop, t uint64) {
 		u.wbCycle = w
 		fi := fileIdx(u.destFP)
 		s.regBus[fi][u.dest] = w
-		s.wakeConsumers(fi, u.dest)
+		s.wakeConsumers(fi, u.dest, t)
 		if w-t >= eventHorizon {
 			panic("sim: write-back beyond event horizon")
 		}
 		ws := w % eventHorizon
-		u.nextWB = nil
-		if s.wbTail[ws] != nil {
-			s.wbTail[ws].nextWB = u
+		u.nextWB = nodeNone
+		if s.wbTail[ws] != nodeNone {
+			s.rob[s.wbTail[ws]].nextWB = u.robIdx
 		} else {
-			s.wbHead[ws] = u
+			s.wbHead[ws] = u.robIdx
 		}
-		s.wbTail[ws] = u
+		s.wbTail[ws] = u.robIdx
 		if s.cfg.RF.Kind == RFCache {
 			s.prefetchFirstPair(u, t)
 		}
@@ -751,12 +945,12 @@ func (s *Simulator) doIssue(u *uop, t uint64) {
 // dispatch (sequence) order and issued consumers are unlinked.
 func (s *Simulator) prefetchFirstPair(u *uop, t uint64) {
 	fi := fileIdx(u.destFP)
-	n := s.consHead[fi][u.dest]
-	if n == nil {
+	id := s.consHead[fi][u.dest]
+	if id == nodeNone {
 		return
 	}
-	c := n.owner
-	uses := int(n.k)
+	c := s.nodeOwner(id)
+	uses := int(id & 1)
 	// Prefetch the other operand, if any.
 	for k := 0; k < c.nsrc; k++ {
 		if k == uses {
@@ -791,7 +985,7 @@ func (s *Simulator) dispatch(t uint64) {
 		}
 
 		s.seq++
-		idx := (s.robHead + s.robCount) % len(s.rob)
+		idx := s.robWrap(s.robHead + s.robCount)
 		u := &s.rob[idx]
 		*u = uop{in: *in, seq: s.seq, live: true, dest: -1, lsqTicket: -1,
 			mispredicted: fe.mispredicted, robIdx: int32(idx)}
@@ -822,7 +1016,7 @@ func (s *Simulator) dispatch(t uint64) {
 			u.destL = in.Dest
 			fi := fileIdx(u.destFP)
 			s.regBus[fi][u.dest] = notScheduled
-			s.regProducer[fi][u.dest] = u
+			s.regProducer[fi][u.dest] = u.robIdx
 			if s.cfg.RF.Kind == RFOneLevel {
 				s.oneLevel[fi].AssignBank(u.dest)
 			}
@@ -841,27 +1035,26 @@ func (s *Simulator) dispatch(t uint64) {
 		for k := 0; k < u.nsrc; k++ {
 			fi := fileIdx(u.src[k].fp)
 			p := u.src[k].phys
+			nid := u.robIdx<<1 | int32(k)
 			node := &u.srcNode[k]
-			node.owner = u
-			node.k = int8(k)
 			node.gating = k < u.issueSrcs && s.regBus[fi][p] == notScheduled
 			if node.gating {
 				u.pending++
 			}
-			node.next = nil
+			node.next = nodeNone
 			node.prev = s.consTail[fi][p]
-			if node.prev != nil {
-				node.prev.next = node
+			if node.prev != nodeNone {
+				s.node(node.prev).next = nid
 			} else {
-				s.consHead[fi][p] = node
+				s.consHead[fi][p] = nid
 			}
-			s.consTail[fi][p] = node
+			s.consTail[fi][p] = nid
 		}
 		if u.pending == 0 {
-			s.setReady(u)
+			s.scheduleReady(u, t)
 		}
 		s.robCount++
-		s.fqHead = (s.fqHead + 1) % len(s.fetchQ)
+		s.fqHead = s.fqWrap(s.fqHead + 1)
 		s.fqLen--
 		if s.tracer != nil {
 			s.trace(t, "dispatch", "%s", traceUop(u))
@@ -889,11 +1082,18 @@ func (s *Simulator) fetch(t uint64) {
 		return
 	}
 	for n := 0; n < s.cfg.FetchWidth && s.fqLen < len(s.fetchQ); n++ {
+		// The pending instruction is materialized directly in the slot it
+		// will occupy once fetched: the push index fqWrap(fqHead+fqLen) is
+		// invariant under dispatch pops (head+1, len-1 preserve the sum), so
+		// the slot stays stable across I-cache stall cycles and no separate
+		// pending buffer — and its extra copy — is needed.
+		fe := &s.fetchQ[s.fqWrap(s.fqHead+s.fqLen)]
 		if !s.pendingValid {
-			s.pendingInstr = *s.stream.Next()
+			fe.in = *s.stream.Next()
+			fe.mispredicted = false
 			s.pendingValid = true
 		}
-		in := &s.pendingInstr
+		in := &fe.in
 		if n == 0 {
 			res := s.icache.Access(in.PC, false, t)
 			if !res.Hit {
@@ -901,33 +1101,30 @@ func (s *Simulator) fetch(t uint64) {
 				return
 			}
 		}
-		fe := fetchEntry{in: *in}
 		s.pendingValid = false
 		if in.Class == isa.Branch {
 			s.branches++
-			correct := s.pred.Update(in.PC, in.Taken)
+			var correct bool
+			if s.predFeed != nil {
+				correct = s.predFeed.Correct()
+			} else {
+				correct = s.pred.Update(in.PC, in.Taken)
+			}
 			if !correct {
 				s.mispredicts++
 				fe.mispredicted = true
 				s.blockedBranch = true
-				s.pushFetch(fe)
+				s.fqLen++
 				return
 			}
-			s.pushFetch(fe)
+			s.fqLen++
 			if in.Taken {
 				return // at most one taken branch per fetch cycle
 			}
 			continue
 		}
-		s.pushFetch(fe)
+		s.fqLen++
 	}
-}
-
-// pushFetch appends fe to the fetch queue ring (capacity checked by the
-// caller's loop condition).
-func (s *Simulator) pushFetch(fe fetchEntry) {
-	s.fetchQ[(s.fqHead+s.fqLen)%len(s.fetchQ)] = fe
-	s.fqLen++
 }
 
 // recordValueStats implements the Figure 3 instrumentation: per cycle,
@@ -941,7 +1138,7 @@ func (s *Simulator) recordValueStats(t uint64) {
 		clear(s.vsReady[f])
 	}
 	nVal, nReady := 0, 0
-	for i, n := s.robHead, 0; n < s.robCount; i, n = (i+1)%len(s.rob), n+1 {
+	for i, n := s.robHead, 0; n < s.robCount; i, n = s.robWrap(i+1), n+1 {
 		u := &s.rob[i]
 		if !u.live || u.issued {
 			continue

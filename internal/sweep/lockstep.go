@@ -1,0 +1,72 @@
+package sweep
+
+import (
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// DefaultLockstepWidth caps how many configurations one lockstep batch
+// carries when RunnerConfig.Lockstep is 0 (automatic). Wider batches share
+// one front-end pass across more back-ends but hold more simulator state
+// live at once; 16 covers the paper's per-figure architecture counts.
+const DefaultLockstepWidth = 16
+
+// LockstepGroups partitions jobs into lockstep batches: jobs that share a
+// workload — the same trace profile after the Seed override is applied —
+// are driven by a single front-end pass, so they land in one group, split
+// into chunks of at most width (width ≤ 0 means unbounded). The returned
+// groups hold indices into jobs; groups appear in order of their first
+// job, and jobs keep their relative order within a group. Results are
+// independent of the grouping — sim.Lockstep is bit-identical to
+// sequential runs — so callers may regroup freely.
+func LockstepGroups(jobs []Job, width int) [][]int {
+	byProfile := make(map[trace.Profile]int, 8)
+	members := make([][]int, 0, 8)
+	for i := range jobs {
+		p := jobs[i].profile()
+		gi, ok := byProfile[p]
+		if !ok {
+			gi = len(members)
+			byProfile[p] = gi
+			members = append(members, nil)
+		}
+		members[gi] = append(members[gi], i)
+	}
+	var groups [][]int
+	for _, g := range members {
+		for width > 0 && len(g) > width {
+			groups = append(groups, g[:width])
+			g = g[width:]
+		}
+		if len(g) > 0 {
+			groups = append(groups, g)
+		}
+	}
+	return groups
+}
+
+// SimulateLockstep runs a batch of jobs sharing one workload through a
+// single lockstep front-end pass and returns their results in job order.
+// It is the Runner's default batch hook and the worker fleet's default
+// batch simulator. Every job must carry the same profile (after seed
+// override) — the grouping invariant LockstepGroups establishes; it panics
+// otherwise, since simulating a job on another job's trace would corrupt
+// results silently. A single-job batch takes the plain path, avoiding the
+// front-end's chunk buffering for no sharing.
+func SimulateLockstep(jobs []Job) []sim.Result {
+	if len(jobs) == 0 {
+		return nil
+	}
+	if len(jobs) == 1 {
+		return []sim.Result{Simulate(jobs[0])}
+	}
+	prof := jobs[0].profile()
+	cfgs := make([]sim.Config, len(jobs))
+	for i := range jobs {
+		if jobs[i].profile() != prof {
+			panic("sweep: lockstep batch mixes workloads (group with LockstepGroups)")
+		}
+		cfgs[i] = jobs[i].Config
+	}
+	return sim.NewLockstep(cfgs, trace.New(prof)).Run()
+}

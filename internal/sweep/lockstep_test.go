@@ -1,0 +1,165 @@
+package sweep
+
+import (
+	"bytes"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// sixFamilySpec builds a sweep touching all six built-in register file
+// families on two workloads — the grouping shape of a real paper sweep.
+func sixFamilySpec() *Spec {
+	return &Spec{
+		Instructions: 25000,
+		Benchmarks:   []string{"compress", "swim"},
+		Architectures: []ArchMatrix{
+			{Kind: "1cycle"}, {Kind: "2cycle"}, {Kind: "2cycle1b"},
+			{Kind: "rfcache"}, {Kind: "onelevel"}, {Kind: "replicated"},
+		},
+	}
+}
+
+// ndjsonOf runs jobs through a fresh runner and renders the NDJSON the
+// CLIs and server would emit.
+func ndjsonOf(t *testing.T, cfg RunnerConfig, jobs []Job, parallelism int) []byte {
+	t.Helper()
+	r := NewRunner(cfg)
+	outs := r.RunOutcomes(jobs, parallelism)
+	rep := NewReport("lockstep-test", jobs, outs, r.CacheStats())
+	var buf bytes.Buffer
+	if err := rep.WriteNDJSON(&buf); err != nil {
+		t.Fatalf("write ndjson: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestLockstepMatchesSequential is the wire-level lockstep contract: the
+// NDJSON a lockstep sweep emits is byte-identical to the sequential
+// path's, across all six built-in families, at parallelism 1 and 8.
+func TestLockstepMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates 12 configurations twice")
+	}
+	jobs, err := sixFamilySpec().Jobs()
+	if err != nil {
+		t.Fatalf("expand spec: %v", err)
+	}
+	if len(jobs) != 12 {
+		t.Fatalf("spec expanded to %d jobs, want 12", len(jobs))
+	}
+	want := ndjsonOf(t, RunnerConfig{Lockstep: 1}, jobs, 1)
+	for _, parallelism := range []int{1, 8} {
+		got := ndjsonOf(t, RunnerConfig{}, jobs, parallelism)
+		if !bytes.Equal(got, want) {
+			t.Errorf("parallelism %d: lockstep NDJSON differs from sequential:\nlockstep:\n%s\nsequential:\n%s",
+				parallelism, got, want)
+		}
+	}
+}
+
+// TestLockstepGroups pins the grouping contract: same-workload jobs share
+// a group regardless of configuration, seed overrides split workloads,
+// width caps group size, and order is first-appearance.
+func TestLockstepGroups(t *testing.T) {
+	jobs, err := (&Spec{
+		Instructions:  5000,
+		Benchmarks:    []string{"compress", "swim"},
+		Seeds:         []uint64{0, 7},
+		Architectures: []ArchMatrix{{Kind: "1cycle"}, {Kind: "rfcache"}},
+	}).Jobs()
+	if err != nil {
+		t.Fatalf("expand spec: %v", err)
+	}
+	// 2 architectures × 2 benchmarks × 2 seeds = 8 jobs, 4 workloads.
+	groups := LockstepGroups(jobs, 0)
+	if len(groups) != 4 {
+		t.Fatalf("got %d groups, want 4 (one per benchmark×seed): %v", len(groups), groups)
+	}
+	seen := 0
+	for _, g := range groups {
+		if len(g) != 2 {
+			t.Errorf("group %v has %d jobs, want 2", g, len(g))
+		}
+		p := jobs[g[0]].profile()
+		for _, i := range g {
+			if jobs[i].profile() != p {
+				t.Errorf("group %v mixes workloads", g)
+			}
+			seen++
+		}
+	}
+	if seen != len(jobs) {
+		t.Errorf("groups cover %d jobs, want %d", seen, len(jobs))
+	}
+	// Width 1 degenerates to singleton groups covering every job once.
+	narrow := LockstepGroups(jobs, 1)
+	if len(narrow) != len(jobs) {
+		t.Fatalf("width 1: got %d groups, want %d", len(narrow), len(jobs))
+	}
+	covered := make([]bool, len(jobs))
+	for _, g := range narrow {
+		if len(g) != 1 {
+			t.Fatalf("width 1: group %v not a singleton", g)
+		}
+		if covered[g[0]] {
+			t.Fatalf("width 1: job %d appears twice", g[0])
+		}
+		covered[g[0]] = true
+	}
+}
+
+// TestSimulateLockstepRejectsMixedWorkloads pins the misuse guard: a batch
+// spanning two workloads must panic rather than silently simulate one
+// job on another's trace.
+func TestSimulateLockstepRejectsMixedWorkloads(t *testing.T) {
+	jobs, err := (&Spec{
+		Instructions:  5000,
+		Benchmarks:    []string{"compress", "swim"},
+		Architectures: []ArchMatrix{{Kind: "1cycle"}},
+	}).Jobs()
+	if err != nil || len(jobs) != 2 {
+		t.Fatalf("expand spec: %v (%d jobs)", err, len(jobs))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("SimulateLockstep accepted a mixed-workload batch")
+		}
+	}()
+	SimulateLockstep(jobs)
+}
+
+// TestLockstepDisabledForCustomSimulate pins the hook contract: a custom
+// per-job Simulate sees every job individually unless a batch hook is
+// also provided.
+func TestLockstepDisabledForCustomSimulate(t *testing.T) {
+	jobs, err := sixFamilySpec().Jobs()
+	if err != nil {
+		t.Fatalf("expand spec: %v", err)
+	}
+	var mu sync.Mutex
+	got := make(map[Key]int)
+	r := NewRunner(RunnerConfig{
+		Simulate: func(j Job) (res sim.Result) {
+			mu.Lock()
+			got[j.Key()]++
+			mu.Unlock()
+			return
+		},
+	})
+	r.RunOutcomes(jobs, 1)
+	want := make(map[Key]int)
+	for _, j := range jobs {
+		want[j.Key()]++
+	}
+	// Duplicate keys within the batch simulate once; every distinct job
+	// must reach the custom hook exactly once.
+	for k := range want {
+		want[k] = 1
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("custom Simulate saw %d distinct jobs, want %d", len(got), len(want))
+	}
+}
