@@ -8,7 +8,7 @@
 //
 //	rfserved [-addr host:port] [-addr-file path] [-store dir]
 //	         [-store-max-mb n] [-workers n] [-sweep-workers n] [-max-jobs n]
-//	         [-lockstep width]
+//	         [-lockstep width] [-wal-dir dir]
 //	         [-tenants file] [-default-rate r] [-default-burst n]
 //	         [-max-active-per-tenant n] [-max-queued-per-tenant n]
 //	         [-dispatch [-lease-ms n] [-max-capacity n] [-job-timeout d]]
@@ -49,6 +49,15 @@
 // run leased jobs through their own cached runner (and store, with
 // -store) while still serving their own /v1/sweeps API.
 //
+// With -wal-dir the server journals every sweep transition (and, in
+// coordinator mode, every dispatch transition) to a write-ahead log in
+// that directory. A crashed or SIGKILLed server restarted on the same
+// -wal-dir replays the journal, resumes interrupted sweeps where they
+// stopped (completed rows are never re-simulated; result streams stay
+// byte-identical), and re-adopts workers' in-flight leases as they poll
+// back in. Without -wal-dir behavior is exactly as before: state dies
+// with the process.
+//
 // The server shuts down gracefully on SIGINT/SIGTERM: it stops accepting
 // sweeps, cancels running ones, flushes the store index, and exits. See
 // the README's "rfserved service" section for the full API.
@@ -63,6 +72,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -71,6 +81,7 @@ import (
 	"repro/internal/store"
 	"repro/internal/sweep"
 	"repro/internal/tenant"
+	"repro/internal/wal"
 	"repro/rf"
 )
 
@@ -84,6 +95,7 @@ func main() {
 		sweepWork  = flag.Int("sweep-workers", 0, "per-sweep worker budget cap (0: same as -workers)")
 		maxJobs    = flag.Int("max-jobs", 0, "reject specs expanding to more jobs than this (0: 100000)")
 		lockstep   = flag.Int("lockstep", 0, "lockstep batch width for local simulation: 0 groups up to 16 same-workload configurations per trace pass, 1 disables grouping (results are identical either way)")
+		walDir     = flag.String("wal-dir", "", "write-ahead-log directory enabling crash-resume (empty: no journal, state dies with the process)")
 		tenantsF   = flag.String("tenants", "", "tenants JSON file enabling API-key auth and per-tenant quotas")
 		defRate    = flag.Float64("default-rate", 0, "default per-tenant request rate in req/s (0: unlimited)")
 		defBurst   = flag.Int("default-burst", 0, "default per-tenant request burst (0: derived from -default-rate)")
@@ -130,11 +142,41 @@ func main() {
 		// bounded by the defaults.
 		cfg.Tenants = tenant.NewRegistry(defaults)
 	}
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	// Journals open before the coordinator and server are built: both
+	// replay their WAL during construction. The server resumes each
+	// interrupted sweep by re-running only its unfinished jobs, and in
+	// coordinator mode those jobs re-attach (by content key) to the tasks
+	// the coordinator's own replay reconstructed — so workers that kept
+	// running through the outage deliver into the resumed sweeps instead
+	// of simulating anything twice.
+	var serverWAL, coordWAL *wal.WAL
+	if *walDir != "" {
+		var err error
+		serverWAL, err = wal.Open(filepath.Join(*walDir, "server"), wal.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Journal = serverWAL
+		cfg.Logf = logf
+		if *dispatchF {
+			coordWAL, err = wal.Open(filepath.Join(*walDir, "coordinator"), wal.Options{})
+			if err != nil {
+				fatal(err)
+			}
+			cfg.ExtraJournals = map[string]*wal.WAL{"coordinator": coordWAL}
+		}
+		fmt.Fprintf(os.Stderr, "rfserved: journaling to %s\n", *walDir)
+	}
 	if *dispatchF {
 		cfg.Dispatcher = dispatch.NewCoordinator(dispatch.Config{
 			LeaseTTL:    time.Duration(*leaseMS) * time.Millisecond,
 			MaxCapacity: *maxCap,
 			JobTimeout:  *jobTimeout,
+			Journal:     coordWAL,
+			Logf:        logf,
 		})
 	}
 	var st *store.Store
@@ -222,6 +264,15 @@ func main() {
 	if st != nil {
 		if err := st.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "rfserved: store close: %v\n", err)
+		}
+	}
+	// Journals close last, after the scheduler and dispatcher have
+	// written their final records.
+	for _, j := range []*wal.WAL{coordWAL, serverWAL} {
+		if j != nil {
+			if err := j.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "rfserved: journal close: %v\n", err)
+			}
 		}
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/sweep"
 	"repro/internal/tenant"
+	"repro/internal/wal"
 	"repro/rf/api"
 )
 
@@ -46,6 +47,21 @@ type Config struct {
 	// LocalParallelism bounds concurrent Fallback runs; 0 uses
 	// GOMAXPROCS.
 	LocalParallelism int
+	// Journal, when non-nil, makes the coordinator durable: every state
+	// transition a restart must reconstruct is appended to this WAL, and
+	// NewCoordinator replays it so a restarted coordinator re-adopts the
+	// fleet's in-flight work instead of re-simulating it (see
+	// journal.go). Nil (the default) keeps behavior byte-identical to an
+	// unjournaled coordinator. The journal must have been freshly opened
+	// (its Replay not yet consumed) and is owned by the caller — the
+	// coordinator never closes it.
+	Journal *wal.WAL
+	// CompactBytes is the journal size that triggers snapshot +
+	// compaction (checked from the lease janitor); 0 means 1 MiB.
+	CompactBytes int64
+	// Logf reports recovery problems (a corrupt journal falls back to a
+	// cold start); nil discards.
+	Logf func(format string, args ...any)
 }
 
 // taskState is the lifecycle of one distributed job.
@@ -150,6 +166,9 @@ func NewCoordinator(cfg Config) *Coordinator {
 	if cfg.LocalParallelism <= 0 {
 		cfg.LocalParallelism = runtime.GOMAXPROCS(0)
 	}
+	if cfg.CompactBytes <= 0 {
+		cfg.CompactBytes = 1 << 20
+	}
 	c := &Coordinator{
 		cfg:        cfg,
 		localSem:   make(chan struct{}, cfg.LocalParallelism),
@@ -160,6 +179,21 @@ func NewCoordinator(cfg Config) *Coordinator {
 		queue:      make(map[int][]*task),
 		wake:       make(chan struct{}),
 		lastWorker: time.Now(),
+	}
+	if cfg.Journal != nil {
+		if err := c.recover(); err != nil {
+			// A corrupt snapshot means the pre-crash state is
+			// unrecoverable; a cold start is still correct (in-flight
+			// work re-simulates), so degrade rather than refuse to run.
+			if cfg.Logf != nil {
+				cfg.Logf("dispatch: journal recovery failed, starting cold: %v", err)
+			}
+			c.tasks = make(map[uint64]*task)
+			c.byKey = make(map[sweep.Key]*task)
+			c.queue = make(map[int][]*task)
+			c.prios, c.requeued = nil, nil
+			c.stats = Stats{}
+		}
 	}
 	go c.janitor()
 	return c
@@ -176,6 +210,7 @@ func (c *Coordinator) janitor() {
 			return
 		case now := <-tick.C:
 			c.expire(now)
+			c.maybeCompact()
 		}
 	}
 }
@@ -219,6 +254,7 @@ func (c *Coordinator) expire(now time.Time) {
 		if t.state == taskPending {
 			t.state = taskLocal
 			c.stats.Pending--
+			c.journalLocked(rec{Op: opLocal, Task: t.id})
 			close(t.localc)
 		}
 	}
@@ -245,12 +281,14 @@ func (c *Coordinator) requeueLocked(t *task) {
 	c.stats.Inflight--
 	if t.attempts >= c.cfg.MaxAttempts {
 		t.state = taskLocal
+		c.journalLocked(rec{Op: opLocal, Task: t.id})
 		close(t.localc)
 		return
 	}
 	t.state = taskPending
 	c.stats.Pending++
 	c.stats.Requeued++
+	c.journalLocked(rec{Op: opRequeue, Task: t.id})
 	c.requeued = append(c.requeued, t)
 	c.wakeLocked()
 }
@@ -347,6 +385,7 @@ func (c *Coordinator) SimulateContext(ctx context.Context, j sweep.Job) sim.Resu
 		c.enqueueLocked(t)
 		c.stats.Enqueued++
 		c.stats.Pending++
+		c.journalLocked(rec{Op: opEnq, Task: t.id, Key: string(k), Job: &j, Pri: priority})
 		c.wakeLocked()
 	}
 	c.mu.Unlock()
@@ -368,6 +407,7 @@ func (c *Coordinator) wait(t *task) sim.Result {
 			delete(c.tasks, t.id)
 			delete(c.byKey, t.key)
 			c.stats.Fallbacks++
+			c.journalLocked(rec{Op: opFDone, Task: t.id})
 			c.mu.Unlock()
 			close(t.done)
 		})
@@ -467,6 +507,7 @@ func (c *Coordinator) HandleRegister(w http.ResponseWriter, r *http.Request) {
 		wk.name = wk.id
 	}
 	c.workers[wk.id] = wk
+	c.journalLocked(rec{Op: opWreg, Seq: c.nextWorker})
 	c.mu.Unlock()
 	writeJSON(w, http.StatusOK, api.RegisterResponse{
 		ID:       wk.id,
@@ -516,6 +557,29 @@ func (c *Coordinator) HandlePoll(w http.ResponseWriter, r *http.Request) {
 				c.requeueLocked(t)
 			}
 		}
+	}
+	// Adopt before assigning: a Holding id the coordinator does not
+	// track as this worker's lease is a simulation that outlived its
+	// lease — the worker re-registered after expiry, or the coordinator
+	// itself restarted and replayed the task from its journal as
+	// pending. Hand the lease back instead of letting assignment
+	// schedule a duplicate of work that is already running.
+	for _, hid := range req.Holding {
+		if wk.inflight[hid] != nil {
+			continue
+		}
+		t := c.tasks[hid]
+		if t == nil || t.state != taskPending {
+			continue
+		}
+		t.state = taskAssigned
+		t.worker = wk.id
+		t.assignedAt = time.Now()
+		wk.inflight[t.id] = t
+		c.stats.Pending--
+		c.stats.Inflight++
+		c.stats.Adopted++
+		c.journalLocked(rec{Op: opAdopt, Task: t.id, Wk: wk.id})
 	}
 
 	deadline := time.Now().Add(c.cfg.PollWait)
@@ -581,6 +645,7 @@ func (c *Coordinator) deliverLocked(wk *worker, res api.TaskResult) {
 	delete(c.byKey, t.key)
 	wk.completed++
 	c.stats.Completed++
+	c.journalLocked(rec{Op: opDone, Task: t.id})
 	close(t.done)
 }
 
@@ -605,6 +670,7 @@ func (c *Coordinator) assignLocked(wk *worker, want int) []api.Assignment {
 		c.stats.Pending--
 		c.stats.Inflight++
 		c.stats.Dispatched++
+		c.journalLocked(rec{Op: opLease, Task: t.id, Wk: wk.id})
 		out = append(out, api.Assignment{Task: t.id, Key: string(t.key), Job: t.job})
 	}
 	return out

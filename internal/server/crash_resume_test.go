@@ -1,0 +1,190 @@
+package server
+
+// Crash-resume pin for the journaled server: kill it mid-sweep (no
+// Shutdown — nothing flushes beyond what Append already wrote), restart
+// on the same journal, and assert the resumed sweep finishes with
+// byte-identical NDJSON and zero re-simulation of completed jobs. This
+// is the in-process twin of the CI recovery job in scripts/smoke_e2e.sh
+// phase 6.
+
+import (
+	"context"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/store"
+	"repro/internal/sweep"
+	"repro/internal/wal"
+)
+
+// resumeSpec is testSpec with serialized execution, so rows land one at
+// a time and the crash point falls cleanly between jobs.
+const resumeSpec = `{
+  "name": "resume",
+  "instructions": 3000,
+  "parallelism": 1,
+  "benchmarks": ["compress", "swim"],
+  "architectures": [
+    {"kind": "1cycle"},
+    {"kind": "rfcache", "caching": ["nonbypass", "ready"]}
+  ]
+}`
+
+func openWAL(t *testing.T, dir string) *wal.WAL {
+	t.Helper()
+	j, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func waitStatus(t *testing.T, base, statusURL string, ok func(int, string) bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := getStatus(t, base, statusURL)
+		if ok(st.Completed, st.State) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sweep never reached the expected state (completed=%d state=%s)",
+				st.Completed, st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestServerCrashResume(t *testing.T) {
+	walDir := t.TempDir()
+	storeDir := t.TempDir()
+
+	// First life: simulate three jobs, then block the fourth in the
+	// simulator until the test ends — the crash happens "between rows".
+	release := make(chan struct{})
+	var sims1 atomic.Int64
+	gated := func(j sweep.Job) sim.Result {
+		if sims1.Add(1) > 3 {
+			<-release
+		}
+		return fakeSim(j)
+	}
+	st1, err := store.Open(storeDir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1 := openWAL(t, walDir)
+	srv1 := New(Config{Cache: st1, Simulate: gated, Journal: j1})
+	ts1 := httptest.NewServer(srv1)
+	// Registered before any assertion so it runs after ts2's cleanup but
+	// before the TempDir removals: unblock the abandoned server's stuck
+	// execute goroutine and wait it out, so it cannot race file writes
+	// against the directory cleanup.
+	t.Cleanup(func() {
+		close(release)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv1.Shutdown(ctx)
+	})
+	ack := submit(t, ts1.URL, resumeSpec)
+	if ack.Jobs != 6 {
+		t.Fatalf("spec expanded to %d jobs, want 6", ack.Jobs)
+	}
+	waitStatus(t, ts1.URL, ack.StatusURL, func(completed int, _ string) bool {
+		return completed == 3
+	})
+	// Crash: close the HTTP front end and the journal file handles, but
+	// never call Shutdown — the abandoned server flushes nothing and its
+	// in-memory sweep table is lost.
+	ts1.Close()
+	j1.Close()
+
+	// Second life: same journal, same store, a fresh simulator that
+	// counts every job it is asked to run.
+	var sims2 atomic.Int64
+	counted := func(j sweep.Job) sim.Result {
+		sims2.Add(1)
+		return fakeSim(j)
+	}
+	st2, err := store.Open(storeDir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2 := openWAL(t, walDir)
+	srv2 := New(Config{Cache: st2, Simulate: counted, Journal: j2})
+	ts2 := httptest.NewServer(srv2)
+	t.Cleanup(func() {
+		ts2.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv2.Shutdown(ctx)
+		j2.Close()
+	})
+
+	waitStatus(t, ts2.URL, ack.StatusURL, func(_ int, state string) bool {
+		return state == "done"
+	})
+	st := getStatus(t, ts2.URL, ack.StatusURL)
+	if !st.Recovered {
+		t.Error("resumed sweep status does not carry the recovered marker")
+	}
+	if st.Completed != 6 || st.Cached != 0 {
+		t.Errorf("resumed status completed=%d cached=%d, want 6 and 0", st.Completed, st.Cached)
+	}
+	if got := sims2.Load(); got != 3 {
+		t.Errorf("restart re-simulated %d jobs, want exactly the 3 interrupted ones", got)
+	}
+	// The acceptance contract: the resumed stream is byte-identical to an
+	// uninterrupted run of the same spec.
+	got := streamAll(t, ts2.URL, ack.ResultsURL)
+	want := rfbatchNDJSON(t, resumeSpec, fakeSim)
+	if got != want {
+		t.Errorf("resumed stream differs from uninterrupted output:\n--- resumed ---\n%s--- reference ---\n%s", got, want)
+	}
+}
+
+// TestServerJournalCompactionResume pins that a snapshot-compacted
+// journal still resumes: compact after the sweep finishes, restart, and
+// assert the terminal sweep is still fully servable.
+func TestServerJournalCompactionResume(t *testing.T) {
+	walDir := t.TempDir()
+
+	j1 := openWAL(t, walDir)
+	srv1 := New(Config{Simulate: fakeSim, Journal: j1, CompactBytes: 1})
+	ts1 := httptest.NewServer(srv1)
+	ack := submit(t, ts1.URL, testSpec)
+	waitStatus(t, ts1.URL, ack.StatusURL, func(_ int, state string) bool {
+		return state == "done"
+	})
+	want := streamAll(t, ts1.URL, ack.ResultsURL)
+	srv1.compactJournal()
+	if st := j1.Stats(); st.Compactions != 1 {
+		t.Fatalf("Compactions = %d, want 1", st.Compactions)
+	}
+	ts1.Close()
+	j1.Close()
+
+	j2 := openWAL(t, walDir)
+	srv2 := New(Config{Simulate: fakeSim, Journal: j2})
+	ts2 := httptest.NewServer(srv2)
+	t.Cleanup(func() {
+		ts2.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv2.Shutdown(ctx)
+		j2.Close()
+	})
+	st := getStatus(t, ts2.URL, ack.StatusURL)
+	if st.State != "done" || st.Completed != 6 {
+		t.Fatalf("terminal sweep not preserved through compaction: %+v", st)
+	}
+	if st.Recovered {
+		t.Error("a sweep that finished before the restart must not be marked recovered")
+	}
+	if got := streamAll(t, ts2.URL, ack.ResultsURL); got != want {
+		t.Error("replayed terminal stream differs from the original")
+	}
+}

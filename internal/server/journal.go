@@ -1,0 +1,342 @@
+package server
+
+// Journaling and crash-resume for the sweep service. With Config.Journal
+// set, every externally visible sweep transition is appended to the WAL
+// before it is published: the accepted spec (verbatim, so replay
+// re-expands the exact job list), every completed row (the full wire
+// row, so a resumed sweep's NDJSON stream reproduces the original bytes,
+// cached flags included), cancellation requests, and the terminal state.
+// A restarted server replays snapshot + records, rebuilds every sweep's
+// row table, marks the interrupted ones recovered, and resumes them by
+// running only the jobs with no journaled row — completed work is never
+// re-simulated.
+//
+// The window this cannot close: a job's result reaches the
+// content-addressed store (inside the runner) an instant before its row
+// record reaches the journal. A crash in that window re-runs the job on
+// resume and finds it in the cache, so the resumed row says cached where
+// the uninterrupted run said simulated. The window is microseconds per
+// job; the recovery smoke keeps it closed by construction (it kills the
+// server between rows, not inside the commit pair).
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/sweep"
+)
+
+// srvRec is one server journal record; fields are op-dependent.
+type srvRec struct {
+	Op string `json:"op"` // "submit", "row", "cancel" or "end"
+	ID string `json:"id"`
+	// submit fields. Spec is the accepted request body verbatim; replay
+	// re-expands it, so the job list never has to be journaled.
+	Name      string    `json:"name,omitempty"`
+	Tenant    string    `json:"tenant,omitempty"`
+	Pri       int       `json:"pri,omitempty"`
+	Par       int       `json:"par,omitempty"`
+	Spec      string    `json:"spec,omitempty"`
+	Submitted time.Time `json:"submitted,omitempty"`
+	// row fields. Index is the job's position in the sweep's expansion;
+	// Row is the full wire row.
+	Index int        `json:"index,omitempty"`
+	Row   *sweep.Row `json:"row,omitempty"`
+	// end fields.
+	State    string    `json:"state,omitempty"`
+	Finished time.Time `json:"finished,omitempty"`
+}
+
+// srvSweep is one sweep inside a compaction snapshot. Rows holds only
+// completed entries (indexes align with Done).
+type srvSweep struct {
+	ID        string      `json:"id"`
+	Name      string      `json:"name,omitempty"`
+	Tenant    string      `json:"tenant,omitempty"`
+	Pri       int         `json:"pri,omitempty"`
+	Par       int         `json:"par,omitempty"`
+	Jobs      []sweep.Job `json:"jobs"`
+	Rows      []sweep.Row `json:"rows"`
+	Done      []bool      `json:"done"`
+	State     string      `json:"state"`
+	Submitted time.Time   `json:"submitted"`
+	Finished  time.Time   `json:"finished,omitempty"`
+	Recovered bool        `json:"recovered,omitempty"`
+}
+
+// srvSnapshot is the compaction image of the whole sweep table.
+type srvSnapshot struct {
+	NextID uint64     `json:"next_id"`
+	Sweeps []srvSweep `json:"sweeps,omitempty"`
+}
+
+// journalAppend writes one record. s.jmu serializes appends against
+// compaction's snapshot+Compact pair, so a record can never slip into
+// the gap between "state captured" and "records discarded". Callers
+// must not hold s.mu or any run.mu (compaction acquires them under
+// s.jmu). Append errors degrade to running unjournaled — the WAL
+// poisons itself after the first write error, so the cost stays one
+// failed syscall per record.
+func (s *Server) journalAppend(r srvRec) {
+	if s.cfg.Journal == nil {
+		return
+	}
+	b, err := json.Marshal(r)
+	if err != nil {
+		return
+	}
+	s.jmu.Lock()
+	s.cfg.Journal.Append(b)
+	s.jmu.Unlock()
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// replaySweep is one sweep being reconstructed during recovery.
+type replaySweep struct {
+	run      *sweepRun
+	par      int
+	canceled bool // a journaled cancel request with no end record yet
+}
+
+// recoverJournal rebuilds the sweep table from the journal and resumes
+// every sweep the crash interrupted. Called from New before the server
+// is visible; the returned error means the snapshot itself was
+// unreadable (records are skipped individually).
+func (s *Server) recoverJournal() error {
+	runs := make(map[string]*replaySweep)
+	var order []string
+
+	if data, _, ok := s.cfg.Journal.Snapshot(); ok {
+		var snap srvSnapshot
+		if err := json.Unmarshal(data, &snap); err != nil {
+			return fmt.Errorf("rfserved: corrupt journal snapshot: %w", err)
+		}
+		s.nextID = snap.NextID
+		for _, sw := range snap.Sweeps {
+			if len(sw.Rows) != len(sw.Jobs) || len(sw.Done) != len(sw.Jobs) {
+				s.logf("rfserved: journal snapshot sweep %s is inconsistent; dropping it", sw.ID)
+				continue
+			}
+			run := &sweepRun{
+				id: sw.ID, name: sw.Name, tenant: sw.Tenant, priority: sw.Pri,
+				jobs: sw.Jobs, rows: sw.Rows, done: sw.Done,
+				state: sweepState(sw.State), submitted: sw.Submitted,
+				finished: sw.Finished, recovered: sw.Recovered,
+				notify: make(chan struct{}),
+			}
+			for i, d := range sw.Done {
+				if d {
+					run.completed++
+					if sw.Rows[i].Cached {
+						run.cached++
+					}
+				}
+			}
+			runs[sw.ID] = &replaySweep{run: run, par: sw.Par}
+			order = append(order, sw.ID)
+		}
+	}
+
+	err := s.cfg.Journal.Replay(func(_ uint64, payload []byte) error {
+		var r srvRec
+		if err := json.Unmarshal(payload, &r); err != nil {
+			return nil // skip a foreign or damaged record, keep the rest
+		}
+		rs := runs[r.ID]
+		switch r.Op {
+		case "submit":
+			spec, err := sweep.ParseSpec(strings.NewReader(r.Spec))
+			if err != nil {
+				s.logf("rfserved: journaled sweep %s no longer parses; dropping it: %v", r.ID, err)
+				return nil
+			}
+			jobs, err := spec.Jobs()
+			if err != nil {
+				s.logf("rfserved: journaled sweep %s no longer expands; dropping it: %v", r.ID, err)
+				return nil
+			}
+			run := &sweepRun{
+				id: r.ID, name: r.Name, tenant: r.Tenant, priority: r.Pri,
+				jobs: jobs, rows: make([]sweep.Row, len(jobs)),
+				done: make([]bool, len(jobs)), state: stateRunning,
+				submitted: r.Submitted, notify: make(chan struct{}),
+			}
+			runs[r.ID] = &replaySweep{run: run, par: r.Par}
+			order = append(order, r.ID)
+			if n := idNumber(r.ID); n > s.nextID {
+				s.nextID = n
+			}
+		case "row":
+			if rs == nil || r.Row == nil || r.Index < 0 || r.Index >= len(rs.run.jobs) {
+				return nil
+			}
+			run := rs.run
+			if !run.done[r.Index] {
+				run.done[r.Index] = true
+				run.completed++
+				if r.Row.Cached {
+					run.cached++
+				}
+			}
+			run.rows[r.Index] = *r.Row
+		case "cancel":
+			if rs != nil {
+				rs.canceled = true
+			}
+		case "end":
+			if rs == nil {
+				return nil
+			}
+			rs.run.state = sweepState(r.State)
+			rs.run.finished = r.Finished
+			rs.canceled = false
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// Materialize and resume. A sweep the crash interrupted restarts
+	// with only its unfinished jobs; quota re-acquisition is unlimited —
+	// recovery must never be refused admission for work that was already
+	// admitted once.
+	for _, id := range order {
+		rs := runs[id]
+		run := rs.run
+		// Terminal (or immediately-settled) sweeps still get a cancel hook:
+		// handleCancel calls it unconditionally.
+		run.cancel = func() {}
+		s.sweeps[id] = run
+		s.order = append(s.order, id)
+		if run.state != stateRunning {
+			continue
+		}
+		run.recovered = true
+		if rs.canceled || run.completed == len(run.jobs) {
+			// Nothing left to run: settle the terminal state directly.
+			if rs.canceled {
+				run.state = stateCanceled
+			} else {
+				run.state = stateDone
+			}
+			run.finished = time.Now()
+			s.journalAppend(srvRec{Op: "end", ID: id, State: string(run.state), Finished: run.finished})
+			continue
+		}
+		remaining := len(run.jobs) - run.completed
+		par := rs.par
+		if par <= 0 || par > s.cfg.MaxSweepWorkers {
+			par = s.cfg.MaxSweepWorkers
+		}
+		s.active.Acquire(run.tenant, 1, 0)
+		s.queued.Acquire(run.tenant, remaining, 0)
+		s.queueDepth.Add(int64(remaining))
+		ctx, cancel := context.WithCancel(s.ctx)
+		run.cancel = cancel
+		s.wg.Add(1)
+		go s.execute(ctx, run, par)
+		s.logf("rfserved: resuming sweep %s (%d of %d jobs journaled complete)",
+			id, run.completed, len(run.jobs))
+	}
+	if st := s.cfg.Journal.Stats(); st.Replayed > 0 || len(order) > 0 {
+		s.logf("rfserved: journal replayed %d records in %s (%d sweeps, %d bytes truncated)",
+			st.Replayed, st.ReplayDuration.Round(time.Millisecond), len(order), st.TruncatedBytes)
+	}
+	return nil
+}
+
+// idNumber parses the numeric part of a sweep id ("s%06d").
+func idNumber(id string) uint64 {
+	var n uint64
+	if _, err := fmt.Sscanf(id, "s%d", &n); err != nil {
+		return 0
+	}
+	return n
+}
+
+// snapshotJournal serializes the sweep table for compaction. Terminal
+// sweeps ride along in full: the journal is the only thing that lets a
+// restarted server keep serving their status and result streams.
+func (s *Server) snapshotJournal() ([]byte, error) {
+	s.mu.Lock()
+	snap := srvSnapshot{NextID: s.nextID}
+	runs := make([]*sweepRun, 0, len(s.order))
+	for _, id := range s.order {
+		runs = append(runs, s.sweeps[id])
+	}
+	s.mu.Unlock()
+	for _, run := range runs {
+		run.mu.Lock()
+		sw := srvSweep{
+			ID: run.id, Name: run.name, Tenant: run.tenant, Pri: run.priority,
+			Par: run.parallelism, Jobs: run.jobs,
+			Rows:  append([]sweep.Row(nil), run.rows...),
+			Done:  append([]bool(nil), run.done...),
+			State: string(run.state), Submitted: run.submitted,
+			Finished: run.finished, Recovered: run.recovered,
+		}
+		run.mu.Unlock()
+		snap.Sweeps = append(snap.Sweeps, sw)
+	}
+	return json.Marshal(snap)
+}
+
+// compactLoop snapshots and compacts the journal whenever its live
+// record bytes pass the threshold; it exits with the server context.
+func (s *Server) compactLoop() {
+	tick := time.NewTicker(5 * time.Second)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case <-tick.C:
+			s.compactJournal()
+		}
+	}
+}
+
+// compactJournal runs one compaction check. Exported to the tests via
+// export_test.go so they need not wait out the ticker.
+func (s *Server) compactJournal() {
+	j := s.cfg.Journal
+	if j == nil || j.SizeBytes() < s.cfg.CompactBytes {
+		return
+	}
+	s.jmu.Lock()
+	defer s.jmu.Unlock()
+	snap, err := s.snapshotJournal()
+	if err != nil {
+		return
+	}
+	if err := j.Compact(snap); err != nil {
+		s.logf("rfserved: journal compaction failed: %v", err)
+	}
+}
+
+// walJournals returns the journal labels for /metrics, sorted: the
+// server's own journal plus any extra journals wired in for exposure
+// (the coordinator's, in cmd/rfserved).
+func (s *Server) walJournals() []string {
+	names := make([]string, 0, len(s.cfg.ExtraJournals)+1)
+	if s.cfg.Journal != nil {
+		names = append(names, "server")
+	}
+	for name, j := range s.cfg.ExtraJournals {
+		if j != nil && name != "server" {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}

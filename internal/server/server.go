@@ -32,9 +32,11 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"runtime"
@@ -49,6 +51,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/sweep"
 	"repro/internal/tenant"
+	"repro/internal/wal"
 	"repro/rf"
 	"repro/rf/api"
 )
@@ -98,6 +101,24 @@ type Config struct {
 	// anonymous tenant — the pre-tenancy behavior, byte-identical on the
 	// wire.
 	Tenants *tenant.Registry
+	// Journal, when non-nil, makes sweeps durable: accepted specs,
+	// completed rows and terminal states are appended to this WAL, and a
+	// restarted server replays it, re-serves finished sweeps, and
+	// resumes interrupted ones without re-simulating their journaled
+	// rows (see journal.go). Nil (the default) keeps behavior
+	// byte-identical to an unjournaled server. The journal must have
+	// been freshly opened (its Replay not yet consumed) and is owned by
+	// the caller — the server never closes it.
+	Journal *wal.WAL
+	// ExtraJournals exposes additional journals (the coordinator's, in
+	// cmd/rfserved) on /metrics under rfserved_wal_*{journal="<name>"};
+	// the server does not write to them.
+	ExtraJournals map[string]*wal.WAL
+	// CompactBytes is the journal size that triggers snapshot +
+	// compaction; 0 means 1 MiB.
+	CompactBytes int64
+	// Logf reports journal recovery and resume events; nil discards.
+	Logf func(format string, args ...any)
 }
 
 // sweepState is the lifecycle of one submitted sweep.
@@ -111,12 +132,13 @@ const (
 
 // sweepRun holds one submitted sweep and its incrementally filled rows.
 type sweepRun struct {
-	id       string
-	name     string
-	tenant   string // owning tenant's name
-	priority int    // effective scheduling tier
-	jobs     []sweep.Job
-	cancel   context.CancelFunc
+	id          string
+	name        string
+	tenant      string // owning tenant's name
+	priority    int    // effective scheduling tier
+	parallelism int    // effective per-sweep worker budget (journaling)
+	jobs        []sweep.Job
+	cancel      context.CancelFunc
 
 	mu        sync.Mutex
 	rows      []sweep.Row
@@ -126,6 +148,8 @@ type sweepRun struct {
 	state     sweepState
 	submitted time.Time
 	finished  time.Time
+	// recovered marks a sweep resumed from the journal after a restart.
+	recovered bool
 	// notify is closed and replaced whenever rows or state change;
 	// streamers wait on it instead of polling.
 	notify chan struct{}
@@ -165,6 +189,10 @@ type Server struct {
 	nextID uint64
 	closed bool
 
+	// jmu serializes journal appends against compaction (see
+	// journalAppend); never acquired while holding mu or a run's mu.
+	jmu sync.Mutex
+
 	start          time.Time
 	jobsCompleted  atomic.Uint64
 	jobsFromCache  atomic.Uint64
@@ -191,6 +219,9 @@ func New(cfg Config) *Server {
 	}
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 1 << 20
+	}
+	if cfg.CompactBytes <= 0 {
+		cfg.CompactBytes = 1 << 20
 	}
 	s := &Server{
 		cfg:     cfg,
@@ -284,6 +315,18 @@ func New(cfg Config) *Server {
 		mux.HandleFunc("GET /v1/workers", d.HandleWorkers)
 	}
 	s.mux = mux
+	if cfg.Journal != nil {
+		if err := s.recoverJournal(); err != nil {
+			// An unreadable snapshot loses the pre-crash sweep table but
+			// nothing else: the content-addressed store still has every
+			// result, so resubmitted sweeps are warm. Degrade to a cold
+			// start rather than refuse to serve.
+			s.logf("rfserved: journal recovery failed, starting cold: %v", err)
+			s.sweeps = make(map[string]*sweepRun)
+			s.order = nil
+		}
+		go s.compactLoop()
+	}
 	return s
 }
 
@@ -452,7 +495,21 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if !s.rateLimit(w, tn) {
 		return
 	}
-	spec, err := sweep.ParseSpec(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	body := io.Reader(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	var rawSpec []byte
+	if s.cfg.Journal != nil {
+		// Capture the body verbatim: the journal replays the accepted
+		// bytes, not a re-marshaled spec, so recovery expands exactly the
+		// job list this submission did.
+		data, err := io.ReadAll(body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		rawSpec = data
+		body = bytes.NewReader(data)
+	}
+	spec, err := sweep.ParseSpec(body)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -517,16 +574,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithCancel(s.ctx)
 	run := &sweepRun{
-		name:      spec.Name,
-		tenant:    tn.Name,
-		priority:  priority,
-		jobs:      jobs,
-		cancel:    cancel,
-		rows:      make([]sweep.Row, len(jobs)),
-		done:      make([]bool, len(jobs)),
-		state:     stateRunning,
-		submitted: time.Now(),
-		notify:    make(chan struct{}),
+		name:        spec.Name,
+		tenant:      tn.Name,
+		priority:    priority,
+		parallelism: parallelism,
+		jobs:        jobs,
+		cancel:      cancel,
+		rows:        make([]sweep.Row, len(jobs)),
+		done:        make([]bool, len(jobs)),
+		state:       stateRunning,
+		submitted:   time.Now(),
+		notify:      make(chan struct{}),
 	}
 
 	s.mu.Lock()
@@ -547,6 +605,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	s.bump(tn.Name, func(c *tenantCounters) { c.admitted++ })
 	s.queueDepth.Add(int64(len(jobs)))
+	// Journaled before execution starts and before the ack is written:
+	// a sweep the client saw accepted must survive a crash.
+	s.journalAppend(srvRec{
+		Op: "submit", ID: run.id, Name: run.name, Tenant: run.tenant,
+		Pri: run.priority, Par: parallelism, Spec: string(rawSpec),
+		Submitted: run.submitted,
+	})
 	go s.execute(ctx, run, parallelism)
 
 	ack := api.SubmitResponse{
@@ -568,19 +633,39 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 // runner, publishing rows as jobs resolve.
 func (s *Server) execute(ctx context.Context, run *sweepRun, parallelism int) {
 	defer s.wg.Done()
+	// Resume-aware job selection: run only the jobs with no completed
+	// row, reporting progress under each job's original index. For a
+	// fresh sweep this is the identity mapping; for a recovered one it
+	// is exactly the work the crash interrupted.
+	run.mu.Lock()
+	remap := make([]int, 0, len(run.jobs))
+	jobs := make([]sweep.Job, 0, len(run.jobs))
+	for i, done := range run.done {
+		if !done {
+			remap = append(remap, i)
+			jobs = append(jobs, run.jobs[i])
+		}
+	}
+	run.mu.Unlock()
+	doneHere := 0
 	// The admission metadata rides the batch context into the runner's
 	// SimulateContext hook (fair queue) and, in coordinator mode, the
 	// dispatcher's priority queue.
 	ctx = tenant.NewContext(ctx, tenant.Admission{Tenant: run.tenant, Priority: run.priority})
-	_, err := s.runner.RunOutcomesContext(ctx, run.jobs, parallelism, func(p sweep.Progress) {
+	_, err := s.runner.RunOutcomesContext(ctx, jobs, parallelism, func(p sweep.Progress) {
+		idx := remap[p.Index]
 		row := sweep.RowOf(p.Job, sweep.Outcome{Result: p.Result, Key: p.Key, Cached: p.Cached})
+		// Journaled before publishing: a row a client may have streamed
+		// must survive the crash that follows it.
+		s.journalAppend(srvRec{Op: "row", ID: run.id, Index: idx, Row: &row})
 		run.mu.Lock()
-		run.rows[p.Index] = row
-		run.done[p.Index] = true
+		run.rows[idx] = row
+		run.done[idx] = true
 		run.completed++
 		if p.Cached {
 			run.cached++
 		}
+		doneHere++
 		run.wakeLocked()
 		run.mu.Unlock()
 		s.jobsCompleted.Add(1)
@@ -599,9 +684,11 @@ func (s *Server) execute(ctx context.Context, run *sweepRun, parallelism int) {
 		s.sweepsCanceled.Add(1)
 	}
 	run.finished = time.Now()
-	skipped := len(run.jobs) - run.completed
+	state, finished := run.state, run.finished
+	skipped := len(jobs) - doneHere
 	run.wakeLocked()
 	run.mu.Unlock()
+	s.journalAppend(srvRec{Op: "end", ID: run.id, State: string(state), Finished: finished})
 	s.queueDepth.Add(-int64(skipped))
 	s.queued.Release(run.tenant, skipped) // jobs skipped by cancellation
 	s.active.Release(run.tenant, 1)
@@ -631,6 +718,9 @@ func (r *sweepRun) status(stamped bool) api.SweepStatus {
 	if !r.finished.IsZero() {
 		st.Finished = r.finished.UTC().Format(time.RFC3339Nano)
 	}
+	// Only ever true for journaled servers, and omitted from the wire
+	// when false, so unjournaled status bytes are unchanged.
+	st.Recovered = r.recovered
 	if stamped {
 		st.Tenant = r.tenant
 		st.Priority = r.priority
@@ -694,6 +784,10 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// Journaled before the cancel takes effect: if the server dies before
+	// execute settles the terminal state, recovery must not resume the
+	// sweep the client was told is being canceled.
+	s.journalAppend(srvRec{Op: "cancel", ID: run.id})
 	run.cancel()
 	writeJSON(w, http.StatusAccepted, run.status(s.cfg.Tenants != nil))
 }
@@ -838,6 +932,45 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		m("rfserved_dispatch_requeues_total", ds.Requeued, "leases expired and requeued")
 		m("rfserved_dispatch_fallbacks_total", ds.Fallbacks, "tasks simulated locally after exhausting remote attempts")
 		m("rfserved_dispatch_workers_expired_total", ds.Expired, "workers deregistered for missing their lease")
+		m("rfserved_dispatch_tasks_adopted_total", ds.Adopted, "in-flight leases re-adopted after a coordinator restart")
+	}
+
+	// Journal activity, one labeled row per WAL this process owns (the
+	// server's own plus any wired in via ExtraJournals — the dispatch
+	// coordinator's, in cmd/rfserved). Absent entirely when unjournaled.
+	if names := s.walJournals(); len(names) > 0 {
+		journals := make(map[string]*wal.WAL, len(names))
+		stats := make(map[string]wal.Stats, len(names))
+		for _, name := range names {
+			j := s.cfg.ExtraJournals[name]
+			if name == "server" && s.cfg.Journal != nil {
+				j = s.cfg.Journal
+			}
+			journals[name] = j
+			stats[name] = j.Stats()
+		}
+		walRow := func(family, help string, value func(string) any) {
+			fmt.Fprintf(w, "# HELP %s %s\n", family, help)
+			for _, name := range names {
+				fmt.Fprintf(w, "%s{journal=%q} %v\n", family, name, value(name))
+			}
+		}
+		walRow("rfserved_wal_appends_total", "records appended to the journal",
+			func(n string) any { return stats[n].Appends })
+		walRow("rfserved_wal_append_errors_total", "journal append failures",
+			func(n string) any { return stats[n].AppendErrors })
+		walRow("rfserved_wal_fsyncs_total", "group-commit fsync batches",
+			func(n string) any { return stats[n].Fsyncs })
+		walRow("rfserved_wal_replayed_records", "records replayed at the last startup",
+			func(n string) any { return stats[n].Replayed })
+		walRow("rfserved_wal_replay_seconds", "wall-clock seconds the last replay took",
+			func(n string) any { return fmt.Sprintf("%.6f", stats[n].ReplayDuration.Seconds()) })
+		walRow("rfserved_wal_truncated_bytes_total", "torn-tail bytes discarded during recovery",
+			func(n string) any { return stats[n].TruncatedBytes })
+		walRow("rfserved_wal_compactions_total", "snapshot compactions since start",
+			func(n string) any { return stats[n].Compactions })
+		walRow("rfserved_wal_size_bytes", "live journal bytes on disk",
+			func(n string) any { return journals[n].SizeBytes() })
 	}
 
 	// Per-tenant admission activity, one labeled row per tenant that has

@@ -319,13 +319,20 @@ func (s *Store) Put(k sweep.Key, res sim.Result) {
 }
 
 // writeAtomic writes data to path via a tmp- file in the objects
-// directory plus rename, so readers never observe a partial entry.
+// directory plus rename, so readers never observe a partial entry. The
+// tmp file is fsynced before the rename: without it, a machine crash
+// shortly after the rename can leave the final name pointing at
+// zero-length or partial content, which a journaled coordinator would
+// then trust as a completed result on resume.
 func (s *Store) writeAtomic(path string, data []byte) error {
 	tmp, err := os.CreateTemp(s.objects, "tmp-*")
 	if err != nil {
 		return err
 	}
 	_, werr := tmp.Write(data)
+	if werr == nil {
+		werr = tmp.Sync()
+	}
 	cerr := tmp.Close()
 	if werr != nil || cerr != nil {
 		os.Remove(tmp.Name())

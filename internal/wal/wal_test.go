@@ -1,0 +1,488 @@
+package wal_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/wal"
+)
+
+// These tests mirror internal/store's crash suite: a journal is damaged
+// at precise points — torn tail, flipped bit, empty segment, stale temp
+// file, failed write — and reopening must recover exactly the longest
+// intact prefix of records, repeatably. A "crashed" WAL is deliberately
+// never Closed; a real crash doesn't flush anything.
+
+func mustOpen(t *testing.T, dir string, opts Options) *wal.WAL {
+	t.Helper()
+	w, err := wal.Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return w
+}
+
+// Options aliases wal.Options so the helper signature stays short.
+type Options = wal.Options
+
+func payload(i int) []byte { return []byte(fmt.Sprintf("record-%04d", i)) }
+
+func appendN(t *testing.T, w *wal.WAL, from, n int) {
+	t.Helper()
+	for i := from; i < from+n; i++ {
+		idx, err := w.Append(payload(i))
+		if err != nil {
+			t.Fatalf("Append(%d): %v", i, err)
+		}
+		if want := uint64(i + 1); idx != want {
+			t.Fatalf("Append(%d) returned index %d, want %d", i, idx, want)
+		}
+	}
+}
+
+func replayAll(t *testing.T, w *wal.WAL) (indexes []uint64, payloads [][]byte) {
+	t.Helper()
+	err := w.Replay(func(index uint64, p []byte) error {
+		indexes = append(indexes, index)
+		payloads = append(payloads, append([]byte(nil), p...))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return indexes, payloads
+}
+
+// onlySegment returns the path of the single segment file in dir.
+func onlySegment(t *testing.T, dir string) string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("want exactly one segment, got %v (err %v)", matches, err)
+	}
+	return matches[0]
+}
+
+func TestWALAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpen(t, dir, Options{})
+	appendN(t, w, 0, 25)
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	re := mustOpen(t, dir, Options{})
+	defer re.Close()
+	indexes, payloads := replayAll(t, re)
+	if len(payloads) != 25 {
+		t.Fatalf("replayed %d records, want 25", len(payloads))
+	}
+	for i, p := range payloads {
+		if indexes[i] != uint64(i+1) {
+			t.Errorf("record %d replayed with index %d, want %d", i, indexes[i], i+1)
+		}
+		if !bytes.Equal(p, payload(i)) {
+			t.Errorf("record %d replayed as %q, want %q", i, p, payload(i))
+		}
+	}
+	if st := re.Stats(); st.Replayed != 25 || st.TruncatedBytes != 0 {
+		t.Errorf("stats after clean reopen: %+v", st)
+	}
+	// The chain continues where it left off.
+	if idx, err := re.Append(payload(25)); err != nil || idx != 26 {
+		t.Fatalf("Append after reopen: index %d err %v, want 26 nil", idx, err)
+	}
+}
+
+func TestWALRotationSpansSegments(t *testing.T) {
+	dir := t.TempDir()
+	// ~19-byte payloads + 8-byte headers against a 64-byte threshold:
+	// every couple of appends rotates.
+	w := mustOpen(t, dir, Options{SegmentBytes: 64})
+	appendN(t, w, 0, 40)
+	w.Close()
+
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
+	if len(segs) < 10 {
+		t.Fatalf("rotation produced %d segments, want many", len(segs))
+	}
+	re := mustOpen(t, dir, Options{})
+	defer re.Close()
+	_, payloads := replayAll(t, re)
+	if len(payloads) != 40 {
+		t.Fatalf("replayed %d records across segments, want 40", len(payloads))
+	}
+	for i, p := range payloads {
+		if !bytes.Equal(p, payload(i)) {
+			t.Fatalf("record %d = %q, want %q", i, p, payload(i))
+		}
+	}
+}
+
+// TestWALCrashConsistency damages a freshly written journal in the ways
+// a crash (or disk corruption) can, and asserts recovery keeps exactly
+// the longest intact prefix — and that a second reopen recovers the
+// same records (truncation is monotone, so recovery is idempotent).
+func TestWALCrashConsistency(t *testing.T) {
+	const total = 12
+	cases := []struct {
+		name string
+		// damage mutates the journal directory after total records were
+		// written and the WAL abandoned; returns how many records must
+		// survive.
+		damage func(t *testing.T, dir string) int
+	}{
+		{
+			// kill -9 mid-write: the final record's frame is cut short.
+			name: "torn tail",
+			damage: func(t *testing.T, dir string) int {
+				seg := onlySegment(t, dir)
+				info, _ := os.Stat(seg)
+				if err := os.Truncate(seg, info.Size()-5); err != nil {
+					t.Fatal(err)
+				}
+				return total - 1
+			},
+		},
+		{
+			// Tear inside the header, not the payload.
+			name: "torn header",
+			damage: func(t *testing.T, dir string) int {
+				seg := onlySegment(t, dir)
+				info, _ := os.Stat(seg)
+				recLen := int64(wal.HeaderBytes + len(payload(0)))
+				if err := os.Truncate(seg, info.Size()-recLen+3); err != nil {
+					t.Fatal(err)
+				}
+				return total - 1
+			},
+		},
+		{
+			// Bit rot in the middle of the file: everything from the
+			// flipped record on is untrusted.
+			name: "bit flip",
+			damage: func(t *testing.T, dir string) int {
+				seg := onlySegment(t, dir)
+				data, err := os.ReadFile(seg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				recLen := wal.HeaderBytes + len(payload(0))
+				victim := 4 // fifth record, flip a payload byte
+				data[victim*recLen+wal.HeaderBytes] ^= 0x40
+				if err := os.WriteFile(seg, data, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return victim
+			},
+		},
+		{
+			// A length prefix smashed into an absurd value must not
+			// allocate or read past the cap.
+			name: "oversized length prefix",
+			damage: func(t *testing.T, dir string) int {
+				seg := onlySegment(t, dir)
+				data, err := os.ReadFile(seg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				recLen := wal.HeaderBytes + len(payload(0))
+				binary.LittleEndian.PutUint32(data[3*recLen:], 0xffffffff)
+				if err := os.WriteFile(seg, data, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return 3
+			},
+		},
+		{
+			// A crash right after openSegmentLocked leaves a zero-byte
+			// segment; it must not confuse recovery or appends.
+			name: "empty segment",
+			damage: func(t *testing.T, dir string) int {
+				if err := os.WriteFile(filepath.Join(dir, wal.SegName(uint64(total+1))), nil, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return total
+			},
+		},
+		{
+			// A crash mid-snapshot leaves a stale temp file; it must be
+			// swept, not parsed.
+			name: "stale tmp",
+			damage: func(t *testing.T, dir string) int {
+				if err := os.WriteFile(filepath.Join(dir, "tmp-123456"), []byte("half a snapshot"), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return total
+			},
+		},
+		{
+			// A deleted early segment breaks the chain: later segments
+			// must be dropped rather than replayed out of order.
+			name: "gap in chain",
+			damage: func(t *testing.T, dir string) int {
+				seg := onlySegment(t, dir)
+				if err := os.Remove(seg); err != nil {
+					t.Fatal(err)
+				}
+				// Fabricate a later segment the chain cannot reach.
+				frame := make([]byte, wal.HeaderBytes+3)
+				binary.LittleEndian.PutUint32(frame[0:4], 3)
+				binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE([]byte("zzz")))
+				copy(frame[wal.HeaderBytes:], "zzz")
+				if err := os.WriteFile(filepath.Join(dir, wal.SegName(uint64(total+5))), frame, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return 0
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			w := mustOpen(t, dir, Options{SyncInterval: -1})
+			appendN(t, w, 0, total)
+			w.Sync()
+			// Crash: the WAL is abandoned, never Closed.
+			want := tc.damage(t, dir)
+
+			re := mustOpen(t, dir, Options{SyncInterval: -1})
+			_, payloads := replayAll(t, re)
+			if len(payloads) != want {
+				t.Fatalf("recovered %d records, want %d", len(payloads), want)
+			}
+			for i, p := range payloads {
+				if !bytes.Equal(p, payload(i)) {
+					t.Fatalf("record %d recovered as %q, want %q", i, p, payload(i))
+				}
+			}
+			if want < total {
+				if st := re.Stats(); st.TruncatedBytes == 0 {
+					t.Error("records were lost but TruncatedBytes is 0")
+				}
+			}
+			// No temp debris survives recovery.
+			if tmp, _ := filepath.Glob(filepath.Join(dir, "tmp-*")); len(tmp) != 0 {
+				t.Errorf("temp files survived reopen: %v", tmp)
+			}
+			// The journal must accept appends again, and a second reopen
+			// must see the same prefix plus the new record — recovery
+			// monotone and idempotent.
+			if _, err := re.Append([]byte("after-crash")); err != nil {
+				t.Fatalf("Append after recovery: %v", err)
+			}
+			re.Close()
+
+			re2 := mustOpen(t, dir, Options{SyncInterval: -1})
+			defer re2.Close()
+			_, payloads2 := replayAll(t, re2)
+			if len(payloads2) != want+1 {
+				t.Fatalf("second reopen recovered %d records, want %d", len(payloads2), want+1)
+			}
+			for i := 0; i < want; i++ {
+				if !bytes.Equal(payloads2[i], payload(i)) {
+					t.Fatalf("second reopen record %d = %q, want %q", i, payloads2[i], payload(i))
+				}
+			}
+			if !bytes.Equal(payloads2[want], []byte("after-crash")) {
+				t.Fatalf("post-recovery append lost: %q", payloads2[want])
+			}
+		})
+	}
+}
+
+// TestWALFailedWriteTruncatesBack injects a write error (and a short
+// write) and asserts the failed append leaves no partial frame behind:
+// the next append lands cleanly and recovery sees a gap-free chain.
+func TestWALFailedWriteTruncatesBack(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		hook func(f *os.File, b []byte) (int, error)
+	}{
+		{"write error after partial data", func(f *os.File, b []byte) (int, error) {
+			f.Write(b[:len(b)/2])
+			return len(b) / 2, fmt.Errorf("injected: disk full")
+		}},
+		{"silent short write", func(f *os.File, b []byte) (int, error) {
+			return f.Write(b[:len(b)-3])
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			w := mustOpen(t, dir, Options{SyncInterval: -1})
+			appendN(t, w, 0, 3)
+
+			w.SetWriteHook(tc.hook)
+			if _, err := w.Append(payload(3)); err == nil {
+				t.Fatal("Append with failing write hook returned nil error")
+			}
+			if w.Failed() {
+				t.Fatal("journal poisoned even though truncate-back succeeded")
+			}
+			w.SetWriteHook((*os.File).Write)
+			// The failed index was not consumed: this lands at index 4.
+			if idx, err := w.Append(payload(3)); err != nil || idx != 4 {
+				t.Fatalf("Append after recovery: index %d err %v, want 4 nil", idx, err)
+			}
+			if st := w.Stats(); st.AppendErrors != 1 || st.Appends != 4 {
+				t.Errorf("stats: %+v, want 1 append error and 4 appends", st)
+			}
+			w.Close()
+
+			re := mustOpen(t, dir, Options{})
+			defer re.Close()
+			_, payloads := replayAll(t, re)
+			if len(payloads) != 4 {
+				t.Fatalf("recovered %d records, want 4", len(payloads))
+			}
+			if st := re.Stats(); st.TruncatedBytes != 0 {
+				t.Errorf("failed write left torn bytes on disk: %+v", st)
+			}
+		})
+	}
+}
+
+func TestWALSnapshotCompactAndResume(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpen(t, dir, Options{})
+	appendN(t, w, 0, 10)
+	if err := w.Compact([]byte("state-after-10")); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.wal")); len(segs) != 0 {
+		t.Fatalf("segments survived compaction: %v", segs)
+	}
+	appendN(t, w, 10, 5)
+	w.Close()
+
+	re := mustOpen(t, dir, Options{})
+	defer re.Close()
+	snap, idx, ok := re.Snapshot()
+	if !ok || idx != 10 || string(snap) != "state-after-10" {
+		t.Fatalf("Snapshot() = %q, %d, %v; want state-after-10, 10, true", snap, idx, ok)
+	}
+	indexes, payloads := replayAll(t, re)
+	if len(payloads) != 5 {
+		t.Fatalf("replayed %d post-snapshot records, want 5", len(payloads))
+	}
+	for i, p := range payloads {
+		if indexes[i] != uint64(11+i) || !bytes.Equal(p, payload(10+i)) {
+			t.Errorf("post-snapshot record %d: index %d payload %q", i, indexes[i], p)
+		}
+	}
+	// The chain keeps its global numbering.
+	if nidx, err := re.Append(payload(15)); err != nil || nidx != 16 {
+		t.Fatalf("Append after compacted reopen: index %d err %v, want 16 nil", nidx, err)
+	}
+}
+
+// TestWALCompactRenameFailure fails the snapshot commit rename and
+// asserts nothing was thrown away: the records are all still
+// recoverable and the old snapshot (none) is still in force.
+func TestWALCompactRenameFailure(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpen(t, dir, Options{SyncInterval: -1})
+	appendN(t, w, 0, 8)
+	w.SetRenameHook(func(_, _ string) error { return fmt.Errorf("injected: crashed before commit") })
+	if err := w.Compact([]byte("doomed")); err == nil {
+		t.Fatal("Compact with failing rename returned nil error")
+	}
+	// Crash: abandon without Close.
+
+	re := mustOpen(t, dir, Options{})
+	defer re.Close()
+	if _, _, ok := re.Snapshot(); ok {
+		t.Fatal("uncommitted snapshot visible after reopen")
+	}
+	_, payloads := replayAll(t, re)
+	if len(payloads) != 8 {
+		t.Fatalf("recovered %d records after failed compaction, want 8", len(payloads))
+	}
+	if tmp, _ := filepath.Glob(filepath.Join(dir, "tmp-*")); len(tmp) != 0 {
+		t.Errorf("temp files survived reopen: %v", tmp)
+	}
+}
+
+// TestWALCrashAfterCompact abandons the WAL right after a successful
+// compaction: reopen must serve the snapshot with nothing to replay.
+func TestWALCrashAfterCompact(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpen(t, dir, Options{})
+	appendN(t, w, 0, 6)
+	if err := w.Compact([]byte("base")); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	// Crash: abandon without Close.
+
+	re := mustOpen(t, dir, Options{})
+	defer re.Close()
+	snap, idx, ok := re.Snapshot()
+	if !ok || idx != 6 || string(snap) != "base" {
+		t.Fatalf("Snapshot() = %q, %d, %v; want base, 6, true", snap, idx, ok)
+	}
+	if indexes, _ := replayAll(t, re); len(indexes) != 0 {
+		t.Fatalf("replayed %d records covered by the snapshot, want 0", len(indexes))
+	}
+	if idx, err := re.Append([]byte("next")); err != nil || idx != 7 {
+		t.Fatalf("Append after compacted crash: index %d err %v, want 7 nil", idx, err)
+	}
+}
+
+func TestWALRejectsOversizedRecord(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpen(t, dir, Options{})
+	defer w.Close()
+	if _, err := w.Append(make([]byte, wal.MaxRecordBytes+1)); err == nil {
+		t.Fatal("Append accepted a record over the size cap")
+	}
+	if _, err := w.Append([]byte("small")); err != nil {
+		t.Fatalf("journal unusable after oversized reject: %v", err)
+	}
+}
+
+func TestWALEmptyDirAndReplayOrder(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpen(t, dir, Options{})
+	defer w.Close()
+	if _, _, ok := w.Snapshot(); ok {
+		t.Error("fresh journal claims a snapshot")
+	}
+	if indexes, _ := replayAll(t, w); len(indexes) != 0 {
+		t.Errorf("fresh journal replayed %d records", len(indexes))
+	}
+	if w.Index() != 0 {
+		t.Errorf("fresh journal Index() = %d, want 0", w.Index())
+	}
+}
+
+// TestWALReplayAbortsOnError pins that a replay callback error stops
+// the walk and surfaces.
+func TestWALReplayAbortsOnError(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpen(t, dir, Options{})
+	appendN(t, w, 0, 5)
+	w.Close()
+
+	re := mustOpen(t, dir, Options{})
+	defer re.Close()
+	n := 0
+	err := re.Replay(func(uint64, []byte) error {
+		n++
+		if n == 3 {
+			return fmt.Errorf("boom")
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("Replay error = %v, want boom", err)
+	}
+	if n != 3 {
+		t.Fatalf("callback ran %d times after aborting error, want 3", n)
+	}
+}

@@ -101,6 +101,11 @@ type SweepStatus struct {
 	// on servers with a tenant registry.
 	Tenant   string `json:"tenant,omitempty"`
 	Priority int    `json:"priority,omitempty"`
+	// Recovered marks a sweep that was resumed from the write-ahead
+	// journal after a server restart (rfserved -wal-dir); absent on
+	// sweeps that ran uninterrupted, so journal-less deployments keep
+	// their exact wire bytes.
+	Recovered bool `json:"recovered,omitempty"`
 }
 
 // SweepList is the body of GET /v1/sweeps.
@@ -196,6 +201,12 @@ type FleetStats struct {
 	Late uint64 `json:"late"`
 	// Expired counts workers deregistered for missing their lease.
 	Expired uint64 `json:"expired"`
+	// Adopted counts live leases handed back to workers that reported
+	// holding a task the coordinator believed was pending — the
+	// crash-resume path (a restarted coordinator re-adopting the fleet's
+	// in-flight work) and the expired-but-alive path. Omitted when zero
+	// so journal-less deployments keep their exact wire bytes.
+	Adopted uint64 `json:"adopted,omitempty"`
 }
 
 // WorkerInfo is one row of GET /v1/workers.

@@ -2,7 +2,7 @@
 # End-to-end smoke test for the rfserved sweep service. CI runs this on
 # every PR; it also runs locally (bash scripts/smoke_e2e.sh).
 #
-# It proves the five service-level guarantees:
+# It proves the six service-level guarantees:
 #   1. The NDJSON stream of a submitted sweep is byte-identical to an
 #      `rfbatch -ndjson` run of the same spec.
 #   2. Resubmitting the spec to the same server performs zero simulations
@@ -16,27 +16,74 @@
 #      gets 429 + Retry-After while another tenant's sweep streams the
 #      same bytes as rfbatch, anonymous callers still work, and /metrics
 #      grows per-tenant rows.
+#   6. Crash recovery: a coordinator SIGKILLed mid-sweep and restarted on
+#      the same -wal-dir resumes the sweep, streams NDJSON byte-identical
+#      to an uninterrupted run, and re-simulates zero completed jobs.
+#
+# Usage: smoke_e2e.sh [phase...]   (default: all phases, in order)
+# CI splits this into a smoke job (1 2 3 4 5) and a recovery job (6).
+# Phases 2 and 3 build on phase 1's sweep and must run with it; phase 6
+# is fully self-contained.
+#
+# On failure, logs and WAL directories are copied to $SMOKE_ARTIFACTS
+# (when set) so CI can upload them.
 #
 # Requires: go, curl, jq.
 set -euo pipefail
+
+phases="${*:-1 2 3 4 5 6}"
+want() { case " $phases " in *" $1 "*) return 0 ;; *) return 1 ;; esac }
+for p in 2 3; do
+  if want "$p" && ! want 1; then
+    echo "smoke: phase $p builds on phase 1's sweep; run them together" >&2
+    exit 2
+  fi
+done
 
 work="$(mktemp -d)"
 bin="$work/bin"
 storedir="$work/store"
 mkdir -p "$bin"
 server_pid=""
-fleet_pids=""
+pids=()
 
+# Every background rfserved is tracked in pids and killed from the EXIT
+# trap — TERM first, then KILL for anything that will not drain — so a
+# failure in any phase can never leak a server that poisons a later
+# phase's ports or outlives the test.
 cleanup() {
-  for pid in $fleet_pids $server_pid; do
-    if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
-      kill "$pid" 2>/dev/null || true
-      wait "$pid" 2>/dev/null || true
-    fi
+  status=$?
+  for pid in ${pids[@]+"${pids[@]}"}; do
+    kill "$pid" 2>/dev/null || true
   done
+  for pid in ${pids[@]+"${pids[@]}"}; do
+    for _ in $(seq 1 20); do
+      kill -0 "$pid" 2>/dev/null || break
+      sleep 0.1
+    done
+    kill -9 "$pid" 2>/dev/null || true
+    wait "$pid" 2>/dev/null || true
+  done
+  if [ "$status" -ne 0 ] && [ -n "${SMOKE_ARTIFACTS:-}" ]; then
+    mkdir -p "$SMOKE_ARTIFACTS"
+    cp "$work"/*.log "$SMOKE_ARTIFACTS"/ 2>/dev/null || true
+    cp "$work"/*.status "$SMOKE_ARTIFACTS"/ 2>/dev/null || true
+    [ -d "$work/wal" ] && cp -r "$work/wal" "$SMOKE_ARTIFACTS/wal" 2>/dev/null || true
+  fi
   rm -rf "$work"
 }
 trap cleanup EXIT
+
+# reap kills and forgets every tracked server; each phase that owns its
+# servers calls it when done so the next phase starts clean.
+reap() {
+  for pid in ${pids[@]+"${pids[@]}"}; do
+    kill "$pid" 2>/dev/null || true
+    wait "$pid" 2>/dev/null || true
+  done
+  pids=()
+  server_pid=""
+}
 
 die() { echo "smoke: FAIL: $*" >&2; exit 1; }
 
@@ -61,6 +108,7 @@ cat > "$work/spec.json" <<'EOF'
   ]
 }
 EOF
+"$bin/rfbatch" -spec "$work/spec.json" -ndjson > "$work/rfbatch.ndjson" 2> "$work/rfbatch.log"
 
 # start_server [extra rfserved flags...]
 start_server() {
@@ -68,6 +116,7 @@ start_server() {
   "$bin/rfserved" -addr 127.0.0.1:0 -addr-file "$work/addr" "$@" \
     2>> "$work/rfserved.log" &
   server_pid=$!
+  pids+=("$server_pid")
   for _ in $(seq 1 100); do
     [ -s "$work/addr" ] && break
     kill -0 "$server_pid" 2>/dev/null || { cat "$work/rfserved.log" >&2; die "rfserved died at startup"; }
@@ -97,105 +146,114 @@ submit() {
   curl -sfS "$base/v1/sweeps/$id" > "$work/$prefix.status"
 }
 
-echo "smoke: starting rfserved (fresh store)"
-start_server -store "$storedir"
+if want 1; then
+  echo "smoke: starting rfserved (fresh store)"
+  start_server -store "$storedir"
 
-echo "smoke: /v1/version must advertise schema 1"
-curl -sfS "$base/v1/version" | jq -e '.schema == 1 and (.module | length) > 0' > /dev/null \
-  || die "/v1/version wrong: $(curl -sfS "$base/v1/version")"
+  echo "smoke: /v1/version must advertise schema 1"
+  curl -sfS "$base/v1/version" | jq -e '.schema == 1 and (.module | length) > 0' > /dev/null \
+    || die "/v1/version wrong: $(curl -sfS "$base/v1/version")"
 
-echo "smoke: 1/5 streamed rows must be byte-identical to rfbatch"
-submit cold
-"$bin/rfbatch" -spec "$work/spec.json" -ndjson > "$work/rfbatch.ndjson" 2> "$work/rfbatch.log"
-if ! cmp -s "$work/cold.ndjson" "$work/rfbatch.ndjson"; then
-  diff -u "$work/rfbatch.ndjson" "$work/cold.ndjson" >&2 || true
-  die "rfserved stream differs from rfbatch output"
+  echo "smoke: 1/6 streamed rows must be byte-identical to rfbatch"
+  submit cold
+  if ! cmp -s "$work/cold.ndjson" "$work/rfbatch.ndjson"; then
+    diff -u "$work/rfbatch.ndjson" "$work/cold.ndjson" >&2 || true
+    die "rfserved stream differs from rfbatch output"
+  fi
+  rows="$(wc -l < "$work/cold.ndjson")"
+  [ "$rows" -eq 6 ] || die "expected 6 result rows, got $rows"
+  echo "smoke:     $rows rows identical"
 fi
-rows="$(wc -l < "$work/cold.ndjson")"
-[ "$rows" -eq 6 ] || die "expected 6 result rows, got $rows"
-echo "smoke:     $rows rows identical"
 
-echo "smoke: 2/5 resubmission must be 100% cache hits"
-submit warm
-jq -e '.state == "done" and .cached == .total and .simulated == 0' \
-  "$work/warm.status" > /dev/null \
-  || die "resubmission was not fully cached: $(cat "$work/warm.status")"
-echo "smoke:     $(jq -r .cached "$work/warm.status")/$(jq -r .total "$work/warm.status") rows from cache"
-
-echo "smoke: 3/5 store must survive a server restart"
-stop_server
-start_server -store "$storedir"
-submit restart
-jq -e '.state == "done" and .cached == .total and .simulated == 0' \
-  "$work/restart.status" > /dev/null \
-  || die "restarted server re-simulated: $(cat "$work/restart.status")"
-# Rows after restart match the cold run except for cache provenance.
-if ! cmp -s <(jq -c 'del(.cached)' "$work/cold.ndjson") \
-            <(jq -c 'del(.cached)' "$work/restart.ndjson"); then
-  die "rows changed across server restart"
+if want 2; then
+  echo "smoke: 2/6 resubmission must be 100% cache hits"
+  submit warm
+  jq -e '.state == "done" and .cached == .total and .simulated == 0' \
+    "$work/warm.status" > /dev/null \
+    || die "resubmission was not fully cached: $(cat "$work/warm.status")"
+  echo "smoke:     $(jq -r .cached "$work/warm.status")/$(jq -r .total "$work/warm.status") rows from cache"
 fi
-echo "smoke:     restarted server served $(jq -r .cached "$work/restart.status") rows from the disk store"
 
-curl -sfS "$base/metrics" | grep -q '^rfserved_cache_hits_total' \
-  || die "metrics endpoint missing cache counters"
-stop_server
+if want 3; then
+  echo "smoke: 3/6 store must survive a server restart"
+  stop_server
+  start_server -store "$storedir"
+  submit restart
+  jq -e '.state == "done" and .cached == .total and .simulated == 0' \
+    "$work/restart.status" > /dev/null \
+    || die "restarted server re-simulated: $(cat "$work/restart.status")"
+  # Rows after restart match the cold run except for cache provenance.
+  if ! cmp -s <(jq -c 'del(.cached)' "$work/cold.ndjson") \
+              <(jq -c 'del(.cached)' "$work/restart.ndjson"); then
+    die "rows changed across server restart"
+  fi
+  echo "smoke:     restarted server served $(jq -r .cached "$work/restart.status") rows from the disk store"
 
-echo "smoke: 4/5 coordinator + 2 workers must match single-node byte-for-byte"
-# A fresh store: every job must travel through the fleet, nothing is
-# pre-warmed.
-fleetstore="$work/fleetstore"
-rm -f "$work/coord-addr"
-"$bin/rfserved" -dispatch -lease-ms 3000 -addr 127.0.0.1:0 \
-  -addr-file "$work/coord-addr" -store "$fleetstore" \
-  2>> "$work/coordinator.log" &
-fleet_pids="$fleet_pids $!"
-for _ in $(seq 1 100); do
-  [ -s "$work/coord-addr" ] && break
-  sleep 0.1
-done
-[ -s "$work/coord-addr" ] || { cat "$work/coordinator.log" >&2; die "coordinator never wrote its address file"; }
-coord="http://$(cat "$work/coord-addr")"
-
-for i in 1 2; do
-  "$bin/rfserved" -join "$coord" -worker-name "worker$i" -addr 127.0.0.1:0 \
-    2>> "$work/worker$i.log" &
-  fleet_pids="$fleet_pids $!"
-done
-for _ in $(seq 1 100); do
-  n="$(curl -sfS "$coord/v1/workers" | jq '.workers | length')" || n=0
-  [ "$n" = 2 ] && break
-  sleep 0.1
-done
-[ "$n" = 2 ] || die "expected 2 registered workers, got $n"
-echo "smoke:     2 workers registered"
-
-# Drive the fleet through rfbatch -remote: submit, stream, reassemble.
-"$bin/rfbatch" -spec "$work/spec.json" -remote "$coord" -ndjson \
-  > "$work/fleet.ndjson" 2>> "$work/rfbatch-remote.log" \
-  || { cat "$work/rfbatch-remote.log" >&2; die "rfbatch -remote failed"; }
-if ! cmp -s "$work/fleet.ndjson" "$work/rfbatch.ndjson"; then
-  diff -u "$work/rfbatch.ndjson" "$work/fleet.ndjson" >&2 || true
-  die "fleet stream differs from single-node rfbatch output"
+  curl -sfS "$base/metrics" | grep -q '^rfserved_cache_hits_total' \
+    || die "metrics endpoint missing cache counters"
 fi
-echo "smoke:     $(wc -l < "$work/fleet.ndjson") rows identical to single-node"
+reap
 
-metrics="$(curl -sfS "$coord/metrics")"
-echo "$metrics" | grep -q '^rfserved_dispatch_fallbacks_total 0$' \
-  || die "coordinator fell back to local simulation: $(echo "$metrics" | grep dispatch)"
-echo "$metrics" | grep -q '^rfserved_dispatch_results_total 6$' \
-  || die "fleet did not execute all 6 jobs remotely: $(echo "$metrics" | grep dispatch)"
+if want 4; then
+  echo "smoke: 4/6 coordinator + 2 workers must match single-node byte-for-byte"
+  # A fresh store: every job must travel through the fleet, nothing is
+  # pre-warmed.
+  fleetstore="$work/fleetstore"
+  rm -f "$work/coord-addr"
+  "$bin/rfserved" -dispatch -lease-ms 3000 -addr 127.0.0.1:0 \
+    -addr-file "$work/coord-addr" -store "$fleetstore" \
+    2>> "$work/coordinator.log" &
+  pids+=("$!")
+  for _ in $(seq 1 100); do
+    [ -s "$work/coord-addr" ] && break
+    sleep 0.1
+  done
+  [ -s "$work/coord-addr" ] || { cat "$work/coordinator.log" >&2; die "coordinator never wrote its address file"; }
+  coord="http://$(cat "$work/coord-addr")"
 
-base="$coord"
-submit fleetwarm
-jq -e '.state == "done" and .cached == .total and .simulated == 0' \
-  "$work/fleetwarm.status" > /dev/null \
-  || die "fleet resubmission was not fully cached: $(cat "$work/fleetwarm.status")"
-echo "smoke:     resubmission served $(jq -r .cached "$work/fleetwarm.status")/$(jq -r .total "$work/fleetwarm.status") rows from the fleet-wide cache"
+  for i in 1 2; do
+    "$bin/rfserved" -join "$coord" -worker-name "worker$i" -addr 127.0.0.1:0 \
+      2>> "$work/worker$i.log" &
+    pids+=("$!")
+  done
+  for _ in $(seq 1 100); do
+    n="$(curl -sfS "$coord/v1/workers" | jq '.workers | length')" || n=0
+    [ "$n" = 2 ] && break
+    sleep 0.1
+  done
+  [ "$n" = 2 ] || die "expected 2 registered workers, got $n"
+  echo "smoke:     2 workers registered"
 
-echo "smoke: 5/5 multi-tenant admission: keys, quotas, isolation"
-# "small" can hold at most 3 unresolved jobs — the 6-job smoke spec is
-# rejected deterministically. "big" has a rotated key pair and no limits.
-cat > "$work/tenants.json" <<'EOF'
+  # Drive the fleet through rfbatch -remote: submit, stream, reassemble.
+  "$bin/rfbatch" -spec "$work/spec.json" -remote "$coord" -ndjson \
+    > "$work/fleet.ndjson" 2>> "$work/rfbatch-remote.log" \
+    || { cat "$work/rfbatch-remote.log" >&2; die "rfbatch -remote failed"; }
+  if ! cmp -s "$work/fleet.ndjson" "$work/rfbatch.ndjson"; then
+    diff -u "$work/rfbatch.ndjson" "$work/fleet.ndjson" >&2 || true
+    die "fleet stream differs from single-node rfbatch output"
+  fi
+  echo "smoke:     $(wc -l < "$work/fleet.ndjson") rows identical to single-node"
+
+  metrics="$(curl -sfS "$coord/metrics")"
+  echo "$metrics" | grep -q '^rfserved_dispatch_fallbacks_total 0$' \
+    || die "coordinator fell back to local simulation: $(echo "$metrics" | grep dispatch)"
+  echo "$metrics" | grep -q '^rfserved_dispatch_results_total 6$' \
+    || die "fleet did not execute all 6 jobs remotely: $(echo "$metrics" | grep dispatch)"
+
+  base="$coord"
+  submit fleetwarm
+  jq -e '.state == "done" and .cached == .total and .simulated == 0' \
+    "$work/fleetwarm.status" > /dev/null \
+    || die "fleet resubmission was not fully cached: $(cat "$work/fleetwarm.status")"
+  echo "smoke:     resubmission served $(jq -r .cached "$work/fleetwarm.status")/$(jq -r .total "$work/fleetwarm.status") rows from the fleet-wide cache"
+fi
+reap
+
+if want 5; then
+  echo "smoke: 5/6 multi-tenant admission: keys, quotas, isolation"
+  # "small" can hold at most 3 unresolved jobs — the 6-job smoke spec is
+  # rejected deterministically. "big" has a rotated key pair and no limits.
+  cat > "$work/tenants.json" <<'EOF'
 {
   "tenants": [
     {"name": "small", "key": "smoke-key-small", "max_queued": 3},
@@ -203,57 +261,180 @@ cat > "$work/tenants.json" <<'EOF'
   ]
 }
 EOF
-# A fresh store so big's stream is computed, not replayed from cache.
-start_server -store "$work/tenantstore" -tenants "$work/tenants.json"
+  # A fresh store so big's stream is computed, not replayed from cache.
+  start_server -store "$work/tenantstore" -tenants "$work/tenants.json"
 
-code="$(curl -sS -o "$work/t401.json" -w '%{http_code}' \
-  -H 'X-RF-API-Key: bogus' -X POST --data-binary @"$work/spec.json" "$base/v1/sweeps")"
-[ "$code" = 401 ] || die "wrong key got $code, want 401: $(cat "$work/t401.json")"
-jq -e '.code == "unauthenticated"' "$work/t401.json" > /dev/null \
-  || die "401 body missing code: $(cat "$work/t401.json")"
-echo "smoke:     wrong key rejected with 401 unauthenticated"
+  code="$(curl -sS -o "$work/t401.json" -w '%{http_code}' \
+    -H 'X-RF-API-Key: bogus' -X POST --data-binary @"$work/spec.json" "$base/v1/sweeps")"
+  [ "$code" = 401 ] || die "wrong key got $code, want 401: $(cat "$work/t401.json")"
+  jq -e '.code == "unauthenticated"' "$work/t401.json" > /dev/null \
+    || die "401 body missing code: $(cat "$work/t401.json")"
+  echo "smoke:     wrong key rejected with 401 unauthenticated"
 
-code="$(curl -sS -o "$work/t429.json" -D "$work/t429.headers" -w '%{http_code}' \
-  -H 'X-RF-API-Key: smoke-key-small' -X POST --data-binary @"$work/spec.json" "$base/v1/sweeps")"
-[ "$code" = 429 ] || die "over-quota tenant got $code, want 429: $(cat "$work/t429.json")"
-jq -e '.code == "over_quota" and .retry_after_ms > 0' "$work/t429.json" > /dev/null \
-  || die "429 body wrong: $(cat "$work/t429.json")"
-grep -qi '^retry-after:' "$work/t429.headers" \
-  || die "429 response missing Retry-After header"
-echo "smoke:     over-quota tenant rejected with 429 over_quota + Retry-After"
+  code="$(curl -sS -o "$work/t429.json" -D "$work/t429.headers" -w '%{http_code}' \
+    -H 'X-RF-API-Key: smoke-key-small' -X POST --data-binary @"$work/spec.json" "$base/v1/sweeps")"
+  [ "$code" = 429 ] || die "over-quota tenant got $code, want 429: $(cat "$work/t429.json")"
+  jq -e '.code == "over_quota" and .retry_after_ms > 0' "$work/t429.json" > /dev/null \
+    || die "429 body wrong: $(cat "$work/t429.json")"
+  grep -qi '^retry-after:' "$work/t429.headers" \
+    || die "429 response missing Retry-After header"
+  echo "smoke:     over-quota tenant rejected with 429 over_quota + Retry-After"
 
-# The other tenant is unaffected: its sweep runs and streams the same
-# bytes rfbatch produces (the rotated key must authenticate too).
-ack="$(curl -sfS -H 'X-RF-API-Key: smoke-key-big-rotated' \
-  -X POST --data-binary @"$work/spec.json" "$base/v1/sweeps")"
-echo "$ack" | jq -e '.tenant == "big"' > /dev/null \
-  || die "ack not stamped with tenant: $ack"
-curl -sfS -H 'X-RF-API-Key: smoke-key-big' \
-  "$base$(echo "$ack" | jq -r .results_url)" > "$work/tenant.ndjson"
-if ! cmp -s "$work/tenant.ndjson" "$work/rfbatch.ndjson"; then
-  diff -u "$work/rfbatch.ndjson" "$work/tenant.ndjson" >&2 || true
-  die "tenanted stream differs from rfbatch output"
+  # The other tenant is unaffected: its sweep runs and streams the same
+  # bytes rfbatch produces (the rotated key must authenticate too).
+  ack="$(curl -sfS -H 'X-RF-API-Key: smoke-key-big-rotated' \
+    -X POST --data-binary @"$work/spec.json" "$base/v1/sweeps")"
+  echo "$ack" | jq -e '.tenant == "big"' > /dev/null \
+    || die "ack not stamped with tenant: $ack"
+  curl -sfS -H 'X-RF-API-Key: smoke-key-big' \
+    "$base$(echo "$ack" | jq -r .results_url)" > "$work/tenant.ndjson"
+  if ! cmp -s "$work/tenant.ndjson" "$work/rfbatch.ndjson"; then
+    diff -u "$work/rfbatch.ndjson" "$work/tenant.ndjson" >&2 || true
+    die "tenanted stream differs from rfbatch output"
+  fi
+  echo "smoke:     big's $(wc -l < "$work/tenant.ndjson") rows identical to rfbatch"
+
+  # Result streams are owner-only: another tenant guessing the sequential
+  # sweep ID must get a 403, never big's rows.
+  code="$(curl -sS -o /dev/null -w '%{http_code}' -H 'X-RF-API-Key: smoke-key-small' \
+    "$base$(echo "$ack" | jq -r .results_url)")"
+  [ "$code" = 403 ] || die "cross-tenant stream got $code, want 403"
+  echo "smoke:     cross-tenant result stream rejected with 403"
+
+  # Keyless callers still work (they are the anonymous tenant).
+  curl -sfS -X POST --data-binary @"$work/spec.json" "$base/v1/sweeps" \
+    | jq -e '.tenant == "anonymous"' > /dev/null \
+    || die "anonymous submission failed against tenanted server"
+
+  metrics="$(curl -sfS "$base/metrics")"
+  echo "$metrics" | grep -q '^rfserved_tenant_active_sweeps{tenant="big"}' \
+    || die "metrics missing per-tenant rows: $(echo "$metrics" | grep tenant || true)"
+  echo "$metrics" | grep -q '^rfserved_tenant_rejected_total{tenant="small"} 1$' \
+    || die "small's rejection not counted: $(echo "$metrics" | grep tenant || true)"
+  echo "smoke:     per-tenant metrics rows present"
 fi
-echo "smoke:     big's $(wc -l < "$work/tenant.ndjson") rows identical to rfbatch"
+reap
 
-# Result streams are owner-only: another tenant guessing the sequential
-# sweep ID must get a 403, never big's rows.
-code="$(curl -sS -o /dev/null -w '%{http_code}' -H 'X-RF-API-Key: smoke-key-small' \
-  "$base$(echo "$ack" | jq -r .results_url)")"
-[ "$code" = 403 ] || die "cross-tenant stream got $code, want 403"
-echo "smoke:     cross-tenant result stream rejected with 403"
+if want 6; then
+  echo "smoke: 6/6 coordinator SIGKILLed mid-sweep must resume from its WAL"
+  # Serialized jobs big enough that the kill reliably lands mid-sweep,
+  # small enough to keep the phase quick.
+  cat > "$work/recovery-spec.json" <<'EOF'
+{
+  "name": "recovery",
+  "instructions": 5000000,
+  "parallelism": 1,
+  "benchmarks": ["compress", "swim"],
+  "architectures": [
+    {"kind": "1cycle"},
+    {"kind": "rfcache", "caching": ["nonbypass", "ready"]}
+  ]
+}
+EOF
+  # The uninterrupted reference stream.
+  "$bin/rfbatch" -spec "$work/recovery-spec.json" -ndjson \
+    > "$work/recovery-ref.ndjson" 2>> "$work/rfbatch.log"
 
-# Keyless callers still work (they are the anonymous tenant).
-curl -sfS -X POST --data-binary @"$work/spec.json" "$base/v1/sweeps" \
-  | jq -e '.tenant == "anonymous"' > /dev/null \
-  || die "anonymous submission failed against tenanted server"
+  waldir="$work/wal"
+  recstore="$work/recstore"
+  rm -f "$work/rec-addr"
+  "$bin/rfserved" -dispatch -lease-ms 2000 -addr 127.0.0.1:0 \
+    -addr-file "$work/rec-addr" -store "$recstore" -wal-dir "$waldir" \
+    2>> "$work/rec-coordinator.log" &
+  coord_pid=$!
+  pids+=("$coord_pid")
+  for _ in $(seq 1 100); do
+    [ -s "$work/rec-addr" ] && break
+    sleep 0.1
+  done
+  [ -s "$work/rec-addr" ] || { cat "$work/rec-coordinator.log" >&2; die "recovery coordinator never wrote its address file"; }
+  coordaddr="$(cat "$work/rec-addr")"
+  coord="http://$coordaddr"
 
-metrics="$(curl -sfS "$base/metrics")"
-echo "$metrics" | grep -q '^rfserved_tenant_active_sweeps{tenant="big"}' \
-  || die "metrics missing per-tenant rows: $(echo "$metrics" | grep tenant || true)"
-echo "$metrics" | grep -q '^rfserved_tenant_rejected_total{tenant="small"} 1$' \
-  || die "small's rejection not counted: $(echo "$metrics" | grep tenant || true)"
-echo "smoke:     per-tenant metrics rows present"
-stop_server
+  # One worker that outlives the coordinator: after the kill it keeps
+  # retrying, re-registers against the restarted process, and re-adopts
+  # the lease it was holding when the coordinator died.
+  rm -f "$work/rec-worker-addr"
+  "$bin/rfserved" -join "$coord" -worker-name recworker -addr 127.0.0.1:0 \
+    -addr-file "$work/rec-worker-addr" 2>> "$work/rec-worker.log" &
+  pids+=("$!")
+  for _ in $(seq 1 100); do
+    n="$(curl -sfS "$coord/v1/workers" | jq '.workers | length')" || n=0
+    [ "$n" = 1 ] && break
+    sleep 0.1
+  done
+  [ "$n" = 1 ] || die "recovery worker never registered"
+
+  ack="$(curl -sfS -X POST --data-binary @"$work/recovery-spec.json" "$coord/v1/sweeps")"
+  id="$(echo "$ack" | jq -r .id)"
+  results="$(echo "$ack" | jq -r .results_url)"
+  [ -n "$id" ] && [ "$id" != null ] || die "recovery submission not acknowledged: $ack"
+
+  # Kill -9 once roughly half the rows have landed.
+  completed=0
+  for _ in $(seq 1 2000); do
+    st="$(curl -sfS "$coord/v1/sweeps/$id" || echo '{}')"
+    completed="$(echo "$st" | jq -r '.completed // 0')"
+    completed="${completed:-0}"
+    state="$(echo "$st" | jq -r '.state // empty')"
+    [ "$state" = done ] && die "sweep finished before the kill; raise the spec's instruction budget"
+    [ "$completed" -ge 3 ] && break
+    sleep 0.05
+  done
+  [ "$completed" -ge 3 ] || die "sweep never reached 3 completed rows: $st"
+  kill -9 "$coord_pid"
+  wait "$coord_pid" 2>/dev/null || true
+  echo "smoke:     coordinator killed at $completed/6 rows"
+
+  # Restart on the same address (the worker's coordinator URL) and the
+  # same WAL dir; the journal replays and the sweep resumes.
+  "$bin/rfserved" -dispatch -lease-ms 2000 -addr "$coordaddr" \
+    -store "$recstore" -wal-dir "$waldir" \
+    2>> "$work/rec-coordinator.log" &
+  pids+=("$!")
+  for _ in $(seq 1 100); do
+    curl -sfS "$coord/healthz" > /dev/null 2>&1 && break
+    sleep 0.1
+  done
+  curl -sfS "$coord/healthz" > /dev/null || { cat "$work/rec-coordinator.log" >&2; die "restarted coordinator never came up"; }
+
+  for _ in $(seq 1 2400); do
+    state="$(curl -sfS "$coord/v1/sweeps/$id" | jq -r '.state // empty')" || state=""
+    [ "$state" = done ] && break
+    sleep 0.05
+  done
+  [ "$state" = done ] || die "resumed sweep never finished: $(curl -sfS "$coord/v1/sweeps/$id")"
+  curl -sfS "$coord/v1/sweeps/$id" > "$work/recovered.status"
+  jq -e '.recovered == true' "$work/recovered.status" > /dev/null \
+    || die "resumed status missing the recovered marker: $(cat "$work/recovered.status")"
+
+  curl -sfS "$coord$results" > "$work/recovered.ndjson"
+  if ! cmp -s "$work/recovered.ndjson" "$work/recovery-ref.ndjson"; then
+    diff -u "$work/recovery-ref.ndjson" "$work/recovered.ndjson" >&2 || true
+    die "resumed stream differs from the uninterrupted reference"
+  fi
+  echo "smoke:     resumed stream byte-identical ($(wc -l < "$work/recovered.ndjson") rows)"
+
+  # Zero duplicate simulation: across both coordinator lives, the worker
+  # executed each of the 6 jobs exactly once (its own cache absorbs any
+  # redundant re-lease, so a duplicated *simulation* is what this counts).
+  worker="http://$(cat "$work/rec-worker-addr")"
+  sims="$(curl -sfS "$worker/metrics" | grep '^rfserved_simulations_started_total ' | awk '{print $2}')"
+  [ "$sims" = 6 ] || die "worker simulated $sims jobs across the crash, want exactly 6"
+  echo "smoke:     worker simulated 6/6 jobs exactly once across the crash"
+
+  # The resumed journal was replayed, and resubmitting the spec is 100%
+  # warm cache hits (nothing was lost, nothing re-simulated).
+  curl -sfS "$coord/metrics" | grep -q '^rfserved_wal_replayed_records{journal="server"} [1-9]' \
+    || die "restarted coordinator reports no replayed journal records"
+  base="$coord"
+  cp "$work/recovery-spec.json" "$work/spec.json"
+  submit recwarm
+  jq -e '.state == "done" and .cached == .total and .simulated == 0' \
+    "$work/recwarm.status" > /dev/null \
+    || die "post-recovery resubmission was not fully cached: $(cat "$work/recwarm.status")"
+  echo "smoke:     post-recovery resubmission fully cached"
+fi
+reap
 
 echo "smoke: PASS"
