@@ -6,7 +6,8 @@
 //
 //	rfbatch -spec sweep.json [-n instructions] [-p parallelism]
 //	        [-lockstep width] [-csv | -ndjson]
-//	        [-store dir [-store-max-mb n]] [-v]
+//	        [-store dir [-store-max-mb n]]
+//	        [-store-remote url,... [-store-shards n]] [-v]
 //	rfbatch -spec sweep.json -remote http://coordinator:8090 [-api-key k]
 //	        [-csv | -ndjson]
 //	rfbatch -example
@@ -37,7 +38,13 @@
 // content-addressed store (internal/store), so repeating a batch — or
 // re-running it after a crash, or sharing the store directory with an
 // rfserved instance — resumes from previous results instead of
-// recomputing them.
+// recomputing them. -store-remote adds remote tiers on top: rfserved
+// object APIs (comma-separated) consulted with hedged fetches on a
+// local miss, so a batch run can reuse a fleet's accumulated results
+// without submitting to it. Remote hits are promoted into the local
+// store (when -store is set) and local writes replicate back
+// asynchronously; -store-shards rendezvous-routes keys across several
+// remotes. RF_API_KEY (or -api-key) authenticates the tier requests.
 //
 // An example specification (print it with -example):
 //
@@ -66,6 +73,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"repro/internal/store"
 	"repro/rf"
@@ -95,6 +103,8 @@ func main() {
 		asNDJSON   = flag.Bool("ndjson", false, "emit NDJSON rows (the rfserved stream format) instead of JSON")
 		storeDir   = flag.String("store", "", "persist results in this disk-backed store directory; repeated runs resume instead of recomputing")
 		storeMaxMB = flag.Int64("store-max-mb", 0, "store size cap in MiB before LRU eviction (0: unlimited)")
+		storeRem   = flag.String("store-remote", "", "comma-separated rfserved base URLs consulted as remote store tiers on a local miss (hedged)")
+		storeShard = flag.Int("store-shards", 0, "rendezvous-route keys across several -store-remote tiers with this shard-bucket count (0: flag order)")
 		remote     = flag.String("remote", "", "submit the sweep to this rfserved URL instead of simulating locally")
 		apiKey     = flag.String("api-key", "", "tenant API key for -remote against a multi-tenant server (also: RF_API_KEY)")
 		verbose    = flag.Bool("v", false, "print per-run progress to stderr")
@@ -119,8 +129,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rfbatch: -csv and -ndjson are mutually exclusive")
 		os.Exit(2)
 	}
-	if *remote != "" && *storeDir != "" {
-		fmt.Fprintln(os.Stderr, "rfbatch: -store does not apply to -remote runs (the service owns the store)")
+	if *remote != "" && (*storeDir != "" || *storeRem != "") {
+		fmt.Fprintln(os.Stderr, "rfbatch: -store/-store-remote do not apply to -remote runs (the service owns the store)")
 		os.Exit(2)
 	}
 
@@ -163,6 +173,31 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+	}
+	var tiers *store.Tiers
+	if *storeRem != "" {
+		key := *apiKey
+		if key == "" {
+			key = os.Getenv("RF_API_KEY")
+		}
+		ropts := store.RemoteOptions{APIKey: key}
+		var remotes []store.Tier
+		for _, u := range strings.Split(*storeRem, ",") {
+			u = strings.TrimSpace(u)
+			if u == "" {
+				continue
+			}
+			remotes = append(remotes, store.Tier{
+				Name: "remote", ID: u,
+				Backend:      store.NewRemote(u, ropts),
+				WriteThrough: true,
+			})
+		}
+		tiers = store.NewTiers(store.TierConfig{
+			Local: st, Remotes: remotes, Shards: *storeShard,
+		})
+		cfg.Cache = rf.Tiered(rf.NewMemCache(), tiers)
+	} else if st != nil {
 		cfg.Cache = rf.Tiered(rf.NewMemCache(), st)
 	}
 	if *verbose {
@@ -193,6 +228,12 @@ func main() {
 	stc := rep.Cache
 	fmt.Fprintf(os.Stderr, "rfbatch: %d runs (%d simulated, %d cache hits)\n",
 		len(rep.Rows), stc.Misses, stc.Hits)
+	if tiers != nil {
+		ts := tiers.Stats()
+		fmt.Fprintf(os.Stderr, "rfbatch: remote tiers: %d hits, %d hedged (%d wins), %d errors\n",
+			ts.Hits["remote"], ts.HedgedFetches, ts.HedgeWins, ts.RemoteErrors)
+		tiers.Close()
+	}
 	if st != nil {
 		entries, bytes := st.Len(), st.SizeBytes()
 		if err := st.Close(); err != nil {

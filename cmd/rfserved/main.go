@@ -7,7 +7,8 @@
 // Usage:
 //
 //	rfserved [-addr host:port] [-addr-file path] [-store dir]
-//	         [-store-max-mb n] [-workers n] [-sweep-workers n] [-max-jobs n]
+//	         [-store-max-mb n] [-store-remote url,...] [-store-shards n]
+//	         [-workers n] [-sweep-workers n] [-max-jobs n]
 //	         [-lockstep width] [-wal-dir dir]
 //	         [-tenants file] [-default-rate r] [-default-burst n]
 //	         [-max-active-per-tenant n] [-max-queued-per-tenant n]
@@ -41,6 +42,17 @@
 // -default-* flag) the server behaves exactly as before. See the
 // README's "Authentication & quotas" section for the file format.
 //
+// The store itself can span the fleet. -store-remote adds remote HTTP
+// tiers (other rfserved object APIs, comma-separated) consulted on a
+// local miss with hedged fetches; hits are promoted into the local
+// store and local writes replicate back asynchronously. On a
+// coordinator, -store-shards N turns on the fleet-peer tier: workers
+// advertise which key-shard buckets their stores hold on every poll,
+// and the coordinator reads misses straight from the owning peers
+// before simulating. Either way the NDJSON stream stays byte-identical
+// to a single-node run. Outbound tier requests authenticate with
+// RF_API_KEY when set.
+//
 // A coordinator shards each sweep's jobs across registered workers
 // (lease-based pull protocol, see internal/dispatch), merges rows back
 // in job order, and falls back to simulating locally when a job exhausts
@@ -73,6 +85,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -91,6 +104,8 @@ func main() {
 		addrFile   = flag.String("addr-file", "", "write the bound address to this file once listening (for scripts)")
 		storeDir   = flag.String("store", "", "disk-backed result store directory (empty: in-memory only)")
 		storeMaxMB = flag.Int64("store-max-mb", 0, "store size cap in MiB before LRU eviction (0: unlimited)")
+		storeRem   = flag.String("store-remote", "", "comma-separated rfserved base URLs consulted as remote store tiers on a local miss (hedged; RF_API_KEY authenticates)")
+		storeShard = flag.Int("store-shards", 0, "coordinator mode: shard-bucket count for the fleet-peer store tier (0: off); also rendezvous-routes -store-remote tiers per key")
 		workers    = flag.Int("workers", 0, "global concurrent-simulation bound (0: GOMAXPROCS; coordinator mode: 256)")
 		sweepWork  = flag.Int("sweep-workers", 0, "per-sweep worker budget cap (0: same as -workers)")
 		maxJobs    = flag.Int("max-jobs", 0, "reject specs expanding to more jobs than this (0: 100000)")
@@ -177,6 +192,7 @@ func main() {
 			JobTimeout:  *jobTimeout,
 			Journal:     coordWAL,
 			Logf:        logf,
+			StoreShards: *storeShard,
 		})
 	}
 	var st *store.Store
@@ -186,10 +202,45 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		// A small in-memory front keeps hot keys off the disk path.
-		cfg.Cache = sweep.Tiered(sweep.NewMemCache(), st)
 		fmt.Fprintf(os.Stderr, "rfserved: store %s (%d entries, %.1f MiB)\n",
 			*storeDir, st.Len(), float64(st.SizeBytes())/(1<<20))
+		// The object API serves this node's store to the rest of the
+		// fleet, behind the same tenant auth as sweep submissions.
+		cfg.Objects = st.Backend()
+	}
+	// Assemble the tiered store: local first, then the fleet-peer tier
+	// (coordinator mode with sharding on), then any explicit remotes.
+	ropts := store.RemoteOptions{APIKey: os.Getenv("RF_API_KEY")}
+	var remoteTiers []store.Tier
+	if cfg.Dispatcher != nil && *storeShard > 0 {
+		remoteTiers = append(remoteTiers, store.Tier{
+			Name: "peer", Backend: store.NewPeer(cfg.Dispatcher, ropts),
+		})
+	}
+	for _, u := range strings.Split(*storeRem, ",") {
+		u = strings.TrimSpace(u)
+		if u == "" {
+			continue
+		}
+		remoteTiers = append(remoteTiers, store.Tier{
+			Name: "remote", ID: u,
+			Backend:      store.NewRemote(u, ropts),
+			WriteThrough: true,
+		})
+		fmt.Fprintf(os.Stderr, "rfserved: remote store tier %s\n", u)
+	}
+	var tiers *store.Tiers
+	switch {
+	case len(remoteTiers) > 0:
+		tiers = store.NewTiers(store.TierConfig{
+			Local: st, Remotes: remoteTiers, Shards: *storeShard,
+		})
+		// A small in-memory front keeps hot keys off the fetch path.
+		cfg.Cache = sweep.Tiered(sweep.NewMemCache(), tiers)
+		cfg.TierStats = tiers.Stats
+	case st != nil:
+		// A small in-memory front keeps hot keys off the disk path.
+		cfg.Cache = sweep.Tiered(sweep.NewMemCache(), st)
 	}
 
 	srv := server.New(cfg)
@@ -222,18 +273,27 @@ func main() {
 			name, _ = os.Hostname()
 		}
 		fmt.Fprintf(os.Stderr, "rfserved: joining fleet at %s\n", *join)
+		wcfg := dispatch.WorkerConfig{
+			Coordinator:   *join,
+			Name:          name,
+			Capacity:      *capacity,
+			Simulate:      srv.RunJob,
+			SimulateBatch: srv.RunJobs,
+			Lockstep:      *lockstep,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "rfserved: "+format+"\n", args...)
+			},
+		}
+		if st != nil {
+			// Advertise this node's object API so a sharding coordinator
+			// can read misses straight from our store. The bound address
+			// must be reachable from the coordinator (bind a routable
+			// -addr, not a wildcard, when the fleet spans hosts).
+			wcfg.ObjectsURL = "http://" + bound
+			wcfg.Inventory = st.ShardInventory
+		}
 		go func() {
-			workerDone <- dispatch.RunWorker(ctx, dispatch.WorkerConfig{
-				Coordinator:   *join,
-				Name:          name,
-				Capacity:      *capacity,
-				Simulate:      srv.RunJob,
-				SimulateBatch: srv.RunJobs,
-				Lockstep:      *lockstep,
-				Logf: func(format string, args ...any) {
-					fmt.Fprintf(os.Stderr, "rfserved: "+format+"\n", args...)
-				},
-			})
+			workerDone <- dispatch.RunWorker(ctx, wcfg)
 		}()
 	}
 
@@ -260,6 +320,10 @@ func main() {
 	}
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		fmt.Fprintf(os.Stderr, "rfserved: http shutdown: %v\n", err)
+	}
+	// Tier replication drains before the local store flushes its index.
+	if tiers != nil {
+		tiers.Close()
 	}
 	if st != nil {
 		if err := st.Close(); err != nil {

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/sim"
+	"repro/internal/store"
 	"repro/internal/sweep"
 	"repro/internal/tenant"
 	"repro/internal/wal"
@@ -62,6 +63,11 @@ type Config struct {
 	// Logf reports recovery problems (a corrupt journal falls back to a
 	// cold start); nil discards.
 	Logf func(format string, args ...any)
+	// StoreShards turns on fleet store routing: workers advertise which
+	// of this many shard buckets their local store holds, and Peers
+	// resolves a key's advertisers for the peer store tier. 0 (the
+	// default) disables advertisement and Peers returns nothing.
+	StoreShards int
 }
 
 // taskState is the lifecycle of one distributed job.
@@ -104,6 +110,14 @@ type worker struct {
 	expires    time.Time
 	inflight   map[uint64]*task
 	completed  uint64
+	// objectsURL and shards are the worker's store advertisement: where
+	// it serves GET /v1/objects/{key} and which shard buckets (modulo
+	// Config.StoreShards) hold at least one object. Soft state — never
+	// journaled, rebuilt from the advertisement on every poll, so a
+	// restarted coordinator relearns the fleet's inventory as workers
+	// re-register.
+	objectsURL string
+	shards     map[int]bool
 }
 
 // Stats is a point-in-time snapshot of fleet activity; it is the wire
@@ -502,6 +516,7 @@ func (c *Coordinator) HandleRegister(w http.ResponseWriter, r *http.Request) {
 		registered: now,
 		expires:    now.Add(c.cfg.LeaseTTL),
 		inflight:   make(map[uint64]*task),
+		objectsURL: req.ObjectsURL,
 	}
 	if wk.name == "" {
 		wk.name = wk.id
@@ -510,10 +525,11 @@ func (c *Coordinator) HandleRegister(w http.ResponseWriter, r *http.Request) {
 	c.journalLocked(rec{Op: opWreg, Seq: c.nextWorker})
 	c.mu.Unlock()
 	writeJSON(w, http.StatusOK, api.RegisterResponse{
-		ID:       wk.id,
-		Capacity: wk.capacity,
-		LeaseMS:  c.cfg.LeaseTTL.Milliseconds(),
-		PollMS:   c.cfg.PollWait.Milliseconds(),
+		ID:          wk.id,
+		Capacity:    wk.capacity,
+		LeaseMS:     c.cfg.LeaseTTL.Milliseconds(),
+		PollMS:      c.cfg.PollWait.Milliseconds(),
+		StoreShards: c.cfg.StoreShards,
 	})
 }
 
@@ -539,6 +555,19 @@ func (c *Coordinator) HandlePoll(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	wk.expires = time.Now().Add(c.cfg.LeaseTTL)
+	// Each advertisement is the worker's complete current inventory, so
+	// replace rather than merge; an empty list is indistinguishable from
+	// "no store" on the wire and leaves the last advertisement standing
+	// (inventories effectively only grow between polls).
+	if c.cfg.StoreShards > 0 && len(req.StoreShards) > 0 {
+		shards := make(map[int]bool, len(req.StoreShards))
+		for _, sh := range req.StoreShards {
+			if sh >= 0 && sh < c.cfg.StoreShards {
+				shards[sh] = true
+			}
+		}
+		wk.shards = shards
+	}
 	for _, res := range req.Results {
 		c.deliverLocked(wk, res)
 	}
@@ -688,9 +717,49 @@ func (c *Coordinator) HandleWorkers(w http.ResponseWriter, _ *http.Request) {
 			Inflight: len(wk.inflight), Completed: wk.completed,
 			Registered:   wk.registered.UTC().Format(time.RFC3339Nano),
 			LeaseExpires: wk.expires.UTC().Format(time.RFC3339Nano),
+			ObjectsURL:   wk.objectsURL,
+			StoreShards:  len(wk.shards),
 		})
 	}
 	c.mu.Unlock()
 	sort.Slice(out.Workers, func(i, j int) bool { return out.Workers[i].ID < out.Workers[j].ID })
 	writeJSON(w, http.StatusOK, out)
+}
+
+// Peers implements store.PeerSource: the object-API base URLs of live
+// workers advertising the key's shard, rendezvous-ranked by worker name
+// so every key has a consistent primary owner even as workers expire
+// and re-register (names are stable across re-registration; ids are
+// not). Workers that advertise no store, or not this shard, are
+// excluded — but all advertisers of the shard are candidates, because a
+// worker stores what it simulated, not only what ranking assigns it.
+func (c *Coordinator) Peers(k sweep.Key) []string {
+	if c.cfg.StoreShards <= 0 {
+		return nil
+	}
+	shard := store.ShardOf(k, c.cfg.StoreShards)
+	type cand struct {
+		url   string
+		score uint64
+	}
+	c.mu.Lock()
+	var cands []cand
+	for _, wk := range c.workers {
+		if wk.objectsURL == "" || !wk.shards[shard] {
+			continue
+		}
+		cands = append(cands, cand{url: wk.objectsURL, score: store.RendezvousScore(wk.name, shard)})
+	}
+	c.mu.Unlock()
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].score != cands[j].score {
+			return cands[i].score > cands[j].score
+		}
+		return cands[i].url < cands[j].url
+	})
+	urls := make([]string, len(cands))
+	for i, cd := range cands {
+		urls[i] = cd.url
+	}
+	return urls
 }

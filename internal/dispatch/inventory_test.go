@@ -1,0 +1,156 @@
+// Store-inventory protocol tests: workers advertise which shard
+// buckets their stores hold on every poll, and the coordinator routes
+// peer-store reads by consistent shard ownership.
+package dispatch_test
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/dispatch"
+	"repro/internal/server"
+	"repro/internal/store"
+	"repro/internal/sweep"
+	"repro/rf/api"
+	"repro/rf/client"
+)
+
+// shardKey synthesizes a valid store key landing in shard sh (mod n,
+// for n ≤ 2^32): the first 8 hex chars are the shard number itself.
+func shardKey(sh int) sweep.Key {
+	return sweep.Key(fmt.Sprintf("%08x%056x", sh, sh))
+}
+
+func TestInventoryRoutesPeers(t *testing.T) {
+	const shards = 8
+	coord := dispatch.NewCoordinator(dispatch.Config{
+		LeaseTTL:    time.Minute,
+		StoreShards: shards,
+	})
+	srv := server.New(server.Config{Dispatcher: coord})
+	ts := httptest.NewServer(srv)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		ts.Close()
+	}()
+	ctx := context.Background()
+	cl := client.New(ts.URL)
+
+	register := func(name, objectsURL string) string {
+		t.Helper()
+		resp, err := cl.RegisterWorker(ctx, api.RegisterRequest{
+			Name: name, Capacity: 1, ObjectsURL: objectsURL,
+		})
+		if err != nil {
+			t.Fatalf("register %s: %v", name, err)
+		}
+		if resp.StoreShards != shards {
+			t.Fatalf("register %s announced %d shards, want %d", name, resp.StoreShards, shards)
+		}
+		return resp.ID
+	}
+	advertise := func(id string, inv []int) {
+		t.Helper()
+		if _, err := cl.PollWorker(ctx, id, api.PollRequest{StoreShards: inv}); err != nil {
+			t.Fatalf("poll %s: %v", id, err)
+		}
+	}
+
+	alice := register("alice", "http://a:1")
+	bob := register("bob", "http://b:1")
+	carol := register("carol", "") // no object API: never a peer candidate
+
+	advertise(alice, []int{0, 1})
+	advertise(bob, []int{1})
+	advertise(carol, []int{0, 1})
+
+	// Shard 0: alice alone (carol advertises it but serves no objects).
+	if got := coord.Peers(shardKey(0)); len(got) != 1 || got[0] != "http://a:1" {
+		t.Fatalf("Peers(shard 0) = %v, want [http://a:1]", got)
+	}
+	// Shard 1: both alice and bob, ranked by rendezvous over the worker
+	// name — the same order ShardOf/RendezvousScore dictate.
+	got := coord.Peers(shardKey(1))
+	if len(got) != 2 {
+		t.Fatalf("Peers(shard 1) = %v, want two candidates", got)
+	}
+	wantFirst := "http://a:1"
+	if store.RendezvousScore("bob", 1) > store.RendezvousScore("alice", 1) {
+		wantFirst = "http://b:1"
+	}
+	if got[0] != wantFirst {
+		t.Fatalf("Peers(shard 1) = %v, want %s ranked first", got, wantFirst)
+	}
+	// Shard nobody advertises: no candidates.
+	if got := coord.Peers(shardKey(5)); len(got) != 0 {
+		t.Fatalf("Peers(shard 5) = %v, want none", got)
+	}
+
+	// Each advertisement replaces the previous one: alice dropping
+	// shard 0 (eviction) removes her from that shard's candidates.
+	advertise(alice, []int{1})
+	if got := coord.Peers(shardKey(0)); len(got) != 0 {
+		t.Fatalf("Peers(shard 0) after re-advertisement = %v, want none", got)
+	}
+
+	// Out-of-range buckets are dropped, in-range ones kept.
+	advertise(bob, []int{-1, 3, shards, 99})
+	if got := coord.Peers(shardKey(3)); len(got) != 1 || got[0] != "http://b:1" {
+		t.Fatalf("Peers(shard 3) = %v, want [http://b:1]", got)
+	}
+
+	// The fleet listing reports the advertised bucket counts.
+	ws, err := cl.Workers(ctx)
+	if err != nil {
+		t.Fatalf("workers: %v", err)
+	}
+	counts := map[string]int{}
+	urls := map[string]string{}
+	for _, w := range ws.Workers {
+		counts[w.Name] = w.StoreShards
+		urls[w.Name] = w.ObjectsURL
+	}
+	// alice last advertised [1]; bob's [-1,3,8,99] kept only bucket 3.
+	if counts["alice"] != 1 || counts["bob"] != 1 || counts["carol"] != 2 {
+		t.Fatalf("advertised bucket counts = %v, want alice:1 bob:1 carol:2", counts)
+	}
+	if urls["alice"] != "http://a:1" || urls["carol"] != "" {
+		t.Fatalf("objects URLs = %v", urls)
+	}
+}
+
+// TestPeersOffWithoutSharding: a coordinator without -store-shards
+// never routes peer reads, whatever workers advertise.
+func TestPeersOffWithoutSharding(t *testing.T) {
+	coord := dispatch.NewCoordinator(dispatch.Config{LeaseTTL: time.Minute})
+	srv := server.New(server.Config{Dispatcher: coord})
+	ts := httptest.NewServer(srv)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		ts.Close()
+	}()
+	ctx := context.Background()
+	cl := client.New(ts.URL)
+	resp, err := cl.RegisterWorker(ctx, api.RegisterRequest{
+		Name: "alice", Capacity: 1, ObjectsURL: "http://a:1",
+	})
+	if err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	if resp.StoreShards != 0 {
+		t.Fatalf("coordinator announced %d shards, want 0", resp.StoreShards)
+	}
+	if _, err := cl.PollWorker(ctx, resp.ID, api.PollRequest{StoreShards: []int{0, 1}}); err != nil {
+		t.Fatalf("poll: %v", err)
+	}
+	if got := coord.Peers(shardKey(0)); got != nil {
+		t.Fatalf("Peers = %v, want nil with sharding off", got)
+	}
+}

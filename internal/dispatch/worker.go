@@ -49,6 +49,15 @@ type WorkerConfig struct {
 	// into a batch: 0 uses sweep.DefaultLockstepWidth, 1 disables grouping
 	// (every job simulates alone).
 	Lockstep int
+	// ObjectsURL advertises where this worker serves its local result
+	// store over GET /v1/objects/{key} (its own rfserved base URL).
+	// Empty means no advertisement: the coordinator will not route peer
+	// store reads here.
+	ObjectsURL string
+	// Inventory reports the shard buckets (modulo the coordinator's
+	// announced shard count) the worker's store currently holds, sent
+	// with every poll. Nil means no advertisement.
+	Inventory func(shards int) []int
 	// Client issues the HTTP requests; nil uses a default client. Polls
 	// are long-held by design, so no fixed Client.Timeout is set —
 	// instead every exchange carries a per-request deadline derived from
@@ -244,6 +253,9 @@ type workerState struct {
 	capacity int // granted by the coordinator; ≤ cfg.Capacity
 	leaseMS  int64
 	pollMS   int64
+	// shards is the coordinator's announced store shard-bucket count;
+	// 0 disables inventory advertisement.
+	shards int
 }
 
 // requestBound is the per-request deadline: a healthy exchange finishes
@@ -283,12 +295,14 @@ func (w *workerState) register(ctx context.Context) error {
 	for {
 		rctx, cancel := context.WithTimeout(ctx, w.requestBound())
 		resp, err := w.cl.RegisterWorker(rctx,
-			api.RegisterRequest{Name: w.cfg.Name, Capacity: w.cfg.Capacity})
+			api.RegisterRequest{Name: w.cfg.Name, Capacity: w.cfg.Capacity,
+				ObjectsURL: w.cfg.ObjectsURL})
 		cancel()
 		if err == nil {
 			w.id = resp.ID
 			w.leaseMS = resp.LeaseMS
 			w.pollMS = resp.PollMS
+			w.shards = resp.StoreShards
 			w.capacity = resp.Capacity
 			if w.capacity <= 0 || w.capacity > w.cfg.Capacity {
 				w.capacity = w.cfg.Capacity
@@ -319,6 +333,11 @@ func (w *workerState) register(ctx context.Context) error {
 func (w *workerState) poll(ctx context.Context, results []api.TaskResult, holding []uint64, want int) (*api.PollResponse, error) {
 	rctx, cancel := context.WithTimeout(ctx, w.requestBound())
 	defer cancel()
-	return w.cl.PollWorker(rctx, w.id,
-		api.PollRequest{Results: results, Holding: holding, Want: want})
+	req := api.PollRequest{Results: results, Holding: holding, Want: want}
+	// Advertise the store inventory when the coordinator shards the
+	// fleet store: each poll carries the complete current bucket set.
+	if w.shards > 0 && w.cfg.Inventory != nil && w.cfg.ObjectsURL != "" {
+		req.StoreShards = w.cfg.Inventory(w.shards)
+	}
+	return w.cl.PollWorker(rctx, w.id, req)
 }

@@ -49,6 +49,7 @@ import (
 
 	"repro/internal/dispatch"
 	"repro/internal/sim"
+	"repro/internal/store"
 	"repro/internal/sweep"
 	"repro/internal/tenant"
 	"repro/internal/wal"
@@ -95,6 +96,15 @@ type Config struct {
 	// locally — coordinator mode leases individual jobs to workers, which
 	// regroup them fleet-side.
 	Lockstep int
+	// Objects, when non-nil, serves this node's result store over
+	// GET/PUT /v1/objects/{key} — the remote tier other nodes read
+	// through and the fleet-peer tier workers advertise. Usually the
+	// local disk store's Backend(). Requests are tenant-authenticated
+	// and rate-limited exactly like submissions.
+	Objects store.Backend
+	// TierStats, when non-nil, reports the tiered store's read-through
+	// counters on /metrics (rfserved_store_*). Usually Tiers.Stats.
+	TierStats func() store.TierStats
 	// Tenants, when non-nil, turns on multi-tenant admission control:
 	// API-key authentication, per-tenant rate limits and quotas, and
 	// fair-share scheduling. Nil serves every caller as the unlimited
@@ -313,6 +323,11 @@ func New(cfg Config) *Server {
 		mux.HandleFunc("POST /v1/workers/register", d.HandleRegister)
 		mux.HandleFunc("POST /v1/workers/{id}/poll", d.HandlePoll)
 		mux.HandleFunc("GET /v1/workers", d.HandleWorkers)
+	}
+	if cfg.Objects != nil {
+		// GET patterns also serve HEAD (existence probes without the body).
+		mux.HandleFunc("GET /v1/objects/{key}", s.handleObjectGet)
+		mux.HandleFunc("PUT /v1/objects/{key}", s.handleObjectPut)
 	}
 	s.mux = mux
 	if cfg.Journal != nil {
@@ -792,6 +807,72 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, run.status(s.cfg.Tenants != nil))
 }
 
+// handleObjectGet serves GET /v1/objects/{key}: one stored result from
+// this node's local store tier, for remote read-through and fleet-peer
+// fetches. A miss is a clean 404 — the reading tier falls through, it
+// does not error. Requests are authenticated and rate-limited like
+// submissions, so a tenanted deployment's quotas also govern its
+// object traffic.
+func (s *Server) handleObjectGet(w http.ResponseWriter, r *http.Request) {
+	tn := s.authTenant(w, r)
+	if tn == nil {
+		return
+	}
+	if !s.rateLimit(w, tn) {
+		return
+	}
+	k := sweep.Key(r.PathValue("key"))
+	if !store.ValidKey(k) {
+		writeError(w, http.StatusBadRequest, "rfserved: malformed object key %q", k)
+		return
+	}
+	res, ok, err := s.cfg.Objects.Get(r.Context(), k)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "rfserved: object read failed: %v", err)
+		return
+	}
+	if !ok {
+		writeError(w, http.StatusNotFound, "rfserved: no object %.8s", string(k))
+		return
+	}
+	writeJSON(w, http.StatusOK, api.Object{Key: string(k), Result: res})
+}
+
+// handleObjectPut serves PUT /v1/objects/{key}: write-behind
+// replication from another node's store. The body's embedded key must
+// match the path — the same entry-embeds-key check the disk format
+// enforces — so a misrouted or corrupt upload is rejected, never
+// stored under a wrong name.
+func (s *Server) handleObjectPut(w http.ResponseWriter, r *http.Request) {
+	tn := s.authTenant(w, r)
+	if tn == nil {
+		return
+	}
+	if !s.rateLimit(w, tn) {
+		return
+	}
+	k := sweep.Key(r.PathValue("key"))
+	if !store.ValidKey(k) {
+		writeError(w, http.StatusBadRequest, "rfserved: malformed object key %q", k)
+		return
+	}
+	var obj api.Object
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)).Decode(&obj); err != nil {
+		writeError(w, http.StatusBadRequest, "rfserved: bad object body: %v", err)
+		return
+	}
+	if obj.Key != string(k) {
+		writeError(w, http.StatusBadRequest,
+			"rfserved: object body key %.8s does not match path key %.8s", obj.Key, string(k))
+		return
+	}
+	if err := s.cfg.Objects.Put(r.Context(), k, obj.Result); err != nil {
+		writeError(w, http.StatusInternalServerError, "rfserved: object write failed: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+}
+
 // handleResults streams the sweep's rows as NDJSON in job order,
 // emitting each row as soon as it (and every row before it) resolves.
 // The stream ends when the sweep finishes or is canceled, or when the
@@ -933,6 +1014,30 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		m("rfserved_dispatch_fallbacks_total", ds.Fallbacks, "tasks simulated locally after exhausting remote attempts")
 		m("rfserved_dispatch_workers_expired_total", ds.Expired, "workers deregistered for missing their lease")
 		m("rfserved_dispatch_tasks_adopted_total", ds.Adopted, "in-flight leases re-adopted after a coordinator restart")
+	}
+
+	// Local store occupancy plus tiered read-through activity; absent on
+	// servers without a store / tiered cache, keeping their exposition
+	// bytes unchanged.
+	if s.cfg.Objects != nil {
+		m("rfserved_store_objects", s.cfg.Objects.Len(), "objects resident in the local store tier")
+		m("rfserved_store_bytes", s.cfg.Objects.SizeBytes(), "bytes resident in the local store tier")
+	}
+	if s.cfg.TierStats != nil {
+		ts := s.cfg.TierStats()
+		tiers := make([]string, 0, len(ts.Hits))
+		for name := range ts.Hits {
+			tiers = append(tiers, name)
+		}
+		sort.Strings(tiers)
+		fmt.Fprintf(w, "# HELP rfserved_store_tier_hits cache hits per store tier\n")
+		for _, name := range tiers {
+			fmt.Fprintf(w, "rfserved_store_tier_hits{tier=%q} %d\n", name, ts.Hits[name])
+		}
+		m("rfserved_store_tier_misses", ts.Misses, "read-throughs that missed every tier and fell back to simulation")
+		m("rfserved_store_hedged_fetches", ts.HedgedFetches, "secondary fetches fired past the hedge latency budget")
+		m("rfserved_store_hedge_wins", ts.HedgeWins, "reads won by a hedged fetch")
+		m("rfserved_store_remote_errors", ts.RemoteErrors, "failed remote store operations (fetch or replicate)")
 	}
 
 	// Journal activity, one labeled row per WAL this process owns (the

@@ -1,5 +1,7 @@
 package store
 
+import "repro/internal/sweep"
+
 // SetRenameHook replaces the rename step that commits a temp file into
 // place, letting crash-consistency tests simulate a writer killed
 // mid-commit. Tests only.
@@ -7,4 +9,13 @@ func (s *Store) SetRenameHook(f func(oldpath, newpath string) error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.rename = f
+}
+
+// SetReadHook installs a callback that runs during Get's disk read,
+// after the membership check releases s.mu and before revalidation
+// reacquires it. The lock-contention regression test uses it as a
+// rendezvous point to prove two Gets can be inside the read at once.
+// Must be set before the store is shared between goroutines. Tests only.
+func (s *Store) SetReadHook(f func(k sweep.Key)) {
+	s.readHook = f
 }

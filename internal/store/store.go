@@ -27,11 +27,14 @@ import (
 	"container/list"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/sim"
 	"repro/internal/sweep"
@@ -44,7 +47,18 @@ type Options struct {
 	// entries are evicted (never the entry just written, so a single
 	// oversized result is retained until a later Put displaces it).
 	MaxBytes int64
+	// FlushInterval debounces index.json persistence: the index is
+	// written this long after it first becomes dirty, and always on
+	// Close. 0 means DefaultFlushInterval; negative flushes only on
+	// Close. Entry files are always durable immediately — a crash
+	// between flushes loses at most LRU ordering, and load() re-adopts
+	// every committed object from the objects directory regardless.
+	FlushInterval time.Duration
 }
+
+// DefaultFlushInterval is the index debounce used when
+// Options.FlushInterval is zero.
+const DefaultFlushInterval = 500 * time.Millisecond
 
 // Stats counts store activity since Open.
 type Stats struct {
@@ -58,6 +72,9 @@ type Stats struct {
 	// IOErrors counts writes that failed; the store degrades to a smaller
 	// cache rather than failing the sweep.
 	IOErrors uint64 `json:"io_errors"`
+	// IndexWrites counts index.json persists. With debounced flushing
+	// this stays far below Puts on a hot sweep.
+	IndexWrites uint64 `json:"index_writes"`
 }
 
 // entry is one resident result.
@@ -76,12 +93,19 @@ type Store struct {
 	// crash-consistency tests swap it to cut writers down mid-commit.
 	rename func(oldpath, newpath string) error
 
-	mu      sync.Mutex
-	entries map[sweep.Key]*list.Element
-	lru     *list.List // front = most recently used
-	total   int64
-	stats   Stats
-	dirty   bool // index order changed since last persist
+	// readHook, when non-nil, runs during Get's disk read with s.mu
+	// released. Tests use it to prove concurrent hits overlap.
+	readHook func(sweep.Key)
+
+	mu           sync.Mutex
+	entries      map[sweep.Key]*list.Element
+	lru          *list.List // front = most recently used
+	total        int64
+	stats        Stats
+	dirty        bool // index order changed since last persist
+	flushPending bool // an index flush timer is armed
+	closed       bool
+	flush        time.Duration // resolved Options.FlushInterval
 }
 
 // indexFile is the on-disk schema of index.json.
@@ -112,6 +136,10 @@ func Open(dir string, opts Options) (*Store, error) {
 		rename:  os.Rename,
 		entries: make(map[sweep.Key]*list.Element),
 		lru:     list.New(),
+		flush:   opts.FlushInterval,
+	}
+	if s.flush == 0 {
+		s.flush = DefaultFlushInterval
 	}
 	if err := os.MkdirAll(s.objects, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
@@ -216,6 +244,11 @@ func keyOfFilename(name string) (sweep.Key, bool) {
 	return sweep.Key(base), validKey(sweep.Key(base))
 }
 
+// ValidKey reports whether k is a well-formed store key — lowercase hex
+// SHA-256, the only shape the store turns into filenames and the object
+// API accepts in URL paths.
+func ValidKey(k sweep.Key) bool { return validKey(k) }
+
 // validKey reports whether k is a lowercase hex SHA-256 — the only keys
 // the store will turn into filenames.
 func validKey(k sweep.Key) bool {
@@ -264,25 +297,59 @@ func (s *Store) drop(k sweep.Key) {
 
 // Get returns the stored result for a key. A corrupt entry counts as a
 // miss and is deleted.
+//
+// The disk read happens with s.mu released: the lock only guards the
+// membership check before and the revalidation after, so concurrent
+// warm-sweep hits overlap on file I/O instead of serializing. Entry
+// files are immutable once renamed into place (Put never rewrites an
+// existing key), which makes the unlocked read safe; the only racing
+// mutation is removal, handled by re-checking membership afterwards.
 func (s *Store) Get(k sweep.Key) (sim.Result, bool) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	el, ok := s.entries[k]
-	if !ok {
+	if _, ok := s.entries[k]; !ok {
 		s.stats.Misses++
+		s.mu.Unlock()
 		return sim.Result{}, false
+	}
+	s.mu.Unlock()
+
+	if s.readHook != nil {
+		s.readHook(k)
 	}
 	res, err := s.read(k)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, present := s.entries[k]
 	if err != nil {
-		s.drop(k)
-		s.stats.Corrupt++
+		// Only a still-indexed entry is corruption; if a concurrent
+		// eviction removed the entry (and its file) mid-read, this is
+		// an ordinary miss.
+		if present {
+			s.drop(k)
+			s.stats.Corrupt++
+		}
 		s.stats.Misses++
 		return sim.Result{}, false
 	}
-	s.lru.MoveToFront(el)
-	s.dirty = true
+	if present {
+		s.lru.MoveToFront(el)
+		s.dirty = true
+		s.scheduleFlushLocked()
+	}
+	// The read succeeded against an immutable entry file, so the result
+	// is valid even if the entry was evicted while we read it.
 	s.stats.Hits++
 	return res, true
+}
+
+// Has reports whether a key is resident, without touching LRU order,
+// stats, or the disk.
+func (s *Store) Has(k sweep.Key) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.entries[k]
+	return ok
 }
 
 // Put stores a result under its key, atomically (write to a temporary
@@ -299,6 +366,7 @@ func (s *Store) Put(k sweep.Key, res sim.Result) {
 	if el, ok := s.entries[k]; ok {
 		s.lru.MoveToFront(el)
 		s.dirty = true
+		s.scheduleFlushLocked()
 		return
 	}
 	data, err := json.Marshal(entryFile{Key: string(k), Result: res})
@@ -315,6 +383,33 @@ func (s *Store) Put(k sweep.Key, res sim.Result) {
 	s.total += int64(len(data))
 	s.stats.Puts++
 	s.evictLocked(k)
+	// The entry file above is already durable; the index is only LRU
+	// order, so its persistence is debounced instead of rewritten per
+	// insert (which re-marshaled the full index — O(n²) bytes over an
+	// n-job sweep). A crash before the flush recovers every committed
+	// object through load()'s rebuild-from-objects path.
+	s.dirty = true
+	s.scheduleFlushLocked()
+}
+
+// scheduleFlushLocked arms a one-shot index flush FlushInterval from
+// now, unless one is already pending or the debounce is disabled.
+func (s *Store) scheduleFlushLocked() {
+	if s.flushPending || s.closed || s.flush < 0 {
+		return
+	}
+	s.flushPending = true
+	time.AfterFunc(s.flush, s.flushIndex)
+}
+
+// flushIndex is the timer callback behind scheduleFlushLocked.
+func (s *Store) flushIndex() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.flushPending = false
+	if s.closed || !s.dirty {
+		return
+	}
 	s.persistLocked()
 }
 
@@ -385,17 +480,19 @@ func (s *Store) persistLocked() {
 		s.stats.IOErrors++
 		return
 	}
+	s.stats.IndexWrites++
 	s.dirty = false
 }
 
-// Close persists the index (Get-side LRU touches are buffered in memory
-// between Puts). The store must not be used after Close.
+// Close flushes a dirty index and disarms the debounce timer. The store
+// must not be used after Close.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.dirty {
 		s.persistLocked()
 	}
+	s.closed = true // a pending flushIndex becomes a no-op
 	if s.stats.IOErrors > 0 {
 		return fmt.Errorf("store: %d write errors (see Stats)", s.stats.IOErrors)
 	}
@@ -421,4 +518,68 @@ func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.stats
+}
+
+// ShardOf maps a key to one of n shard buckets by its leading 32 bits.
+// Every node in a fleet computes the same mapping, so shard ids are a
+// compact, stable inventory language: workers advertise the buckets
+// they hold and the coordinator routes misses to advertisers.
+func ShardOf(k sweep.Key, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	pfx := string(k)
+	if len(pfx) > 8 {
+		pfx = pfx[:8]
+	}
+	v, err := strconv.ParseUint(pfx, 16, 64)
+	if err != nil {
+		// Not a hex key (never the case for real job keys): degrade to
+		// a stable bucket rather than failing.
+		v = uint64(len(k))
+	}
+	return int(v % uint64(n))
+}
+
+// RendezvousScore ranks a candidate owner of a shard for highest-
+// random-weight (rendezvous) hashing: among candidates, the highest
+// score owns the shard. Ranking by a stable identity (worker name,
+// remote URL) keeps ownership consistent across restarts and
+// re-registrations, so every node routes a given key the same way.
+func RendezvousScore(id string, shard int) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	h.Write([]byte{'|'})
+	h.Write([]byte(strconv.Itoa(shard)))
+	v := h.Sum64()
+	// FNV-1a diffuses trailing bytes poorly — inputs differing only in
+	// the shard suffix keep nearly identical high bits, which would let
+	// one identity win every shard. A fmix64-style finalizer restores
+	// the avalanche.
+	v ^= v >> 33
+	v *= 0xff51afd7ed558ccd
+	v ^= v >> 33
+	v *= 0xc4ceb9fe1a85ec53
+	v ^= v >> 33
+	return v
+}
+
+// ShardInventory returns the sorted shard buckets (out of n) that hold
+// at least one resident entry.
+func (s *Store) ShardInventory(n int) []int {
+	if n <= 0 {
+		return nil
+	}
+	s.mu.Lock()
+	held := make(map[int]bool)
+	for k := range s.entries {
+		held[ShardOf(k, n)] = true
+	}
+	s.mu.Unlock()
+	out := make([]int, 0, len(held))
+	for sh := range held {
+		out = append(out, sh)
+	}
+	sort.Ints(out)
+	return out
 }

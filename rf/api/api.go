@@ -121,6 +121,16 @@ type VersionInfo struct {
 	Module string `json:"module"`
 }
 
+// Object is the wire document of GET/PUT /v1/objects/{key}: one stored
+// sweep result with its content key embedded. The embedded key mirrors
+// the on-disk entry format — a reader verifies it against the key it
+// asked for, so a truncated, foreign, or misrouted document degrades to
+// a miss instead of serving a wrong result.
+type Object struct {
+	Key    string     `json:"key"`
+	Result sim.Result `json:"result"`
+}
+
 // RegisterRequest is the body of POST /v1/workers/register.
 type RegisterRequest struct {
 	// Name labels the worker in listings (defaults to its id).
@@ -129,6 +139,10 @@ type RegisterRequest struct {
 	// hold leases on at once. Clamped to [1, the coordinator's
 	// MaxCapacity].
 	Capacity int `json:"capacity"`
+	// ObjectsURL, when set, is the base URL where this worker serves its
+	// local result store over GET /v1/objects/{key}. The coordinator
+	// routes store misses to advertising workers by shard ownership.
+	ObjectsURL string `json:"objects_url,omitempty"`
 }
 
 // RegisterResponse acknowledges a registration.
@@ -142,6 +156,11 @@ type RegisterResponse struct {
 	LeaseMS int64 `json:"lease_ms"`
 	// PollMS is how long an idle poll may be held open server-side.
 	PollMS int64 `json:"poll_ms"`
+	// StoreShards announces the coordinator's shard-bucket count for
+	// store inventory. Workers advertise the shards their local store
+	// holds (PollRequest.StoreShards) in this modulus; 0 means the
+	// fleet-peer store tier is off.
+	StoreShards int `json:"store_shards,omitempty"`
 }
 
 // TaskResult reports one finished job inside a poll request.
@@ -170,6 +189,12 @@ type PollRequest struct {
 	// worker's continued polling keeps renewing the lease.
 	Holding []uint64 `json:"holding,omitempty"`
 	Want    int      `json:"want"`
+	// StoreShards is the full shard inventory of the worker's local
+	// result store, in the modulus announced at registration — the
+	// buckets holding at least one object. Sent complete on every poll
+	// that carries it (the coordinator replaces, not merges), omitted
+	// when the worker has no store or nothing resident yet.
+	StoreShards []int `json:"store_shards,omitempty"`
 }
 
 // PollResponse carries new leases back to the worker.
@@ -219,6 +244,12 @@ type WorkerInfo struct {
 	Registered string `json:"registered"`
 	// LeaseExpires is when the worker is deregistered unless it polls.
 	LeaseExpires string `json:"lease_expires"`
+	// ObjectsURL and StoreShards mirror the worker's store
+	// advertisement: where it serves /v1/objects and how many shard
+	// buckets of its inventory are populated. Omitted when the worker
+	// advertises no store.
+	ObjectsURL  string `json:"objects_url,omitempty"`
+	StoreShards int    `json:"store_shards,omitempty"`
 }
 
 // WorkerList is the body of GET /v1/workers.

@@ -2,7 +2,7 @@
 # End-to-end smoke test for the rfserved sweep service. CI runs this on
 # every PR; it also runs locally (bash scripts/smoke_e2e.sh).
 #
-# It proves the six service-level guarantees:
+# It proves the seven service-level guarantees:
 #   1. The NDJSON stream of a submitted sweep is byte-identical to an
 #      `rfbatch -ndjson` run of the same spec.
 #   2. Resubmitting the spec to the same server performs zero simulations
@@ -19,11 +19,16 @@
 #   6. Crash recovery: a coordinator SIGKILLed mid-sweep and restarted on
 #      the same -wal-dir resumes the sweep, streams NDJSON byte-identical
 #      to an uninterrupted run, and re-simulates zero completed jobs.
+#   7. Sharded fleet store: workers keep results in their own stores and
+#      advertise shard inventory; a fresh, storeless coordinator resolves
+#      a resubmitted sweep 100% from peer-tier reads (zero simulations),
+#      and a new node pointed at a dead peer first (-store-remote) still
+#      completes the sweep byte-identically via hedged failover.
 #
 # Usage: smoke_e2e.sh [phase...]   (default: all phases, in order)
-# CI splits this into a smoke job (1 2 3 4 5) and a recovery job (6).
-# Phases 2 and 3 build on phase 1's sweep and must run with it; phase 6
-# is fully self-contained.
+# CI splits this into a smoke job (1 2 3 4 5 7) and a recovery job (6).
+# Phases 2 and 3 build on phase 1's sweep and must run with it; phases 6
+# and 7 are fully self-contained.
 #
 # On failure, logs and WAL directories are copied to $SMOKE_ARTIFACTS
 # (when set) so CI can upload them.
@@ -31,7 +36,7 @@
 # Requires: go, curl, jq.
 set -euo pipefail
 
-phases="${*:-1 2 3 4 5 6}"
+phases="${*:-1 2 3 4 5 6 7}"
 want() { case " $phases " in *" $1 "*) return 0 ;; *) return 1 ;; esac }
 for p in 2 3; do
   if want "$p" && ! want 1; then
@@ -434,6 +439,141 @@ EOF
     "$work/recwarm.status" > /dev/null \
     || die "post-recovery resubmission was not fully cached: $(cat "$work/recwarm.status")"
   echo "smoke:     post-recovery resubmission fully cached"
+fi
+reap
+
+if want 7; then
+  echo "smoke: 7/7 sharded fleet store: peer-tier reads + hedged dead-peer fallback"
+  # Phase 6 repoints spec.json at the recovery spec; phase 7 is
+  # self-contained, so restore the 6-job smoke spec first.
+  cat > "$work/spec.json" <<'EOF'
+{
+  "name": "smoke",
+  "instructions": 5000,
+  "benchmarks": ["compress", "swim"],
+  "architectures": [
+    {"kind": "1cycle"},
+    {"kind": "rfcache", "caching": ["nonbypass", "ready"]}
+  ]
+}
+EOF
+
+  # Coordinator C1 has NO local store: results live only in the workers'
+  # stores, so every later cache hit must travel the peer tier.
+  rm -f "$work/p7-coord-addr"
+  "$bin/rfserved" -dispatch -lease-ms 3000 -store-shards 16 \
+    -addr 127.0.0.1:0 -addr-file "$work/p7-coord-addr" \
+    2>> "$work/p7-coordinator.log" &
+  p7_coord_pid=$!
+  pids+=("$p7_coord_pid")
+  for _ in $(seq 1 100); do
+    [ -s "$work/p7-coord-addr" ] && break
+    sleep 0.1
+  done
+  [ -s "$work/p7-coord-addr" ] || { cat "$work/p7-coordinator.log" >&2; die "phase-7 coordinator never wrote its address file"; }
+  coordaddr="$(cat "$work/p7-coord-addr")"
+  coord="http://$coordaddr"
+
+  p7_worker_pids=()
+  for i in 1 2; do
+    rm -f "$work/p7-worker$i-addr"
+    "$bin/rfserved" -join "$coord" -worker-name "peerworker$i" \
+      -store "$work/p7-store$i" -addr 127.0.0.1:0 \
+      -addr-file "$work/p7-worker$i-addr" 2>> "$work/p7-worker$i.log" &
+    p7_worker_pids+=("$!")
+    pids+=("$!")
+  done
+  for _ in $(seq 1 100); do
+    n="$(curl -sfS "$coord/v1/workers" | jq '.workers | length')" || n=0
+    [ "$n" = 2 ] && break
+    sleep 0.1
+  done
+  [ "$n" = 2 ] || die "expected 2 registered phase-7 workers, got $n"
+
+  echo "smoke:     cold sweep through the storeless coordinator"
+  "$bin/rfbatch" -spec "$work/spec.json" -remote "$coord" -ndjson \
+    > "$work/p7-cold.ndjson" 2>> "$work/p7-rfbatch.log" \
+    || { cat "$work/p7-rfbatch.log" >&2; die "phase-7 rfbatch -remote failed"; }
+  if ! cmp -s "$work/p7-cold.ndjson" "$work/rfbatch.ndjson"; then
+    diff -u "$work/rfbatch.ndjson" "$work/p7-cold.ndjson" >&2 || true
+    die "phase-7 cold fleet stream differs from single-node rfbatch output"
+  fi
+  curl -sfS "$coord/metrics" | grep -q '^rfserved_dispatch_results_total 6$' \
+    || die "phase-7 fleet did not execute all 6 jobs remotely"
+
+  # Kill the coordinator (only it — the workers keep their stores) and
+  # start a fresh one on the same address. Its memory cache and (absent)
+  # local store know nothing: the resubmitted sweep can only be served
+  # by reading the workers' stores through the peer tier.
+  kill "$p7_coord_pid"
+  wait "$p7_coord_pid" 2>/dev/null || true
+  "$bin/rfserved" -dispatch -lease-ms 3000 -store-shards 16 -addr "$coordaddr" \
+    2>> "$work/p7-coordinator.log" &
+  pids+=("$!")
+  for _ in $(seq 1 100); do
+    curl -sfS "$coord/healthz" > /dev/null 2>&1 && break
+    sleep 0.1
+  done
+  curl -sfS "$coord/healthz" > /dev/null || { cat "$work/p7-coordinator.log" >&2; die "phase-7 restarted coordinator never came up"; }
+
+  # Wait until every worker that actually holds objects has re-registered
+  # and advertised its shard inventory to the new coordinator (a worker
+  # the scheduler happened to starve has nothing to advertise).
+  ready=0
+  for _ in $(seq 1 300); do
+    ready=1
+    wjson="$(curl -sfS "$coord/v1/workers" 2>/dev/null)" || wjson=""
+    [ -n "$wjson" ] || { ready=0; sleep 0.1; continue; }
+    [ "$(echo "$wjson" | jq '.workers | length')" = 2 ] || { ready=0; sleep 0.1; continue; }
+    for i in 1 2; do
+      waddr="http://$(cat "$work/p7-worker$i-addr")"
+      objs="$(curl -sfS "$waddr/metrics" 2>/dev/null | grep '^rfserved_store_objects ' | awk '{print $2}')" || objs=0
+      if [ "${objs:-0}" -gt 0 ]; then
+        adv="$(echo "$wjson" | jq -r --arg n "peerworker$i" \
+          '[.workers[] | select(.name == $n)][0].store_shards // 0')"
+        [ "${adv:-0}" -ge 1 ] || ready=0
+      fi
+    done
+    [ "$ready" = 1 ] && break
+    sleep 0.1
+  done
+  [ "$ready" = 1 ] || die "workers never advertised their store inventory to the new coordinator"
+  echo "smoke:     fresh coordinator sees the fleet inventory"
+
+  base="$coord"
+  submit p7-peer
+  jq -e '.state == "done" and .cached == .total and .simulated == 0' \
+    "$work/p7-peer.status" > /dev/null \
+    || die "peer-tier resubmission was not fully cached: $(cat "$work/p7-peer.status")"
+  if ! cmp -s <(jq -c 'del(.cached)' "$work/p7-cold.ndjson") \
+              <(jq -c 'del(.cached)' "$work/p7-peer.ndjson"); then
+    die "peer-tier rows differ from the cold run"
+  fi
+  curl -sfS "$coord/metrics" | grep -q '^rfserved_store_tier_hits{tier="peer"} 6$' \
+    || die "coordinator did not serve all 6 rows from the peer tier: $(curl -sfS "$coord/metrics" | grep store_tier || true)"
+  echo "smoke:     resubmission served 6/6 rows from worker stores (0 simulations)"
+
+  # Dead-peer fallback: a brand-new node lists the soon-to-die worker 2
+  # FIRST in its remote tiers, then worker 1. Reads hit the dead URL,
+  # fail over, and the sweep still completes byte-identically.
+  w1addr="$(cat "$work/p7-worker1-addr")"
+  w2addr="$(cat "$work/p7-worker2-addr")"
+  kill "${p7_worker_pids[1]}"
+  wait "${p7_worker_pids[1]}" 2>/dev/null || true
+  echo "smoke:     worker 2 killed; new node must hedge around http://$w2addr"
+  start_server -store "$work/p7-nodeb-store" \
+    -store-remote "http://$w2addr,http://$w1addr"
+  submit p7-hedged
+  jq -e '.state == "done" and (.cached + .simulated) == .total' \
+    "$work/p7-hedged.status" > /dev/null \
+    || die "hedged-fallback sweep did not complete: $(cat "$work/p7-hedged.status")"
+  if ! cmp -s <(jq -c 'del(.cached)' "$work/p7-cold.ndjson") \
+              <(jq -c 'del(.cached)' "$work/p7-hedged.ndjson"); then
+    die "hedged-fallback rows differ from the cold run"
+  fi
+  errors="$(curl -sfS "$base/metrics" | grep '^rfserved_store_remote_errors ' | awk '{print $2}')"
+  [ "${errors:-0}" -ge 1 ] || die "dead remote tier produced no counted errors"
+  echo "smoke:     sweep completed around the dead peer ($(jq -r .cached "$work/p7-hedged.status") remote hits, $(jq -r .simulated "$work/p7-hedged.status") resimulated, $errors tier errors)"
 fi
 reap
 
