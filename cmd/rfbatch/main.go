@@ -10,6 +10,10 @@
 //	        [-store-remote url,... [-store-shards n]] [-v]
 //	rfbatch -spec sweep.json -remote http://coordinator:8090 [-api-key k]
 //	        [-csv | -ndjson]
+//	rfbatch -query q.json -remote http://coordinator:8090 [-sweep id]
+//	        [-csv | -table]
+//	rfbatch -query q.json -from rows.ndjson -spec sweep.json [-sweep id]
+//	        [-csv | -table]
 //	rfbatch -example
 //	rfbatch -version
 //
@@ -20,6 +24,17 @@
 // local run emits. Results the coordinator's store already holds cost
 // zero simulations. Against a multi-tenant server, -api-key (or the
 // RF_API_KEY environment variable) authenticates the submission.
+//
+// With -query, rfbatch evaluates a warehouse query document — filtered
+// row pages, grouped aggregates, Pareto frontiers, or per-architecture
+// figure series — instead of running a sweep. Against -remote the
+// server's columnar warehouse answers (GET/POST /v1/query) and no row
+// ever streams; locally the same evaluator runs over a saved NDJSON
+// row stream (-from) re-expanded against its spec. The two paths emit
+// byte-identical documents for the same rows, so a server-side figure
+// can be checked against a local re-aggregation at any time. -table
+// renders a series result as the benchmark × architecture IPC grid of
+// the paper's figures.
 //
 // Jobs that share a workload (benchmark, budget, seed) run in lockstep by
 // default: one trace pass drives up to 16 register file configurations at
@@ -107,6 +122,10 @@ func main() {
 		storeShard = flag.Int("store-shards", 0, "rendezvous-route keys across several -store-remote tiers with this shard-bucket count (0: flag order)")
 		remote     = flag.String("remote", "", "submit the sweep to this rfserved URL instead of simulating locally")
 		apiKey     = flag.String("api-key", "", "tenant API key for -remote against a multi-tenant server (also: RF_API_KEY)")
+		queryPath  = flag.String("query", "", "evaluate this warehouse query document instead of running a sweep: server-side with -remote, else locally over -from rows against -spec")
+		fromPath   = flag.String("from", "", "query mode: saved NDJSON row stream (an -ndjson report or rfserved results stream) to aggregate locally")
+		sweepID    = flag.String("sweep", "", "query mode: sweep id — filters the remote warehouse / labels the local rows, so both sides emit identical documents")
+		asTable    = flag.Bool("table", false, "query mode: render the result as a fixed-width figure-style table")
 		verbose    = flag.Bool("v", false, "print per-run progress to stderr")
 		example    = flag.Bool("example", false, "print an example spec and exit")
 		version    = flag.Bool("version", false, "print the module version and API schema version, then exit")
@@ -120,6 +139,28 @@ func main() {
 	if *example {
 		fmt.Print(exampleSpec)
 		return
+	}
+	if *queryPath != "" {
+		if *asNDJSON {
+			fmt.Fprintln(os.Stderr, "rfbatch: -ndjson does not apply to -query (results are documents, not row streams)")
+			os.Exit(2)
+		}
+		if *asCSV && *asTable {
+			fmt.Fprintln(os.Stderr, "rfbatch: -csv and -table are mutually exclusive")
+			os.Exit(2)
+		}
+		key := *apiKey
+		if key == "" {
+			key = os.Getenv("RF_API_KEY")
+		}
+		if err := runQuery(*queryPath, *remote, key, *fromPath, *specPath, *sweepID, *asCSV, *asTable); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *fromPath != "" || *sweepID != "" || *asTable {
+		fmt.Fprintln(os.Stderr, "rfbatch: -from/-sweep/-table apply only to -query mode")
+		os.Exit(2)
 	}
 	if *specPath == "" {
 		fmt.Fprintln(os.Stderr, "rfbatch: -spec is required (see -example)")

@@ -1,0 +1,313 @@
+package main
+
+import (
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+
+	"repro/internal/warehouse"
+	"repro/rf"
+	"repro/rf/api"
+	"repro/rf/client"
+)
+
+// runQuery evaluates a warehouse query document and writes the result
+// document to stdout. With -remote the server evaluates it over its
+// warehouse (/v1/query, cursor pages merged client-side); otherwise the
+// same evaluator runs here, over a saved NDJSON row stream re-expanded
+// against its spec. Both paths produce byte-identical output for the
+// same rows — that equivalence is what makes the server-side answer
+// trustworthy without re-streaming a single row.
+func runQuery(queryPath, remote, apiKey, fromPath, specPath, sweepID string, asCSV, asTable bool) error {
+	doc, err := os.ReadFile(queryPath)
+	if err != nil {
+		return err
+	}
+	q, err := warehouse.ParseQuery(doc)
+	if err != nil {
+		return err
+	}
+	if sweepID != "" {
+		q.Sweep = sweepID
+	}
+
+	var res *api.QueryResult
+	if remote != "" {
+		res, err = queryRemote(remote, apiKey, q)
+	} else {
+		res, err = queryLocal(fromPath, specPath, sweepID, q)
+	}
+	if err != nil {
+		return err
+	}
+
+	switch {
+	case asCSV:
+		return writeQueryCSV(os.Stdout, q, res)
+	case asTable:
+		return writeQueryTable(os.Stdout, res)
+	default:
+		out, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(os.Stdout, "%s\n", out)
+		return err
+	}
+}
+
+// queryRemote evaluates the query on an rfserved warehouse, walking the
+// cursor pages and merging them into one document.
+func queryRemote(base, apiKey string, q *api.Query) (*api.QueryResult, error) {
+	opts := []client.Option{client.WithLogf(func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "rfbatch: "+format+"\n", args...)
+	})}
+	if apiKey != "" {
+		opts = append(opts, client.WithAPIKey(apiKey))
+	}
+	cl := client.New(base, opts...)
+	var merged *api.QueryResult
+	err := cl.QueryPages(context.Background(), q, func(page *api.QueryResult) error {
+		merged = mergeQueryPage(merged, page)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return merged, nil
+}
+
+// queryLocal evaluates the query over a saved NDJSON row stream (-from),
+// re-expanded against its sweep spec so every derived column — family,
+// dimensions, area — is recomputed exactly as the server computes it.
+// The segment is labeled with -sweep so row documents match a remote
+// evaluation of the same sweep byte for byte. Pagination runs the same
+// cursor loop the remote path walks, for the same reason.
+func queryLocal(fromPath, specPath, sweepID string, q *api.Query) (*api.QueryResult, error) {
+	if fromPath == "" || specPath == "" {
+		return nil, fmt.Errorf("local query mode needs -from rows.ndjson and -spec sweep.json (or use -remote)")
+	}
+	sf, err := os.Open(specPath)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := rf.ParseSpec(sf)
+	sf.Close()
+	if err != nil {
+		return nil, err
+	}
+	jobs, err := spec.Jobs()
+	if err != nil {
+		return nil, err
+	}
+	rfile, err := os.Open(fromPath)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := rf.ReadRows(rfile)
+	rfile.Close()
+	if err != nil {
+		return nil, err
+	}
+	seg, err := warehouse.SegmentFromRows(sweepID, spec.Name, jobs, rows)
+	if err != nil {
+		return nil, err
+	}
+
+	var merged *api.QueryResult
+	page := *q
+	for {
+		res, err := warehouse.Eval([]*warehouse.Segment{seg}, &page)
+		if err != nil {
+			return nil, err
+		}
+		merged = mergeQueryPage(merged, res)
+		if res.NextCursor == "" {
+			return merged, nil
+		}
+		page.Cursor = res.NextCursor
+	}
+}
+
+// mergeQueryPage folds one result page into the merged document. Only
+// the rows op paginates, so later pages contribute rows; every page
+// restates the full matched count. The merged document never carries a
+// cursor.
+func mergeQueryPage(merged, page *api.QueryResult) *api.QueryResult {
+	if merged == nil {
+		cp := *page
+		cp.NextCursor = ""
+		return &cp
+	}
+	merged.Rows = append(merged.Rows, page.Rows...)
+	merged.Matched = page.Matched
+	return merged
+}
+
+// fmtF renders a float for CSV without padding or precision loss.
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// writeQueryCSV renders any query result as CSV, one record shape per
+// op.
+func writeQueryCSV(w io.Writer, q *api.Query, res *api.QueryResult) error {
+	cw := csv.NewWriter(w)
+	switch res.Op {
+	case api.QueryOpRows:
+		cw.Write([]string{"sweep", "benchmark", "arch", "family", "fp", "seed",
+			"instructions", "cycles", "ipc", "mispredict_rate", "icache_miss_rate", "dcache_miss_rate", "area", "key"})
+		for _, r := range res.Rows {
+			cw.Write([]string{
+				r.Sweep, r.Benchmark, r.Arch, r.Family, strconv.FormatBool(r.FP),
+				strconv.FormatUint(r.Seed, 10),
+				strconv.FormatUint(r.Instructions, 10), strconv.FormatUint(r.Cycles, 10),
+				fmtF(r.IPC), fmtF(r.MispredRate), fmtF(r.ICacheMiss), fmtF(r.DCacheMiss),
+				fmtF(r.Area), r.Key,
+			})
+		}
+	case api.QueryOpAggregate:
+		// Value columns in sorted name order: deterministic regardless of
+		// the metric list's order in the query document.
+		names := map[string]bool{}
+		for _, g := range res.Groups {
+			for n := range g.Values {
+				names[n] = true
+			}
+		}
+		vals := make([]string, 0, len(names))
+		for n := range names {
+			vals = append(vals, n)
+		}
+		sort.Strings(vals)
+		cw.Write(append(append(append([]string{}, q.GroupBy...), "count"), vals...))
+		for _, g := range res.Groups {
+			rec := append(append([]string{}, g.Key...), strconv.Itoa(g.Count))
+			for _, n := range vals {
+				rec = append(rec, fmtF(g.Values[n]))
+			}
+			cw.Write(rec)
+		}
+	case api.QueryOpSeries:
+		cw.Write([]string{"arch", "benchmark", "ipc"})
+		for _, s := range res.Series {
+			for _, p := range s.Points {
+				cw.Write([]string{s.Arch, p.Benchmark, fmtF(p.IPC)})
+			}
+			if s.IntHmean > 0 {
+				cw.Write([]string{s.Arch, "hmean_int", fmtF(s.IntHmean)})
+			}
+			if s.FPHmean > 0 {
+				cw.Write([]string{s.Arch, "hmean_fp", fmtF(s.FPHmean)})
+			}
+		}
+	case api.QueryOpPareto:
+		cw.Write([]string{"arch", "ipc", "area"})
+		for _, p := range res.Frontier {
+			cw.Write([]string{p.Arch, fmtF(p.IPC), fmtF(p.Area)})
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// writeQueryTable renders a query result as a fixed-width text table in
+// the style of the paper's figures — a series result comes out as the
+// benchmark × architecture IPC grid of Figure 6, harmonic-mean rows
+// included.
+func writeQueryTable(w io.Writer, res *api.QueryResult) error {
+	switch res.Op {
+	case api.QueryOpSeries:
+		cols := []string{"benchmark"}
+		for _, s := range res.Series {
+			cols = append(cols, s.Arch)
+		}
+		tab := rf.NewTable(cols...)
+		// Benchmarks in first-appearance order across the series; every
+		// series of one sweep shares the suite order, so this is just the
+		// suite order restricted to what matched.
+		var benches []string
+		seen := map[string]int{}
+		ipc := make([]map[string]float64, len(res.Series))
+		for i, s := range res.Series {
+			ipc[i] = map[string]float64{}
+			for _, p := range s.Points {
+				if _, ok := seen[p.Benchmark]; !ok {
+					seen[p.Benchmark] = len(benches)
+					benches = append(benches, p.Benchmark)
+				}
+				ipc[i][p.Benchmark] = p.IPC
+			}
+		}
+		for _, b := range benches {
+			cells := []string{b}
+			for i := range res.Series {
+				cells = append(cells, fmt.Sprintf("%.3f", ipc[i][b]))
+			}
+			tab.AddRow(cells...)
+		}
+		hm := func(label string, pick func(api.QuerySeries) float64) {
+			any := false
+			cells := []string{label}
+			for _, s := range res.Series {
+				v := pick(s)
+				if v > 0 {
+					any = true
+				}
+				cells = append(cells, fmt.Sprintf("%.3f", v))
+			}
+			if any {
+				tab.AddRow(cells...)
+			}
+		}
+		hm("Hmean(Int)", func(s api.QuerySeries) float64 { return s.IntHmean })
+		hm("Hmean(FP)", func(s api.QuerySeries) float64 { return s.FPHmean })
+		_, err := fmt.Fprint(w, tab.String())
+		return err
+	case api.QueryOpPareto:
+		tab := rf.NewTable("arch", "ipc", "area")
+		for _, p := range res.Frontier {
+			tab.AddRow(p.Arch, fmt.Sprintf("%.3f", p.IPC), fmt.Sprintf("%.3f", p.Area))
+		}
+		_, err := fmt.Fprint(w, tab.String())
+		return err
+	case api.QueryOpAggregate:
+		names := map[string]bool{}
+		for _, g := range res.Groups {
+			for n := range g.Values {
+				names[n] = true
+			}
+		}
+		vals := make([]string, 0, len(names))
+		for n := range names {
+			vals = append(vals, n)
+		}
+		sort.Strings(vals)
+		tab := rf.NewTable(append([]string{"group", "count"}, vals...)...)
+		for _, g := range res.Groups {
+			rec := []string{joinKey(g.Key), strconv.Itoa(g.Count)}
+			for _, n := range vals {
+				rec = append(rec, fmt.Sprintf("%.3f", g.Values[n]))
+			}
+			tab.AddRow(rec...)
+		}
+		_, err := fmt.Fprint(w, tab.String())
+		return err
+	default:
+		return fmt.Errorf("-table renders aggregate, series and pareto results; use -csv or JSON for %q", res.Op)
+	}
+}
+
+func joinKey(key []string) string {
+	out := ""
+	for i, k := range key {
+		if i > 0 {
+			out += "/"
+		}
+		out += k
+	}
+	return out
+}

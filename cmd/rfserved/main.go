@@ -12,6 +12,7 @@
 //	         [-lockstep width] [-wal-dir dir]
 //	         [-tenants file] [-default-rate r] [-default-burst n]
 //	         [-max-active-per-tenant n] [-max-queued-per-tenant n]
+//	         [-max-store-mb-per-tenant n] [-warehouse-dir dir]
 //	         [-dispatch [-lease-ms n] [-max-capacity n] [-job-timeout d]]
 //	         [-join url [-capacity n] [-worker-name s]]
 //
@@ -39,8 +40,20 @@
 // and scheduling priorities; unauthenticated callers become the
 // "anonymous" tenant. Over-limit requests get 429 with a Retry-After
 // hint, and /metrics grows per-tenant rows. Without -tenants (or any
-// -default-* flag) the server behaves exactly as before. See the
-// README's "Authentication & quotas" section for the file format.
+// -default-* flag) the server behaves exactly as before. SIGHUP
+// reloads the -tenants file in place — rotated API keys take effect
+// without a restart or any disturbance to running sweeps and open
+// result streams. See the README's "Authentication & quotas" section
+// for the file format.
+//
+// With -warehouse-dir the server maintains a columnar index of every
+// completed sweep (one segment per sweep) and serves the /v1/query API
+// over it: filtered row pages, grouped aggregates, Pareto frontiers
+// and figure series computed server-side, so clients render paper
+// figures without streaming a single row. The warehouse is never
+// authoritative — delete the directory and the next start rebuilds it
+// from the content-addressed store. Without the flag, serving is
+// byte-identical to previous releases.
 //
 // The store itself can span the fleet. -store-remote adds remote HTTP
 // tiers (other rfserved object APIs, comma-separated) consulted on a
@@ -95,6 +108,7 @@ import (
 	"repro/internal/sweep"
 	"repro/internal/tenant"
 	"repro/internal/wal"
+	"repro/internal/warehouse"
 	"repro/rf"
 )
 
@@ -116,6 +130,8 @@ func main() {
 		defBurst   = flag.Int("default-burst", 0, "default per-tenant request burst (0: derived from -default-rate)")
 		maxActive  = flag.Int("max-active-per-tenant", 0, "default per-tenant concurrent-sweep cap (0: unlimited)")
 		maxQueued  = flag.Int("max-queued-per-tenant", 0, "default per-tenant unresolved-job cap (0: unlimited)")
+		maxStoreMB = flag.Int64("max-store-mb-per-tenant", 0, "default per-tenant object-upload byte budget in MiB (0: unlimited)")
+		warehouseD = flag.String("warehouse-dir", "", "columnar warehouse directory enabling the /v1/query API (empty: off, serving is byte-identical)")
 		dispatchF  = flag.Bool("dispatch", false, "coordinator mode: execute sweeps on registered remote workers (/v1/workers API)")
 		leaseMS    = flag.Int64("lease-ms", 10000, "coordinator mode: worker lease TTL in milliseconds")
 		maxCap     = flag.Int("max-capacity", 0, "coordinator mode: cap on any single worker's in-flight budget (0: 64)")
@@ -143,6 +159,7 @@ func main() {
 	defaults := tenant.Limits{
 		Rate: *defRate, Burst: *defBurst,
 		MaxActive: *maxActive, MaxQueued: *maxQueued,
+		MaxStoreBytes: *maxStoreMB << 20,
 	}
 	switch {
 	case *tenantsF != "":
@@ -243,7 +260,38 @@ func main() {
 		cfg.Cache = sweep.Tiered(sweep.NewMemCache(), st)
 	}
 
+	if *warehouseD != "" {
+		wh, err := warehouse.Open(*warehouseD, warehouse.Options{Logf: logf})
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Warehouse = wh
+		ws := wh.Stats()
+		fmt.Fprintf(os.Stderr, "rfserved: warehouse %s (%d segments, %d rows)\n",
+			*warehouseD, ws.Segments, ws.Rows)
+	}
+
 	srv := server.New(cfg)
+	// SIGHUP rotates the tenant key set in place: the -tenants file is
+	// reloaded with the same defaults and swapped atomically. In-flight
+	// requests and open result streams are untouched; a bad file keeps
+	// the old registry. Only meaningful with -tenants — quota-only and
+	// open deployments have nothing to reload.
+	if *tenantsF != "" {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				reg, err := tenant.LoadFile(*tenantsF, defaults)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "rfserved: SIGHUP: keeping old tenants: %v\n", err)
+					continue
+				}
+				srv.SetTenants(reg)
+				fmt.Fprintf(os.Stderr, "rfserved: SIGHUP: %d tenants reloaded from %s\n", reg.Len(), *tenantsF)
+			}
+		}()
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fatal(err)

@@ -219,6 +219,7 @@ func (s *Server) recoverJournal() error {
 		s.sweeps[id] = run
 		s.order = append(s.order, id)
 		if run.state != stateRunning {
+			s.warehouseRebuildDone(run)
 			continue
 		}
 		run.recovered = true
@@ -231,6 +232,7 @@ func (s *Server) recoverJournal() error {
 			}
 			run.finished = time.Now()
 			s.journalAppend(srvRec{Op: "end", ID: id, State: string(run.state), Finished: run.finished})
+			s.warehouseRebuildDone(run)
 			continue
 		}
 		remaining := len(run.jobs) - run.completed
@@ -241,6 +243,9 @@ func (s *Server) recoverJournal() error {
 		s.active.Acquire(run.tenant, 1, 0)
 		s.queued.Acquire(run.tenant, remaining, 0)
 		s.queueDepth.Add(int64(remaining))
+		// Pre-populate the warehouse builder before execute can publish
+		// rows, so live Adds never race an absent builder.
+		s.warehousePrepareResume(run)
 		ctx, cancel := context.WithCancel(s.ctx)
 		run.cancel = cancel
 		s.wg.Add(1)

@@ -53,6 +53,7 @@ import (
 	"repro/internal/sweep"
 	"repro/internal/tenant"
 	"repro/internal/wal"
+	"repro/internal/warehouse"
 	"repro/rf"
 	"repro/rf/api"
 )
@@ -109,8 +110,17 @@ type Config struct {
 	// API-key authentication, per-tenant rate limits and quotas, and
 	// fair-share scheduling. Nil serves every caller as the unlimited
 	// anonymous tenant — the pre-tenancy behavior, byte-identical on the
-	// wire.
+	// wire. The registry can be swapped at runtime with SetTenants (key
+	// rotation without restart); this field only seeds the initial one.
 	Tenants *tenant.Registry
+	// Warehouse, when non-nil, maintains the columnar result index:
+	// completed rows are ingested as they publish (next to the journal
+	// hook), segments seal when sweeps finish, and GET/POST /v1/query is
+	// mounted over it. Nil (the default) keeps the wire surface and
+	// behavior byte-identical to pre-warehouse builds. Sweeps recovered
+	// from the journal as already-done are rebuilt into segments from
+	// the content-addressed store at startup.
+	Warehouse *warehouse.Warehouse
 	// Journal, when non-nil, makes sweeps durable: accepted specs,
 	// completed rows and terminal states are appended to this WAL, and a
 	// restarted server replays it, re-serves finished sweeps, and
@@ -168,9 +178,10 @@ type sweepRun struct {
 // tenantCounters is one tenant's admission outcome tally (under
 // Server.tmu).
 type tenantCounters struct {
-	admitted  uint64 // sweeps accepted
-	rejected  uint64 // sweeps refused by a capacity quota (429 over_quota)
-	throttled uint64 // requests refused by the rate limiter (429 rate_limited)
+	admitted      uint64 // sweeps accepted
+	rejected      uint64 // sweeps refused by a capacity quota (429 over_quota)
+	throttled     uint64 // requests refused by the rate limiter (429 rate_limited)
+	storeRejected uint64 // object PUTs refused by the store byte quota (429 over_quota)
 }
 
 // Server is the rfserved HTTP handler plus its sweep scheduler.
@@ -183,11 +194,18 @@ type Server struct {
 	// Admission state. These run in every mode — without a registry all
 	// traffic accounts to the anonymous tenant with no limits — so the
 	// tenanted and untenanted code paths cannot drift apart.
-	limiter *tenant.Limiter  // per-tenant submit/stream-open pacing
-	active  *tenant.Reserver // per-tenant running sweeps
-	queued  *tenant.Reserver // per-tenant unresolved jobs
-	tmu     sync.Mutex
-	tstats  map[string]*tenantCounters
+	limiter    *tenant.Limiter  // per-tenant submit/stream-open pacing
+	active     *tenant.Reserver // per-tenant running sweeps
+	queued     *tenant.Reserver // per-tenant unresolved jobs
+	storeBytes *tenant.Reserver // per-tenant object-store bytes accepted
+	tmu        sync.Mutex
+	tstats     map[string]*tenantCounters
+
+	// tenants is the live registry, swappable at runtime (SetTenants) for
+	// key rotation without restart. Nil means untenanted; a server that
+	// starts untenanted stays untenanted (rotation replaces keys, it
+	// never turns admission control on or off).
+	tenants atomic.Pointer[tenant.Registry]
 
 	ctx    context.Context // canceled by Shutdown; parents every sweep
 	cancel context.CancelFunc
@@ -234,14 +252,18 @@ func New(cfg Config) *Server {
 		cfg.CompactBytes = 1 << 20
 	}
 	s := &Server{
-		cfg:     cfg,
-		fair:    tenant.NewFairQueue(cfg.MaxWorkers),
-		limiter: tenant.NewLimiter(),
-		active:  tenant.NewReserver(),
-		queued:  tenant.NewReserver(),
-		tstats:  make(map[string]*tenantCounters),
-		sweeps:  make(map[string]*sweepRun),
-		start:   time.Now(),
+		cfg:        cfg,
+		fair:       tenant.NewFairQueue(cfg.MaxWorkers),
+		limiter:    tenant.NewLimiter(),
+		active:     tenant.NewReserver(),
+		queued:     tenant.NewReserver(),
+		storeBytes: tenant.NewReserver(),
+		tstats:     make(map[string]*tenantCounters),
+		sweeps:     make(map[string]*sweepRun),
+		start:      time.Now(),
+	}
+	if cfg.Tenants != nil {
+		s.tenants.Store(cfg.Tenants)
 	}
 	s.ctx, s.cancel = context.WithCancel(context.Background())
 
@@ -328,6 +350,10 @@ func New(cfg Config) *Server {
 		// GET patterns also serve HEAD (existence probes without the body).
 		mux.HandleFunc("GET /v1/objects/{key}", s.handleObjectGet)
 		mux.HandleFunc("PUT /v1/objects/{key}", s.handleObjectPut)
+	}
+	if cfg.Warehouse != nil {
+		mux.HandleFunc("GET /v1/query", s.handleQuery)
+		mux.HandleFunc("POST /v1/query", s.handleQuery)
 	}
 	s.mux = mux
 	if cfg.Journal != nil {
@@ -450,13 +476,32 @@ func writeErrorCode(w http.ResponseWriter, status int, code string, retryAfter t
 	writeJSON(w, status, e)
 }
 
+// tenanted reports whether admission control is live. It reads the
+// swappable registry pointer, so every handler observes a SetTenants
+// rotation immediately and atomically.
+func (s *Server) tenanted() bool { return s.tenants.Load() != nil }
+
+// SetTenants atomically replaces the live tenant registry — the SIGHUP
+// key-rotation hook. In-flight requests finish under the registry they
+// authenticated against (an open result stream is never torn down), and
+// every subsequent request authenticates against the new one. A nil
+// registry is ignored: rotation replaces keys, it never turns admission
+// control off.
+func (s *Server) SetTenants(reg *tenant.Registry) {
+	if reg == nil || !s.tenanted() {
+		return
+	}
+	s.tenants.Store(reg)
+}
+
 // authTenant resolves the request's tenant. Without a registry every
 // caller is the unlimited anonymous tenant and credentials are ignored
 // (the pre-tenancy contract). With one, the key comes from the
 // X-RF-API-Key header or an Authorization: Bearer credential; an
 // unknown key gets a 401 here and nil back.
 func (s *Server) authTenant(w http.ResponseWriter, r *http.Request) *tenant.Tenant {
-	if s.cfg.Tenants == nil {
+	reg := s.tenants.Load()
+	if reg == nil {
 		return tenant.Open()
 	}
 	key := r.Header.Get(api.KeyHeader)
@@ -465,7 +510,7 @@ func (s *Server) authTenant(w http.ResponseWriter, r *http.Request) *tenant.Tena
 			key = strings.TrimPrefix(auth, "Bearer ")
 		}
 	}
-	tn, ok := s.cfg.Tenants.Authenticate(key)
+	tn, ok := reg.Authenticate(key)
 	if !ok {
 		writeErrorCode(w, http.StatusUnauthorized, api.ErrCodeUnauthenticated, 0,
 			"rfserved: unknown API key")
@@ -627,6 +672,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		Pri: run.priority, Par: parallelism, Spec: string(rawSpec),
 		Submitted: run.submitted,
 	})
+	if s.cfg.Warehouse != nil {
+		// Open the sweep's index builder before execution can publish a
+		// row; rows then ingest through the seam in execute, right next to
+		// the journal hook.
+		s.cfg.Warehouse.Begin(run.id, run.name, run.tenant, len(jobs))
+	}
 	go s.execute(ctx, run, parallelism)
 
 	ack := api.SubmitResponse{
@@ -635,7 +686,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		StatusURL:  "/v1/sweeps/" + run.id,
 		ResultsURL: "/v1/sweeps/" + run.id + "/results",
 	}
-	if s.cfg.Tenants != nil {
+	if s.tenanted() {
 		// Stamped only in tenanted mode so an untenanted server's wire
 		// bytes stay exactly as before.
 		ack.Tenant = run.tenant
@@ -673,6 +724,12 @@ func (s *Server) execute(ctx context.Context, run *sweepRun, parallelism int) {
 		// Journaled before publishing: a row a client may have streamed
 		// must survive the crash that follows it.
 		s.journalAppend(srvRec{Op: "row", ID: run.id, Index: idx, Row: &row})
+		if s.cfg.Warehouse != nil {
+			// The warehouse ingest seam sits beside the journal hook: the
+			// row is indexed under its job-expansion index, so the sealed
+			// segment's order never depends on completion order.
+			s.cfg.Warehouse.Add(run.id, idx, p.Job, row)
+		}
 		run.mu.Lock()
 		run.rows[idx] = row
 		run.done[idx] = true
@@ -704,6 +761,15 @@ func (s *Server) execute(ctx context.Context, run *sweepRun, parallelism int) {
 	run.wakeLocked()
 	run.mu.Unlock()
 	s.journalAppend(srvRec{Op: "end", ID: run.id, State: string(state), Finished: finished})
+	if wh := s.cfg.Warehouse; wh != nil {
+		if state == stateDone {
+			// Seal logs and counts its own failures; a sweep that cannot
+			// seal stays unindexed and is rebuilt from the store next start.
+			wh.Seal(run.id)
+		} else {
+			wh.Discard(run.id)
+		}
+	}
 	s.queueDepth.Add(-int64(skipped))
 	s.queued.Release(run.tenant, skipped) // jobs skipped by cancellation
 	s.active.Release(run.tenant, 1)
@@ -759,7 +825,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	if run == nil {
 		return
 	}
-	writeJSON(w, http.StatusOK, run.status(s.cfg.Tenants != nil))
+	writeJSON(w, http.StatusOK, run.status(s.tenanted()))
 }
 
 func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
@@ -771,7 +837,7 @@ func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Unlock()
 	out := api.SweepList{Sweeps: []api.SweepStatus{}}
 	for _, run := range runs {
-		out.Sweeps = append(out.Sweeps, run.status(s.cfg.Tenants != nil))
+		out.Sweeps = append(out.Sweeps, run.status(s.tenanted()))
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -788,7 +854,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	// every keyless caller collectively owns every anonymous sweep, for
 	// cancellation as for result streaming, so a deployment that wants
 	// isolation between unauthenticated users must issue keys instead.
-	if s.cfg.Tenants != nil {
+	if s.tenanted() {
 		tn := s.authTenant(w, r)
 		if tn == nil {
 			return
@@ -804,7 +870,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	// sweep the client was told is being canceled.
 	s.journalAppend(srvRec{Op: "cancel", ID: run.id})
 	run.cancel()
-	writeJSON(w, http.StatusAccepted, run.status(s.cfg.Tenants != nil))
+	writeJSON(w, http.StatusAccepted, run.status(s.tenanted()))
 }
 
 // handleObjectGet serves GET /v1/objects/{key}: one stored result from
@@ -856,8 +922,13 @@ func (s *Server) handleObjectPut(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "rfserved: malformed object key %q", k)
 		return
 	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "rfserved: bad object body: %v", err)
+		return
+	}
 	var obj api.Object
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)).Decode(&obj); err != nil {
+	if err := json.Unmarshal(body, &obj); err != nil {
 		writeError(w, http.StatusBadRequest, "rfserved: bad object body: %v", err)
 		return
 	}
@@ -866,7 +937,19 @@ func (s *Server) handleObjectPut(w http.ResponseWriter, r *http.Request) {
 			"rfserved: object body key %.8s does not match path key %.8s", obj.Key, string(k))
 		return
 	}
+	// Byte quota on the accepted body, reserved before the write so a
+	// failure stores nothing. Accounting is lifetime-accepted bytes per
+	// tenant (re-uploads and later evictions included), which is the
+	// bound an operator can reason about without trusting dedup.
+	if err := s.storeBytes.Acquire(tn.Name, len(body), int(tn.Limits.MaxStoreBytes)); err != nil {
+		s.bump(tn.Name, func(c *tenantCounters) { c.storeRejected++ })
+		writeErrorCode(w, http.StatusTooManyRequests, api.ErrCodeOverQuota, 0,
+			"rfserved: tenant %q over its result-store byte quota (%d bytes held, %d wanted, limit %d)",
+			tn.Name, s.storeBytes.Held(tn.Name), len(body), tn.Limits.MaxStoreBytes)
+		return
+	}
 	if err := s.cfg.Objects.Put(r.Context(), k, obj.Result); err != nil {
+		s.storeBytes.Release(tn.Name, len(body))
 		writeError(w, http.StatusInternalServerError, "rfserved: object write failed: %v", err)
 		return
 	}
@@ -897,7 +980,7 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	// ownership exactly as cancellation does: sweep IDs are sequential
 	// and listable, so isolation must never rest on their secrecy. (The
 	// anonymous tenant is one shared identity — see handleCancel.)
-	if s.cfg.Tenants != nil && run.tenant != tn.Name {
+	if s.tenanted() && run.tenant != tn.Name {
 		writeErrorCode(w, http.StatusForbidden, api.ErrCodeForbidden, 0,
 			"rfserved: sweep %s belongs to tenant %q", run.id, run.tenant)
 		return
@@ -1078,11 +1161,26 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			func(n string) any { return journals[n].SizeBytes() })
 	}
 
+	// Warehouse index occupancy and query activity; absent entirely on
+	// servers without -warehouse-dir, keeping their exposition unchanged.
+	if s.cfg.Warehouse != nil {
+		ws := s.cfg.Warehouse.Stats()
+		m("rfserved_warehouse_segments", ws.Segments, "sealed sweep segments in the warehouse")
+		m("rfserved_warehouse_rows", ws.Rows, "rows across all sealed segments")
+		m("rfserved_warehouse_bytes", ws.Bytes, "encoded bytes of all sealed segments")
+		m("rfserved_warehouse_queries_total", ws.Queries, "queries served by /v1/query")
+		m("rfserved_warehouse_query_seconds_total", fmt.Sprintf("%.6f", ws.QuerySeconds),
+			"cumulative seconds spent evaluating queries")
+		m("rfserved_warehouse_ingest_errors_total", ws.IngestErrors,
+			"rows or sweeps the warehouse failed to index (rebuild candidates, not data loss)")
+	}
+
 	// Per-tenant admission activity, one labeled row per tenant that has
 	// done anything since start. Untenanted deployments account all
 	// traffic to "anonymous", so these families appear there too.
 	activeSnap := s.active.Snapshot()
 	queuedSnap := s.queued.Snapshot()
+	storeSnap := s.storeBytes.Snapshot()
 	s.tmu.Lock()
 	counters := make(map[string]tenantCounters, len(s.tstats))
 	for name, c := range s.tstats {
@@ -1097,6 +1195,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		seen[name] = true
 	}
 	for name := range queuedSnap {
+		seen[name] = true
+	}
+	for name := range storeSnap {
 		seen[name] = true
 	}
 	if len(seen) == 0 {
@@ -1123,4 +1224,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		func(n string) uint64 { return counters[n].rejected })
 	labeled("rfserved_tenant_throttled_total", "requests refused by the rate limiter since start, per tenant",
 		func(n string) uint64 { return counters[n].throttled })
+	labeled("rfserved_tenant_store_bytes", "result-store bytes accepted since start, per tenant",
+		func(n string) uint64 { return uint64(storeSnap[n]) })
+	labeled("rfserved_tenant_store_rejected_total", "object uploads refused by the store byte quota since start, per tenant",
+		func(n string) uint64 { return counters[n].storeRejected })
 }

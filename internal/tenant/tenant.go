@@ -32,6 +32,11 @@ type Limits struct {
 	// MaxQueued caps the tenant's unresolved (submitted but not yet
 	// completed) jobs across all its sweeps.
 	MaxQueued int
+	// MaxStoreBytes caps the total bytes a tenant may upload to the
+	// result object store over the server's lifetime (accepted PUT
+	// bodies; deduplicated re-uploads of an existing key still count,
+	// since admission is checked before the store is consulted).
+	MaxStoreBytes int64
 }
 
 // Tenant is one resolved identity: who a request belongs to and what it
@@ -100,6 +105,9 @@ type tenantEntry struct {
 	Burst     int      `json:"burst,omitempty"`
 	MaxActive int      `json:"max_active,omitempty"`
 	MaxQueued int      `json:"max_queued,omitempty"`
+	// MaxStoreMB is the object-store upload cap in MiB (the file speaks
+	// MiB for legibility; Limits stores bytes).
+	MaxStoreMB int64 `json:"max_store_mb,omitempty"`
 }
 
 // NewRegistry returns a registry with no keyed tenants: every caller is
@@ -143,6 +151,7 @@ func Load(r io.Reader, defaults Limits) (*Registry, error) {
 			Limits: resolveLimits(Limits{
 				Rate: e.Rate, Burst: e.Burst,
 				MaxActive: e.MaxActive, MaxQueued: e.MaxQueued,
+				MaxStoreBytes: storeMBToBytes(e.MaxStoreMB),
 			}, defaults),
 		}
 		if e.Name == Anonymous {
@@ -180,6 +189,15 @@ func LoadFile(path string, defaults Limits) (*Registry, error) {
 	return Load(f, defaults)
 }
 
+// storeMBToBytes converts a file entry's max_store_mb to bytes while
+// preserving the 0 = inherit / negative = unlimited sentinels.
+func storeMBToBytes(mb int64) int64 {
+	if mb <= 0 {
+		return mb
+	}
+	return mb << 20
+}
+
 // resolveLimits applies the file convention to one entry: 0 inherits
 // the default, negative is explicitly unlimited (stored as 0).
 func resolveLimits(l, def Limits) Limits {
@@ -189,10 +207,17 @@ func resolveLimits(l, def Limits) Limits {
 		}
 		return max(v, 0)
 	}
+	resolve64 := func(v, d int64) int64 {
+		if v == 0 {
+			v = d
+		}
+		return max(v, 0)
+	}
 	out := Limits{
-		Burst:     resolve(l.Burst, def.Burst),
-		MaxActive: resolve(l.MaxActive, def.MaxActive),
-		MaxQueued: resolve(l.MaxQueued, def.MaxQueued),
+		Burst:         resolve(l.Burst, def.Burst),
+		MaxActive:     resolve(l.MaxActive, def.MaxActive),
+		MaxQueued:     resolve(l.MaxQueued, def.MaxQueued),
+		MaxStoreBytes: resolve64(l.MaxStoreBytes, def.MaxStoreBytes),
 	}
 	out.Rate = l.Rate
 	if out.Rate == 0 {

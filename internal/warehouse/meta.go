@@ -1,0 +1,131 @@
+package warehouse
+
+import (
+	"repro/internal/area"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/sweep"
+)
+
+// Meta is the per-row metadata the warehouse derives from a job at
+// ingest: the register file family, its integer dimensions in the sweep
+// matrix vocabulary, the policy tokens, the suite flag, and the modeled
+// area. The NDJSON row stream carries none of this — it is exactly what
+// a client today re-derives by re-expanding the spec — so indexing it
+// is what makes server-side family/dim filtering possible.
+type Meta struct {
+	// Family is the registry family name (1cycle, 2cycle, 2cycle1b,
+	// rfcache, onelevel, replicated).
+	Family string
+	// Caching and Prefetch are the rfcache policy tokens in spec
+	// vocabulary (nonbypass/ready/all/none, demand/firstpair); empty for
+	// other families.
+	Caching, Prefetch string
+	// FP marks an FP-suite benchmark (SPECfp95 proxy).
+	FP bool
+	// Integer dimensions, named after the sweep matrix keys. 0 means
+	// unlimited (ports) or not applicable to the family, mirroring the
+	// spec convention.
+	ReadPorts, WritePorts, Buses, UpperSizes, Banks, Clusters, PhysRegs int
+	// Area is the modeled register file area in the paper's 10⁴λ² unit,
+	// or 0 when any modeled port count is unlimited (cost is undefined).
+	Area float64
+}
+
+// normPort maps a core port count to the spec vocabulary: unbounded
+// (core.Unlimited) and non-positive counts become 0.
+func normPort(v int) int {
+	if v <= 0 || v >= core.Unlimited {
+		return 0
+	}
+	return v
+}
+
+// cachingToken returns the spec-vocabulary token for a caching policy
+// (the inverse of arch.ParseCachingPolicy).
+func cachingToken(p core.CachingPolicy) string {
+	switch p {
+	case core.CacheNonBypass:
+		return "nonbypass"
+	case core.CacheReady:
+		return "ready"
+	case core.CacheAll:
+		return "all"
+	case core.CacheNone:
+		return "none"
+	}
+	return "unknown"
+}
+
+// prefetchToken returns the spec-vocabulary token for a prefetch policy
+// (the inverse of arch.ParsePrefetchPolicy).
+func prefetchToken(p core.PrefetchPolicy) string {
+	switch p {
+	case core.FetchOnDemand:
+		return "demand"
+	case core.PrefetchFirstPair:
+		return "firstpair"
+	}
+	return "unknown"
+}
+
+// MetaOf derives the warehouse metadata for one job. The derivation is a
+// pure function of the job's configuration, so ingest-time rows and
+// store-rebuilt rows produce identical columns.
+func MetaOf(j sweep.Job) Meta {
+	m := Meta{FP: j.Profile.FP, PhysRegs: j.Config.PhysRegs}
+	regs := j.Config.PhysRegs
+	switch rf := j.Config.RF; rf.Kind {
+	case sim.RFMonolithic:
+		switch {
+		case rf.Mono.Latency <= 1:
+			m.Family = "1cycle"
+		case rf.Mono.FullBypass:
+			m.Family = "2cycle"
+		default:
+			m.Family = "2cycle1b"
+		}
+		m.ReadPorts = normPort(rf.Mono.ReadPorts)
+		m.WritePorts = normPort(rf.Mono.WritePorts)
+		if m.ReadPorts > 0 && m.WritePorts > 0 {
+			m.Area = area.SingleBank{Regs: regs, Read: m.ReadPorts, Write: m.WritePorts}.Area()
+		}
+	case sim.RFCache:
+		c := rf.Cache
+		m.Family = "rfcache"
+		m.Caching = cachingToken(c.Caching)
+		m.Prefetch = prefetchToken(c.Prefetch)
+		m.ReadPorts = normPort(c.ReadPorts)
+		m.WritePorts = normPort(c.LowerWritePorts)
+		m.Buses = normPort(c.Buses)
+		m.UpperSizes = c.UpperSize
+		if m.ReadPorts > 0 && m.Buses > 0 &&
+			normPort(c.UpperWritePorts) > 0 && normPort(c.LowerWritePorts) > 0 {
+			m.Area = area.TwoLevel{
+				UpperRegs: c.UpperSize, LowerRegs: regs,
+				Read: c.ReadPorts, UpperWrite: c.UpperWritePorts,
+				LowerWrite: c.LowerWritePorts, Buses: c.Buses,
+			}.Area()
+		}
+	case sim.RFOneLevel:
+		c := rf.OneLevel
+		m.Family = "onelevel"
+		m.Banks = c.Banks
+		m.ReadPorts = normPort(c.ReadPortsPerBank)
+		m.WritePorts = normPort(c.WritePortsPerBank)
+		if m.Banks > 0 && m.ReadPorts > 0 && m.WritePorts > 0 {
+			perBank := (regs + m.Banks - 1) / m.Banks
+			m.Area = float64(m.Banks) * area.BankArea(perBank, m.ReadPorts, m.WritePorts) / area.AreaUnit
+		}
+	case sim.RFReplicated:
+		c := rf.Replicated
+		m.Family = "replicated"
+		m.Clusters = c.Clusters
+		m.ReadPorts = normPort(c.ReadPortsPerBank)
+		m.WritePorts = normPort(c.WritePortsPerBank)
+		if m.Clusters > 0 && m.ReadPorts > 0 && m.WritePorts > 0 {
+			m.Area = float64(m.Clusters) * area.BankArea(regs, m.ReadPorts, m.WritePorts) / area.AreaUnit
+		}
+	}
+	return m
+}

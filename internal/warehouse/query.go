@@ -1,0 +1,541 @@
+package warehouse
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/rf/api"
+)
+
+// Pagination bounds for rows queries.
+const (
+	// DefaultLimit is the rows-query page size when the document asks for
+	// none.
+	DefaultLimit = 1000
+	// MaxLimit caps one page; larger requests are clamped, not rejected,
+	// so a generous client still pages correctly.
+	MaxLimit = 10000
+)
+
+var (
+	queryOps   = map[string]bool{api.QueryOpRows: true, api.QueryOpAggregate: true, api.QueryOpPareto: true, api.QueryOpSeries: true}
+	metricOps  = map[string]bool{"sum": true, "mean": true, "min": true, "max": true}
+	metricCols = map[string]bool{
+		"ipc": true, "cycles": true, "instructions": true, "area": true,
+		"mispredict_rate": true, "icache_miss_rate": true, "dcache_miss_rate": true,
+	}
+	groupCols = map[string]bool{"benchmark": true, "arch": true, "family": true, "suite": true, "sweep": true}
+	dimCols   = map[string]bool{
+		"read_ports": true, "write_ports": true, "buses": true,
+		"upper_sizes": true, "banks": true, "clusters": true, "phys_regs": true,
+	}
+)
+
+// ParseQuery decodes and validates a JSON query document. Unknown
+// fields, trailing garbage, unsupported schema versions and unknown
+// vocabulary are all rejected loudly, mirroring sweep.ParseSpec.
+func ParseQuery(data []byte) (*api.Query, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var q api.Query
+	if err := dec.Decode(&q); err != nil {
+		return nil, fmt.Errorf("warehouse: bad query: %w", err)
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return nil, fmt.Errorf("warehouse: bad query: trailing data after document")
+	}
+	if err := ValidateQuery(&q); err != nil {
+		return nil, err
+	}
+	return &q, nil
+}
+
+// ValidateQuery reports a query-document error, or nil.
+func ValidateQuery(q *api.Query) error {
+	if q.Schema != 0 && q.Schema != api.Version {
+		return fmt.Errorf("warehouse: query schema version %d not supported (this build speaks %d)",
+			q.Schema, api.Version)
+	}
+	if q.Op != "" && !queryOps[q.Op] {
+		return fmt.Errorf("warehouse: unknown query op %q", q.Op)
+	}
+	seen := map[string]bool{}
+	for _, g := range q.GroupBy {
+		if !groupCols[g] {
+			return fmt.Errorf("warehouse: unknown group_by column %q", g)
+		}
+		if seen[g] {
+			return fmt.Errorf("warehouse: duplicate group_by column %q", g)
+		}
+		seen[g] = true
+	}
+	for _, m := range q.Metrics {
+		if !metricOps[m.Op] {
+			return fmt.Errorf("warehouse: unknown metric op %q", m.Op)
+		}
+		if !metricCols[m.Metric] {
+			return fmt.Errorf("warehouse: unknown metric %q", m.Metric)
+		}
+	}
+	for dim, vals := range q.Dims {
+		if !dimCols[dim] {
+			return fmt.Errorf("warehouse: unknown dimension %q", dim)
+		}
+		for _, v := range vals {
+			if v < 0 {
+				return fmt.Errorf("warehouse: dimension %s value %d must be ≥ 0 (0 matches unlimited)", dim, v)
+			}
+		}
+	}
+	if q.Limit < 0 {
+		return fmt.Errorf("warehouse: limit %d must be ≥ 0", q.Limit)
+	}
+	if q.Cursor != "" {
+		if _, err := strconv.ParseUint(q.Cursor, 10, 63); err != nil {
+			return fmt.Errorf("warehouse: bad cursor %q", q.Cursor)
+		}
+	}
+	return nil
+}
+
+// segFilter is one segment's compiled row predicate: the query's string
+// filters resolved to dictionary-id sets, so the scan compares integers.
+type segFilter struct {
+	never bool // a filter names values absent from this segment
+	sets  []idSet
+	dims  []dimSet
+}
+
+type idSet struct {
+	col   []uint32
+	allow map[uint32]bool
+}
+
+type dimSet struct {
+	col   []uint32
+	allow map[uint32]bool
+}
+
+// compileFilter resolves the query's filters against one segment.
+func compileFilter(s *Segment, q *api.Query) segFilter {
+	var f segFilter
+	addStr := func(col string, want []string) {
+		if len(want) == 0 {
+			return
+		}
+		allow := map[uint32]bool{}
+		for id, v := range s.dicts[col] {
+			for _, w := range want {
+				if v == w {
+					allow[uint32(id)] = true
+				}
+			}
+		}
+		if len(allow) == 0 {
+			f.never = true
+			return
+		}
+		f.sets = append(f.sets, idSet{col: s.str[col], allow: allow})
+	}
+	addStr("benchmark", q.Benchmarks)
+	addStr("arch", q.Archs)
+	addStr("family", q.Families)
+	for dim, vals := range q.Dims {
+		if len(vals) == 0 {
+			continue // an empty list filters nothing, like the string filters
+		}
+		allow := map[uint32]bool{}
+		for _, v := range vals {
+			allow[uint32(v)] = true
+		}
+		f.dims = append(f.dims, dimSet{col: s.u32[dim], allow: allow})
+	}
+	return f
+}
+
+func (f *segFilter) match(i int) bool {
+	for _, set := range f.sets {
+		if !set.allow[set.col[i]] {
+			return false
+		}
+	}
+	for _, d := range f.dims {
+		if !d.allow[d.col[i]] {
+			return false
+		}
+	}
+	return true
+}
+
+// metricAt returns a metric accessor for one segment, or nil for an
+// unknown metric (already rejected by validation).
+func metricAt(s *Segment, metric string) func(int) float64 {
+	switch metric {
+	case "cycles":
+		col := s.u64["cycles"]
+		return func(i int) float64 { return float64(col[i]) }
+	case "instructions":
+		col := s.u64["instructions"]
+		return func(i int) float64 { return float64(col[i]) }
+	default:
+		col := s.f64[metric]
+		if col == nil && s.N > 0 {
+			return nil
+		}
+		return func(i int) float64 { return col[i] }
+	}
+}
+
+// safeHmean is stats.HarmonicMean tolerant of degenerate data: it
+// returns 0 for an empty slice or any non-positive value instead of
+// panicking, since a warehouse query must not crash the server on a
+// pathological row.
+func safeHmean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+	}
+	return stats.HarmonicMean(xs)
+}
+
+// Eval runs a validated query over the given segments, scanning them in
+// slice order. The scan order is deterministic — segments sorted by
+// sweep id, rows in job-expansion order — so float accumulations are
+// reproducible and a rebuilt warehouse answers byte-identically.
+func Eval(segs []*Segment, q *api.Query) (*api.QueryResult, error) {
+	if err := ValidateQuery(q); err != nil {
+		return nil, err
+	}
+	op := q.Op
+	if op == "" {
+		op = api.QueryOpRows
+	}
+	res := &api.QueryResult{Schema: api.Version, Op: op}
+
+	limit := q.Limit
+	if limit == 0 {
+		limit = DefaultLimit
+	}
+	if limit > MaxLimit {
+		limit = MaxLimit
+	}
+	offset := 0
+	if q.Cursor != "" {
+		v, err := strconv.ParseUint(q.Cursor, 10, 63)
+		if err != nil {
+			return nil, fmt.Errorf("warehouse: bad cursor %q", q.Cursor)
+		}
+		offset = int(v)
+	}
+
+	agg := newAggregator(q)
+	for _, s := range segs {
+		if q.Sweep != "" && s.Sweep != q.Sweep {
+			continue
+		}
+		f := compileFilter(s, q)
+		if f.never {
+			continue
+		}
+		metrics := make([]func(int) float64, len(agg.metrics))
+		for mi, m := range agg.metrics {
+			metrics[mi] = metricAt(s, m.Metric)
+		}
+		for i := 0; i < s.N; i++ {
+			if !f.match(i) {
+				continue
+			}
+			switch op {
+			case api.QueryOpRows:
+				if res.Matched >= offset && len(res.Rows) < limit {
+					res.Rows = append(res.Rows, rowAt(s, i))
+				}
+			case api.QueryOpAggregate:
+				agg.add(s, i, metrics)
+			case api.QueryOpSeries, api.QueryOpPareto:
+				agg.addSeries(s, i)
+			}
+			res.Matched++
+		}
+	}
+
+	switch op {
+	case api.QueryOpRows:
+		if offset+len(res.Rows) < res.Matched && len(res.Rows) == limit {
+			res.NextCursor = strconv.Itoa(offset + len(res.Rows))
+		}
+	case api.QueryOpAggregate:
+		res.Groups = agg.groups()
+	case api.QueryOpSeries:
+		res.Series = agg.series()
+	case api.QueryOpPareto:
+		res.Frontier = agg.frontier()
+	}
+	return res, nil
+}
+
+// rowAt materializes one segment row as a wire row.
+func rowAt(s *Segment, i int) api.QueryRow {
+	return api.QueryRow{
+		Sweep:        s.Sweep,
+		Benchmark:    s.strAt("benchmark", i),
+		Arch:         s.strAt("arch", i),
+		Family:       s.strAt("family", i),
+		FP:           s.fp[i],
+		Seed:         s.u64["seed"][i],
+		Instructions: s.u64["instructions"][i],
+		Cycles:       s.u64["cycles"][i],
+		IPC:          s.f64["ipc"][i],
+		MispredRate:  s.f64["mispredict_rate"][i],
+		ICacheMiss:   s.f64["icache_miss_rate"][i],
+		DCacheMiss:   s.f64["dcache_miss_rate"][i],
+		Area:         s.f64["area"][i],
+		Key:          s.keys[i],
+	}
+}
+
+// aggregator accumulates group-by buckets (aggregate op) and per-arch /
+// per-benchmark IPC cells (series and pareto ops).
+type aggregator struct {
+	groupBy []string
+	metrics []api.QueryMetric
+
+	buckets map[string]*bucket
+
+	archOrder  []string
+	archCells  map[string]map[string]*cell // arch → benchmark → mean cell
+	archArea   map[string]float64
+	benchOrder []string
+	benchFP    map[string]bool
+}
+
+type bucket struct {
+	key   []string
+	count int
+	sum   []float64
+	min   []float64
+	max   []float64
+}
+
+type cell struct {
+	sum float64
+	n   int
+}
+
+func newAggregator(q *api.Query) *aggregator {
+	metrics := q.Metrics
+	if len(metrics) == 0 {
+		metrics = []api.QueryMetric{{Op: "mean", Metric: "ipc"}}
+	}
+	return &aggregator{
+		groupBy: q.GroupBy, metrics: metrics,
+		buckets:   map[string]*bucket{},
+		archCells: map[string]map[string]*cell{}, archArea: map[string]float64{},
+		benchFP: map[string]bool{},
+	}
+}
+
+// groupVal renders one group-by column for one row.
+func groupVal(s *Segment, i int, col string) string {
+	switch col {
+	case "suite":
+		if s.fp[i] {
+			return "fp"
+		}
+		return "int"
+	case "sweep":
+		return s.Sweep
+	default:
+		return s.strAt(col, i)
+	}
+}
+
+func (a *aggregator) add(s *Segment, i int, metrics []func(int) float64) {
+	key := make([]string, len(a.groupBy))
+	for ki, col := range a.groupBy {
+		key[ki] = groupVal(s, i, col)
+	}
+	joined := ""
+	for _, k := range key {
+		joined += k + "\x00"
+	}
+	b := a.buckets[joined]
+	if b == nil {
+		b = &bucket{
+			key: key,
+			sum: make([]float64, len(a.metrics)),
+			min: make([]float64, len(a.metrics)),
+			max: make([]float64, len(a.metrics)),
+		}
+		a.buckets[joined] = b
+	}
+	for mi := range a.metrics {
+		v := 0.0
+		if metrics[mi] != nil {
+			v = metrics[mi](i)
+		}
+		if b.count == 0 {
+			b.min[mi], b.max[mi] = v, v
+		} else {
+			if v < b.min[mi] {
+				b.min[mi] = v
+			}
+			if v > b.max[mi] {
+				b.max[mi] = v
+			}
+		}
+		b.sum[mi] += v
+	}
+	b.count++
+}
+
+func (a *aggregator) addSeries(s *Segment, i int) {
+	arch := s.strAt("arch", i)
+	bench := s.strAt("benchmark", i)
+	cells := a.archCells[arch]
+	if cells == nil {
+		cells = map[string]*cell{}
+		a.archCells[arch] = cells
+		a.archOrder = append(a.archOrder, arch)
+	}
+	if _, ok := a.benchFP[bench]; !ok {
+		a.benchFP[bench] = s.fp[i]
+		a.benchOrder = append(a.benchOrder, bench)
+	}
+	c := cells[bench]
+	if c == nil {
+		c = &cell{}
+		cells[bench] = c
+	}
+	c.sum += s.f64["ipc"][i]
+	c.n++
+	if _, ok := a.archArea[arch]; !ok {
+		a.archArea[arch] = s.f64["area"][i]
+	}
+}
+
+// groups renders the aggregate buckets sorted by key, with each value
+// named "op_metric".
+func (a *aggregator) groups() []api.QueryGroup {
+	joined := make([]string, 0, len(a.buckets))
+	for k := range a.buckets {
+		joined = append(joined, k)
+	}
+	sort.Strings(joined)
+	out := make([]api.QueryGroup, 0, len(joined))
+	for _, k := range joined {
+		b := a.buckets[k]
+		g := api.QueryGroup{Key: b.key, Count: b.count, Values: map[string]float64{}}
+		for mi, m := range a.metrics {
+			var v float64
+			switch m.Op {
+			case "sum":
+				v = b.sum[mi]
+			case "mean":
+				v = b.sum[mi] / float64(b.count)
+			case "min":
+				v = b.min[mi]
+			case "max":
+				v = b.max[mi]
+			}
+			g.Values[m.Op+"_"+m.Metric] = v
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+// suiteBenchOrder returns the matched benchmarks in canonical suite
+// order — SPECint95 then SPECfp95, as the paper's figures list them —
+// with any benchmark unknown to the registry appended in first-seen
+// order (a forward-compatibility hatch for custom workloads).
+func (a *aggregator) suiteBenchOrder() []string {
+	known := map[string]bool{}
+	var out []string
+	for _, p := range trace.All() {
+		known[p.Name] = true
+		if _, ok := a.benchFP[p.Name]; ok {
+			out = append(out, p.Name)
+		}
+	}
+	for _, b := range a.benchOrder {
+		if !known[b] {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// series renders one QuerySeries per architecture in first-seen order.
+func (a *aggregator) series() []api.QuerySeries {
+	benches := a.suiteBenchOrder()
+	out := make([]api.QuerySeries, 0, len(a.archOrder))
+	for _, arch := range a.archOrder {
+		cells := a.archCells[arch]
+		s := api.QuerySeries{Arch: arch}
+		var intIPC, fpIPC []float64
+		for _, b := range benches {
+			c := cells[b]
+			if c == nil {
+				continue
+			}
+			ipc := c.sum / float64(c.n)
+			s.Points = append(s.Points, api.SeriesPoint{Benchmark: b, IPC: ipc})
+			if a.benchFP[b] {
+				fpIPC = append(fpIPC, ipc)
+			} else {
+				intIPC = append(intIPC, ipc)
+			}
+		}
+		s.IntHmean = safeHmean(intIPC)
+		s.FPHmean = safeHmean(fpIPC)
+		out = append(out, s)
+	}
+	return out
+}
+
+// frontier extracts the (area, IPC) Pareto frontier over the matched
+// architectures: per-arch harmonic mean of per-benchmark mean IPC
+// against the arch's modeled area. Architectures with unmodeled area
+// (unbounded ports) or degenerate IPC are excluded — a frontier needs
+// both coordinates.
+func (a *aggregator) frontier() []api.ParetoPoint {
+	var pts []api.ParetoPoint
+	for _, arch := range a.archOrder {
+		ar := a.archArea[arch]
+		if ar <= 0 {
+			continue
+		}
+		var ipcs []float64
+		for _, c := range a.archCells[arch] {
+			ipcs = append(ipcs, c.sum/float64(c.n))
+		}
+		sort.Float64s(ipcs)
+		hm := safeHmean(ipcs)
+		if hm <= 0 {
+			continue
+		}
+		pts = append(pts, api.ParetoPoint{Arch: arch, IPC: hm, Area: ar})
+	}
+	cost := make([]float64, len(pts))
+	value := make([]float64, len(pts))
+	for i, p := range pts {
+		cost[i], value[i] = p.Area, p.IPC
+	}
+	keep := stats.ParetoFrontier(cost, value)
+	out := make([]api.ParetoPoint, 0, len(keep))
+	for _, i := range keep {
+		out = append(out, pts[i])
+	}
+	return out
+}

@@ -1,0 +1,317 @@
+// Package warehouse is the read-side result index of the sweep service:
+// a columnar, disk-backed warehouse of completed sweep rows with a
+// server-side query evaluator (filter, group-by, Pareto frontier,
+// figure-series extraction).
+//
+// One segment per sweep, in column-per-metric layout with the string
+// columns dictionary-encoded and a JSON footer schema (segment.go).
+// Rows are ingested at row-publish time through a seam next to the
+// write-ahead journal hook in internal/server, ordered by job index —
+// never by completion order — and sealed to disk when the sweep
+// finishes.
+//
+// The warehouse is never authoritative: every column is a pure function
+// of (job, result), both recoverable from the content-addressed store,
+// so a deleted or corrupt warehouse directory is rebuilt by scanning
+// the store (RebuildSweep) and answers every query byte-identically.
+// That invariant is also why segments exclude the stream-level "cached"
+// flag: delivery provenance is not reconstructible, results are.
+package warehouse
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/sweep"
+	"repro/rf/api"
+)
+
+// Options configures Open.
+type Options struct {
+	// Logf receives operational messages (load-skip, seal failures);
+	// nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Stats is a point-in-time snapshot for /metrics.
+type Stats struct {
+	// Segments and Rows count sealed segments and their total rows.
+	Segments int
+	Rows     int
+	// Bytes is the encoded size of all sealed segments.
+	Bytes int64
+	// Queries and QuerySeconds count served queries and their cumulative
+	// evaluation time.
+	Queries      uint64
+	QuerySeconds float64
+	// IngestErrors counts rows or sweeps the warehouse failed to index;
+	// the store remains authoritative, so these are rebuild candidates,
+	// not data loss.
+	IngestErrors uint64
+}
+
+// Warehouse owns a directory of sealed segments plus the in-memory
+// builders of still-running sweeps. All methods are safe for concurrent
+// use.
+type Warehouse struct {
+	dir  string
+	logf func(string, ...any)
+
+	mu       sync.Mutex
+	segs     map[string]*Segment
+	order    []string // segment sweep ids, sorted
+	builders map[string]*Builder
+	bytes    int64
+
+	queries      atomic.Uint64
+	queryNanos   atomic.Int64
+	ingestErrors atomic.Uint64
+}
+
+// Open loads every readable segment under dir, creating it if needed.
+// Unreadable or corrupt segment files are skipped with a log line — the
+// server rebuilds them from the store — so one bad file never blocks
+// startup.
+func Open(dir string, opts Options) (*Warehouse, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("warehouse: %w", err)
+	}
+	w := &Warehouse{
+		dir:  dir,
+		logf: opts.Logf,
+		segs: map[string]*Segment{}, builders: map[string]*Builder{},
+	}
+	if w.logf == nil {
+		w.logf = func(string, ...any) {}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("warehouse: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".seg") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			w.logf("warehouse: skipping %s: %v", e.Name(), err)
+			continue
+		}
+		seg, err := decodeSegment(data)
+		if err != nil || segFileName(seg.Sweep) != e.Name() {
+			w.logf("warehouse: skipping %s: %v", e.Name(), err)
+			continue
+		}
+		w.segs[seg.Sweep] = seg
+		w.bytes += int64(len(data))
+	}
+	w.reorder()
+	return w, nil
+}
+
+// reorder rebuilds the sorted segment id list; callers hold w.mu (or
+// have exclusive access during Open).
+func (w *Warehouse) reorder() {
+	w.order = w.order[:0]
+	for id := range w.segs {
+		w.order = append(w.order, id)
+	}
+	// Shorter ids first, then lexicographic: "s1000000" sorts after
+	// "s999999" even though the zero-padded width overflowed.
+	sort.Slice(w.order, func(a, b int) bool {
+		if len(w.order[a]) != len(w.order[b]) {
+			return len(w.order[a]) < len(w.order[b])
+		}
+		return w.order[a] < w.order[b]
+	})
+}
+
+// Begin opens a builder for a newly admitted sweep of jobs rows. Any
+// sealed segment already carrying this sweep id is dropped: on a
+// journal-less server, sweep ids restart from zero, so an id collision
+// means the old segment describes a dead identity.
+func (w *Warehouse) Begin(sweepID, name, tenant string, jobs int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if old := w.segs[sweepID]; old != nil {
+		delete(w.segs, sweepID)
+		w.bytes -= int64(old.size)
+		w.reorder()
+		os.Remove(filepath.Join(w.dir, segFileName(sweepID)))
+	}
+	w.builders[sweepID] = NewBuilder(sweepID, name, tenant, jobs)
+}
+
+// Add indexes one published row of a running sweep. Rows for unknown
+// sweeps (or bad indexes) count as ingest errors and are dropped — the
+// store still holds the result, so a rebuild recovers them.
+func (w *Warehouse) Add(sweepID string, idx int, j sweep.Job, row sweep.Row) {
+	w.mu.Lock()
+	b := w.builders[sweepID]
+	var err error
+	if b != nil {
+		err = b.Add(idx, j, row)
+	}
+	w.mu.Unlock()
+	if b == nil {
+		w.ingestErrors.Add(1)
+		return
+	}
+	if err != nil {
+		w.ingestErrors.Add(1)
+		w.logf("warehouse: %v", err)
+	}
+}
+
+// Seal freezes a finished sweep's builder into a segment and persists
+// it. Sealing a sweep with no open builder is a no-op. An incomplete
+// builder is an ingest error: the sweep stays unindexed rather than
+// serving partial aggregates.
+func (w *Warehouse) Seal(sweepID string) error {
+	w.mu.Lock()
+	b := w.builders[sweepID]
+	delete(w.builders, sweepID)
+	w.mu.Unlock()
+	if b == nil {
+		return nil
+	}
+	return w.install(b)
+}
+
+// install freezes a builder, persists the segment, and registers it.
+func (w *Warehouse) install(b *Builder) error {
+	seg, err := b.Segment()
+	if err != nil {
+		w.ingestErrors.Add(1)
+		w.logf("warehouse: %v", err)
+		return err
+	}
+	data := seg.encode()
+	seg.size = len(data)
+	if err := writeSegData(w.dir, seg.Sweep, data); err != nil {
+		// Serve the segment from memory anyway: queries stay correct this
+		// process lifetime, and the next restart rebuilds from the store.
+		w.ingestErrors.Add(1)
+		w.logf("warehouse: persisting sweep %s: %v", seg.Sweep, err)
+	}
+	w.mu.Lock()
+	if old := w.segs[seg.Sweep]; old != nil {
+		w.bytes -= int64(old.size)
+	}
+	w.segs[seg.Sweep] = seg
+	w.bytes += int64(seg.size)
+	w.reorder()
+	w.mu.Unlock()
+	return nil
+}
+
+// Discard drops a running sweep's builder (cancellation): canceled
+// sweeps are incomplete by construction and are never indexed.
+func (w *Warehouse) Discard(sweepID string) {
+	w.mu.Lock()
+	delete(w.builders, sweepID)
+	w.mu.Unlock()
+}
+
+// Has reports whether a sealed segment exists for the sweep.
+func (w *Warehouse) Has(sweepID string) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.segs[sweepID] != nil
+}
+
+// RebuildSweep reconstructs one finished sweep's segment without having
+// observed its rows live: each job's result is fetched from the
+// content-addressed store (get), falling back to the journaled row for
+// results the store has evicted. It errors — leaving the sweep
+// unindexed — if any job is recoverable from neither.
+func (w *Warehouse) RebuildSweep(sweepID, name, tenant string, jobs []sweep.Job,
+	rows []sweep.Row, have []bool, get func(sweep.Key) (sim.Result, bool)) error {
+	b := NewBuilder(sweepID, name, tenant, len(jobs))
+	for i, j := range jobs {
+		k := j.Key()
+		if res, ok := get(k); ok {
+			if err := b.Add(i, j, sweep.RowOf(j, sweep.Outcome{Result: res, Key: k, Cached: true})); err != nil {
+				w.ingestErrors.Add(1)
+				return err
+			}
+			continue
+		}
+		if i < len(rows) && i < len(have) && have[i] {
+			if err := b.Add(i, j, rows[i]); err != nil {
+				w.ingestErrors.Add(1)
+				return err
+			}
+			continue
+		}
+		w.ingestErrors.Add(1)
+		return fmt.Errorf("warehouse: sweep %s: job %d missing from store and journal", sweepID, i)
+	}
+	return w.install(b)
+}
+
+// SegmentFromRows builds an in-memory segment from a sweep's expanded
+// jobs and its streamed NDJSON rows — the client-side parity path of
+// rfbatch's -query -from mode, which re-aggregates a row stream through
+// the exact evaluator the server runs. Rows must be in job order (as
+// rfbatch and the rfserved stream emit them), each row keyed by its
+// job's content address.
+func SegmentFromRows(sweepID, name string, jobs []sweep.Job, rows []sweep.Row) (*Segment, error) {
+	if len(rows) != len(jobs) {
+		return nil, fmt.Errorf("warehouse: %d rows for %d jobs", len(rows), len(jobs))
+	}
+	b := NewBuilder(sweepID, name, "", len(jobs))
+	for i, j := range jobs {
+		if rows[i].Key != string(j.Key()) {
+			return nil, fmt.Errorf("warehouse: row %d key %s does not match job key %s (rows not in job order?)",
+				i, rows[i].Key, j.Key())
+		}
+		if err := b.Add(i, j, rows[i]); err != nil {
+			return nil, err
+		}
+	}
+	return b.Segment()
+}
+
+// Query evaluates one query document over the sealed segments. When
+// tenanted, only segments owned by owner are visible — the same
+// ownership rule as the results stream.
+func (w *Warehouse) Query(q *api.Query, owner string, tenanted bool) (*api.QueryResult, error) {
+	start := time.Now()
+	w.mu.Lock()
+	segs := make([]*Segment, 0, len(w.order))
+	for _, id := range w.order {
+		seg := w.segs[id]
+		if tenanted && seg.Tenant != owner {
+			continue
+		}
+		segs = append(segs, seg)
+	}
+	w.mu.Unlock()
+	res, err := Eval(segs, q)
+	w.queries.Add(1)
+	w.queryNanos.Add(int64(time.Since(start)))
+	return res, err
+}
+
+// Stats snapshots the warehouse counters.
+func (w *Warehouse) Stats() Stats {
+	w.mu.Lock()
+	st := Stats{Segments: len(w.segs), Bytes: w.bytes}
+	for _, seg := range w.segs {
+		st.Rows += seg.N
+	}
+	w.mu.Unlock()
+	st.Queries = w.queries.Load()
+	st.QuerySeconds = float64(w.queryNanos.Load()) / 1e9
+	st.IngestErrors = w.ingestErrors.Load()
+	return st
+}

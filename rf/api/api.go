@@ -121,6 +121,140 @@ type VersionInfo struct {
 	Module string `json:"module"`
 }
 
+// Query ops understood by POST/GET /v1/query (Query.Op).
+const (
+	// QueryOpRows pages the matching rows themselves (cursor-paginated).
+	QueryOpRows = "rows"
+	// QueryOpAggregate groups matching rows and reduces metrics per group.
+	QueryOpAggregate = "aggregate"
+	// QueryOpPareto extracts the (area, IPC) Pareto frontier over the
+	// matching architectures.
+	QueryOpPareto = "pareto"
+	// QueryOpSeries extracts per-architecture benchmark IPC series with
+	// suite harmonic means — enough to render the paper's Figure 6
+	// server-side.
+	QueryOpSeries = "series"
+)
+
+// QueryMetric names one reduction inside an aggregate query: an operator
+// (sum, mean, min, max) applied to a row metric (ipc, cycles,
+// instructions, mispredict_rate, icache_miss_rate, dcache_miss_rate,
+// area).
+type QueryMetric struct {
+	Op     string `json:"op"`
+	Metric string `json:"metric"`
+}
+
+// Query is the versioned query document of GET/POST /v1/query. POST
+// carries it as the request body; GET carries the same JSON URL-encoded
+// in the q parameter. Empty filter lists match everything; filters
+// compose conjunctively (a row must match every non-empty filter).
+type Query struct {
+	// Schema is the wire schema version; 0 (absent) means Version.
+	Schema int `json:"schema,omitempty"`
+	// Op selects the query shape (the QueryOp constants); default rows.
+	Op string `json:"op,omitempty"`
+	// Sweep restricts the query to one sweep id ("" = every sweep the
+	// caller may see).
+	Sweep string `json:"sweep,omitempty"`
+	// Benchmarks, Archs and Families filter rows by exact benchmark name,
+	// architecture display name, and register file family (the
+	// rf.Families registry names: 1cycle, rfcache, ...).
+	Benchmarks []string `json:"benchmarks,omitempty"`
+	Archs      []string `json:"archs,omitempty"`
+	Families   []string `json:"families,omitempty"`
+	// Dims filters on integer architecture dimensions, keyed by the sweep
+	// matrix vocabulary: read_ports, write_ports, buses, upper_sizes,
+	// banks, clusters, phys_regs. A value of 0 matches unlimited ports,
+	// mirroring the spec convention.
+	Dims map[string][]int `json:"dims,omitempty"`
+	// GroupBy names the aggregate grouping columns, in key order:
+	// benchmark, arch, family, suite, sweep. Empty aggregates everything
+	// into one group.
+	GroupBy []string `json:"group_by,omitempty"`
+	// Metrics lists the aggregate reductions; empty means mean ipc.
+	Metrics []QueryMetric `json:"metrics,omitempty"`
+	// Limit bounds one rows page (default 1000, max 10000); other ops
+	// ignore it.
+	Limit int `json:"limit,omitempty"`
+	// Cursor resumes a rows query from a previous page's NextCursor.
+	Cursor string `json:"cursor,omitempty"`
+}
+
+// QueryRow is one matched row in a rows-query page: the streamed NDJSON
+// row fields plus the warehouse's derived columns (owning sweep, family,
+// suite, modeled area). The transport-level cached flag is deliberately
+// absent — the warehouse indexes results, not delivery provenance, so a
+// rebuilt index answers byte-identically.
+type QueryRow struct {
+	Sweep        string  `json:"sweep"`
+	Benchmark    string  `json:"benchmark"`
+	Arch         string  `json:"arch"`
+	Family       string  `json:"family"`
+	FP           bool    `json:"fp,omitempty"`
+	Seed         uint64  `json:"seed,omitempty"`
+	Instructions uint64  `json:"instructions"`
+	Cycles       uint64  `json:"cycles"`
+	IPC          float64 `json:"ipc"`
+	MispredRate  float64 `json:"mispredict_rate"`
+	ICacheMiss   float64 `json:"icache_miss_rate"`
+	DCacheMiss   float64 `json:"dcache_miss_rate"`
+	// Area is the modeled register file area in the paper's 10⁴λ² unit;
+	// 0 when the configuration has unbounded ports (area is unmodeled).
+	Area float64 `json:"area,omitempty"`
+	Key  string  `json:"key"`
+}
+
+// QueryGroup is one aggregate bucket: its group-by key values (parallel
+// to Query.GroupBy), the row count, and one value per requested metric
+// named "op_metric" (e.g. "mean_ipc").
+type QueryGroup struct {
+	Key    []string           `json:"key"`
+	Count  int                `json:"count"`
+	Values map[string]float64 `json:"values"`
+}
+
+// SeriesPoint is one benchmark's mean IPC inside a series.
+type SeriesPoint struct {
+	Benchmark string  `json:"benchmark"`
+	IPC       float64 `json:"ipc"`
+}
+
+// QuerySeries is one architecture's figure series: per-benchmark mean
+// IPC in suite order (SPECint95 then SPECfp95), with the suite harmonic
+// means the paper's Figure 6 plots. A suite mean is 0 when the filter
+// matched no benchmark of that suite.
+type QuerySeries struct {
+	Arch     string        `json:"arch"`
+	Points   []SeriesPoint `json:"points"`
+	IntHmean float64       `json:"int_hmean,omitempty"`
+	FPHmean  float64       `json:"fp_hmean,omitempty"`
+}
+
+// ParetoPoint is one non-dominated architecture on the (area, IPC)
+// frontier, area ascending.
+type ParetoPoint struct {
+	Arch string  `json:"arch"`
+	IPC  float64 `json:"ipc"`
+	Area float64 `json:"area"`
+}
+
+// QueryResult is the body of a successful /v1/query response. Matched
+// counts every row passing the filters, independent of pagination; only
+// the field matching Op is populated.
+type QueryResult struct {
+	Schema  int    `json:"schema"`
+	Op      string `json:"op"`
+	Matched int    `json:"matched"`
+	// Rows is one page of a rows query; NextCursor resumes the next page
+	// and is empty on the last one.
+	Rows       []QueryRow    `json:"rows,omitempty"`
+	Groups     []QueryGroup  `json:"groups,omitempty"`
+	Series     []QuerySeries `json:"series,omitempty"`
+	Frontier   []ParetoPoint `json:"frontier,omitempty"`
+	NextCursor string        `json:"next_cursor,omitempty"`
+}
+
 // Object is the wire document of GET/PUT /v1/objects/{key}: one stored
 // sweep result with its content key embedded. The embedded key mirrors
 // the on-disk entry format — a reader verifies it against the key it

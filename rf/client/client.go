@@ -329,6 +329,39 @@ func (c *Client) Cancel(ctx context.Context, id string) (*api.SweepStatus, error
 	return &st, nil
 }
 
+// Query evaluates one warehouse query document server-side and returns
+// a single result page. POST is used even though the query only reads:
+// query documents outgrow URLs, and the request is idempotent so it is
+// retried like a GET.
+func (c *Client) Query(ctx context.Context, q *api.Query) (*api.QueryResult, error) {
+	var res api.QueryResult
+	if err := c.doJSON(ctx, http.MethodPost, "/v1/query", q, &res, true); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// QueryPages evaluates a query and walks its cursor pagination, calling
+// fn once per page until the server reports no next cursor or fn
+// returns an error (which stops the walk and is returned). The caller's
+// query document is not mutated.
+func (c *Client) QueryPages(ctx context.Context, q *api.Query, fn func(*api.QueryResult) error) error {
+	page := *q
+	for {
+		res, err := c.Query(ctx, &page)
+		if err != nil {
+			return err
+		}
+		if err := fn(res); err != nil {
+			return err
+		}
+		if res.NextCursor == "" {
+			return nil
+		}
+		page.Cursor = res.NextCursor
+	}
+}
+
 // Version fetches the server's module and schema version.
 func (c *Client) Version(ctx context.Context) (*api.VersionInfo, error) {
 	var v api.VersionInfo

@@ -24,11 +24,17 @@
 #      a resubmitted sweep 100% from peer-tier reads (zero simulations),
 #      and a new node pointed at a dead peer first (-store-remote) still
 #      completes the sweep byte-identically via hedged failover.
+#   8. Result warehouse: a coordinator with -warehouse-dir answers
+#      rfbatch -query (the Figure 6 series, pareto, aggregates)
+#      byte-identically to a local re-aggregation of the streamed NDJSON
+#      rows, and deleting the warehouse directory + restarting rebuilds
+#      it from the content-addressed store with identical answers and
+#      zero re-simulation.
 #
 # Usage: smoke_e2e.sh [phase...]   (default: all phases, in order)
-# CI splits this into a smoke job (1 2 3 4 5 7) and a recovery job (6).
-# Phases 2 and 3 build on phase 1's sweep and must run with it; phases 6
-# and 7 are fully self-contained.
+# CI splits this into a smoke job (1 2 3 4 5 7 8) and a recovery job (6).
+# Phases 2 and 3 build on phase 1's sweep and must run with it; phases 6,
+# 7 and 8 are fully self-contained.
 #
 # On failure, logs and WAL directories are copied to $SMOKE_ARTIFACTS
 # (when set) so CI can upload them.
@@ -36,7 +42,7 @@
 # Requires: go, curl, jq.
 set -euo pipefail
 
-phases="${*:-1 2 3 4 5 6 7}"
+phases="${*:-1 2 3 4 5 6 7 8}"
 want() { case " $phases " in *" $1 "*) return 0 ;; *) return 1 ;; esac }
 for p in 2 3; do
   if want "$p" && ! want 1; then
@@ -574,6 +580,150 @@ EOF
   errors="$(curl -sfS "$base/metrics" | grep '^rfserved_store_remote_errors ' | awk '{print $2}')"
   [ "${errors:-0}" -ge 1 ] || die "dead remote tier produced no counted errors"
   echo "smoke:     sweep completed around the dead peer ($(jq -r .cached "$work/p7-hedged.status") remote hits, $(jq -r .simulated "$work/p7-hedged.status") resimulated, $errors tier errors)"
+fi
+reap
+
+if want 8; then
+  echo "smoke: 8/8 warehouse: server-side queries match local aggregation, survive dir loss"
+  # Self-contained: earlier phases may have repointed spec.json.
+  cat > "$work/spec.json" <<'EOF'
+{
+  "name": "smoke",
+  "instructions": 5000,
+  "benchmarks": ["compress", "swim"],
+  "architectures": [
+    {"kind": "1cycle"},
+    {"kind": "rfcache", "caching": ["nonbypass", "ready"]}
+  ]
+}
+EOF
+
+  whdir="$work/warehouse"
+  p8waldir="$work/p8-wal"
+  p8store="$work/p8-store"
+  rm -f "$work/p8-coord-addr"
+  "$bin/rfserved" -dispatch -lease-ms 3000 -addr 127.0.0.1:0 \
+    -addr-file "$work/p8-coord-addr" -store "$p8store" -wal-dir "$p8waldir" \
+    -warehouse-dir "$whdir" 2>> "$work/p8-coordinator.log" &
+  p8_coord_pid=$!
+  pids+=("$p8_coord_pid")
+  for _ in $(seq 1 100); do
+    [ -s "$work/p8-coord-addr" ] && break
+    sleep 0.1
+  done
+  [ -s "$work/p8-coord-addr" ] || { cat "$work/p8-coordinator.log" >&2; die "phase-8 coordinator never wrote its address file"; }
+  coordaddr="$(cat "$work/p8-coord-addr")"
+  coord="http://$coordaddr"
+
+  "$bin/rfserved" -join "$coord" -worker-name whworker -addr 127.0.0.1:0 \
+    2>> "$work/p8-worker.log" &
+  pids+=("$!")
+  for _ in $(seq 1 100); do
+    n="$(curl -sfS "$coord/v1/workers" | jq '.workers | length')" || n=0
+    [ "$n" = 1 ] && break
+    sleep 0.1
+  done
+  [ "$n" = 1 ] || die "phase-8 worker never registered"
+
+  # Run the sweep through the fleet and keep the streamed rows: they are
+  # the client-side ground truth the query answers are checked against.
+  ack="$(curl -sfS -X POST --data-binary @"$work/spec.json" "$coord/v1/sweeps")"
+  id="$(echo "$ack" | jq -r .id)"
+  results="$(echo "$ack" | jq -r .results_url)"
+  [ -n "$id" ] && [ "$id" != null ] || die "phase-8 submission not acknowledged: $ack"
+  curl -sfS "$coord$results" > "$work/p8-rows.ndjson"
+  cmp -s "$work/p8-rows.ndjson" "$work/rfbatch.ndjson" \
+    || die "phase-8 fleet stream differs from rfbatch output"
+
+  cat > "$work/q-series.json" <<'EOF'
+{"schema": 1, "op": "series"}
+EOF
+  cat > "$work/q-agg.json" <<'EOF'
+{"schema": 1, "op": "aggregate", "group_by": ["family", "suite"],
+ "metrics": [{"op": "mean", "metric": "ipc"}, {"op": "max", "metric": "cycles"}]}
+EOF
+  cat > "$work/q-rows.json" <<'EOF'
+{"schema": 1, "op": "rows", "limit": 2}
+EOF
+
+  # The acceptance contract: for every op, the coordinator's answer is
+  # byte-identical to re-aggregating the streamed rows locally — zero
+  # rows travel for the server-side answer (q-rows paginates at limit 2,
+  # so the cursor walk is covered too).
+  for q in series agg rows; do
+    "$bin/rfbatch" -query "$work/q-$q.json" -remote "$coord" -sweep "$id" \
+      > "$work/p8-$q-remote.json" 2>> "$work/p8-rfbatch.log" \
+      || { cat "$work/p8-rfbatch.log" >&2; die "remote $q query failed"; }
+    "$bin/rfbatch" -query "$work/q-$q.json" -from "$work/p8-rows.ndjson" \
+      -spec "$work/spec.json" -sweep "$id" \
+      > "$work/p8-$q-local.json" 2>> "$work/p8-rfbatch.log" \
+      || { cat "$work/p8-rfbatch.log" >&2; die "local $q query failed"; }
+    if ! cmp -s "$work/p8-$q-remote.json" "$work/p8-$q-local.json"; then
+      diff -u "$work/p8-$q-local.json" "$work/p8-$q-remote.json" >&2 || true
+      die "$q query: server-side answer differs from local aggregation"
+    fi
+  done
+  echo "smoke:     series/aggregate/rows answers byte-identical to local aggregation"
+
+  # The figure render: -table turns the series answer into the Figure 6
+  # benchmark x architecture IPC grid, identically on both paths.
+  "$bin/rfbatch" -query "$work/q-series.json" -remote "$coord" -sweep "$id" -table \
+    > "$work/p8-fig6-remote.txt" 2>> "$work/p8-rfbatch.log"
+  "$bin/rfbatch" -query "$work/q-series.json" -from "$work/p8-rows.ndjson" \
+    -spec "$work/spec.json" -sweep "$id" -table \
+    > "$work/p8-fig6-local.txt" 2>> "$work/p8-rfbatch.log"
+  cmp -s "$work/p8-fig6-remote.txt" "$work/p8-fig6-local.txt" \
+    || die "Figure 6 table differs between coordinator and local render"
+  grep -q 'compress' "$work/p8-fig6-remote.txt" && grep -q 'swim' "$work/p8-fig6-remote.txt" \
+    || die "Figure 6 table missing benchmark rows: $(cat "$work/p8-fig6-remote.txt")"
+  echo "smoke:     Figure 6 table renders identically from the coordinator"
+
+  # GET with the document url-encoded in ?q= is the same evaluator.
+  curl -sfS -G --data-urlencode "q@$work/q-series.json" "$coord/v1/query" \
+    > "$work/p8-get.json"
+  curl -sfS -X POST --data-binary @"$work/q-series.json" "$coord/v1/query" \
+    > "$work/p8-post.json"
+  cmp -s "$work/p8-get.json" "$work/p8-post.json" \
+    || die "GET and POST /v1/query answers differ"
+
+  metrics="$(curl -sfS "$coord/metrics")"
+  echo "$metrics" | grep -q '^rfserved_warehouse_segments 1$' \
+    || die "warehouse metrics missing segment count: $(echo "$metrics" | grep warehouse || true)"
+  echo "$metrics" | grep -q '^rfserved_warehouse_queries_total [1-9]' \
+    || die "warehouse query counter never moved: $(echo "$metrics" | grep warehouse || true)"
+
+  # Lose the warehouse directory entirely; the restarted coordinator
+  # rebuilds the segment from the content-addressed store and answers
+  # every query byte-identically, without one simulation.
+  kill "$p8_coord_pid"
+  wait "$p8_coord_pid" 2>/dev/null || true
+  rm -rf "$whdir"
+  "$bin/rfserved" -dispatch -lease-ms 3000 -addr "$coordaddr" \
+    -store "$p8store" -wal-dir "$p8waldir" -warehouse-dir "$whdir" \
+    2>> "$work/p8-coordinator.log" &
+  pids+=("$!")
+  for _ in $(seq 1 100); do
+    curl -sfS "$coord/healthz" > /dev/null 2>&1 && break
+    sleep 0.1
+  done
+  curl -sfS "$coord/healthz" > /dev/null || { cat "$work/p8-coordinator.log" >&2; die "phase-8 restarted coordinator never came up"; }
+  for _ in $(seq 1 100); do
+    segs="$(curl -sfS "$coord/metrics" | grep '^rfserved_warehouse_segments ' | awk '{print $2}')" || segs=0
+    [ "${segs:-0}" = 1 ] && break
+    sleep 0.1
+  done
+  [ "${segs:-0}" = 1 ] || die "restarted coordinator never rebuilt the warehouse segment"
+
+  for q in series agg rows; do
+    "$bin/rfbatch" -query "$work/q-$q.json" -remote "$coord" -sweep "$id" \
+      > "$work/p8-$q-rebuilt.json" 2>> "$work/p8-rfbatch.log" \
+      || { cat "$work/p8-rfbatch.log" >&2; die "post-rebuild $q query failed"; }
+    cmp -s "$work/p8-$q-rebuilt.json" "$work/p8-$q-remote.json" \
+      || die "$q query differs after warehouse rebuild"
+  done
+  sims="$(curl -sfS "$coord/metrics" | grep '^rfserved_simulations_started_total ' | awk '{print $2}')"
+  [ "${sims:-0}" = 0 ] || die "warehouse rebuild triggered $sims local simulations"
+  echo "smoke:     warehouse rebuilt from the store; all answers byte-identical, 0 simulations"
 fi
 reap
 
